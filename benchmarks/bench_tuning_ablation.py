@@ -1,0 +1,28 @@
+"""§4.5 ablation: the symbolic tuning workflow (tune@64 -> top-k cross-eval
+-> best average) vs naive config reuse and a per-shape oracle."""
+
+import pytest
+
+from repro.harness import format_table
+from repro.harness.experiments import tuning_ablation
+
+
+@pytest.mark.paper
+def test_tuning_ablation(benchmark):
+    r = benchmark.pedantic(lambda: tuning_ablation(), rounds=1, iterations=1)
+    print()
+    print(
+        format_table(
+            "§4.5 symbolic tuning ablation — dense 768x768, ARM, shapes 1..256",
+            [
+                ["naive (shape-64 winner)", r["naive_us"], r["naive_vs_oracle"]],
+                ["symbolic workflow", r["symbolic_workflow_us"], r["workflow_vs_oracle"]],
+                ["per-shape oracle", r["oracle_us"], 1.0],
+            ],
+            ["strategy", "total µs", "vs oracle"],
+            floatfmt="{:.2f}",
+        )
+    )
+    # The workflow is at least as good as naive reuse and close to oracle.
+    assert r["symbolic_workflow_us"] <= r["naive_us"] * 1.0001
+    assert r["workflow_vs_oracle"] < 1.25

@@ -1,0 +1,12 @@
+"""Benchmark configuration: each benchmark regenerates one paper artifact.
+
+The measured quantity (pytest-benchmark) is the wall time of the whole
+simulation; the *reported science* is the virtual-microsecond tables each
+benchmark prints, which mirror the paper's Tables 1–4 / Figure 3 / §6.3.
+"""
+
+import pytest
+
+
+def pytest_configure(config):
+    config.addinivalue_line("markers", "paper: regenerates a paper table/figure")

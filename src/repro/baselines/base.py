@@ -1,0 +1,168 @@
+"""Shared machinery for baseline frameworks.
+
+:class:`OpExecutor` executes one operator at a time the way frameworks
+do: per-op host dispatch overhead, an *un-fused* vendor-library kernel per
+op (frameworks "rely on third-party kernel libraries", §1), and the same
+virtual-clock timing model as the VM — so comparisons against Nimble are
+apples-to-apples on the hardware side and differ exactly where the paper
+says they differ (dispatch, fusion, control-flow machinery).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.codegen.workload import Workload, _GEMM_OPS
+from repro.codegen.cost_model import custom_library_cost_us, library_cost_us, tuned_cost_us
+from repro.codegen.schedule import Schedule
+from repro.errors import NimbleError
+from repro.hardware.platforms import Platform
+from repro.ops import get_op_def
+from repro.ops.shape_funcs import prod
+from repro.runtime.context import ExecutionContext
+from repro.tensor.dtype import dtype_bytes
+
+
+@dataclass
+class BaselineResult:
+    """Latency summary over a workload set."""
+
+    framework: str
+    platform: str
+    total_us: float
+    total_tokens: int
+
+    @property
+    def us_per_token(self) -> float:
+        return self.total_us / max(1, self.total_tokens)
+
+
+class OpExecutor:
+    """Per-operator execution with framework-style overheads."""
+
+    def __init__(
+        self,
+        platform: Platform,
+        ctx: ExecutionContext,
+        op_overhead_us: float,
+        use_library: bool = True,
+        library=None,
+    ) -> None:
+        self.platform = platform
+        self.ctx = ctx
+        self.op_overhead_us = op_overhead_us
+        self.use_library = use_library
+        # The framework's own bundled kernel library on this platform
+        # (see overhead.FRAMEWORK_LIBRARY); None = platform default.
+        self.library = library
+        self.ops_executed = 0
+
+    # -- core ------------------------------------------------------------------
+    def call(self, op_name: str, inputs: Sequence[np.ndarray], attrs: Optional[dict] = None):
+        """Dispatch one operator: host overhead + library kernel + compute."""
+        attrs = attrs or {}
+        op_def = get_op_def(op_name)
+        in_shapes = [np.asarray(i).shape for i in inputs]
+        out_shapes = op_def.shape_func(in_shapes, [np.asarray(i) for i in inputs], attrs)
+        flops = op_def.flops(in_shapes, out_shapes, attrs)
+        dtype_b = 4
+        bytes_moved = sum(prod(s) * dtype_b for s in in_shapes) + sum(
+            prod(s) * dtype_b for s in out_shapes
+        )
+        workload = Workload(
+            flops=flops,
+            bytes_moved=float(bytes_moved),
+            working_set=float(bytes_moved),
+            is_gemm=op_name in _GEMM_OPS,
+            out_shapes=tuple(tuple(s) for s in out_shapes),
+        )
+        spec = self.platform.compute_spec
+        clock = self.ctx.clock
+        clock.host_advance(self.op_overhead_us)
+        self.ops_executed += 1
+
+        if not self.use_library:
+            duration = None
+        elif self.library is not None:
+            duration = custom_library_cost_us(spec, workload, self.library)
+        else:
+            duration = library_cost_us(spec, workload)
+        if duration is None:
+            # No library available: frameworks fall back to naive kernels
+            # (noticeably worse than either library or tuned code).
+            duration = tuned_cost_us(
+                spec, self.platform.name, workload, Schedule(tile=1, vectorize=1, unroll=1), (1, 1, 1)
+            ) * 1.4
+        if self.platform.compute.is_gpu:
+            clock.launch_async(self.platform.compute, duration, spec.host_launch_us)
+        else:
+            clock.run_sync(duration)
+
+        # Lite numerics: skip the heavy NumPy work (shape-correct zeros).
+        if self.ctx.numerics == "lite" and flops > 1e4 and not op_def.is_dynamic_shape_func:
+            outs = [np.zeros(s, dtype=np.asarray(inputs[0]).dtype if inputs else np.float32) for s in out_shapes]
+            return outs[0] if len(outs) == 1 else tuple(outs)
+        return op_def.compute([np.asarray(i) for i in inputs], attrs)
+
+    # -- convenience wrappers used by the model programs --------------------------
+    def dense(self, x, w):
+        return self.call("nn.dense", [x, w])
+
+    def bias_add(self, x, b):
+        return self.call("nn.bias_add", [x, b])
+
+    def concat(self, tensors, axis=0):
+        return self.call("concatenate", list(tensors), {"axis": axis})
+
+    def split(self, x, sections, axis=0):
+        return self.call("split", [x], {"indices_or_sections": sections, "axis": axis})
+
+    def sigmoid(self, x):
+        return self.call("sigmoid", [x])
+
+    def tanh(self, x):
+        return self.call("tanh", [x])
+
+    def add(self, a, b):
+        return self.call("add", [a, b])
+
+    def multiply(self, a, b):
+        return self.call("multiply", [a, b])
+
+    def softmax(self, x, axis=-1):
+        return self.call("nn.softmax", [x], {"axis": axis})
+
+    def layer_norm(self, x, g, b, eps=1e-12):
+        return self.call("nn.layer_norm", [x, g, b], {"axis": -1, "epsilon": eps})
+
+    def gelu(self, x):
+        return self.call("nn.gelu", [x])
+
+    def reshape(self, x, shape):
+        return self.call("reshape", [x], {"newshape": tuple(shape)})
+
+    def transpose(self, x, axes):
+        return self.call("transpose", [x], {"axes": tuple(axes)})
+
+    def batch_matmul(self, a, b):
+        return self.call("nn.batch_matmul", [a, b])
+
+
+class Framework:
+    """Base class: every framework reports which workloads it supports,
+    mirroring the availability matrix of §6.2."""
+
+    name = "framework"
+
+    def __init__(self, platform: Platform, numerics: str = "full") -> None:
+        self.platform = platform
+        self.numerics = numerics
+
+    def supports(self, model: str) -> bool:  # pragma: no cover - overridden
+        return True
+
+    def make_context(self) -> ExecutionContext:
+        return ExecutionContext(self.platform, numerics=self.numerics)

@@ -1,0 +1,148 @@
+"""The analytical kernel cost model.
+
+``time = max(compute, memory) + launch`` with:
+
+* compute = flops / (peak · efficiency · gpu_utilization)
+* memory  = bytes / (bandwidth(working set) · bandwidth_fraction)
+* symbolic kernels pay an index-computation overhead (Table 4's 5–25 %
+  band) and — when the runtime residue has no specialized variant — the
+  boundary-check penalty of §4.5 / Figure 3.
+
+The same model prices compiler-generated (tuned) kernels and vendor
+library kernels; the dispatcher picks whichever is cheaper, reproducing
+the paper's profile-guided kernel selection (§6.2).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from repro.codegen.schedule import Schedule
+from repro.codegen.workload import Workload
+from repro.hardware import calibration
+from repro.hardware.specs import DeviceSpec, LibraryProfile
+
+
+# Vendor libraries are tuned for large, regular shapes; on the small and
+# odd shapes dynamic models produce they fall off peak much sooner than a
+# kernel generated *for that shape distribution* (§4.5's motivation).
+# cuDNN/cuBLAS are better at transformer shapes than CPU BLAS at GEMV-ish
+# ones, hence the smaller GPU factor.
+LIBRARY_SAT_SCALE_CPU = 8.0
+LIBRARY_SAT_SCALE_GPU = 2.5
+
+
+def _base_time_us(
+    spec: DeviceSpec,
+    workload: Workload,
+    gemm_eff: float,
+    elem_eff: float,
+    bw_frac: float,
+    sat_scale: float = 1.0,
+) -> float:
+    eff = gemm_eff if workload.is_gemm else elem_eff
+    # Saturation: GPUs need occupancy for *every* kernel; multi-core CPUs
+    # only pay the parallel fork/join on compute-bound (GEMM-like) loops —
+    # tiny elementwise ops stay single-threaded and streaming.
+    apply_sat = spec.is_gpu or workload.is_gemm
+    sat = spec.sat_flops * sat_scale if apply_sat else 0.0
+    util = workload.flops / (workload.flops + sat) if sat > 0 else 1.0
+    compute_us = workload.flops / max(1e-9, spec.peak_gflops * 1e3 * eff * util)
+    bw = spec.effective_bandwidth_gbps(int(workload.working_set)) * bw_frac
+    memory_us = workload.bytes_moved / max(1e-9, bw * 1e3)
+    return max(compute_us, memory_us)
+
+
+def tuned_cost_us(
+    spec: DeviceSpec,
+    platform_name: str,
+    workload: Workload,
+    schedule: Schedule,
+    mnk: Tuple[int, int, int],
+    symbolic: bool = False,
+    residues_per_kernel: int = 1,
+) -> float:
+    """Cost of a compiler-generated kernel under *schedule*.
+
+    ``mnk`` is the canonical (rows, cols, reduction) the schedule applies
+    to; ``symbolic`` marks kernels generated for symbolic shapes.
+
+    ``residues_per_kernel`` implements §4.5's dispatch trade-off: with a
+    tiling factor *t* and *k* generated kernels, each kernel covers
+    ``t / k`` residue classes. A kernel covering exactly one residue has
+    all boundary checks eliminated; covering more leaves a fraction
+    ``1 - 1/rpk`` of them in place, costing the schedule's boundary
+    penalty coefficient on that fraction.
+    """
+    m, n, k = mnk
+    quality = schedule.quality(m, n, k)
+    base = _base_time_us(
+        spec,
+        workload,
+        gemm_eff=spec.tuned_gemm_efficiency * quality,
+        elem_eff=spec.tuned_elemwise_efficiency * quality,
+        bw_frac=spec.tuned_bandwidth_fraction,
+    )
+    if symbolic:
+        base *= 1.0 + calibration.SYMBOLIC_INDEX_OVERHEAD[platform_name]
+        rpk = max(1, int(residues_per_kernel))
+        if rpk > 1:
+            residual_fraction = 1.0 - 1.0 / rpk
+            base *= 1.0 + schedule.boundary_penalty_coeff(platform_name) * residual_fraction
+    return base + spec.launch_overhead_us
+
+
+def custom_library_cost_us(
+    spec: DeviceSpec, workload: Workload, lib: LibraryProfile
+) -> float:
+    """Cost under an explicit library profile (the baselines bundle their
+    own kernel libraries, which differ per framework and platform)."""
+    base = _base_time_us(
+        spec,
+        workload,
+        gemm_eff=lib.gemm_efficiency,
+        elem_eff=lib.elemwise_efficiency,
+        bw_frac=lib.bandwidth_fraction,
+        sat_scale=LIBRARY_SAT_SCALE_GPU if spec.is_gpu else LIBRARY_SAT_SCALE_CPU,
+    )
+    return base + spec.launch_overhead_us
+
+
+def library_cost_us(spec: DeviceSpec, workload: Workload) -> Optional[float]:
+    """Cost of the vendor-library implementation, if the platform has one.
+    Libraries handle arbitrary shapes (no symbolic penalty) but carry
+    their own efficiency profile."""
+    lib = spec.library
+    if lib is None:
+        return None
+    base = _base_time_us(
+        spec,
+        workload,
+        gemm_eff=lib.gemm_efficiency,
+        elem_eff=lib.elemwise_efficiency,
+        bw_frac=lib.bandwidth_fraction,
+        sat_scale=LIBRARY_SAT_SCALE_GPU if spec.is_gpu else LIBRARY_SAT_SCALE_CPU,
+    )
+    return base + spec.launch_overhead_us
+
+
+def kernel_cost_us(
+    spec: DeviceSpec,
+    platform_name: str,
+    workload: Workload,
+    schedule: Schedule,
+    mnk: Tuple[int, int, int],
+    symbolic: bool,
+    residues_per_kernel: int = 1,
+    allow_library: bool = True,
+) -> Tuple[float, str]:
+    """Best available implementation: (cost, impl name)."""
+    tuned = tuned_cost_us(
+        spec, platform_name, workload, schedule, mnk, symbolic, residues_per_kernel
+    )
+    best, impl = tuned, "compiled"
+    if allow_library:
+        lib = library_cost_us(spec, workload)
+        if lib is not None and lib < best:
+            best, impl = lib, spec.library.name  # type: ignore[union-attr]
+    return best, impl

@@ -1,0 +1,257 @@
+"""Compiled kernel artifacts and runtime shape dispatch (§4.5).
+
+A :class:`KernelSet` is what the VM's ``InvokePacked`` invokes: the NumPy
+executor for the fused group plus a dispatch table of residue-specialized
+symbolic variants and (optionally) a vendor-library alternative. At call
+time the set inspects the runtime shapes, dispatches to the variant for
+``rows % tile``, and reports the modeled duration — choosing the library
+implementation when profiling says it is faster, exactly the paper's
+selection mechanism.
+
+:class:`ShapeFuncKernel` is the compiled form of a shape function; it runs
+on the host and its cost is charged as "other instructions" in the
+Table 4 breakdown.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.codegen.cost_model import library_cost_us, tuned_cost_us
+from repro.codegen.schedule import Schedule, default_schedule
+from repro.codegen.workload import Workload, compute_workload, run_prim_func
+from repro.core.memory.prim_info import PrimFuncInfo, analyze_prim_func, run_fused_shape_func
+from repro.errors import CompilerError
+from repro.hardware import calibration
+from repro.hardware.platforms import Platform
+from repro.hardware.specs import DeviceSpec
+from repro.ir.analysis import structural_hash
+from repro.ir.expr import Call, Expr, Function, Let, Var
+from repro.ir.op import Op
+from repro.ir.types import TensorType, has_any_dim
+from repro.ops.shape_funcs import prod
+
+Shape = Tuple[int, ...]
+
+_GEMM_OPS = {"nn.dense", "nn.batch_matmul", "nn.conv2d"}
+
+
+def _prim_calls(func: Function) -> List[Call]:
+    calls: List[Call] = []
+    node: Expr = func.body
+    while isinstance(node, Let):
+        if isinstance(node.value, Call):
+            calls.append(node.value)
+        node = node.body
+    if isinstance(node, Call):
+        calls.append(node)
+    return calls
+
+
+def canonical_mnk(func: Function, in_shapes: Sequence[Shape], out_shape: Shape) -> Tuple[int, int, int]:
+    """(rows, cols, reduction) the schedule's loop nest maps to."""
+    from repro.ir.expr import Constant
+
+    param_index = {p: i for i, p in enumerate(func.params)}
+
+    def arg_shape(arg: Expr, fallback: Shape) -> Shape:
+        if isinstance(arg, Var) and arg in param_index:
+            return tuple(in_shapes[param_index[arg]])
+        if isinstance(arg, Constant):
+            return tuple(arg.value.shape)
+        return fallback
+
+    for call in _prim_calls(func):
+        if isinstance(call.op, Op) and call.op.name in _GEMM_OPS:
+            if call.op.name == "nn.dense":
+                d_shape = arg_shape(call.args[0], out_shape)
+                w_shape = arg_shape(call.args[1], (1, 1))
+                m = prod(d_shape[:-1]) if len(d_shape) > 1 else 1
+                return (max(1, m), w_shape[0], w_shape[1])
+            if call.op.name == "nn.batch_matmul":
+                a_shape = arg_shape(call.args[0], out_shape)
+                return (max(1, a_shape[0] * a_shape[1]), out_shape[-1], a_shape[-1])
+            if call.op.name == "nn.conv2d":
+                w_shape = arg_shape(call.args[1], (1, 1, 1, 1))
+                m = prod(out_shape) // max(1, out_shape[1]) if len(out_shape) == 4 else prod(out_shape)
+                return (max(1, m), w_shape[0], prod(w_shape[1:]))
+    # Elementwise / injective kernels: rows × cols of the output.
+    if len(out_shape) >= 2:
+        return (prod(out_shape[:-1]), out_shape[-1], 1)
+    return (out_shape[0] if out_shape else 1, 1, 1)
+
+
+def is_symbolic_prim(func: Function) -> bool:
+    """Does this kernel face a symbolic (Any) shape at compile time?"""
+    for p in func.params:
+        ty = p.checked_type or p.type_annotation
+        if ty is not None and has_any_dim(ty):
+            return True
+    ret = func.ret_type
+    return ret is not None and has_any_dim(ret)
+
+
+@dataclass
+class KernelInvocation:
+    """Outcome of one dispatch: modeled duration + which impl ran."""
+
+    duration_us: float
+    impl: str
+    residues_per_kernel: int
+    flops: float = 0.0
+
+
+class KernelSet:
+    """All generated variants of one fused kernel on one platform."""
+
+    def __init__(
+        self,
+        prim: Function,
+        platform: Platform,
+        spec: DeviceSpec,
+        schedule: Optional[Schedule] = None,
+        num_dispatch_kernels: Optional[int] = None,
+        allow_library: bool = True,
+        symbolic: Optional[bool] = None,
+    ) -> None:
+        self.prim = prim
+        self.platform = platform
+        self.spec = spec
+        self.schedule = schedule or default_schedule()
+        self.symbolic = is_symbolic_prim(prim) if symbolic is None else symbolic
+        # Full dispatch by default: one kernel per residue class (§4.5).
+        self.num_dispatch_kernels = (
+            num_dispatch_kernels
+            if num_dispatch_kernels is not None
+            else (self.schedule.tile if self.symbolic else 1)
+        )
+        self.allow_library = allow_library
+        self.calls = 0
+        self.last_invocation: Optional[KernelInvocation] = None
+        self._info: Optional[PrimFuncInfo] = None
+
+    @property
+    def info(self) -> PrimFuncInfo:
+        if self._info is None:
+            self._info = analyze_prim_func(self.prim)
+        return self._info
+
+    # -- identity ---------------------------------------------------------------
+    @property
+    def name(self) -> str:
+        ops = "+".join(
+            c.op.name for c in _prim_calls(self.prim) if isinstance(c.op, Op)
+        )
+        return f"fused_{ops}"
+
+    @property
+    def code_size_bytes(self) -> int:
+        """Modeled machine-code footprint; §4.5 notes the duplication from
+        residue dispatch is small relative to model weights."""
+        per_variant = 2048 + 256 * self.schedule.unroll * self.schedule.vectorize
+        variants = self.num_dispatch_kernels if self.symbolic else 1
+        return per_variant * variants
+
+    # -- execution ------------------------------------------------------------------
+    def run(self, inputs: Sequence[np.ndarray]) -> List[np.ndarray]:
+        self.calls += 1
+        return run_prim_func(self.prim, inputs)
+
+    def invoke_cost(self, in_shapes: Sequence[Shape]) -> KernelInvocation:
+        """Model the latency of one invocation at concrete shapes."""
+        try:
+            workload = compute_workload(self.prim, in_shapes)
+        except Exception:
+            # Data-dependent kernels (arange/unique/...) cannot predict
+            # their output from shapes alone; bound the workload by the
+            # inputs (these ops are input-dominated anyway).
+            in_bytes = float(sum(4 * prod(s) for s in in_shapes))
+            out_shape = tuple(in_shapes[0]) if in_shapes else (1,)
+            workload = Workload(
+                flops=max(1.0, in_bytes),
+                bytes_moved=2.0 * max(4.0, in_bytes),
+                working_set=2.0 * max(4.0, in_bytes),
+                is_gemm=False,
+                out_shapes=(out_shape,),
+            )
+        mnk = canonical_mnk(self.prim, in_shapes, workload.out_shapes[0])
+        if self.symbolic:
+            tile = max(1, self.schedule.tile)
+            rpk = max(1, tile // max(1, min(self.num_dispatch_kernels, tile)))
+        else:
+            rpk = 1
+        tuned = tuned_cost_us(
+            self.spec,
+            self.platform.name,
+            workload,
+            self.schedule,
+            mnk,
+            symbolic=self.symbolic,
+            residues_per_kernel=rpk,
+        )
+        best, impl = tuned, "compiled"
+        if self.allow_library:
+            lib = library_cost_us(self.spec, workload)
+            if lib is not None and lib < best:
+                best, impl = lib, self.spec.library.name  # type: ignore[union-attr]
+        inv = KernelInvocation(
+            duration_us=best, impl=impl, residues_per_kernel=rpk, flops=workload.flops
+        )
+        self.last_invocation = inv
+        return inv
+
+
+class ShapeFuncKernel:
+    """Compiled shape function of one primitive group (host-resident)."""
+
+    def __init__(self, prim: Function, platform: Platform) -> None:
+        self.prim = prim
+        self.platform = platform
+        self.info: PrimFuncInfo = analyze_prim_func(prim)
+
+    def run(
+        self,
+        in_shapes: Sequence[Shape],
+        in_values: Optional[Sequence[Optional[np.ndarray]]] = None,
+    ) -> List[np.ndarray]:
+        shapes = run_fused_shape_func(self.info, in_shapes, in_values)
+        return [np.asarray(s, dtype=np.int64) for s in shapes]
+
+    def cost_us(self, in_values: Optional[Sequence[Optional[np.ndarray]]] = None) -> float:
+        base = calibration.SHAPE_FUNC_US[self.platform.name]
+        if self.info.mode.value == "data_dependent" and in_values:
+            # Data-dependent shape functions scan their inputs.
+            nbytes = sum(v.nbytes for v in in_values if v is not None)
+            host = self.platform.host_spec
+            base += nbytes / (host.dram_bw_gbps * 1e3)
+        return base
+
+
+class KernelCache:
+    """Structural-hash cache: identical fused groups compile once."""
+
+    def __init__(self) -> None:
+        self._kernels: Dict[Tuple[int, str], KernelSet] = {}
+        self._shape_funcs: Dict[Tuple[int, str], ShapeFuncKernel] = {}
+
+    def kernel(self, prim: Function, platform: Platform, spec: DeviceSpec, **kwargs) -> KernelSet:
+        key = (structural_hash(prim), platform.name)
+        found = self._kernels.get(key)
+        if found is None:
+            found = KernelSet(prim, platform, spec, **kwargs)
+            self._kernels[key] = found
+        return found
+
+    def shape_func(self, prim: Function, platform: Platform) -> ShapeFuncKernel:
+        key = (structural_hash(prim), platform.name)
+        found = self._shape_funcs.get(key)
+        if found is None:
+            found = ShapeFuncKernel(prim, platform)
+            self._shape_funcs[key] = found
+        return found
+
+    def __len__(self) -> int:
+        return len(self._kernels)

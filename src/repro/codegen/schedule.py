@@ -1,0 +1,100 @@
+"""Kernel schedules and the template search space (§4.5).
+
+A :class:`Schedule` is the tunable loop structure of a generated kernel:
+the tiling factor of the (possibly symbolic) row dimension, vector width,
+unroll factor and parallelization. The *quality model* scores how well a
+schedule fits a concrete shape — divisibility of the tiled/vectorized
+dimensions is what makes configurations transfer (or not) across shapes,
+which is exactly the structure the symbolic tuning workflow exploits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Tuple
+
+from repro.hardware import calibration
+from repro.hardware.specs import DeviceSpec
+
+
+@dataclass(frozen=True, order=True)
+class Schedule:
+    tile: int = 8        # tiling of the dynamic (rows) dimension
+    vectorize: int = 4   # SIMD width on the columns dimension
+    unroll: int = 2      # inner-loop unroll factor
+    parallel: bool = True
+
+    def __str__(self) -> str:
+        return f"S(tile={self.tile},vec={self.vectorize},unroll={self.unroll},par={int(self.parallel)})"
+
+    # -- quality model ---------------------------------------------------------
+    def quality(self, m: int, n: int, k: int) -> float:
+        """Relative efficiency (0, 1] of this schedule on a (m×k)·(k×n)
+        shaped workload. Deterministic, no randomness: the search space has
+        real structure for the tuner to find."""
+        q = 1.0
+        # Vector width must divide the columns; penalty scales with waste.
+        if n % self.vectorize != 0:
+            q *= 0.78
+        elif self.vectorize >= 8:
+            q *= 1.0  # wide vectors are free when they fit
+        else:
+            q *= 0.9 + 0.025 * self.vectorize
+
+        # Row-tile remainder executes scalar epilogue code.
+        if m >= 1:
+            remainder = m % self.tile
+            frac = remainder / max(m, self.tile)
+            q *= 1.0 - 0.35 * frac
+            if self.tile > m:
+                q *= 0.8  # tile larger than the extent wastes lanes
+
+        # Vector-width × unroll footprint has a sweet spot that scales with
+        # the row length: long rows (n ≥ 2048, e.g. BERT's 768→3072 FFN)
+        # amortize wide unrolled bodies; moderate rows leave them starved.
+        # This is why differently-shaped dense layers tune to different
+        # schedules — and hence degrade differently without residue
+        # dispatch (Figure 3).
+        import math
+
+        footprint = max(1, self.vectorize * self.unroll)
+        ideal = 16.0 if n >= 2048 else 8.0
+        q *= 1.0 - 0.05 * abs(math.log2(footprint) - math.log2(ideal))
+
+        # Register blocking vs. reduction depth: very deep K with huge
+        # tiles thrashes registers.
+        if k > 0 and self.tile * self.vectorize > 0:
+            pressure = self.tile * self.vectorize / 64.0
+            if pressure > 4.0:
+                q *= 0.85
+
+        if not self.parallel:
+            q *= 0.55 if m * n >= 1 << 14 else 0.95
+        return max(0.05, min(q, 1.0))
+
+    def boundary_penalty_coeff(self, spec_platform_name: str) -> float:
+        """The §4.5 boundary-check slowdown coefficient of this schedule.
+
+        Wider vector/unroll footprints lose more when the loop bounds are
+        not provably divisible — the generated epilogue is scalar. This is
+        what makes the three BERT dense layers in Figure 3 degrade by
+        different amounts (their tuned schedules differ).
+        """
+        base = calibration.BOUNDARY_CHECK_PENALTY[spec_platform_name]
+        return base * (self.vectorize * self.unroll) / 8.0
+
+
+def default_schedule() -> Schedule:
+    return Schedule()
+
+
+def search_space() -> List[Schedule]:
+    """The template's full configuration space (~200 configs, matching the
+    scale of a small AutoTVM template)."""
+    out: List[Schedule] = []
+    for tile in (1, 2, 4, 8, 16, 32):
+        for vec in (1, 2, 4, 8, 16):
+            for unroll in (1, 2, 4, 8):
+                for par in (True, False):
+                    out.append(Schedule(tile, vec, unroll, par))
+    return out

@@ -1,0 +1,189 @@
+"""Kernel workload analysis and the NumPy executor for primitive functions.
+
+A fused kernel's cost is determined by its *workload*: FLOPs, bytes moved
+across the memory hierarchy, and the resident working set. Fusion is
+modeled faithfully — intermediates inside a fused group stay in registers
+or cache, so only external inputs and final outputs count toward bytes
+moved (that is precisely why fusion wins).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import CompilerError
+from repro.ir.expr import Call, Constant, Expr, Function, Let, Tuple as IRTuple, TupleGetItem, Var
+from repro.ir.op import Op
+from repro.ops import get_op_def
+from repro.ops.registry import OpPattern
+from repro.ops.shape_funcs import prod
+from repro.tensor.dtype import dtype_bytes
+
+Shape = Tuple[int, ...]
+
+# Ops whose cost profile is GEMM-like (compute-bound at scale).
+_GEMM_OPS = {"nn.dense", "nn.batch_matmul", "nn.conv2d"}
+
+
+@dataclass(frozen=True)
+class Workload:
+    flops: float
+    bytes_moved: float
+    working_set: float
+    is_gemm: bool
+    out_shapes: Tuple[Shape, ...]
+
+    @property
+    def arithmetic_intensity(self) -> float:
+        return self.flops / max(1.0, self.bytes_moved)
+
+
+def _walk_calls(func: Function) -> List[Tuple[Var, Call]]:
+    """(binder, call) pairs of the primitive body, in evaluation order.
+    Nested calls (hand-built, non-ANF primitive bodies) are linearized
+    with synthetic binders; the final expression gets one too."""
+    out: List[Tuple[Var, Call]] = []
+
+    def linearize(expr: Expr) -> Expr:
+        """Bind nested call arguments to synthetic vars, post-order."""
+        if not isinstance(expr, Call):
+            return expr
+        new_args = []
+        for arg in expr.args:
+            if isinstance(arg, Call):
+                inner = linearize(arg)
+                var = Var(f"_t{len(out)}")
+                out.append((var, inner))
+                new_args.append(var)
+            else:
+                new_args.append(arg)
+        if all(n is o for n, o in zip(new_args, expr.args)):
+            return expr
+        return Call(expr.op, new_args, expr.attrs)
+
+    node: Expr = func.body
+    while isinstance(node, Let):
+        if isinstance(node.value, Call):
+            out.append((node.var, linearize(node.value)))
+        node = node.body
+    if isinstance(node, Call):
+        out.append((Var("_ret"), linearize(node)))
+    return out
+
+
+class _ShapeEnv:
+    """Abstract interpretation of a primitive body over shapes."""
+
+    def __init__(self, func: Function, in_shapes: Sequence[Shape]) -> None:
+        if len(func.params) != len(in_shapes):
+            raise CompilerError(
+                f"workload: arity mismatch ({len(func.params)} params, "
+                f"{len(in_shapes)} shapes)"
+            )
+        self.env: Dict[Var, object] = {
+            p: tuple(int(d) for d in s) for p, s in zip(func.params, in_shapes)
+        }
+        self.dtypes: Dict[Var, str] = {}
+        for p in func.params:
+            ty = p.checked_type or p.type_annotation
+            self.dtypes[p] = getattr(ty, "dtype", "float32")
+
+    def eval(self, expr: Expr):
+        if isinstance(expr, Var):
+            return self.env[expr]
+        if isinstance(expr, Constant):
+            return tuple(expr.value.shape)
+        if isinstance(expr, IRTuple):
+            return tuple(self.eval(f) for f in expr.fields)
+        if isinstance(expr, TupleGetItem):
+            return self.eval(expr.tuple_value)[expr.index]
+        raise CompilerError(f"workload: non-atom argument {type(expr).__name__}")
+
+
+def compute_workload(func: Function, in_shapes: Sequence[Shape]) -> Workload:
+    """Analyze one fused kernel at concrete input shapes."""
+    env = _ShapeEnv(func, in_shapes)
+    calls = _walk_calls(func)
+    if not calls:
+        raise CompilerError("workload of a primitive without calls")
+
+    flops = 0.0
+    is_gemm = False
+    for var, call in calls:
+        if not isinstance(call.op, Op):
+            raise CompilerError("primitive bodies contain only operator calls")
+        op_def = get_op_def(call.op.name)
+        arg_shapes = [env.eval(a) for a in call.args]
+        outs = op_def.shape_func(arg_shapes, None, call.attrs)
+        env.env[var] = outs[0] if len(outs) == 1 else tuple(outs)
+        flops += op_def.flops(arg_shapes, outs, call.attrs)
+        if call.op.name in _GEMM_OPS:
+            is_gemm = True
+
+    # Bytes: external params in + final outputs out; constants embedded in
+    # the body count toward both traffic and the working set.
+    bytes_in = 0.0
+    for p, shape in zip(func.params, in_shapes):
+        bytes_in += prod(shape) * dtype_bytes(env.dtypes.get(p, "float32"))
+    for _, call in calls:
+        for arg in call.args:
+            if isinstance(arg, Constant):
+                bytes_in += arg.value.nbytes
+
+    final = env.env[calls[-1][0]]
+    if isinstance(final, tuple) and final and isinstance(final[0], tuple):
+        out_shapes = tuple(tuple(s) for s in final)
+    else:
+        out_shapes = (tuple(final),)
+    ret_ty = func.ret_type
+    out_dtype = getattr(ret_ty, "dtype", "float32")
+    bytes_out = sum(prod(s) * dtype_bytes(out_dtype) for s in out_shapes)
+
+    return Workload(
+        flops=flops,
+        bytes_moved=bytes_in + bytes_out,
+        working_set=bytes_in + bytes_out,
+        is_gemm=is_gemm,
+        out_shapes=out_shapes,
+    )
+
+
+def run_prim_func(func: Function, inputs: Sequence[np.ndarray]) -> List[np.ndarray]:
+    """Execute a primitive function body on NumPy arrays.
+
+    This is the numerical ground truth for every kernel variant — symbolic,
+    residue-specialized and library implementations all compute the same
+    values; only their *cost* differs.
+    """
+    if len(func.params) != len(inputs):
+        raise CompilerError(
+            f"kernel arity mismatch: {len(func.params)} params, {len(inputs)} inputs"
+        )
+    env: Dict[Var, object] = dict(zip(func.params, inputs))
+
+    def eval_expr(expr: Expr):
+        if isinstance(expr, Var):
+            return env[expr]
+        if isinstance(expr, Constant):
+            return expr.data
+        if isinstance(expr, IRTuple):
+            return tuple(eval_expr(f) for f in expr.fields)
+        if isinstance(expr, TupleGetItem):
+            return eval_expr(expr.tuple_value)[expr.index]
+        if isinstance(expr, Call) and isinstance(expr.op, Op):
+            op_def = get_op_def(expr.op.name)
+            args = [eval_expr(a) for a in expr.args]
+            return op_def.compute(args, expr.attrs)
+        raise CompilerError(f"kernel executor: cannot evaluate {type(expr).__name__}")
+
+    node: Expr = func.body
+    while isinstance(node, Let):
+        env[node.var] = eval_expr(node.value)
+        node = node.body
+    result = eval_expr(node)
+    if isinstance(result, tuple):
+        return [np.asarray(r) for r in result]
+    return [np.asarray(result)]

@@ -1,0 +1,11 @@
+"""Nimble's core contribution: the dynamic-compilation machinery.
+
+Sub-packages:
+
+* :mod:`repro.core.typing` — the ``Any`` dynamic type system (§4.1);
+* :mod:`repro.core.memory` — manifest allocation + memory planning (§4.3);
+* :mod:`repro.core.device` — heterogeneous device placement (§4.4).
+
+Symbolic codegen (§4.5) lives in :mod:`repro.codegen` and the VM (§5) in
+:mod:`repro.vm`; together with this package they form the paper's system.
+"""

@@ -1,0 +1,5 @@
+"""Heterogeneous device placement (§4.4)."""
+
+from repro.core.device.place import DevicePlace, PlacementReport
+
+__all__ = ["DevicePlace", "PlacementReport"]

@@ -1,0 +1,326 @@
+"""Heterogeneous device placement via DeviceDomain unification (§4.4).
+
+Implements the paper's rules with a union-find over variables plus fixed
+device tokens:
+
+* ``vm.shape_of`` outputs default to the **CPU domain** (a tensor's shape
+  is host-readable wherever the data lives — no copy for the input);
+* shape functions (``vm.shape_func``) and ``vm.storage_size`` take and
+  produce CPU-domain values (cheap scalar arithmetic belongs on the host);
+* ``vm.invoke_mut`` requires all of its tensor arguments — inputs and
+  outputs — in the *kernel's* domain; kernels whose tensors are all
+  scalars are placed on the host (the "CPU friendly" nodes of §2.2),
+  everything else on the platform's compute device;
+* ``memory.alloc_storage`` / ``memory.alloc_tensor`` propagate the domain
+  of the tensors they back (via alias unification);
+* ``device.device_copy`` breaks domains (and is what this pass inserts);
+* move/tuple/projection/view bindings unify with their sources;
+* ``if`` conditions are host-read (the interpreter branches on them).
+
+Where unification finds a variable required on two different devices, the
+pass inserts a ``device_copy`` at the conflicting use — "assigning each IR
+node in a way that minimizes the number of cross-device copies".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple as PyTuple
+
+from repro.errors import DeviceError
+from repro.ir.expr import (
+    Call,
+    Clause,
+    Constant,
+    Expr,
+    Function,
+    If,
+    Let,
+    Match,
+    Tuple,
+    TupleGetItem,
+    Var,
+)
+from repro.ir.module import IRModule
+from repro.ir.op import Op
+from repro.ir.types import TensorType
+from repro.passes.pass_manager import Pass
+from repro.tensor.device import Device
+from repro.utils.naming import NameSupply
+from repro.utils.union_find import UnionFind
+
+
+@dataclass
+class PlacementReport:
+    copies_inserted: int = 0
+    host_kernels: int = 0
+    device_kernels: int = 0
+
+
+def _is_scalar_kernel(call: Call) -> bool:
+    """Every tensor flowing through this invoke is scalar-like (rank 0, or
+    a tiny static vector such as a shape): these are the "CPU friendly"
+    nodes of §2.2 — loop counters, conditions, index arithmetic."""
+    _, inputs, outputs = call.args
+    for group in (inputs, outputs):
+        assert isinstance(group, Tuple)
+        for item in group.fields:
+            ty = item.checked_type
+            if isinstance(ty, TensorType) and ty.ndim > 0:
+                n = ty.num_elements()
+                if n is None or n > 8:
+                    return False
+    return True
+
+
+class _Domains:
+    """Union-find over vars with an optional fixed Device per class."""
+
+    def __init__(self) -> None:
+        self.uf: UnionFind[Var] = UnionFind()
+        self.device: Dict[Var, Optional[Device]] = {}
+
+    def _dev(self, var: Var) -> Optional[Device]:
+        return self.device.get(self.uf.find(var))
+
+    def fix(self, var: Var, device: Device) -> bool:
+        """Pin *var*'s class to *device*. Returns False on conflict."""
+        root = self.uf.find(var)
+        current = self.device.get(root)
+        if current is None:
+            self.device[root] = device
+            return True
+        return current == device
+
+    def union(self, a: Var, b: Var) -> bool:
+        ra, rb = self.uf.find(a), self.uf.find(b)
+        if ra == rb:
+            return True
+        da, db = self.device.get(ra), self.device.get(rb)
+        if da is not None and db is not None and da != db:
+            return False
+        root = self.uf.union(ra, rb)
+        self.device[root] = da if da is not None else db
+        for stale in (ra, rb):
+            if stale != root and stale in self.device:
+                del self.device[stale]
+        return True
+
+    def lookup(self, var: Var) -> Optional[Device]:
+        return self._dev(var)
+
+
+class _Placer:
+    def __init__(self, host: Device, compute: Device, names: NameSupply, report: PlacementReport) -> None:
+        self.host = host
+        self.compute = compute
+        self.names = names
+        self.report = report
+
+    # ------------------------------------------------------------------ scopes
+    def place_scope(self, scope: Expr, param_domains: Dict[Var, Device]) -> Expr:
+        bindings: List[PyTuple[Var, Expr]] = []
+        node: Expr = scope
+        while isinstance(node, Let):
+            bindings.append((node.var, node.value))
+            node = node.body
+        tail = node
+
+        domains = _Domains()
+        for var, dev in param_domains.items():
+            domains.fix(var, dev)
+
+        # Pass 1: unify aliases and record fixed constraints per binding.
+        constraints: List[List[PyTuple[Var, Device]]] = []
+        for var, value in bindings:
+            cons: List[PyTuple[Var, Device]] = []
+            if isinstance(value, Var):
+                domains.union(var, value)
+            elif isinstance(value, Tuple):
+                for fexpr in value.fields:
+                    if isinstance(fexpr, Var):
+                        domains.union(var, fexpr)
+            elif isinstance(value, TupleGetItem):
+                if isinstance(value.tuple_value, Var):
+                    domains.union(var, value.tuple_value)
+            elif isinstance(value, Call) and isinstance(value.op, Op):
+                cons = self._op_constraints(var, value, domains)
+            elif isinstance(value, (If, Match)):
+                # Branch results land wherever the consumer wants; the
+                # condition/scrutinee is host-read.
+                head = value.cond if isinstance(value, If) else value.data
+                if isinstance(head, Var):
+                    cons.append((head, self.host))
+            constraints.append(cons)
+
+        # Pass 2: solve; conflicting fixed constraints become copies.
+        copies_needed: Dict[int, List[PyTuple[Var, Device]]] = {}
+        for i, cons in enumerate(constraints):
+            for cvar, cdev in cons:
+                if not domains.fix(cvar, cdev):
+                    copies_needed.setdefault(i, []).append((cvar, cdev))
+
+        # Pass 3: rewrite — insert copies, stamp allocation devices,
+        # recurse into nested scopes.
+        out_bindings: List[PyTuple[Var, Expr]] = []
+        copy_cache: Dict[PyTuple[int, Device], Var] = {}
+        for i, (var, value) in enumerate(bindings):
+            subst: Dict[int, Var] = {}
+            for cvar, cdev in copies_needed.get(i, ()):
+                key = (id(cvar), cdev)
+                if key not in copy_cache:
+                    src_dev = domains.lookup(cvar) or self.compute
+                    copy_var = Var(self.names.fresh("dcopy"), cvar.checked_type)
+                    out_bindings.append(
+                        (
+                            copy_var,
+                            Call(
+                                Op.get("device.device_copy"),
+                                [cvar],
+                                {"src_device": src_dev, "dst_device": cdev},
+                            ),
+                        )
+                    )
+                    copy_cache[key] = copy_var
+                    self.report.copies_inserted += 1
+                subst[id(cvar)] = copy_cache[key]
+
+            value = self._substitute(value, subst)
+            value = self._stamp_and_recurse(var, value, domains)
+            out_bindings.append((var, value))
+
+        result: Expr = tail
+        for var, value in reversed(out_bindings):
+            result = Let(var, value, result)
+        return result
+
+    # ------------------------------------------------------- constraint rules
+    def _op_constraints(self, var: Var, call: Call, domains: _Domains) -> List[PyTuple[Var, Device]]:
+        name = call.op.name  # type: ignore[union-attr]
+        cons: List[PyTuple[Var, Device]] = []
+        if name == "vm.shape_of":
+            cons.append((var, self.host))  # output host; input unconstrained
+        elif name in ("vm.shape_func", "vm.storage_size"):
+            cons.append((var, self.host))
+            for arg in call.args:
+                if isinstance(arg, Tuple):
+                    for fexpr in arg.fields:
+                        if isinstance(fexpr, Var):
+                            cons.append((fexpr, self.host))
+                elif isinstance(arg, Var):
+                    cons.append((arg, self.host))
+        elif name == "vm.invoke_mut":
+            # Shape functions and storage-size computations are pinned to
+            # the host (§4.4); all-scalar kernels are host-friendly too.
+            kind = call.attrs.get("kind", "compute")
+            host_kind = kind in ("shape_func", "host_scalar")
+            kernel_dev = self.host if host_kind or _is_scalar_kernel(call) else self.compute
+            if kernel_dev == self.host:
+                self.report.host_kernels += 1
+            else:
+                self.report.device_kernels += 1
+            call.attrs["device"] = kernel_dev
+            _, inputs, outputs = call.args
+            for group in (inputs, outputs):
+                assert isinstance(group, Tuple)
+                for item in group.fields:
+                    if isinstance(item, Var):
+                        cons.append((item, kernel_dev))
+        elif name == "memory.alloc_tensor":
+            if isinstance(call.args[0], Var):
+                domains.union(var, call.args[0])
+            # Dynamic shape operand is a host-side shape vector.
+            if len(call.args) > 2 and isinstance(call.args[2], Var):
+                cons.append((call.args[2], self.host))
+        elif name in ("vm.slice_upper_bound", "vm.reshape_tensor"):
+            if isinstance(call.args[0], Var):
+                domains.union(var, call.args[0])
+            if len(call.args) > 1 and isinstance(call.args[1], Var):
+                cons.append((call.args[1], self.host))
+        elif name == "device.device_copy":
+            cons.append((var, call.attrs["dst_device"]))
+        return cons
+
+    # --------------------------------------------------------------- rewriting
+    @staticmethod
+    def _substitute(value: Expr, subst: Dict[int, Var]) -> Expr:
+        if not subst:
+            return value
+        if isinstance(value, Var):
+            return subst.get(id(value), value)
+        if isinstance(value, Call):
+            new_args = []
+            for arg in value.args:
+                if isinstance(arg, Tuple):
+                    new_args.append(
+                        Tuple([subst.get(id(f), f) if isinstance(f, Var) else f for f in arg.fields])
+                    )
+                elif isinstance(arg, Var):
+                    new_args.append(subst.get(id(arg), arg))
+                else:
+                    new_args.append(arg)
+            return Call(value.op, new_args, value.attrs)
+        if isinstance(value, Tuple):
+            return Tuple([subst.get(id(f), f) if isinstance(f, Var) else f for f in value.fields])
+        if isinstance(value, If) and isinstance(value.cond, Var):
+            return If(subst.get(id(value.cond), value.cond), value.true_branch, value.false_branch)
+        if isinstance(value, Match) and isinstance(value.data, Var):
+            return Match(subst.get(id(value.data), value.data), value.clauses, value.complete)
+        return value
+
+    def _stamp_and_recurse(self, var: Var, value: Expr, domains: _Domains) -> Expr:
+        if isinstance(value, Call) and isinstance(value.op, Op):
+            if value.op.name == "memory.alloc_storage":
+                device = domains.lookup(var) or self.compute
+                value.attrs["device"] = device
+            return value
+        if isinstance(value, If):
+            return If(
+                value.cond,
+                self.place_scope(value.true_branch, {}),
+                self.place_scope(value.false_branch, {}),
+            )
+        if isinstance(value, Match):
+            return Match(
+                value.data,
+                [Clause(c.pattern, self.place_scope(c.rhs, {})) for c in value.clauses],
+                value.complete,
+            )
+        if isinstance(value, Function) and not value.is_primitive:
+            return Function(
+                value.params,
+                self.place_scope(value.body, {p: self.compute for p in value.params}),
+                value.ret_type,
+                value.attrs,
+            )
+        return value
+
+
+class DevicePlace(Pass):
+    """Module pass: run placement over every non-primitive function."""
+
+    name = "DevicePlace"
+
+    def __init__(self, host: Device, compute: Device) -> None:
+        self.host = host
+        self.compute = compute
+        self.report = PlacementReport()
+
+    def run(self, mod: IRModule) -> IRModule:
+        out = mod.shallow_copy()
+        names = NameSupply()
+        for gv, func in list(out.functions.items()):
+            if func.is_primitive:
+                continue
+            placer = _Placer(self.host, self.compute, names, self.report)
+            param_domains = {}
+            for p in func.params:
+                if isinstance(p.checked_type or p.type_annotation, TensorType):
+                    param_domains[p] = self.compute
+            out.functions[gv] = Function(
+                func.params,
+                placer.place_scope(func.body, param_domains),
+                func.ret_type,
+                func.attrs,
+            )
+        return out

@@ -1,0 +1,16 @@
+"""Memory planning: manifest allocation + storage coalescing (§4.3)."""
+
+from repro.core.memory.prim_info import PrimFuncInfo, analyze_prim_func, run_fused_shape_func
+from repro.core.memory.manifest import ManifestAlloc
+from repro.core.memory.plan import MemoryPlan, MemoryPlanReport
+from repro.core.memory.liveness import AliasLiveness
+
+__all__ = [
+    "PrimFuncInfo",
+    "analyze_prim_func",
+    "run_fused_shape_func",
+    "ManifestAlloc",
+    "MemoryPlan",
+    "MemoryPlanReport",
+    "AliasLiveness",
+]

@@ -1,0 +1,144 @@
+"""Alias-aware liveness over one ANF scope.
+
+Works at binding granularity: a use anywhere inside binding *i*'s value
+(including nested branch scopes hanging off it) extends the used variable's
+lifetime to *i*. Aliases (moves, tuples, projections, tensor views, and
+tensors carved from storage) share one lifetime via union-find.
+
+Escape rules are deliberately conservative — a variable captured by a
+closure, an ADT constructor, a non-operator call, or used inside an
+``if``/``match`` branch is treated as escaping (never killed, never
+reused). Straight-line compute chains — where all the memory traffic of a
+BERT/LSTM cell lives — are fully analyzable.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple as PyTuple
+
+from repro.ir.analysis import iter_nodes
+from repro.ir.expr import (
+    Call,
+    Constant,
+    Expr,
+    Function,
+    If,
+    Let,
+    Match,
+    Tuple,
+    TupleGetItem,
+    Var,
+)
+from repro.ir.op import Op
+from repro.utils.union_find import UnionFind
+
+# Ops whose result aliases their first argument's buffer.
+_VIEW_OPS = {"vm.slice_upper_bound", "vm.reshape_tensor"}
+
+
+class AliasLiveness:
+    """Liveness + alias + escape facts for one scope chain."""
+
+    def __init__(self, scope: Expr) -> None:
+        self.bindings: List[PyTuple[Var, Expr]] = []
+        node: Expr = scope
+        while isinstance(node, Let):
+            self.bindings.append((node.var, node.value))
+            node = node.body
+        self.tail: Expr = node
+        self.index_of: Dict[Var, int] = {
+            var: i for i, (var, _) in enumerate(self.bindings)
+        }
+        self.aliases: UnionFind[Var] = UnionFind()
+        self.last_use: Dict[Var, int] = {}
+        self.escaping: Set[Var] = set()
+        self._analyze()
+
+    # -- construction ------------------------------------------------------------
+    def _analyze(self) -> None:
+        n = len(self.bindings)
+        for i, (var, value) in enumerate(self.bindings):
+            self.aliases.add(var)
+            for used in self._direct_uses(value):
+                self.last_use[used] = i
+            self._record_aliases(var, value)
+            self._record_escapes(value)
+        # Tail use.
+        if isinstance(self.tail, Var):
+            self.last_use[self.tail] = n
+            self.escaping.add(self.tail)
+
+    @staticmethod
+    def _direct_uses(value: Expr):
+        for node in iter_nodes(value):
+            if isinstance(node, Var):
+                yield node
+
+    def _record_aliases(self, var: Var, value: Expr) -> None:
+        if isinstance(value, Var):
+            self.aliases.union(var, value)
+        elif isinstance(value, Tuple):
+            for field in value.fields:
+                if isinstance(field, Var):
+                    self.aliases.union(var, field)
+        elif isinstance(value, TupleGetItem):
+            if isinstance(value.tuple_value, Var):
+                self.aliases.union(var, value.tuple_value)
+        elif isinstance(value, Call) and isinstance(value.op, Op):
+            name = value.op.name
+            if name in _VIEW_OPS and isinstance(value.args[0], Var):
+                self.aliases.union(var, value.args[0])
+            elif name == "memory.alloc_tensor" and isinstance(value.args[0], Var):
+                # A tensor aliases the storage it is carved from.
+                self.aliases.union(var, value.args[0])
+
+    def _record_escapes(self, value: Expr) -> None:
+        if isinstance(value, (If, Match)):
+            # Conservative: anything an alternate-control-flow value touches
+            # may alias its result.
+            for node in iter_nodes(value):
+                if isinstance(node, Var):
+                    self.escaping.add(node)
+        elif isinstance(value, Function):
+            for node in iter_nodes(value.body):
+                if isinstance(node, Var):
+                    self.escaping.add(node)
+        elif isinstance(value, Call):
+            captures = not isinstance(value.op, Op) or (
+                value.op.name == "vm.alloc_closure"
+            )
+            if captures:
+                # Closure / global / constructor call: arguments escape
+                # (captured in an ADT, a closure environment, or owned by
+                # the callee's frame).
+                for arg in value.args:
+                    for node in iter_nodes(arg):
+                        if isinstance(node, Var):
+                            self.escaping.add(node)
+
+    # -- queries --------------------------------------------------------------------
+    def group_interval(self, var: Var) -> PyTuple[int, int]:
+        """[def, last_use] over the variable's alias group."""
+        rep = self.aliases.find(var)
+        members = [
+            m for m in self.aliases.keys() if self.aliases.find(m) == rep
+        ]
+        start = min(self.index_of.get(m, 0) for m in members)
+        end = max(
+            max(self.last_use.get(m, -1), self.index_of.get(m, -1)) for m in members
+        )
+        return start, end
+
+    def group_escapes(self, var: Var) -> bool:
+        rep = self.aliases.find(var)
+        for m in list(self.aliases.keys()):
+            if self.aliases.find(m) == rep:
+                if m in self.escaping or m not in self.index_of:
+                    # Escaping use, or a variable not bound in this scope
+                    # (a parameter or outer binding) — never reclaim.
+                    return True
+        return False
+
+    def group_members(self, var: Var) -> List[Var]:
+        rep = self.aliases.find(var)
+        return [m for m in self.aliases.keys() if self.aliases.find(m) == rep]

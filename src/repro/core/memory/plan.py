@@ -1,0 +1,277 @@
+"""Storage coalescing + kill insertion (§4.3).
+
+Two rewrites over each manifested scope:
+
+1. **Static storage reuse** — an ``alloc_storage`` with a compile-time
+   size whose previous occupant's lifetime has ended is replaced by an
+   alias to the dead storage (best-fit by size). This is what turns N
+   allocations into a small number of regions that tensor allocations
+   multiplex onto, and produces the §6.3 "47 % fewer buffer allocations".
+
+2. **Kill insertion** — after the last use of a non-escaping alias group
+   that owns storage, a ``memory.kill`` releases the buffer so the VM's
+   pooling allocator can recycle it for *dynamic* allocations (the §6.3
+   allocation-latency reduction).
+
+The pass also records a :class:`MemoryPlanReport` used by the memory
+benchmarks (allocation counts and peak footprint, before vs. after).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple as PyTuple
+
+import numpy as np
+
+from repro.ir.expr import (
+    Call,
+    Clause,
+    Constant,
+    Expr,
+    Function,
+    If,
+    Let,
+    Match,
+    Tuple,
+    TupleGetItem,
+    Var,
+)
+from repro.ir.module import IRModule
+from repro.ir.op import Op
+from repro.ir.types import TupleType
+from repro.core.memory.liveness import AliasLiveness
+from repro.passes.pass_manager import Pass
+from repro.utils.naming import NameSupply
+
+
+@dataclass
+class MemoryPlanReport:
+    """Allocation statistics aggregated across all planned scopes."""
+
+    allocs_before: int = 0
+    allocs_after: int = 0
+    static_bytes_before: int = 0
+    static_bytes_after: int = 0
+    kills_inserted: int = 0
+
+    @property
+    def alloc_reduction(self) -> float:
+        if self.allocs_before == 0:
+            return 0.0
+        return 1.0 - self.allocs_after / self.allocs_before
+
+    def merge(self, other: "MemoryPlanReport") -> None:
+        self.allocs_before += other.allocs_before
+        self.allocs_after += other.allocs_after
+        self.static_bytes_before += other.static_bytes_before
+        self.static_bytes_after += other.static_bytes_after
+        self.kills_inserted += other.kills_inserted
+
+
+def _static_alloc_size(value: Expr) -> Optional[int]:
+    if (
+        isinstance(value, Call)
+        and isinstance(value.op, Op)
+        and value.op.name == "memory.alloc_storage"
+        and value.attrs.get("static")
+        and isinstance(value.args[0], Constant)
+    ):
+        return int(value.args[0].data.reshape(()).item())
+    return None
+
+
+def _is_alloc_storage(value: Expr) -> bool:
+    return (
+        isinstance(value, Call)
+        and isinstance(value.op, Op)
+        and value.op.name == "memory.alloc_storage"
+    )
+
+
+class _Planner:
+    def __init__(self, names: NameSupply, report: MemoryPlanReport) -> None:
+        self.names = names
+        self.report = report
+
+    def plan_scope(self, scope: Expr) -> Expr:
+        if not isinstance(scope, Let):
+            return scope
+        # First recurse into nested scopes, then plan this chain.
+        rewritten = self._rewrite_nested(scope)
+        coalesced = self._coalesce(rewritten)
+        return self._insert_kills(coalesced)
+
+    # -- nested scopes ---------------------------------------------------------
+    def _rewrite_nested(self, scope: Expr) -> Expr:
+        bindings: List[PyTuple[Var, Expr]] = []
+        node: Expr = scope
+        while isinstance(node, Let):
+            value = node.value
+            if isinstance(value, If):
+                value = If(
+                    value.cond,
+                    self.plan_scope(value.true_branch),
+                    self.plan_scope(value.false_branch),
+                )
+            elif isinstance(value, Match):
+                value = Match(
+                    value.data,
+                    [Clause(c.pattern, self.plan_scope(c.rhs)) for c in value.clauses],
+                    value.complete,
+                )
+            elif isinstance(value, Function) and not value.is_primitive:
+                value = Function(
+                    value.params, self.plan_scope(value.body), value.ret_type, value.attrs
+                )
+            bindings.append((node.var, value))
+            node = node.body
+        out = node
+        for var, value in reversed(bindings):
+            out = Let(var, value, out)
+        return out
+
+    # -- storage coalescing ------------------------------------------------------
+    def _coalesce(self, scope: Expr) -> Expr:
+        live = AliasLiveness(scope)
+        bindings = live.bindings
+        n = len(bindings)
+
+        # Release schedule for reusable static storages. Escaping groups
+        # may *take* a dead storage from the pool (the donor is never used
+        # again) but are never released back into it.
+        intervals: Dict[Var, PyTuple[int, int]] = {}
+        escaping: set = set()
+        for var, value in bindings:
+            size = _static_alloc_size(value)
+            if size is None:
+                continue
+            self.report.static_bytes_before += size
+            if live.group_escapes(var):
+                escaping.add(var)
+                continue
+            intervals[var] = live.group_interval(var)
+
+        releases: Dict[int, List[PyTuple[Var, int, object]]] = {}
+        pool: List[PyTuple[Var, int, object]] = []  # (storage var, size, device)
+        replacement: Dict[Var, Var] = {}
+        reused_bytes = 0
+
+        new_bindings: List[PyTuple[Var, Expr]] = []
+        for i, (var, value) in enumerate(bindings):
+            for entry in releases.pop(i, ()):  # storages whose life ended
+                pool.append(entry)
+            size = _static_alloc_size(value)
+            if size is not None and (var in intervals or var in escaping):
+                end = intervals[var][1] if var in intervals else None
+                device = value.attrs.get("device")  # stamped by DevicePlace
+                # Best fit: smallest pooled storage on the *same device*
+                # that is large enough.
+                best = None
+                for k, (cand, cand_size, cand_dev) in enumerate(pool):
+                    if cand_size >= size and cand_dev == device and (
+                        best is None or cand_size < pool[best][1]
+                    ):
+                        best = k
+                if best is not None:
+                    cand, cand_size, cand_dev = pool.pop(best)
+                    replacement[var] = cand
+                    reused_bytes += size
+                    if end is not None:
+                        # The reused region frees again when this tensor dies.
+                        releases.setdefault(end + 1, []).append((cand, cand_size, cand_dev))
+                    new_bindings.append((var, cand))  # alias, not a fresh alloc
+                    continue
+                if end is not None:
+                    releases.setdefault(end + 1, []).append((var, size, device))
+                self.report.static_bytes_after += size
+            new_bindings.append((var, value))
+
+        for var, value in new_bindings:
+            if _is_alloc_storage(value):
+                self.report.allocs_after += 1
+        for var, value in bindings:
+            if _is_alloc_storage(value):
+                self.report.allocs_before += 1
+
+        out: Expr = live.tail
+        for var, value in reversed(new_bindings):
+            out = Let(var, value, out)
+        return out
+
+    # -- kill insertion ----------------------------------------------------------------
+    def _insert_kills(self, scope: Expr) -> Expr:
+        if not isinstance(scope, Let):
+            return scope
+        live = AliasLiveness(scope)
+        bindings = live.bindings
+
+        # One kill per alias group that owns storage and does not escape,
+        # placed after the group's last use.
+        kills_at: Dict[int, List[Var]] = {}
+        killed_groups: Set[Var] = set()
+        for var, value in bindings:
+            if not _is_alloc_storage(value) and not (
+                isinstance(value, Var) and _storage_alias(value, bindings)
+            ):
+                continue
+            rep = live.aliases.find(var)
+            if rep in killed_groups:
+                continue
+            if live.group_escapes(var):
+                continue
+            start, end = live.group_interval(var)
+            killed_groups.add(rep)
+            # Kill every in-scope member of the alias group: the VM's
+            # registers are reference counted, so the storage is only
+            # reclaimed when the last register referencing it is clobbered.
+            members = [m for m in live.group_members(var) if m in live.index_of]
+            kills_at.setdefault(end, []).extend(members)
+
+        new_bindings: List[PyTuple[Var, Expr]] = []
+        for i, (var, value) in enumerate(bindings):
+            new_bindings.append((var, value))
+            for victim in kills_at.get(i, ()):
+                unit = Var(self.names.fresh("k"))
+                new_bindings.append(
+                    (unit, Call(Op.get("memory.kill"), [victim], {}))
+                )
+                self.report.kills_inserted += 1
+
+        out: Expr = live.tail
+        for var, value in reversed(new_bindings):
+            out = Let(var, value, out)
+        return out
+
+
+def _storage_alias(value: Var, bindings: List[PyTuple[Var, Expr]]) -> bool:
+    """Is this move-binding ultimately a storage alias?"""
+    targets = {var: val for var, val in bindings}
+    seen = set()
+    node: Expr = value
+    while isinstance(node, Var) and node in targets and id(node) not in seen:
+        seen.add(id(node))
+        node = targets[node]
+    return _is_alloc_storage(node) if isinstance(node, Expr) else False
+
+
+class MemoryPlan(Pass):
+    name = "MemoryPlan"
+
+    def __init__(self) -> None:
+        self.report = MemoryPlanReport()
+
+    def run(self, mod: IRModule) -> IRModule:
+        out = mod.shallow_copy()
+        names = NameSupply()
+        for gv, func in list(out.functions.items()):
+            if func.is_primitive:
+                continue
+            planner = _Planner(names, self.report)
+            out.functions[gv] = Function(
+                func.params,
+                planner.plan_scope(func.body),
+                func.ret_type,
+                func.attrs,
+            )
+        return out

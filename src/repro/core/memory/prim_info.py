@@ -1,0 +1,174 @@
+"""Analysis of primitive (fused) functions for shape-function purposes.
+
+A fused group is either (a) a composition of data-independent ops — its
+shape function is the *composition* of the member shape functions, which
+we obtain by abstractly interpreting the body over shapes — or (b) a
+singleton dynamic op (data-dependent / upper-bound), guaranteed by the
+fusion policy of §4.2. This module classifies a primitive function and
+provides its composed shape function.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import CompilerError
+from repro.ir.expr import Call, Constant, Expr, Function, Let, Tuple as IRTuple, TupleGetItem, Var
+from repro.ir.op import Op
+from repro.ir.types import TensorType, TupleType
+from repro.ops import get_op_def
+from repro.ops.registry import OpDef, ShapeFuncMode
+
+Shape = Tuple[int, ...]
+
+
+@dataclass
+class PrimFuncInfo:
+    """Classification of one primitive function."""
+
+    func: Function
+    ops: List[str]
+    mode: ShapeFuncMode
+    anchor: Optional[OpDef]  # the dynamic op for DD/UB singletons
+    out_ranks: List[int]
+    num_outputs: int
+    returns_shape: bool
+
+    @property
+    def is_dynamic(self) -> bool:
+        return self.mode is not ShapeFuncMode.DATA_INDEPENDENT
+
+
+def _out_tensor_types(func: Function) -> List[TensorType]:
+    ret = func.ret_type if func.ret_type is not None else func.body.checked_type
+    if isinstance(ret, TensorType):
+        return [ret]
+    if isinstance(ret, TupleType):
+        out = []
+        for field in ret.fields:
+            if not isinstance(field, TensorType):
+                raise CompilerError(f"primitive function returns non-tensor field {field!r}")
+            out.append(field)
+        return out
+    raise CompilerError(f"primitive function with unsupported return type {ret!r}")
+
+
+def analyze_prim_func(func: Function) -> PrimFuncInfo:
+    if not func.is_primitive:
+        raise CompilerError("analyze_prim_func expects a primitive function")
+    ops: List[str] = []
+    node: Expr = func.body
+    calls: List[Call] = []
+    while isinstance(node, Let):
+        if isinstance(node.value, Call):
+            calls.append(node.value)
+        node = node.body
+    if isinstance(node, Call):
+        calls.append(node)
+    for call in calls:
+        if isinstance(call.op, Op):
+            ops.append(call.op.name)
+    if not ops:
+        raise CompilerError("primitive function without operator calls")
+
+    dynamic_defs = [get_op_def(name) for name in ops if get_op_def(name).is_dynamic_shape_func]
+    out_types = _out_tensor_types(func)
+    out_ranks = [t.ndim for t in out_types]
+    if dynamic_defs:
+        if len(ops) != 1:
+            raise CompilerError(
+                "fusion policy violation: dynamic-shape op fused with others: "
+                + ", ".join(ops)
+            )
+        anchor = dynamic_defs[0]
+        return PrimFuncInfo(
+            func=func,
+            ops=ops,
+            mode=anchor.shape_func_mode,
+            anchor=anchor,
+            out_ranks=out_ranks,
+            num_outputs=len(out_types),
+            returns_shape=anchor.returns_shape,
+        )
+    return PrimFuncInfo(
+        func=func,
+        ops=ops,
+        mode=ShapeFuncMode.DATA_INDEPENDENT,
+        anchor=None,
+        out_ranks=out_ranks,
+        num_outputs=len(out_types),
+        returns_shape=False,
+    )
+
+
+def run_fused_shape_func(
+    info: PrimFuncInfo,
+    in_shapes: Sequence[Shape],
+    in_values: Optional[Sequence[Optional[np.ndarray]]] = None,
+) -> List[Shape]:
+    """Execute the (composed) shape function of a primitive function.
+
+    For data-independent groups this abstractly interprets the body over
+    shapes, threading each member op's shape function — the "connect the
+    shape functions of basic operators" composition of §4.2. For dynamic
+    singletons it calls the anchor op's shape function directly (with
+    values for the data-dependent mode).
+    """
+    func = info.func
+    if info.anchor is not None:
+        return info.anchor.shape_func(list(in_shapes), list(in_values or []), _anchor_attrs(func))
+
+    env: Dict[Var, object] = {}
+    if len(func.params) != len(in_shapes):
+        raise CompilerError(
+            f"shape function arity mismatch: {len(func.params)} params, "
+            f"{len(in_shapes)} shapes"
+        )
+    for param, shape in zip(func.params, in_shapes):
+        env[param] = tuple(int(d) for d in shape)
+
+    def eval_shape(expr: Expr):
+        if isinstance(expr, Var):
+            return env[expr]
+        if isinstance(expr, Constant):
+            return tuple(expr.value.shape)
+        if isinstance(expr, IRTuple):
+            return tuple(eval_shape(f) for f in expr.fields)
+        if isinstance(expr, TupleGetItem):
+            return eval_shape(expr.tuple_value)[expr.index]
+        if isinstance(expr, Call) and isinstance(expr.op, Op):
+            op_def = get_op_def(expr.op.name)
+            if op_def.shape_func is None:
+                raise CompilerError(f"op {expr.op.name} has no shape function")
+            shapes = [eval_shape(a) for a in expr.args]
+            outs = op_def.shape_func(shapes, None, expr.attrs)
+            return outs[0] if len(outs) == 1 else tuple(outs)
+        raise CompilerError(f"cannot interpret {type(expr).__name__} in shape function")
+
+    node: Expr = func.body
+    while isinstance(node, Let):
+        env[node.var] = eval_shape(node.value)
+        node = node.body
+    result = eval_shape(node)
+    if isinstance(result, tuple) and result and isinstance(result[0], tuple):
+        return [tuple(s) for s in result]
+    return [tuple(result)]
+
+
+def _anchor_attrs(func: Function) -> dict:
+    """Attrs of the single op call in a dynamic singleton."""
+    node: Expr = func.body
+    while isinstance(node, Let):
+        node = node.body
+    if isinstance(node, Call):
+        return node.attrs
+    # body may be `let v = call; v`
+    node = func.body
+    while isinstance(node, Let):
+        if isinstance(node.value, Call):
+            return node.value.attrs
+        node = node.body
+    raise CompilerError("dynamic primitive without a call body")

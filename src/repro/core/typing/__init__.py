@@ -1,0 +1,16 @@
+"""The dynamic type system: inference, unification, sub-shaping (§4.1)."""
+
+from repro.core.typing.unify import check_subtype, join_types, unify_types
+from repro.core.typing.infer import InferType, infer_expr_type, infer_types
+from repro.core.typing.subshape import any_dim_groups, shared_any_dims
+
+__all__ = [
+    "check_subtype",
+    "join_types",
+    "unify_types",
+    "InferType",
+    "infer_expr_type",
+    "infer_types",
+    "any_dim_groups",
+    "shared_any_dims",
+]

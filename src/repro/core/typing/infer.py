@@ -1,0 +1,316 @@
+"""Type inference with ``Any`` dims (§4.1).
+
+Walks every function of a module, assigning ``checked_type`` to every
+expression. Operator calls dispatch to the registered type relations,
+which propagate ``Any`` per the paper's rules; ``If``/``Match`` branches
+are merged with the *join* (relaxing conflicting dims to ``Any``);
+annotations act as interfaces checked by sub-shaping.
+
+Recursive global functions (dynamic control flow compiles to recursion)
+must carry parameter and return annotations — the inferencer uses the
+declared signature while the body is in progress, exactly as Relay does.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.errors import TypeInferenceError
+from repro.ir.adt import substitute_type
+from repro.ir.expr import (
+    Call,
+    Constant,
+    Constructor,
+    Expr,
+    Function,
+    GlobalVar,
+    If,
+    Let,
+    Match,
+    Pattern,
+    PatternConstructor,
+    PatternVar,
+    PatternWildcard,
+    Tuple,
+    TupleGetItem,
+    Var,
+)
+from repro.ir.module import IRModule
+from repro.ir.op import Op
+from repro.ir.types import (
+    FuncType,
+    TensorType,
+    TupleType,
+    Type,
+    TypeCall,
+    TypeVar,
+)
+from repro.core.typing.unify import check_subtype, join_types, unify_types
+from repro.ops.registry import get_op_def
+
+
+class _Inferencer:
+    def __init__(self, mod: IRModule) -> None:
+        self.mod = mod
+        self._func_types: Dict[GlobalVar, FuncType] = {}
+        self._in_progress: set = set()
+        self._memo: Dict[int, Type] = {}
+
+    # -- module-level driver ------------------------------------------------
+    def run(self) -> None:
+        for gv in list(self.mod.functions):
+            self.global_func_type(gv)
+
+    def global_func_type(self, gv: GlobalVar) -> FuncType:
+        if gv in self._func_types:
+            return self._func_types[gv]
+        func = self.mod.functions.get(gv)
+        if func is None:
+            raise TypeInferenceError(f"reference to undefined function @{gv.name_hint}")
+        if gv in self._in_progress:
+            # Recursive call: rely on the declared signature.
+            arg_types = []
+            for p in func.params:
+                if p.type_annotation is None:
+                    raise TypeInferenceError(
+                        f"recursive function @{gv.name_hint} needs annotated parameters"
+                    )
+                arg_types.append(p.type_annotation)
+            if func.ret_type is None:
+                raise TypeInferenceError(
+                    f"recursive function @{gv.name_hint} needs a declared return type"
+                )
+            return FuncType(arg_types, func.ret_type)
+        self._in_progress.add(gv)
+        try:
+            fty = self.infer_function(func)
+        finally:
+            self._in_progress.discard(gv)
+        self._func_types[gv] = fty
+        gv.checked_type = fty
+        return fty
+
+    # -- expression inference ---------------------------------------------------
+    def infer(self, expr: Expr) -> Type:
+        key = id(expr)
+        cached = self._memo.get(key)
+        if cached is not None:
+            return cached
+        ty = self._infer(expr)
+        expr.checked_type = ty
+        self._memo[key] = ty
+        return ty
+
+    def _infer(self, expr: Expr) -> Type:
+        if isinstance(expr, Var):
+            if expr.checked_type is not None:
+                return expr.checked_type
+            if expr.type_annotation is not None:
+                return expr.type_annotation
+            raise TypeInferenceError(f"unbound/unannotated variable %{expr.name_hint}")
+        if isinstance(expr, GlobalVar):
+            return self.global_func_type(expr)
+        if isinstance(expr, Constant):
+            return TensorType(expr.value.shape, expr.value.dtype)
+        if isinstance(expr, Tuple):
+            return TupleType([self.infer(f) for f in expr.fields])
+        if isinstance(expr, TupleGetItem):
+            tup_ty = self.infer(expr.tuple_value)
+            if not isinstance(tup_ty, TupleType):
+                raise TypeInferenceError(f"indexing into non-tuple type {tup_ty!r}")
+            if not 0 <= expr.index < len(tup_ty.fields):
+                raise TypeInferenceError(
+                    f"tuple index {expr.index} out of range for {tup_ty!r}"
+                )
+            return tup_ty.fields[expr.index]
+        if isinstance(expr, Let):
+            return self.infer_let_chain(expr)
+        if isinstance(expr, If):
+            cond_ty = self.infer(expr.cond)
+            if not isinstance(cond_ty, TensorType) or cond_ty.ndim != 0:
+                raise TypeInferenceError(f"if condition must be a scalar, got {cond_ty!r}")
+            true_ty = self.infer(expr.true_branch)
+            false_ty = self.infer(expr.false_branch)
+            return join_types(true_ty, false_ty, "if branches")
+        if isinstance(expr, Function):
+            return self.infer_function(expr)
+        if isinstance(expr, Call):
+            return self.infer_call(expr)
+        if isinstance(expr, Match):
+            return self.infer_match(expr)
+        if isinstance(expr, Constructor):
+            # A bare constructor reference (not applied); type as a function.
+            return FuncType(list(expr.inputs), TypeCall(expr.belongs_to, []))
+        if isinstance(expr, Op):
+            raise TypeInferenceError(f"bare operator {expr.name} outside a call")
+        raise TypeInferenceError(f"cannot infer type of {type(expr).__name__}")
+
+    def infer_let_chain(self, let: Let) -> Type:
+        chain: List[Let] = []
+        node: Expr = let
+        while isinstance(node, Let):
+            value_ty = self.infer(node.value)
+            var = node.var
+            if var.type_annotation is not None:
+                check_subtype(value_ty, var.type_annotation, f"let %{var.name_hint}")
+                var.checked_type = var.type_annotation
+            else:
+                var.checked_type = value_ty
+            self._memo[id(var)] = var.checked_type
+            chain.append(node)
+            node = node.body
+        body_ty = self.infer(node)
+        for item in reversed(chain):
+            item.checked_type = body_ty
+            self._memo[id(item)] = body_ty
+        return body_ty
+
+    def infer_function(self, func: Function) -> FuncType:
+        arg_types: List[Type] = []
+        for p in func.params:
+            if p.type_annotation is None:
+                raise TypeInferenceError(
+                    f"function parameter %{p.name_hint} needs a type annotation"
+                )
+            p.checked_type = p.type_annotation
+            self._memo[id(p)] = p.type_annotation
+            arg_types.append(p.type_annotation)
+        body_ty = self.infer(func.body)
+        if func.ret_type is not None:
+            check_subtype(body_ty, func.ret_type, "function return")
+            ret = func.ret_type
+        else:
+            ret = body_ty
+        fty = FuncType(arg_types, ret)
+        func.checked_type = fty
+        self._memo[id(func)] = fty
+        return fty
+
+    def infer_call(self, call: Call) -> Type:
+        if isinstance(call.op, Op):
+            op_def = get_op_def(call.op.name)
+            arg_types = [self.infer(a) for a in call.args]
+            return op_def.type_rel(arg_types, call.attrs)
+        if isinstance(call.op, Constructor):
+            return self.infer_constructor_call(call)
+        # Global function, local closure, or inline function literal.
+        callee_ty = self.infer(call.op)
+        if not isinstance(callee_ty, FuncType):
+            raise TypeInferenceError(f"calling non-function of type {callee_ty!r}")
+        if len(call.args) != len(callee_ty.arg_types):
+            raise TypeInferenceError(
+                f"call arity mismatch: {len(call.args)} args for {callee_ty!r}"
+            )
+        for arg, expected in zip(call.args, callee_ty.arg_types):
+            actual = self.infer(arg)
+            check_subtype(actual, expected, "call argument")
+        return callee_ty.ret_type
+
+    def infer_constructor_call(self, call: Call) -> Type:
+        ctor: Constructor = call.op  # type: ignore[assignment]
+        data = self.mod.type_data.get(ctor.belongs_to)
+        if data is None:
+            raise TypeInferenceError(f"constructor {ctor.name_hint} of unknown ADT")
+        if len(call.args) != len(ctor.inputs):
+            raise TypeInferenceError(
+                f"{ctor.name_hint} expects {len(ctor.inputs)} args, got {len(call.args)}"
+            )
+        solution: Dict[TypeVar, Type] = {}
+        for arg, spec in zip(call.args, ctor.inputs):
+            actual = self.infer(arg)
+            self._solve(spec, actual, solution)
+        type_args = []
+        for tv in data.type_vars:
+            if tv not in solution:
+                raise TypeInferenceError(
+                    f"cannot infer type argument {tv.name} of {ctor.belongs_to.name}"
+                    f" from constructor {ctor.name_hint}"
+                )
+            type_args.append(solution[tv])
+        return TypeCall(ctor.belongs_to, type_args)
+
+    def _solve(self, spec: Type, actual: Type, solution: Dict[TypeVar, Type]) -> None:
+        """Match *actual* against *spec*, binding TypeVars."""
+        if isinstance(spec, TypeVar):
+            if spec in solution:
+                solution[spec] = unify_types(solution[spec], actual, "type argument")
+            else:
+                solution[spec] = actual
+            return
+        if isinstance(spec, TypeCall) and isinstance(actual, TypeCall):
+            if spec.func is not actual.func or len(spec.args) != len(actual.args):
+                raise TypeInferenceError(f"ADT mismatch: {spec!r} vs {actual!r}")
+            for s, a in zip(spec.args, actual.args):
+                self._solve(s, a, solution)
+            return
+        if isinstance(spec, TupleType) and isinstance(actual, TupleType):
+            if len(spec.fields) != len(actual.fields):
+                raise TypeInferenceError("tuple arity mismatch in constructor")
+            for s, a in zip(spec.fields, actual.fields):
+                self._solve(s, a, solution)
+            return
+        # Concrete spec: the argument must be a sub-shape of it.
+        check_subtype(actual, spec, "constructor argument")
+
+    def infer_match(self, match: Match) -> Type:
+        data_ty = self.infer(match.data)
+        if not isinstance(data_ty, TypeCall):
+            raise TypeInferenceError(f"match on non-ADT type {data_ty!r}")
+        data = self.mod.type_data.get(data_ty.func)
+        if data is None:
+            raise TypeInferenceError(f"match on undefined ADT {data_ty.func.name}")
+        mapping = dict(zip(data.type_vars, data_ty.args))
+        result: Optional[Type] = None
+        for clause in match.clauses:
+            self._bind_pattern(clause.pattern, data_ty, mapping)
+            rhs_ty = self.infer(clause.rhs)
+            result = rhs_ty if result is None else join_types(result, rhs_ty, "match clauses")
+        if result is None:
+            raise TypeInferenceError("match with zero clauses")
+        return result
+
+    def _bind_pattern(self, pattern: Pattern, ty: Type, mapping: Dict) -> None:
+        if isinstance(pattern, PatternWildcard):
+            return
+        if isinstance(pattern, PatternVar):
+            pattern.var.checked_type = ty
+            self._memo[id(pattern.var)] = ty
+            return
+        if isinstance(pattern, PatternConstructor):
+            ctor = pattern.constructor
+            if not isinstance(ty, TypeCall) or ty.func is not ctor.belongs_to:
+                raise TypeInferenceError(
+                    f"pattern {ctor.name_hint} does not match scrutinee type {ty!r}"
+                )
+            data = self.mod.type_data[ctor.belongs_to]
+            local_map = dict(zip(data.type_vars, ty.args))
+            if len(pattern.patterns) != len(ctor.inputs):
+                raise TypeInferenceError(
+                    f"pattern {ctor.name_hint} arity mismatch"
+                )
+            for sub, spec in zip(pattern.patterns, ctor.inputs):
+                self._bind_pattern(sub, substitute_type(spec, local_map), local_map)
+            return
+        raise TypeInferenceError(f"unknown pattern {pattern!r}")
+
+
+def infer_types(mod: IRModule) -> IRModule:
+    """Run type inference over every function in *mod* (in place: fills
+    ``checked_type`` slots) and return the module."""
+    _Inferencer(mod).run()
+    return mod
+
+
+def infer_expr_type(expr: Expr, mod: Optional[IRModule] = None) -> Type:
+    """Infer the type of a standalone expression (testing convenience)."""
+    inf = _Inferencer(mod or IRModule())
+    return inf.infer(expr)
+
+
+class InferType:
+    """Pass-object wrapper so the pass manager can schedule inference."""
+
+    name = "InferType"
+
+    def __call__(self, mod: IRModule) -> IRModule:
+        return infer_types(mod)

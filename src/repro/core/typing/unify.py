@@ -1,0 +1,168 @@
+"""Type unification and the sub-shaping lattice (§4.1).
+
+Three operations, all over types possibly containing ``Any`` dims:
+
+* :func:`unify_types` — most-specific common type; ``Any`` unifies with a
+  concrete dim by *becoming* it (used when checking a value against an
+  annotation: type inference sharpens ``Any`` where it can);
+* :func:`join_types` — least-upper-bound in the sub-shaping order; two
+  different concrete dims join to ``Any`` (used to merge ``If``/``Match``
+  branch types — this is the paper's "relax typing constraints ... when
+  necessary");
+* :func:`check_subtype` — is a value of the first type usable where the
+  second is expected? Sub-shaping: more specific shape information may
+  flow into contexts requiring less specific shapes.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.errors import TypeInferenceError
+from repro.ir.types import (
+    Any,
+    FuncType,
+    StorageType,
+    TensorType,
+    TupleType,
+    Type,
+    TypeCall,
+    TypeVar,
+    same_dim,
+)
+
+
+def unify_types(a: Type, b: Type, what: str = "unification") -> Type:
+    """Most specific type compatible with both; raises on conflict."""
+    if a is b:
+        return a
+    if isinstance(a, TensorType) and isinstance(b, TensorType):
+        if a.dtype != b.dtype:
+            raise TypeInferenceError(f"{what}: dtype mismatch {a.dtype} vs {b.dtype}")
+        if a.ndim != b.ndim:
+            raise TypeInferenceError(f"{what}: rank mismatch {a!r} vs {b!r}")
+        dims = []
+        for da, db in zip(a.shape, b.shape):
+            if isinstance(da, Any) and isinstance(db, Any):
+                dims.append(da if same_dim(da, db) else da)
+            elif isinstance(da, Any):
+                dims.append(db)
+            elif isinstance(db, Any):
+                dims.append(da)
+            elif da == db:
+                dims.append(da)
+            else:
+                raise TypeInferenceError(f"{what}: shape mismatch {a!r} vs {b!r}")
+        return TensorType(tuple(dims), a.dtype)
+    if isinstance(a, TupleType) and isinstance(b, TupleType):
+        if len(a.fields) != len(b.fields):
+            raise TypeInferenceError(f"{what}: tuple arity mismatch {a!r} vs {b!r}")
+        return TupleType([unify_types(x, y, what) for x, y in zip(a.fields, b.fields)])
+    if isinstance(a, FuncType) and isinstance(b, FuncType):
+        if len(a.arg_types) != len(b.arg_types):
+            raise TypeInferenceError(f"{what}: function arity mismatch")
+        args = [unify_types(x, y, what) for x, y in zip(a.arg_types, b.arg_types)]
+        return FuncType(args, unify_types(a.ret_type, b.ret_type, what))
+    if isinstance(a, TypeCall) and isinstance(b, TypeCall):
+        if a.func is not b.func or len(a.args) != len(b.args):
+            raise TypeInferenceError(f"{what}: ADT mismatch {a!r} vs {b!r}")
+        return TypeCall(a.func, [unify_types(x, y, what) for x, y in zip(a.args, b.args)])
+    if isinstance(a, StorageType) and isinstance(b, StorageType):
+        return a
+    if isinstance(a, TypeVar) or isinstance(b, TypeVar):
+        # TypeVar solving happens in constructor-call inference; here a
+        # raw TypeVar only unifies with itself.
+        if a is b:
+            return a
+        raise TypeInferenceError(f"{what}: unsolved type variable {a!r} vs {b!r}")
+    raise TypeInferenceError(f"{what}: incompatible types {a!r} vs {b!r}")
+
+
+def join_types(a: Type, b: Type, what: str = "branch join") -> Type:
+    """Least upper bound: conflicting concrete dims relax to ``Any``."""
+    if a is b:
+        return a
+    if isinstance(a, TensorType) and isinstance(b, TensorType):
+        if a.dtype != b.dtype:
+            raise TypeInferenceError(f"{what}: dtype mismatch {a.dtype} vs {b.dtype}")
+        if a.ndim != b.ndim:
+            raise TypeInferenceError(
+                f"{what}: rank mismatch {a!r} vs {b!r} (dynamic ranks unsupported)"
+            )
+        dims = []
+        for da, db in zip(a.shape, b.shape):
+            if same_dim(da, db):
+                dims.append(da)
+            elif isinstance(da, int) and isinstance(db, int) and da == db:
+                dims.append(da)
+            else:
+                dims.append(Any())
+        return TensorType(tuple(dims), a.dtype)
+    if isinstance(a, TupleType) and isinstance(b, TupleType):
+        if len(a.fields) != len(b.fields):
+            raise TypeInferenceError(f"{what}: tuple arity mismatch")
+        return TupleType([join_types(x, y, what) for x, y in zip(a.fields, b.fields)])
+    if isinstance(a, FuncType) and isinstance(b, FuncType):
+        if len(a.arg_types) != len(b.arg_types):
+            raise TypeInferenceError(f"{what}: function arity mismatch")
+        args = [join_types(x, y, what) for x, y in zip(a.arg_types, b.arg_types)]
+        return FuncType(args, join_types(a.ret_type, b.ret_type, what))
+    if isinstance(a, TypeCall) and isinstance(b, TypeCall) and a.func is b.func:
+        if len(a.args) != len(b.args):
+            raise TypeInferenceError(f"{what}: ADT arity mismatch")
+        return TypeCall(a.func, [join_types(x, y, what) for x, y in zip(a.args, b.args)])
+    if isinstance(a, StorageType) and isinstance(b, StorageType):
+        return a
+    raise TypeInferenceError(f"{what}: incompatible types {a!r} vs {b!r}")
+
+
+def check_subtype(specific: Type, general: Type, what: str = "subtype check") -> None:
+    """Sub-shaping check: *specific* may flow where *general* is expected.
+
+    A concrete dim is a sub-shape of ``Any``; ``Any`` is NOT a sub-shape of
+    a concrete dim (that direction needs a runtime check, which shape
+    functions perform).
+    """
+    if specific is general:
+        return
+    if isinstance(specific, TensorType) and isinstance(general, TensorType):
+        if specific.dtype != general.dtype:
+            raise TypeInferenceError(
+                f"{what}: dtype mismatch {specific.dtype} vs {general.dtype}"
+            )
+        if specific.ndim != general.ndim:
+            raise TypeInferenceError(f"{what}: rank mismatch {specific!r} vs {general!r}")
+        for ds, dg in zip(specific.shape, general.shape):
+            if isinstance(dg, Any):
+                continue  # anything flows into Any
+            if isinstance(ds, Any):
+                raise TypeInferenceError(
+                    f"{what}: dynamic dim where static {dg} required "
+                    f"({specific!r} vs {general!r}); insert a runtime check"
+                )
+            if ds != dg:
+                raise TypeInferenceError(f"{what}: {specific!r} is not a subtype of {general!r}")
+        return
+    if isinstance(specific, TupleType) and isinstance(general, TupleType):
+        if len(specific.fields) != len(general.fields):
+            raise TypeInferenceError(f"{what}: tuple arity mismatch")
+        for s, g in zip(specific.fields, general.fields):
+            check_subtype(s, g, what)
+        return
+    if isinstance(specific, FuncType) and isinstance(general, FuncType):
+        if len(specific.arg_types) != len(general.arg_types):
+            raise TypeInferenceError(f"{what}: function arity mismatch")
+        # Contravariant in arguments, covariant in result.
+        for s, g in zip(specific.arg_types, general.arg_types):
+            check_subtype(g, s, what)
+        check_subtype(specific.ret_type, general.ret_type, what)
+        return
+    if isinstance(specific, TypeCall) and isinstance(general, TypeCall):
+        if specific.func is not general.func or len(specific.args) != len(general.args):
+            raise TypeInferenceError(f"{what}: ADT mismatch {specific!r} vs {general!r}")
+        for s, g in zip(specific.args, general.args):
+            check_subtype(s, g, what)
+        return
+    if isinstance(specific, StorageType) and isinstance(general, StorageType):
+        return
+    raise TypeInferenceError(f"{what}: incompatible types {specific!r} vs {general!r}")

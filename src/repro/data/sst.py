@@ -1,0 +1,43 @@
+"""Synthetic SST-like treebank.
+
+The Stanford Sentiment Treebank provides the per-input tree structures of
+the Tree-LSTM experiment (Table 2): binarized constituency parses with a
+mean of ≈ 19 leaves. We sample leaf counts from that distribution and
+build random (but seeded) binary bracketings — right-leaning with random
+splits, matching the shape statistics of binarized parses.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from repro.data.trees import Tree
+
+MEAN_LEAVES = 19.0
+STD_LEAVES = 9.0
+MIN_LEAVES = 3
+MAX_LEAVES = 50
+
+
+def _random_tree(token_ids: List[int], rng: np.random.RandomState) -> Tree:
+    if len(token_ids) == 1:
+        return Tree.leaf(token_ids[0])
+    split = int(rng.randint(1, len(token_ids)))
+    return Tree.node(
+        _random_tree(token_ids[:split], rng),
+        _random_tree(token_ids[split:], rng),
+    )
+
+
+def sst_like_trees(n: int, vocab_size: int = 8192, seed: int = 0) -> List[Tree]:
+    rng = np.random.RandomState(seed)
+    trees = []
+    for _ in range(n):
+        leaves = int(
+            np.clip(round(rng.normal(MEAN_LEAVES, STD_LEAVES)), MIN_LEAVES, MAX_LEAVES)
+        )
+        tokens = rng.randint(0, vocab_size, size=leaves).tolist()
+        trees.append(_random_tree(tokens, rng))
+    return trees

@@ -1,0 +1,67 @@
+"""Binary parse trees (the Tree-LSTM input structure)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Optional
+
+
+@dataclass
+class Tree:
+    """A binary tree; leaves carry token ids."""
+
+    token_id: int = -1
+    left: Optional["Tree"] = None
+    right: Optional["Tree"] = None
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.left is None and self.right is None
+
+    @staticmethod
+    def leaf(token_id: int) -> "Tree":
+        return Tree(token_id=token_id)
+
+    @staticmethod
+    def node(left: "Tree", right: "Tree") -> "Tree":
+        return Tree(token_id=-1, left=left, right=right)
+
+    def num_leaves(self) -> int:
+        if self.is_leaf:
+            return 1
+        return self.left.num_leaves() + self.right.num_leaves()
+
+    def num_nodes(self) -> int:
+        if self.is_leaf:
+            return 1
+        return 1 + self.left.num_nodes() + self.right.num_nodes()
+
+    def depth(self) -> int:
+        if self.is_leaf:
+            return 1
+        return 1 + max(self.left.depth(), self.right.depth())
+
+    def leaves(self) -> Iterator["Tree"]:
+        if self.is_leaf:
+            yield self
+        else:
+            yield from self.left.leaves()
+            yield from self.right.leaves()
+
+    def nodes_by_depth(self) -> List[List["Tree"]]:
+        """Internal+leaf nodes grouped by height above the leaves — the
+        grouping TensorFlow Fold's dynamic batching operates on."""
+        levels: List[List[Tree]] = []
+
+        def height(t: Tree) -> int:
+            if t.is_leaf:
+                h = 0
+            else:
+                h = 1 + max(height(t.left), height(t.right))
+            while len(levels) <= h:
+                levels.append([])
+            levels[h].append(t)
+            return h
+
+        height(self)
+        return levels

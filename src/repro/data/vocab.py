@@ -1,0 +1,12 @@
+"""Embedding tables for the synthetic corpora."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def embedding_table(vocab_size: int = 8192, dim: int = 300, seed: int = 0) -> np.ndarray:
+    """Seeded random word embeddings (GloVe stand-in; values are irrelevant
+    to latency, only the dimensionality matters)."""
+    rng = np.random.RandomState(seed)
+    return (rng.randn(vocab_size, dim) * 0.1).astype(np.float32)

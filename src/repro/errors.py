@@ -1,0 +1,40 @@
+"""Exception hierarchy for the Nimble reproduction.
+
+Every subsystem raises a subclass of :class:`NimbleError` so callers can
+catch compiler vs. runtime failures separately, mirroring how TVM splits
+``TVMError`` diagnostics from runtime check failures.
+"""
+
+from __future__ import annotations
+
+
+class NimbleError(Exception):
+    """Base class for all errors raised by this package."""
+
+
+class TypeInferenceError(NimbleError):
+    """A type relation failed or unification found incompatible types."""
+
+
+class ShapeError(NimbleError):
+    """A shape function or runtime shape check failed (gradual typing)."""
+
+
+class CompilerError(NimbleError):
+    """A compiler pass was applied to IR it cannot handle."""
+
+
+class VMError(NimbleError):
+    """The virtual machine hit an invalid instruction or operand."""
+
+
+class SerializationError(NimbleError):
+    """An executable could not be serialized or deserialized."""
+
+
+class DeviceError(NimbleError):
+    """Device placement was inconsistent or a cross-device op was illegal."""
+
+
+class TuningError(NimbleError):
+    """The auto-tuner was configured with an empty or invalid search space."""

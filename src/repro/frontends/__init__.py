@@ -1,0 +1,15 @@
+"""Frontend converters into the Nimble IR.
+
+The paper's system ingests models "in the format of mainstream deep
+learning frameworks" through TVM's frontend converters (§4). This package
+provides the equivalent for this reproduction's framework substrate: a
+converter from the TensorFlow-style dataflow graphs of
+:mod:`repro.baselines.graph_framework` (op nodes, constants, while loops
+with control-flow primitives) into Nimble IR modules — loops become
+recursive functions guarded by ``If``, exactly the representation the
+dynamic pipeline compiles.
+"""
+
+from repro.frontends.from_graph import from_graph
+
+__all__ = ["from_graph"]

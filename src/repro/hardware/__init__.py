@@ -1,0 +1,14 @@
+"""Simulated hardware: device specs and the three evaluation platforms."""
+
+from repro.hardware.specs import DeviceSpec, LibraryProfile
+from repro.hardware.platforms import Platform, arm_cpu, intel_cpu, nvidia_gpu, platform_by_name
+
+__all__ = [
+    "DeviceSpec",
+    "LibraryProfile",
+    "Platform",
+    "arm_cpu",
+    "intel_cpu",
+    "nvidia_gpu",
+    "platform_by_name",
+]

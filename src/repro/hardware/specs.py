@@ -1,0 +1,72 @@
+"""Device performance specifications.
+
+The paper's three testbeds are modeled analytically; a kernel's runtime is
+
+    launch + max(flops / (peak · eff · util),  bytes / bw_eff)
+
+where ``bw_eff`` depends on whether the working set fits in the last-level
+cache (batch-1 RNN inference is bandwidth-bound with weights resident in
+LLC — this is why LSTM latency on the T4 exceeds the Skylake's in
+Table 1), ``util`` models GPU under-saturation for small kernels, and
+``eff`` comes from the kernel implementation (tuned schedule vs. vendor
+library). Calibration derivations live in ``calibration.py``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+
+@dataclass(frozen=True)
+class LibraryProfile:
+    """Efficiency profile of a vendor kernel library on one device
+    (MKL / cuDNN / OpenBLAS-class)."""
+
+    name: str
+    # Fraction of peak FLOPs achieved on large, regular GEMM-like kernels.
+    gemm_efficiency: float
+    # Fraction of streaming bandwidth achieved for bandwidth-bound kernels
+    # (vendor GEMV is often single-threaded on small CPUs: low here).
+    bandwidth_fraction: float
+    # Efficiency on irregular / elementwise kernels.
+    elemwise_efficiency: float
+
+
+@dataclass(frozen=True)
+class DeviceSpec:
+    name: str
+    peak_gflops: float
+    dram_bw_gbps: float
+    cache_bw_gbps: float
+    llc_bytes: int
+    # Fixed per-kernel cost on the executing device.
+    launch_overhead_us: float
+    # Host-side cost of *enqueueing* a kernel (GPU async model).
+    host_launch_us: float
+    is_gpu: bool = False
+    # GPU saturation scale: util = flops / (flops + sat_flops).
+    sat_flops: float = 0.0
+    # Host<->device copy characteristics (PCIe-class for GPUs).
+    copy_bw_gbps: float = 0.0
+    copy_latency_us: float = 0.0
+    # Efficiency of compiler-generated, auto-tuned kernels.
+    tuned_gemm_efficiency: float = 0.6
+    tuned_bandwidth_fraction: float = 0.9
+    tuned_elemwise_efficiency: float = 0.8
+    library: Optional[LibraryProfile] = None
+
+    def effective_bandwidth_gbps(self, working_set_bytes: int) -> float:
+        """Streaming bandwidth given cache residency of the working set."""
+        if working_set_bytes <= self.llc_bytes:
+            return self.cache_bw_gbps
+        return self.dram_bw_gbps
+
+    def utilization(self, flops: float) -> float:
+        """Under-saturation for small kernels: a GPU needs enough blocks to
+        fill its SMs; a multi-core CPU needs enough rows to amortize the
+        parallel fork/join. Small GEMMs (short sequences in Table 3) run
+        well below library peak on both."""
+        if self.sat_flops <= 0:
+            return 1.0
+        return flops / (flops + self.sat_flops)

@@ -1,0 +1,23 @@
+"""Experiment harness: runs every table/figure of the paper's evaluation."""
+
+from repro.harness.experiments import (
+    figure3_dispatch,
+    memory_planning_study,
+    table1_lstm,
+    table2_tree_lstm,
+    table3_bert,
+    table4_overhead,
+    tuning_ablation,
+)
+from repro.harness.reporting import format_table
+
+__all__ = [
+    "table1_lstm",
+    "table2_tree_lstm",
+    "table3_bert",
+    "table4_overhead",
+    "figure3_dispatch",
+    "memory_planning_study",
+    "tuning_ablation",
+    "format_table",
+]

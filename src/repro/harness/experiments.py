@@ -1,0 +1,416 @@
+"""The evaluation experiments (§6): one function per table/figure.
+
+Every function returns a plain dict of measured numbers (virtual
+microseconds) keyed the way the paper's tables are laid out, so
+benchmarks and EXPERIMENTS.md generation share one source of truth.
+All experiments run in ``lite`` numerics (identical latency model,
+no heavyweight NumPy) with paper-sized models by default.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+import repro.nimble as nimble
+from repro.baselines import (
+    EagerFramework,
+    FoldFramework,
+    GraphFramework,
+    HybridFramework,
+)
+from repro.codegen.kernels import KernelSet
+from repro.codegen.tuner import SymbolicTuner
+from repro.codegen.workload import compute_workload
+from repro.core.memory import MemoryPlanReport
+from repro.data import embedding_table, mrpc_like_lengths, sst_like_trees
+from repro.hardware import Platform, platform_by_name
+from repro.models.bert import BertConfig, BertWeights, build_bert_module, build_bert_static_module
+from repro.models.lstm import LSTMWeights, build_lstm_module
+from repro.models.tree_lstm import TreeLSTMWeights, build_tree_lstm_module, tree_to_adt
+from repro.models.vision import (
+    build_mobilenet_like,
+    build_resnet_like,
+    build_squeezenet_like,
+    build_vgg_like,
+)
+from repro.runtime.context import ExecutionContext
+from repro.runtime.graph_runtime import GraphRuntime
+from repro.vm.compiler import CompilerOptions
+from repro.vm.interpreter import VirtualMachine
+
+DEFAULT_PLATFORMS = ("intel", "nvidia", "arm")
+
+
+def _embedded_sentences(n: int, dim: int, seed: int = 0) -> List[np.ndarray]:
+    """MRPC-like variable-length sentences as embedding matrices."""
+    rng = np.random.RandomState(seed + 7)
+    return [
+        (rng.randn(length, dim) * 0.1).astype(np.float32)
+        for length in mrpc_like_lengths(n, seed)
+    ]
+
+
+def _nimble_run_all(
+    mod, platform: Platform, inputs: Sequence, numerics: str = "lite",
+    options: Optional[CompilerOptions] = None,
+):
+    """Compile once, run every input; returns (total_us, vm)."""
+    exe, _ = nimble.build(mod, platform, options=options)
+    ctx = ExecutionContext(platform, numerics=numerics)
+    vm = VirtualMachine(exe, ctx)
+    start = ctx.elapsed_us
+    for x in inputs:
+        vm.run(x)
+    return ctx.elapsed_us - start, vm
+
+
+# ---------------------------------------------------------------------------
+# Table 1: LSTM
+# ---------------------------------------------------------------------------
+
+
+def table1_lstm(
+    num_sentences: int = 10,
+    platforms: Sequence[str] = DEFAULT_PLATFORMS,
+    layer_counts: Sequence[int] = (1, 2),
+    input_size: int = 300,
+    hidden_size: int = 512,
+    numerics: str = "lite",
+    seed: int = 0,
+) -> Dict[int, Dict[str, Dict[str, float]]]:
+    """µs/token for Nimble / PyTorch / MXNet / TensorFlow, per platform.
+
+    Returns ``{num_layers: {platform: {system: us_per_token}}}``.
+    """
+    sentences = _embedded_sentences(num_sentences, input_size, seed)
+    tokens = sum(s.shape[0] for s in sentences)
+    results: Dict[int, Dict[str, Dict[str, float]]] = {}
+    for layers in layer_counts:
+        weights = LSTMWeights.create(input_size, hidden_size, layers, seed=seed)
+        mod = build_lstm_module(weights)
+        results[layers] = {}
+        for pname in platforms:
+            platform = platform_by_name(pname)
+            row: Dict[str, float] = {}
+            total_us, _ = _nimble_run_all(mod, platform, sentences, numerics)
+            row["nimble"] = total_us / tokens
+            row["pytorch"] = (
+                EagerFramework(platform, numerics).run_lstm(sentences, weights).us_per_token
+            )
+            row["mxnet"] = (
+                HybridFramework(platform, numerics).run_lstm(sentences, weights).us_per_token
+            )
+            row["tensorflow"] = (
+                GraphFramework(platform, numerics).run_lstm(sentences, weights).us_per_token
+            )
+            results[layers][pname] = row
+    return results
+
+
+# ---------------------------------------------------------------------------
+# Table 2: Tree-LSTM
+# ---------------------------------------------------------------------------
+
+
+def table2_tree_lstm(
+    num_trees: int = 10,
+    platforms: Sequence[str] = ("intel", "arm"),
+    input_size: int = 300,
+    hidden_size: int = 150,
+    numerics: str = "lite",
+    seed: int = 0,
+) -> Dict[str, Dict[str, Optional[float]]]:
+    """µs/token (token = leaf) for Nimble / PyTorch / TF Fold."""
+    trees = sst_like_trees(num_trees, seed=seed)
+    tokens = sum(t.num_leaves() for t in trees)
+    embeddings = embedding_table(dim=input_size, seed=seed)
+    weights = TreeLSTMWeights.create(input_size, hidden_size, seed=seed)
+    mod = build_tree_lstm_module(weights)
+
+    results: Dict[str, Dict[str, Optional[float]]] = {}
+    for pname in platforms:
+        platform = platform_by_name(pname)
+        row: Dict[str, Optional[float]] = {}
+        adts = [tree_to_adt(t, embeddings) for t in trees]
+        total_us, _ = _nimble_run_all(mod, platform, adts, numerics)
+        row["nimble"] = total_us / tokens
+        row["pytorch"] = (
+            EagerFramework(platform, numerics)
+            .run_tree_lstm(trees, embeddings, weights)
+            .us_per_token
+        )
+        fold = FoldFramework(platform, numerics)
+        row["tf_fold"] = (
+            fold.run_tree_lstm(trees, embeddings, weights).us_per_token
+            if fold.supports("tree_lstm")
+            else None
+        )
+        results[pname] = row
+    return results
+
+
+# ---------------------------------------------------------------------------
+# Table 3: BERT
+# ---------------------------------------------------------------------------
+
+
+def table3_bert(
+    num_sentences: int = 8,
+    platforms: Sequence[str] = DEFAULT_PLATFORMS,
+    config: BertConfig = BertConfig(),
+    numerics: str = "lite",
+    seed: int = 0,
+) -> Dict[str, Dict[str, float]]:
+    """µs/token for Nimble / PyTorch / MXNet / TensorFlow."""
+    weights = BertWeights.create(config, seed=seed)
+    mod = build_bert_module(weights)
+    sentences = _embedded_sentences(num_sentences, config.hidden, seed)
+    tokens = sum(s.shape[0] for s in sentences)
+    results: Dict[str, Dict[str, float]] = {}
+    for pname in platforms:
+        platform = platform_by_name(pname)
+        row: Dict[str, float] = {}
+        total_us, _ = _nimble_run_all(mod, platform, sentences, numerics)
+        row["nimble"] = total_us / tokens
+        row["pytorch"] = (
+            EagerFramework(platform, numerics).run_bert(sentences, weights).us_per_token
+        )
+        row["mxnet"] = (
+            HybridFramework(platform, numerics).run_bert(sentences, weights).us_per_token
+        )
+        row["tensorflow"] = (
+            GraphFramework(platform, numerics).run_bert(sentences, weights).us_per_token
+        )
+        results[pname] = row
+    return results
+
+
+# ---------------------------------------------------------------------------
+# Table 4: VM overhead vs static TVM (BERT, seq 128)
+# ---------------------------------------------------------------------------
+
+
+def table4_overhead(
+    platforms: Sequence[str] = DEFAULT_PLATFORMS,
+    config: BertConfig = BertConfig(),
+    seq_len: int = 128,
+    numerics: str = "lite",
+    seed: int = 0,
+) -> Dict[str, Dict[str, float]]:
+    """{platform: {tvm_ms, nimble_ms, kernel_ms, others_ms}}."""
+    weights = BertWeights.create(config, seed=seed)
+    dyn_mod = build_bert_module(weights)
+    static_mod = build_bert_static_module(weights, seq_len)
+    x = (np.random.RandomState(seed).randn(seq_len, config.hidden) * 0.1).astype(np.float32)
+    results: Dict[str, Dict[str, float]] = {}
+    for pname in platforms:
+        platform = platform_by_name(pname)
+        # Static TVM baseline.
+        graph = GraphRuntime(static_mod, platform)
+        ctx = ExecutionContext(platform, numerics=numerics)
+        _, tvm_us = graph.run(x, ctx=ctx)
+        # Nimble.
+        total_us, vm = _nimble_run_all(dyn_mod, platform, [x], numerics)
+        kernel_us = vm.profile.kernel_time_us
+        results[pname] = {
+            "tvm_ms": tvm_us / 1e3,
+            "nimble_ms": total_us / 1e3,
+            "kernel_ms": kernel_us / 1e3,
+            "others_ms": max(0.0, total_us - kernel_us) / 1e3,
+        }
+    return results
+
+
+# ---------------------------------------------------------------------------
+# Figure 3: symbolic codegen dispatch ablation (3 BERT denses, ARM)
+# ---------------------------------------------------------------------------
+
+# The three dense shapes in BERT-base: QKV/projection, FFN-in, FFN-out.
+FIG3_DENSES = (
+    ("dense1", 768, 768),
+    ("dense2", 3072, 768),
+    ("dense3", 768, 3072),
+)
+
+
+def figure3_dispatch(
+    platform_name: str = "arm",
+    dispatch_levels: Sequence[Optional[int]] = (None, 8, 4, 2, 1),
+    rows: Sequence[int] = tuple(range(1, 129)),
+    tile: int = 8,
+) -> Dict[str, Dict[str, float]]:
+    """Relative latency (static = 100%) of symbolic kernels by number of
+    dispatch kernels. ``None`` means static codegen (the baseline)."""
+    from repro.ir import Any, Constant, Function, TensorType, Var
+    from repro.ops import api
+    from repro.tensor.ndarray import array as make_array
+
+    platform = platform_by_name(platform_name)
+    spec = platform.compute_spec
+    results: Dict[str, Dict[str, float]] = {}
+    for name, n_out, k_in in FIG3_DENSES:
+        rng = np.random.RandomState(0)
+        w = (rng.randn(n_out, k_in) * 0.02).astype(np.float32)
+
+        def make_prim(symbolic: bool) -> Function:
+            m_dim = Any() if symbolic else rows[-1]
+            x = Var("x", TensorType((m_dim, k_in), "float32"))
+            body = api.dense(x, Constant(make_array(w)))
+            return Function(
+                [x], body, TensorType((Any() if symbolic else rows[-1], n_out), "float32"),
+                {"primitive": True},
+            )
+
+        # The schedule the symbolic tuner picks for this dense.
+        sym_prim = make_prim(symbolic=True)
+        tuner = SymbolicTuner(sym_prim, platform, spec, seed=hash(name) & 0xFFFF)
+        schedule = tuner.tune(n_trials=96)
+        if schedule.tile != tile:
+            schedule = type(schedule)(tile, schedule.vectorize, schedule.unroll, schedule.parallel)
+
+        entry: Dict[str, float] = {}
+        static_total = 0.0
+        for m in rows:
+            static_kernel = KernelSet(
+                make_prim(symbolic=False), platform, spec, schedule=schedule,
+                symbolic=False, allow_library=False,
+            )
+            static_total += static_kernel.invoke_cost([(m, k_in)]).duration_us
+        for level in dispatch_levels:
+            if level is None:
+                entry["static"] = 100.0
+                continue
+            kernel = KernelSet(
+                sym_prim, platform, spec, schedule=schedule,
+                num_dispatch_kernels=level, symbolic=True, allow_library=False,
+            )
+            total = sum(kernel.invoke_cost([(m, k_in)]).duration_us for m in rows)
+            label = "no dispatch" if level == 1 else f"dispatch/{level}"
+            entry[label] = 100.0 * total / static_total
+        results[name] = entry
+    return results
+
+
+# ---------------------------------------------------------------------------
+# §6.3 memory planning study
+# ---------------------------------------------------------------------------
+
+
+def memory_planning_study(
+    platform_name: str = "intel",
+    config: BertConfig = BertConfig(),
+    seq_len: int = 128,
+    numerics: str = "lite",
+    seed: int = 0,
+) -> Dict[str, float]:
+    """Memory planning effect on BERT: allocation counts and latency with
+    and without the §4.3 pass."""
+    platform = platform_by_name(platform_name)
+    weights = BertWeights.create(config, seed=seed)
+    mod = build_bert_module(weights)
+    x = (np.random.RandomState(seed).randn(seq_len, config.hidden) * 0.1).astype(np.float32)
+
+    def run(plan: bool):
+        exe, report = nimble.build(mod, platform, plan_memory=plan)
+        ctx = ExecutionContext(platform, numerics=numerics)
+        vm = VirtualMachine(exe, ctx)
+        vm.run(x)
+        return report, ctx, vm
+
+    report_off, ctx_off, _ = run(False)
+    report_on, ctx_on, _ = run(True)
+    stats_off, stats_on = ctx_off.allocator.stats, ctx_on.allocator.stats
+    return {
+        "allocs_unplanned": float(stats_off.total_allocs),
+        "allocs_planned": float(stats_on.total_allocs),
+        "alloc_reduction": 1.0 - stats_on.total_allocs / max(1, stats_off.total_allocs),
+        "alloc_latency_unplanned_ms": stats_off.alloc_time_us / 1e3,
+        "alloc_latency_planned_ms": stats_on.alloc_time_us / 1e3,
+        "peak_bytes_unplanned": float(stats_off.peak_bytes),
+        "peak_bytes_planned": float(stats_on.peak_bytes),
+    }
+
+
+def memory_footprint_vs_static(
+    platform_name: str = "intel",
+) -> Dict[str, Dict[str, float]]:
+    """Nimble peak memory vs the static planner on the four CV models
+    (the paper reports ≤8% extra footprint)."""
+    platform = platform_by_name(platform_name)
+    builders = {
+        "resnet": build_resnet_like,
+        "mobilenet": build_mobilenet_like,
+        "vgg": build_vgg_like,
+        "squeezenet": build_squeezenet_like,
+    }
+    out: Dict[str, Dict[str, float]] = {}
+    for name, builder in builders.items():
+        mod = builder()
+        graph = GraphRuntime(builder(), platform)
+        x = np.zeros((1, 3, 64, 64), np.float32)
+        exe, report = nimble.build(mod, platform)
+        ctx = ExecutionContext(platform, numerics="lite")
+        vm = VirtualMachine(exe, ctx)
+        vm.run(x)
+        nimble_bytes = ctx.allocator.stats.peak_bytes
+        static_bytes = graph.planned_bytes
+        out[name] = {
+            "static_bytes": float(static_bytes),
+            "nimble_bytes": float(nimble_bytes),
+            "overhead_pct": 100.0 * (nimble_bytes / max(1, static_bytes) - 1.0),
+        }
+    return out
+
+
+# ---------------------------------------------------------------------------
+# §4.5 symbolic tuning ablation
+# ---------------------------------------------------------------------------
+
+
+def tuning_ablation(
+    platform_name: str = "arm",
+    n_out: int = 768,
+    k_in: int = 768,
+    eval_shapes: Sequence[int] = tuple(2**i for i in range(0, 9)),
+) -> Dict[str, float]:
+    """How well the cross-shape-tuned config does vs per-shape oracle tuning
+    and vs naively using the shape-64 winner."""
+    from repro.codegen.tuner import AutoTuner
+    from repro.ir import Any, Constant, Function, TensorType, Var
+    from repro.ops import api
+    from repro.tensor.ndarray import array as make_array
+
+    platform = platform_by_name(platform_name)
+    spec = platform.compute_spec
+    rng = np.random.RandomState(0)
+    w = (rng.randn(n_out, k_in) * 0.02).astype(np.float32)
+    x = Var("x", TensorType((Any(), k_in), "float32"))
+    prim = Function(
+        [x], api.dense(x, Constant(make_array(w))),
+        TensorType((Any(), n_out), "float32"), {"primitive": True},
+    )
+
+    tuner = AutoTuner(prim, platform, spec, seed=3)
+    records = tuner.tune(64, n_trials=96)
+    naive = records[0].schedule  # shape-64 winner, applied everywhere
+
+    sym = SymbolicTuner(prim, platform, spec, seed=3)
+    chosen = sym.tune(n_trials=96)
+
+    def total(schedule) -> float:
+        return sum(tuner.measure(schedule, m) for m in eval_shapes)
+
+    oracle = 0.0
+    for m in eval_shapes:
+        per_shape = AutoTuner(prim, platform, spec, seed=3)
+        oracle += per_shape.tune(m, n_trials=96)[0].cost_us
+
+    return {
+        "naive_us": total(naive),
+        "symbolic_workflow_us": total(chosen),
+        "oracle_us": oracle,
+        "workflow_vs_oracle": total(chosen) / max(1e-9, oracle),
+        "naive_vs_oracle": total(naive) / max(1e-9, oracle),
+    }

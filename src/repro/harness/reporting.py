@@ -1,0 +1,41 @@
+"""Plain-text table formatting for experiment output."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+
+def format_table(
+    title: str,
+    rows: Sequence[Sequence],
+    headers: Sequence[str],
+    floatfmt: str = "{:.1f}",
+) -> str:
+    """Render rows as an aligned text table with a title line."""
+    rendered: List[List[str]] = []
+    for row in rows:
+        cells = []
+        for cell in row:
+            if isinstance(cell, float):
+                cells.append(floatfmt.format(cell))
+            elif cell is None:
+                cells.append("-")
+            else:
+                cells.append(str(cell))
+        rendered.append(cells)
+    widths = [len(h) for h in headers]
+    for row in rendered:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = [title]
+    lines.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rendered:
+        lines.append("  ".join(cell.rjust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def speedup(baseline_us: Optional[float], nimble_us: float) -> Optional[float]:
+    if baseline_us is None or nimble_us <= 0:
+        return None
+    return baseline_us / nimble_us

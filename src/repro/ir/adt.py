@@ -1,0 +1,68 @@
+"""Algebraic data type definitions.
+
+Dynamic data structures (the ``Tree`` of Tree-LSTM, lists for sequences)
+are modeled as ADTs: a :class:`TypeData` declares a global type with its
+constructors; values are built by calling constructors and consumed with
+``Match``. The VM represents them as tagged objects (§5.2).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.ir.expr import Constructor
+from repro.ir.types import GlobalTypeVar, Type, TypeVar
+
+
+class TypeData:
+    """The definition of one ADT: header, type parameters, constructors."""
+
+    __slots__ = ("header", "type_vars", "constructors")
+
+    def __init__(
+        self,
+        header: GlobalTypeVar,
+        type_vars: Sequence[TypeVar],
+        constructor_specs: Sequence[tuple],
+    ) -> None:
+        """``constructor_specs`` is a list of ``(name, [input_types])``;
+        tags are assigned in declaration order."""
+        self.header = header
+        self.type_vars = tuple(type_vars)
+        self.constructors: List[Constructor] = [
+            Constructor(name, inputs, header, tag)
+            for tag, (name, inputs) in enumerate(constructor_specs)
+        ]
+
+    def constructor(self, name: str) -> Constructor:
+        for ctor in self.constructors:
+            if ctor.name_hint == name:
+                return ctor
+        raise KeyError(f"ADT {self.header.name} has no constructor {name!r}")
+
+    def __repr__(self) -> str:
+        ctors = " | ".join(
+            f"{c.name_hint}({', '.join(map(repr, c.inputs))})" for c in self.constructors
+        )
+        vars_ = f"[{', '.join(v.name for v in self.type_vars)}]" if self.type_vars else ""
+        return f"type {self.header.name}{vars_} = {ctors}"
+
+
+def substitute_type(ty: Type, mapping: dict) -> Type:
+    """Replace TypeVars in *ty* per *mapping* (ADT instantiation)."""
+    from repro.ir.types import FuncType, TensorType, TupleType, TypeCall
+
+    if isinstance(ty, TypeVar):
+        return mapping.get(ty, ty)
+    if isinstance(ty, TensorType):
+        return ty
+    if isinstance(ty, TupleType):
+        return TupleType([substitute_type(f, mapping) for f in ty.fields])
+    if isinstance(ty, FuncType):
+        return FuncType(
+            [substitute_type(a, mapping) for a in ty.arg_types],
+            substitute_type(ty.ret_type, mapping),
+        )
+    if isinstance(ty, TypeCall):
+        return TypeCall(ty.func, [substitute_type(a, mapping) for a in ty.args])
+    return ty

@@ -1,0 +1,96 @@
+"""IRModule: the unit of compilation.
+
+Holds global functions (including mutually-recursive ones — dynamic control
+flow compiles to recursion) and ADT definitions. GlobalVars and
+GlobalTypeVars are interned per module so identity comparison is sound.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional
+
+from repro.errors import CompilerError
+from repro.ir.adt import TypeData
+from repro.ir.expr import Constructor, Expr, Function, GlobalVar
+from repro.ir.types import GlobalTypeVar
+
+
+class IRModule:
+    def __init__(self) -> None:
+        self.functions: Dict[GlobalVar, Function] = {}
+        self.type_data: Dict[GlobalTypeVar, TypeData] = {}
+        self._global_vars: Dict[str, GlobalVar] = {}
+        self._global_type_vars: Dict[str, GlobalTypeVar] = {}
+
+    # -- global functions ------------------------------------------------
+    def get_global_var(self, name: str) -> GlobalVar:
+        gv = self._global_vars.get(name)
+        if gv is None:
+            gv = GlobalVar(name)
+            self._global_vars[name] = gv
+        return gv
+
+    def __setitem__(self, key, func: Function) -> None:
+        gv = self.get_global_var(key) if isinstance(key, str) else key
+        if not isinstance(func, Function):
+            raise CompilerError(f"module entries must be Functions, got {type(func)}")
+        self._global_vars[gv.name_hint] = gv
+        self.functions[gv] = func
+
+    def __getitem__(self, key) -> Function:
+        gv = self._global_vars.get(key) if isinstance(key, str) else key
+        if gv is None or gv not in self.functions:
+            raise KeyError(f"module has no function {key!r}")
+        return self.functions[gv]
+
+    def __contains__(self, key) -> bool:
+        if isinstance(key, str):
+            gv = self._global_vars.get(key)
+            return gv is not None and gv in self.functions
+        return key in self.functions
+
+    @property
+    def main(self) -> Function:
+        return self["main"]
+
+    # -- ADTs --------------------------------------------------------------
+    def get_global_type_var(self, name: str) -> GlobalTypeVar:
+        gtv = self._global_type_vars.get(name)
+        if gtv is None:
+            gtv = GlobalTypeVar(name)
+            self._global_type_vars[name] = gtv
+        return gtv
+
+    def add_type_data(self, data: TypeData) -> None:
+        self._global_type_vars[data.header.name] = data.header
+        self.type_data[data.header] = data
+
+    def get_constructor(self, adt_name: str, ctor_name: str) -> Constructor:
+        gtv = self._global_type_vars.get(adt_name)
+        if gtv is None or gtv not in self.type_data:
+            raise KeyError(f"module has no ADT {adt_name!r}")
+        return self.type_data[gtv].constructor(ctor_name)
+
+    # -- convenience --------------------------------------------------------
+    @staticmethod
+    def from_expr(expr: Expr) -> "IRModule":
+        """Wrap a bare expression / function as the module's ``main``."""
+        mod = IRModule()
+        func = expr if isinstance(expr, Function) else Function([], expr)
+        mod["main"] = func
+        return mod
+
+    def shallow_copy(self) -> "IRModule":
+        """Copy the function map (function bodies are shared); passes use
+        this to return updated modules without mutating the input."""
+        out = IRModule()
+        out.functions = dict(self.functions)
+        out.type_data = dict(self.type_data)
+        out._global_vars = dict(self._global_vars)
+        out._global_type_vars = dict(self._global_type_vars)
+        return out
+
+    def __repr__(self) -> str:
+        from repro.ir.printer import pretty_module
+
+        return pretty_module(self)

@@ -1,0 +1,42 @@
+"""Operator references in the IR.
+
+An :class:`Op` is an interned name (``Op.get("nn.dense") is Op.get("nn.dense")``)
+whose semantics — type relation, shape function, compute, fusion pattern —
+live in the operator registry (:mod:`repro.ops.registry`). Keeping the IR
+node thin mirrors Relay's design and lets the registry evolve without
+touching IR structure.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.ir.expr import Expr
+
+
+class Op(Expr):
+    """An operator reference, interned by name."""
+
+    __slots__ = ("name",)
+    _registry: Dict[str, "Op"] = {}
+
+    def __init__(self, name: str) -> None:
+        super().__init__()
+        self.name = name
+
+    @classmethod
+    def get(cls, name: str) -> "Op":
+        op = cls._registry.get(name)
+        if op is None:
+            op = cls(name)
+            cls._registry[name] = op
+        return op
+
+    def __hash__(self) -> int:
+        return hash(("op", self.name))
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, Op) and other.name == self.name
+
+    def __repr__(self) -> str:
+        return self.name

@@ -1,0 +1,239 @@
+"""Expression traversal infrastructure.
+
+Two base classes mirror Relay's: :class:`ExprVisitor` (read-only) and
+:class:`ExprMutator` (rebuilding). Both treat ``let``-chains *iteratively*:
+after the compiler converts to A-normal form, function bodies are chains of
+thousands of bindings (a BERT encoder produces several thousand), which
+would overflow Python's recursion stack if visited recursively.
+
+Mutators memoize on object identity so shared sub-DAGs are rewritten once,
+and rebuild nodes only when a child actually changed (pointer-equality
+preserving), which keeps passes cheap on large modules.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.errors import CompilerError
+from repro.ir.expr import (
+    Call,
+    Clause,
+    Constant,
+    Constructor,
+    Expr,
+    Function,
+    GlobalVar,
+    If,
+    Let,
+    Match,
+    Pattern,
+    PatternConstructor,
+    PatternVar,
+    PatternWildcard,
+    Tuple,
+    TupleGetItem,
+    Var,
+)
+from repro.ir.op import Op
+
+
+class ExprVisitor:
+    """Read-only traversal with per-object memoization."""
+
+    def __init__(self) -> None:
+        self._visited: set = set()
+
+    def visit(self, expr: Expr) -> None:
+        key = id(expr)
+        if key in self._visited:
+            return
+        self._visited.add(key)
+        method = getattr(self, "visit_" + type(expr).__name__.lower(), None)
+        if method is None:
+            raise CompilerError(f"ExprVisitor: unhandled node {type(expr).__name__}")
+        method(expr)
+
+    # -- leaves ---------------------------------------------------------
+    def visit_var(self, var: Var) -> None:
+        pass
+
+    def visit_globalvar(self, gv: GlobalVar) -> None:
+        pass
+
+    def visit_constant(self, const: Constant) -> None:
+        pass
+
+    def visit_op(self, op: Op) -> None:
+        pass
+
+    def visit_constructor(self, ctor: Constructor) -> None:
+        pass
+
+    # -- interior nodes ----------------------------------------------------
+    def visit_call(self, call: Call) -> None:
+        self.visit(call.op)
+        for arg in call.args:
+            self.visit(arg)
+
+    def visit_tuple(self, tup: Tuple) -> None:
+        for field in tup.fields:
+            self.visit(field)
+
+    def visit_tuplegetitem(self, tgi: TupleGetItem) -> None:
+        self.visit(tgi.tuple_value)
+
+    def visit_function(self, func: Function) -> None:
+        for param in func.params:
+            self.visit(param)
+        self.visit(func.body)
+
+    def visit_let(self, let: Let) -> None:
+        # Iterative walk down the binding chain.
+        expr: Expr = let
+        while isinstance(expr, Let):
+            self._visited.add(id(expr))
+            self.visit(expr.var)
+            self.visit(expr.value)
+            expr = expr.body
+        self.visit(expr)
+
+    def visit_if(self, iff: If) -> None:
+        self.visit(iff.cond)
+        self.visit(iff.true_branch)
+        self.visit(iff.false_branch)
+
+    def visit_match(self, match: Match) -> None:
+        self.visit(match.data)
+        for clause in match.clauses:
+            self.visit_pattern(clause.pattern)
+            self.visit(clause.rhs)
+
+    def visit_pattern(self, pattern: Pattern) -> None:
+        if isinstance(pattern, PatternVar):
+            self.visit(pattern.var)
+        elif isinstance(pattern, PatternConstructor):
+            for sub in pattern.patterns:
+                self.visit_pattern(sub)
+
+
+class ExprMutator:
+    """Rebuilding traversal. Subclasses override ``visit_*`` methods; the
+    base implementation reconstructs nodes only when children changed."""
+
+    def __init__(self) -> None:
+        self.memo: Dict[int, Expr] = {}
+
+    def visit(self, expr: Expr) -> Expr:
+        key = id(expr)
+        if key in self.memo:
+            return self.memo[key]
+        method = getattr(self, "visit_" + type(expr).__name__.lower(), None)
+        if method is None:
+            raise CompilerError(f"ExprMutator: unhandled node {type(expr).__name__}")
+        result = method(expr)
+        self.memo[key] = result
+        return result
+
+    # -- leaves --------------------------------------------------------
+    def visit_var(self, var: Var) -> Expr:
+        return var
+
+    def visit_globalvar(self, gv: GlobalVar) -> Expr:
+        return gv
+
+    def visit_constant(self, const: Constant) -> Expr:
+        return const
+
+    def visit_op(self, op: Op) -> Expr:
+        return op
+
+    def visit_constructor(self, ctor: Constructor) -> Expr:
+        return ctor
+
+    # -- interior nodes --------------------------------------------------
+    def visit_call(self, call: Call) -> Expr:
+        new_op = self.visit(call.op)
+        new_args = [self.visit(a) for a in call.args]
+        if new_op is call.op and all(n is o for n, o in zip(new_args, call.args)):
+            return call
+        return Call(new_op, new_args, call.attrs)
+
+    def visit_tuple(self, tup: Tuple) -> Expr:
+        new_fields = [self.visit(f) for f in tup.fields]
+        if all(n is o for n, o in zip(new_fields, tup.fields)):
+            return tup
+        return Tuple(new_fields)
+
+    def visit_tuplegetitem(self, tgi: TupleGetItem) -> Expr:
+        new_tuple = self.visit(tgi.tuple_value)
+        if new_tuple is tgi.tuple_value:
+            return tgi
+        return TupleGetItem(new_tuple, tgi.index)
+
+    def visit_function(self, func: Function) -> Expr:
+        new_params = [self.visit(p) for p in func.params]
+        new_body = self.visit(func.body)
+        if new_body is func.body and all(n is o for n, o in zip(new_params, func.params)):
+            return func
+        return Function(new_params, new_body, func.ret_type, func.attrs)
+
+    def visit_let(self, let: Let) -> Expr:
+        # Forward pass over the chain (visit values in scope order), then
+        # rebuild bottom-up — all without recursing per binding.
+        bindings: List[tuple] = []
+        expr: Expr = let
+        while isinstance(expr, Let) and id(expr) not in self.memo:
+            new_var = self.visit(expr.var)
+            if not isinstance(new_var, Var):
+                raise CompilerError("let binder must remain a Var under mutation")
+            new_value = self.visit(expr.value)
+            bindings.append((expr, new_var, new_value))
+            expr = expr.body
+        new_body = self.visit(expr)
+        for orig, var, value in reversed(bindings):
+            if var is orig.var and value is orig.value and new_body is orig.body:
+                new_body = orig
+            else:
+                new_body = Let(var, value, new_body)
+            self.memo[id(orig)] = new_body
+        return new_body
+
+    def visit_if(self, iff: If) -> Expr:
+        new_cond = self.visit(iff.cond)
+        new_true = self.visit(iff.true_branch)
+        new_false = self.visit(iff.false_branch)
+        if new_cond is iff.cond and new_true is iff.true_branch and new_false is iff.false_branch:
+            return iff
+        return If(new_cond, new_true, new_false)
+
+    def visit_match(self, match: Match) -> Expr:
+        new_data = self.visit(match.data)
+        new_clauses = []
+        changed = new_data is not match.data
+        for clause in match.clauses:
+            new_pattern = self.visit_pattern(clause.pattern)
+            new_rhs = self.visit(clause.rhs)
+            if new_pattern is clause.pattern and new_rhs is clause.rhs:
+                new_clauses.append(clause)
+            else:
+                new_clauses.append(Clause(new_pattern, new_rhs))
+                changed = True
+        if not changed:
+            return match
+        return Match(new_data, new_clauses, match.complete)
+
+    def visit_pattern(self, pattern: Pattern) -> Pattern:
+        if isinstance(pattern, PatternVar):
+            new_var = self.visit(pattern.var)
+            if new_var is pattern.var:
+                return pattern
+            if not isinstance(new_var, Var):
+                raise CompilerError("pattern binder must remain a Var under mutation")
+            return PatternVar(new_var)
+        if isinstance(pattern, PatternConstructor):
+            new_subs = [self.visit_pattern(p) for p in pattern.patterns]
+            if all(n is o for n, o in zip(new_subs, pattern.patterns)):
+                return pattern
+            return PatternConstructor(pattern.constructor, new_subs)
+        return pattern

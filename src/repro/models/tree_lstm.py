@@ -1,0 +1,200 @@
+"""Tree-LSTM — the dynamic-data-structure model of Table 2.
+
+A binary child-sum Tree-LSTM (Tai et al. 2015) over constituency-style
+trees: the tree is an ADT (``Leaf(embedding) | Node(Tree, Tree)``) and
+evaluation is a recursive ``match`` — per-input topology, inexpressible as
+a static dataflow graph. Paper configuration: input 300, hidden 150.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.data.trees import Tree
+from repro.ir import (
+    Call,
+    Clause,
+    Constant,
+    Function,
+    IRModule,
+    Match,
+    PatternConstructor,
+    PatternVar,
+    ScopeBuilder,
+    TensorType,
+    Tuple as IRTuple,
+    TupleGetItem,
+    TypeCall,
+    TypeData,
+    Var,
+)
+from repro.ir.types import TupleType
+from repro.ops import api
+from repro.tensor.ndarray import array as make_array
+from repro.vm.objects import ADTObj, TensorObj
+
+
+@dataclass
+class TreeLSTMWeights:
+    input_size: int
+    hidden_size: int
+    # Leaf transform: gates [i, o, u] from the input embedding.
+    w_leaf: np.ndarray  # (3H, I)
+    b_leaf: np.ndarray  # (3H,)
+    # Node transform: gates [i, o, u] from h_l + h_r.
+    u_iou: np.ndarray  # (3H, H)
+    b_iou: np.ndarray  # (3H,)
+    # Per-child forget gates from that child's hidden state.
+    u_f: np.ndarray  # (H, H)
+    b_f: np.ndarray  # (H,)
+
+    @staticmethod
+    def create(input_size: int = 300, hidden_size: int = 150, seed: int = 0) -> "TreeLSTMWeights":
+        rng = np.random.RandomState(seed)
+        s = 0.08
+        u = lambda shape: rng.uniform(-s, s, shape).astype(np.float32)
+        return TreeLSTMWeights(
+            input_size,
+            hidden_size,
+            w_leaf=u((3 * hidden_size, input_size)),
+            b_leaf=u((3 * hidden_size,)),
+            u_iou=u((3 * hidden_size, hidden_size)),
+            b_iou=u((3 * hidden_size,)),
+            u_f=u((hidden_size, hidden_size)),
+            b_f=u((hidden_size,)),
+        )
+
+
+def build_tree_lstm_module(weights: TreeLSTMWeights) -> IRModule:
+    """Module with ``main(t: Tree) -> Tensor[(1, H)]`` (the root hidden
+    state) plus the ``Tree`` ADT definition."""
+    input_size, hidden = weights.input_size, weights.hidden_size
+    mod = IRModule()
+
+    tree_gtv = mod.get_global_type_var("Tree")
+    emb_ty = TensorType((1, input_size), "float32")
+    tree_ty = TypeCall(tree_gtv, [])
+    data = TypeData(
+        tree_gtv,
+        [],
+        [
+            ("Leaf", [emb_ty]),
+            ("Node", [tree_ty, tree_ty]),
+        ],
+    )
+    mod.add_type_data(data)
+    leaf_ctor = data.constructor("Leaf")
+    node_ctor = data.constructor("Node")
+
+    state_ty = TensorType((1, hidden), "float32")
+    hc_ty = TupleType([state_ty, state_ty])
+
+    eval_gv = mod.get_global_var("tree_eval")
+    t_var = Var("t", tree_ty)
+
+    # -- Leaf clause: gates from the embedding ----------------------------------
+    x = Var("x", emb_ty)
+    lb = ScopeBuilder()
+    pre = lb.let("pre", api.bias_add(api.dense(x, Constant(make_array(weights.w_leaf))),
+                                     Constant(make_array(weights.b_leaf))))
+    parts = lb.let("parts", api.split(pre, 3, axis=1))
+    i = lb.let("i", api.sigmoid(TupleGetItem(parts, 0)))
+    o = lb.let("o", api.sigmoid(TupleGetItem(parts, 1)))
+    u = lb.let("u", api.tanh(TupleGetItem(parts, 2)))
+    c = lb.let("c", api.multiply(i, u))
+    h = lb.let("h", api.multiply(o, api.tanh(c)))
+    leaf_rhs = lb.get(IRTuple([h, c]))
+
+    # -- Node clause: recurse into both children, combine --------------------------
+    left = Var("l", tree_ty)
+    right = Var("r", tree_ty)
+    nb = ScopeBuilder()
+    lhc = nb.let("lhc", Call(eval_gv, [left]))
+    rhc = nb.let("rhc", Call(eval_gv, [right]))
+    hl = nb.let("hl", TupleGetItem(lhc, 0))
+    cl = nb.let("cl", TupleGetItem(lhc, 1))
+    hr = nb.let("hr", TupleGetItem(rhc, 0))
+    cr = nb.let("cr", TupleGetItem(rhc, 1))
+    hsum = nb.let("hsum", api.add(hl, hr))
+    pre_n = nb.let(
+        "pre_n",
+        api.bias_add(api.dense(hsum, Constant(make_array(weights.u_iou))),
+                     Constant(make_array(weights.b_iou))),
+    )
+    parts_n = nb.let("parts_n", api.split(pre_n, 3, axis=1))
+    i_n = nb.let("i_n", api.sigmoid(TupleGetItem(parts_n, 0)))
+    o_n = nb.let("o_n", api.sigmoid(TupleGetItem(parts_n, 1)))
+    u_n = nb.let("u_n", api.tanh(TupleGetItem(parts_n, 2)))
+    uf = Constant(make_array(weights.u_f))
+    bf = Constant(make_array(weights.b_f))
+    fl = nb.let("fl", api.sigmoid(api.bias_add(api.dense(hl, uf), bf)))
+    fr = nb.let("fr", api.sigmoid(api.bias_add(api.dense(hr, uf), bf)))
+    c_n = nb.let(
+        "c_n",
+        api.add(
+            api.multiply(i_n, u_n),
+            api.add(api.multiply(fl, cl), api.multiply(fr, cr)),
+        ),
+    )
+    h_n = nb.let("h_n", api.multiply(o_n, api.tanh(c_n)))
+    node_rhs = nb.get(IRTuple([h_n, c_n]))
+
+    clauses = [
+        Clause(PatternConstructor(leaf_ctor, [PatternVar(x)]), leaf_rhs),
+        Clause(PatternConstructor(node_ctor, [PatternVar(left), PatternVar(right)]), node_rhs),
+    ]
+    mod[eval_gv] = Function([t_var], Match(t_var, clauses), hc_ty)
+
+    root = Var("t", tree_ty)
+    mb = ScopeBuilder()
+    hc = mb.let("hc", Call(eval_gv, [root]))
+    h_root = mb.let("h_root", TupleGetItem(hc, 0))
+    mod["main"] = Function([root], mb.get(h_root), state_ty)
+    return mod
+
+
+def tree_to_adt(tree: Tree, embeddings: np.ndarray) -> ADTObj:
+    """Convert a dataset tree (leaves hold token ids) into VM ADT objects;
+    tags must match the declaration order in :func:`build_tree_lstm_module`."""
+    if tree.is_leaf:
+        vec = embeddings[tree.token_id : tree.token_id + 1].astype(np.float32)
+        return ADTObj(0, [TensorObj(make_array(vec))])
+    return ADTObj(
+        1,
+        [tree_to_adt(tree.left, embeddings), tree_to_adt(tree.right, embeddings)],
+    )
+
+
+# ---------------------------------------------------------------------------
+# NumPy reference
+# ---------------------------------------------------------------------------
+
+
+def _sig(v: np.ndarray) -> np.ndarray:
+    return 1.0 / (1.0 + np.exp(-v))
+
+
+def tree_lstm_reference(
+    tree: Tree, embeddings: np.ndarray, weights: TreeLSTMWeights
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Evaluate the Tree-LSTM eagerly; returns (h, c) at the root."""
+    if tree.is_leaf:
+        x = embeddings[tree.token_id : tree.token_id + 1].astype(np.float32)
+        pre = x @ weights.w_leaf.T + weights.b_leaf
+        i, o, u = np.split(pre, 3, axis=1)
+        c = _sig(i) * np.tanh(u)
+        h = _sig(o) * np.tanh(c)
+        return h.astype(np.float32), c.astype(np.float32)
+    hl, cl = tree_lstm_reference(tree.left, embeddings, weights)
+    hr, cr = tree_lstm_reference(tree.right, embeddings, weights)
+    hsum = hl + hr
+    pre = hsum @ weights.u_iou.T + weights.b_iou
+    i, o, u = np.split(pre, 3, axis=1)
+    fl = _sig(hl @ weights.u_f.T + weights.b_f)
+    fr = _sig(hr @ weights.u_f.T + weights.b_f)
+    c = _sig(i) * np.tanh(u) + fl * cl + fr * cr
+    h = _sig(o) * np.tanh(c)
+    return h.astype(np.float32), c.astype(np.float32)

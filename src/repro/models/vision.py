@@ -1,0 +1,140 @@
+"""Static CV models for the §6.3 memory-footprint comparison.
+
+The paper compares Nimble's planned memory against TVM's static
+pre-allocation on ResNet, MobileNet, VGG and SqueezeNet. These builders
+produce faithful-in-structure (depth-reduced) NCHW graphs: what matters
+for the memory experiment is the *pattern* of intermediate tensor sizes
+and lifetimes, not classification accuracy.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.ir import Constant, Function, IRModule, ScopeBuilder, TensorType, Var
+from repro.ops import api
+from repro.tensor.ndarray import array as make_array
+
+
+def _conv_weights(rng, out_c: int, in_c: int, k: int) -> Constant:
+    return Constant(
+        make_array((rng.randn(out_c, in_c, k, k) * 0.05).astype(np.float32))
+    )
+
+
+def _conv_bn_relu(sb, rng, x, in_c: int, out_c: int, k: int, stride: int, pad: int, tag: str,
+                  groups: int = 1, relu: bool = True):
+    w = _conv_weights(rng, out_c, in_c // groups, k)
+    y = sb.let(f"conv{tag}", api.conv2d(x, w, strides=stride, padding=pad, groups=groups))
+    gamma = Constant(make_array(np.ones(out_c, np.float32)))
+    beta = Constant(make_array(np.zeros(out_c, np.float32)))
+    mean = Constant(make_array(np.zeros(out_c, np.float32)))
+    var = Constant(make_array(np.ones(out_c, np.float32)))
+    y = sb.let(f"bn{tag}", api.batch_norm_inference(y, gamma, beta, mean, var))
+    if relu:
+        y = sb.let(f"relu{tag}", api.relu(y))
+    return y
+
+
+def build_resnet_like(image: int = 64, seed: int = 0) -> IRModule:
+    """Residual stages with identity shortcuts (ResNet-style)."""
+    rng = np.random.RandomState(seed)
+    x_in = Var("x", TensorType((1, 3, image, image), "float32"))
+    sb = ScopeBuilder()
+    x = _conv_bn_relu(sb, rng, x_in, 3, 32, 3, 1, 1, "_stem")
+    channels = 32
+    for stage, out_c in enumerate((32, 64, 128)):
+        stride = 1 if stage == 0 else 2
+        # Downsample / channel-change block.
+        branch = _conv_bn_relu(sb, rng, x, channels, out_c, 3, stride, 1, f"_s{stage}a")
+        branch = _conv_bn_relu(sb, rng, branch, out_c, out_c, 3, 1, 1, f"_s{stage}b", relu=False)
+        if stride != 1 or channels != out_c:
+            shortcut = _conv_bn_relu(sb, rng, x, channels, out_c, 1, stride, 0, f"_s{stage}sc", relu=False)
+        else:
+            shortcut = x
+        x = sb.let(f"res_s{stage}", api.relu(api.add(branch, shortcut)))
+        # Identity block.
+        branch = _conv_bn_relu(sb, rng, x, out_c, out_c, 3, 1, 1, f"_s{stage}c")
+        branch = _conv_bn_relu(sb, rng, branch, out_c, out_c, 3, 1, 1, f"_s{stage}d", relu=False)
+        x = sb.let(f"res2_s{stage}", api.relu(api.add(branch, x)))
+        channels = out_c
+    x = sb.let("gap", api.global_avg_pool2d(x))
+    x = sb.let("flat", api.reshape(x, (1, channels)))
+    w_fc = Constant(make_array((rng.randn(10, channels) * 0.05).astype(np.float32)))
+    x = sb.let("logits", api.dense(x, w_fc))
+    mod = IRModule()
+    mod["main"] = Function([x_in], sb.get(x), TensorType((1, 10), "float32"))
+    return mod
+
+
+def build_mobilenet_like(image: int = 64, seed: int = 0) -> IRModule:
+    """Depthwise-separable stacks (MobileNet-style)."""
+    rng = np.random.RandomState(seed)
+    x_in = Var("x", TensorType((1, 3, image, image), "float32"))
+    sb = ScopeBuilder()
+    x = _conv_bn_relu(sb, rng, x_in, 3, 32, 3, 2, 1, "_stem")
+    channels = 32
+    for i, (out_c, stride) in enumerate(((64, 1), (128, 2), (128, 1), (256, 2))):
+        # Depthwise.
+        x = _conv_bn_relu(sb, rng, x, channels, channels, 3, stride, 1, f"_dw{i}", groups=channels)
+        # Pointwise.
+        x = _conv_bn_relu(sb, rng, x, channels, out_c, 1, 1, 0, f"_pw{i}")
+        channels = out_c
+    x = sb.let("gap", api.global_avg_pool2d(x))
+    x = sb.let("flat", api.reshape(x, (1, channels)))
+    w_fc = Constant(make_array((rng.randn(10, channels) * 0.05).astype(np.float32)))
+    x = sb.let("logits", api.dense(x, w_fc))
+    mod = IRModule()
+    mod["main"] = Function([x_in], sb.get(x), TensorType((1, 10), "float32"))
+    return mod
+
+
+def build_vgg_like(image: int = 64, seed: int = 0) -> IRModule:
+    """Plain conv/conv/pool stacks with large dense head (VGG-style)."""
+    rng = np.random.RandomState(seed)
+    x_in = Var("x", TensorType((1, 3, image, image), "float32"))
+    sb = ScopeBuilder()
+    x = x_in
+    channels = 3
+    size = image
+    for stage, out_c in enumerate((32, 64, 128)):
+        x = _conv_bn_relu(sb, rng, x, channels, out_c, 3, 1, 1, f"_s{stage}a")
+        x = _conv_bn_relu(sb, rng, x, out_c, out_c, 3, 1, 1, f"_s{stage}b")
+        x = sb.let(f"pool_s{stage}", api.max_pool2d(x, 2))
+        channels = out_c
+        size //= 2
+    flat_dim = channels * size * size
+    x = sb.let("flat", api.reshape(x, (1, flat_dim)))
+    w1 = Constant(make_array((rng.randn(256, flat_dim) * 0.02).astype(np.float32)))
+    x = sb.let("fc1", api.relu(api.dense(x, w1)))
+    w2 = Constant(make_array((rng.randn(10, 256) * 0.05).astype(np.float32)))
+    x = sb.let("logits", api.dense(x, w2))
+    mod = IRModule()
+    mod["main"] = Function([x_in], sb.get(x), TensorType((1, 10), "float32"))
+    return mod
+
+
+def build_squeezenet_like(image: int = 64, seed: int = 0) -> IRModule:
+    """Fire modules: squeeze 1×1 then expand 1×1 ∥ 3×3 (SqueezeNet-style)."""
+    rng = np.random.RandomState(seed)
+    x_in = Var("x", TensorType((1, 3, image, image), "float32"))
+    sb = ScopeBuilder()
+    x = _conv_bn_relu(sb, rng, x_in, 3, 32, 3, 2, 1, "_stem")
+    channels = 32
+    for i, (squeeze_c, expand_c) in enumerate(((16, 32), (16, 32), (32, 64))):
+        s = _conv_bn_relu(sb, rng, x, channels, squeeze_c, 1, 1, 0, f"_f{i}s")
+        e1 = _conv_bn_relu(sb, rng, s, squeeze_c, expand_c, 1, 1, 0, f"_f{i}e1")
+        e3 = _conv_bn_relu(sb, rng, s, squeeze_c, expand_c, 3, 1, 1, f"_f{i}e3")
+        x = sb.let(f"fire{i}", api.concatenate([e1, e3], axis=1))
+        channels = expand_c * 2
+        if i == 1:
+            x = sb.let(f"pool{i}", api.max_pool2d(x, 2))
+    x = sb.let("gap", api.global_avg_pool2d(x))
+    x = sb.let("flat", api.reshape(x, (1, channels)))
+    w_fc = Constant(make_array((rng.randn(10, channels) * 0.05).astype(np.float32)))
+    x = sb.let("logits", api.dense(x, w_fc))
+    mod = IRModule()
+    mod["main"] = Function([x_in], sb.get(x), TensorType((1, 10), "float32"))
+    return mod

@@ -1,0 +1,109 @@
+"""The public compile-and-run API.
+
+    import repro.nimble as nimble
+    from repro.hardware import intel_cpu
+
+    exe, report = nimble.build(mod, platform=intel_cpu())
+    vm = nimble.VirtualMachine(exe)
+    out = vm.run(x)
+
+``build`` runs the full dynamic-compilation pipeline of Figure 2: type
+inference with ``Any`` → constant folding → simplification → ANF → CSE →
+DCE → dynamic-aware fusion → manifest allocation → memory planning →
+device placement → VM bytecode + kernel generation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from repro.codegen.kernels import KernelCache
+from repro.core.device import DevicePlace, PlacementReport
+from repro.core.memory import ManifestAlloc, MemoryPlan, MemoryPlanReport
+from repro.core.typing import InferType
+from repro.hardware.platforms import Platform, intel_cpu
+from repro.ir.module import IRModule
+from repro.passes import (
+    CommonSubexprElimination,
+    DeadCodeElimination,
+    FoldConstant,
+    FuseOps,
+    LambdaLift,
+    Sequential,
+    SimplifyExpressions,
+    ToANF,
+)
+from repro.vm.compiler import CompilerOptions, VMCompiler
+from repro.vm.executable import Executable
+from repro.vm.interpreter import VirtualMachine  # re-export for convenience
+
+__all__ = [
+    "build",
+    "BuildReport",
+    "CompilerOptions",
+    "VirtualMachine",
+]
+
+
+@dataclass
+class BuildReport:
+    """Everything the compiler learned along the way (used by benchmarks)."""
+
+    pass_timings: Dict[str, float] = field(default_factory=dict)
+    memory: Optional[MemoryPlanReport] = None
+    placement: Optional[PlacementReport] = None
+    num_kernels: int = 0
+    num_instructions: int = 0
+    bytecode_bytes: int = 0
+    kernel_code_bytes: int = 0
+
+
+def build(
+    mod: IRModule,
+    platform: Optional[Platform] = None,
+    options: Optional[CompilerOptions] = None,
+    plan_memory: bool = True,
+    kernel_cache: Optional[KernelCache] = None,
+) -> Tuple[Executable, BuildReport]:
+    """Compile a module for *platform*. ``plan_memory=False`` disables the
+    §4.3 coalescing/kill pass (the memory-planning ablation)."""
+    platform = platform or intel_cpu()
+    options = options or CompilerOptions()
+
+    passes = [
+        InferType(),
+        FoldConstant(),
+        SimplifyExpressions(),
+        ToANF(),
+        CommonSubexprElimination(),
+        DeadCodeElimination(),
+        LambdaLift(),
+        FuseOps(),
+        ManifestAlloc(),
+    ]
+    # Placement must precede planning: the coalescer may only multiplex
+    # tensors that live on the same device, and output buffers must be
+    # allocated directly on their kernel's device (never copy-patched).
+    device_pass = DevicePlace(platform.host, platform.compute)
+    passes.append(device_pass)
+    memory_pass = MemoryPlan() if plan_memory else None
+    if memory_pass is not None:
+        passes.append(memory_pass)
+
+    pipeline = Sequential(passes)
+    lowered = pipeline.run(mod)
+
+    compiler = VMCompiler(platform, options, kernel_cache)
+    exe = compiler.compile(lowered)
+
+    report = BuildReport(
+        pass_timings=dict(pipeline.timings),
+        memory=memory_pass.report if memory_pass is not None else None,
+        placement=device_pass.report,
+        num_kernels=len(exe.kernels),
+        num_instructions=exe.num_instructions,
+        bytecode_bytes=exe.bytecode_size_bytes(),
+        kernel_code_bytes=exe.kernel_code_size_bytes(),
+    )
+    return exe, report

@@ -1,0 +1,318 @@
+"""Call-building helpers: the user-facing way to construct operator calls.
+
+``api.dense(x, w)`` builds ``Call(Op("nn.dense"), [x, w])`` etc. Model
+builders (:mod:`repro.models`) are written entirely against this module.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Union
+
+from repro.ir.expr import Call, Constant, Expr, Tuple, TupleGetItem, const
+from repro.ir.op import Op
+
+
+def _call(name: str, args: Sequence[Expr], attrs: Optional[dict] = None) -> Call:
+    return Call(Op.get(name), list(args), attrs or {})
+
+
+# -- arithmetic ----------------------------------------------------------------
+def add(lhs: Expr, rhs: Expr) -> Call:
+    return _call("add", [lhs, rhs])
+
+
+def subtract(lhs: Expr, rhs: Expr) -> Call:
+    return _call("subtract", [lhs, rhs])
+
+
+def multiply(lhs: Expr, rhs: Expr) -> Call:
+    return _call("multiply", [lhs, rhs])
+
+
+def divide(lhs: Expr, rhs: Expr) -> Call:
+    return _call("divide", [lhs, rhs])
+
+
+def maximum(lhs: Expr, rhs: Expr) -> Call:
+    return _call("maximum", [lhs, rhs])
+
+
+def minimum(lhs: Expr, rhs: Expr) -> Call:
+    return _call("minimum", [lhs, rhs])
+
+
+def power(lhs: Expr, rhs: Expr) -> Call:
+    return _call("power", [lhs, rhs])
+
+
+def negative(x: Expr) -> Call:
+    return _call("negative", [x])
+
+
+def exp(x: Expr) -> Call:
+    return _call("exp", [x])
+
+
+def log(x: Expr) -> Call:
+    return _call("log", [x])
+
+
+def sqrt(x: Expr) -> Call:
+    return _call("sqrt", [x])
+
+
+def rsqrt(x: Expr) -> Call:
+    return _call("rsqrt", [x])
+
+
+def tanh(x: Expr) -> Call:
+    return _call("tanh", [x])
+
+
+def sigmoid(x: Expr) -> Call:
+    return _call("sigmoid", [x])
+
+
+def erf(x: Expr) -> Call:
+    return _call("erf", [x])
+
+
+def abs_(x: Expr) -> Call:
+    return _call("abs", [x])
+
+
+def cast(x: Expr, dtype: str) -> Call:
+    return _call("cast", [x], {"dtype": dtype})
+
+
+def clip(x: Expr, a_min: float, a_max: float) -> Call:
+    return _call("clip", [x], {"a_min": a_min, "a_max": a_max})
+
+
+# -- comparisons -----------------------------------------------------------------
+def equal(lhs: Expr, rhs: Expr) -> Call:
+    return _call("equal", [lhs, rhs])
+
+
+def not_equal(lhs: Expr, rhs: Expr) -> Call:
+    return _call("not_equal", [lhs, rhs])
+
+
+def less(lhs: Expr, rhs: Expr) -> Call:
+    return _call("less", [lhs, rhs])
+
+
+def less_equal(lhs: Expr, rhs: Expr) -> Call:
+    return _call("less_equal", [lhs, rhs])
+
+
+def greater(lhs: Expr, rhs: Expr) -> Call:
+    return _call("greater", [lhs, rhs])
+
+
+def greater_equal(lhs: Expr, rhs: Expr) -> Call:
+    return _call("greater_equal", [lhs, rhs])
+
+
+def logical_and(lhs: Expr, rhs: Expr) -> Call:
+    return _call("logical_and", [lhs, rhs])
+
+
+def logical_or(lhs: Expr, rhs: Expr) -> Call:
+    return _call("logical_or", [lhs, rhs])
+
+
+def logical_not(x: Expr) -> Call:
+    return _call("logical_not", [x])
+
+
+def where(cond: Expr, lhs: Expr, rhs: Expr) -> Call:
+    return _call("where", [cond, lhs, rhs])
+
+
+# -- nn -----------------------------------------------------------------------------
+def dense(data: Expr, weight: Expr) -> Call:
+    return _call("nn.dense", [data, weight])
+
+
+def bias_add(data: Expr, bias: Expr, axis: int = -1) -> Call:
+    return _call("nn.bias_add", [data, bias], {"axis": axis})
+
+
+def batch_matmul(lhs: Expr, rhs: Expr) -> Call:
+    return _call("nn.batch_matmul", [lhs, rhs])
+
+
+def relu(x: Expr) -> Call:
+    return _call("nn.relu", [x])
+
+
+def gelu(x: Expr) -> Call:
+    return _call("nn.gelu", [x])
+
+
+def softmax(x: Expr, axis: int = -1) -> Call:
+    return _call("nn.softmax", [x], {"axis": axis})
+
+
+def log_softmax(x: Expr, axis: int = -1) -> Call:
+    return _call("nn.log_softmax", [x], {"axis": axis})
+
+
+def layer_norm(data: Expr, gamma: Expr, beta: Expr, axis: int = -1, epsilon: float = 1e-5) -> Call:
+    return _call("nn.layer_norm", [data, gamma, beta], {"axis": axis, "epsilon": epsilon})
+
+
+def conv2d(data: Expr, weight: Expr, strides: int = 1, padding: int = 0, groups: int = 1) -> Call:
+    return _call(
+        "nn.conv2d", [data, weight], {"strides": strides, "padding": padding, "groups": groups}
+    )
+
+
+def max_pool2d(data: Expr, pool_size: int = 2, strides: Optional[int] = None, padding: int = 0) -> Call:
+    return _call(
+        "nn.max_pool2d",
+        [data],
+        {"pool_size": pool_size, "strides": strides or pool_size, "padding": padding},
+    )
+
+
+def avg_pool2d(data: Expr, pool_size: int = 2, strides: Optional[int] = None, padding: int = 0) -> Call:
+    return _call(
+        "nn.avg_pool2d",
+        [data],
+        {"pool_size": pool_size, "strides": strides or pool_size, "padding": padding},
+    )
+
+
+def global_avg_pool2d(data: Expr) -> Call:
+    return _call("nn.global_avg_pool2d", [data])
+
+
+def batch_norm_inference(
+    data: Expr, gamma: Expr, beta: Expr, mean: Expr, var: Expr, epsilon: float = 1e-5
+) -> Call:
+    return _call(
+        "nn.batch_norm_inference", [data, gamma, beta, mean, var], {"epsilon": epsilon}
+    )
+
+
+# -- transforms ------------------------------------------------------------------------
+def reshape(data: Expr, newshape: Sequence[int]) -> Call:
+    return _call("reshape", [data], {"newshape": tuple(newshape)})
+
+
+def transpose(data: Expr, axes: Optional[Sequence[int]] = None) -> Call:
+    return _call("transpose", [data], {"axes": tuple(axes) if axes else None})
+
+
+def concatenate(tensors: Sequence[Expr], axis: int = 0) -> Call:
+    return _call("concatenate", list(tensors), {"axis": axis})
+
+
+def split(data: Expr, indices_or_sections: Union[int, Sequence[int]], axis: int = 0) -> Call:
+    ios = (
+        indices_or_sections
+        if isinstance(indices_or_sections, int)
+        else tuple(indices_or_sections)
+    )
+    return _call("split", [data], {"indices_or_sections": ios, "axis": axis})
+
+
+def take(data: Expr, indices: Expr, axis: Optional[int] = None) -> Call:
+    return _call("take", [data, indices], {"axis": axis})
+
+
+def stack(tensors: Sequence[Expr], axis: int = 0) -> Call:
+    return _call("stack", list(tensors), {"axis": axis})
+
+
+def expand_dims(data: Expr, axis: int = 0) -> Call:
+    return _call("expand_dims", [data], {"axis": axis})
+
+
+def squeeze(data: Expr, axis=None) -> Call:
+    return _call("squeeze", [data], {"axis": axis})
+
+
+def strided_slice(
+    data: Expr, begin: Sequence[int], end: Sequence[int], strides: Optional[Sequence[int]] = None
+) -> Call:
+    return _call(
+        "strided_slice",
+        [data],
+        {"begin": tuple(begin), "end": tuple(end), "strides": tuple(strides) if strides else None},
+    )
+
+
+def zeros(shape: Sequence[int], dtype: str = "float32") -> Call:
+    return _call("zeros", [], {"shape": tuple(shape), "dtype": dtype})
+
+
+def ones(shape: Sequence[int], dtype: str = "float32") -> Call:
+    return _call("ones", [], {"shape": tuple(shape), "dtype": dtype})
+
+
+def full(fill_value: float, shape: Sequence[int], dtype: str = "float32") -> Call:
+    return _call("full", [], {"shape": tuple(shape), "dtype": dtype, "fill_value": fill_value})
+
+
+def broadcast_to(data: Expr, shape: Sequence[int]) -> Call:
+    return _call("broadcast_to", [data], {"shape": tuple(shape)})
+
+
+# -- reductions ---------------------------------------------------------------------------
+def sum_(data: Expr, axis=None, keepdims: bool = False) -> Call:
+    return _call("sum", [data], {"axis": axis, "keepdims": keepdims})
+
+
+def mean(data: Expr, axis=None, keepdims: bool = False) -> Call:
+    return _call("mean", [data], {"axis": axis, "keepdims": keepdims})
+
+
+def max_(data: Expr, axis=None, keepdims: bool = False) -> Call:
+    return _call("max", [data], {"axis": axis, "keepdims": keepdims})
+
+
+def min_(data: Expr, axis=None, keepdims: bool = False) -> Call:
+    return _call("min", [data], {"axis": axis, "keepdims": keepdims})
+
+
+def argmax(data: Expr, axis: int = -1, keepdims: bool = False) -> Call:
+    return _call("argmax", [data], {"axis": axis, "keepdims": keepdims})
+
+
+def argmin(data: Expr, axis: int = -1, keepdims: bool = False) -> Call:
+    return _call("argmin", [data], {"axis": axis, "keepdims": keepdims})
+
+
+# -- dynamic ops -----------------------------------------------------------------------------
+def arange(start: Expr, stop: Expr, step: Expr, dtype: str = "float32") -> Call:
+    return _call("arange", [start, stop, step], {"dtype": dtype})
+
+
+def unique(data: Expr) -> Call:
+    return _call("unique", [data])
+
+
+def nonzero(data: Expr) -> Call:
+    return _call("nonzero", [data])
+
+
+def non_max_suppression(boxes: Expr, scores: Expr, iou_threshold: float = 0.5) -> Call:
+    return _call(
+        "vision.non_max_suppression", [boxes, scores], {"iou_threshold": iou_threshold}
+    )
+
+
+def topk(data: Expr, k: int) -> Call:
+    return _call("topk", [data], {"k": k})
+
+
+# -- dialect (used by passes, exposed for tests) -----------------------------------------------
+def shape_of(data: Expr) -> Call:
+    return _call("vm.shape_of", [data])
+
+
+def device_copy(data: Expr, src_device, dst_device) -> Call:
+    return _call("device.device_copy", [data], {"src_device": src_device, "dst_device": dst_device})

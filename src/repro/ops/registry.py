@@ -1,0 +1,114 @@
+"""The operator registry.
+
+Each operator couples five pieces of semantics (mirroring Relay's op
+attributes, plus what Nimble adds):
+
+* **type relation** — compile-time: input types (possibly with ``Any``
+  dims) → output type (§4.1);
+* **shape function** — runtime: concrete input shapes (and, for
+  data-dependent ops, input *values*) → concrete output shapes (§4.2), in
+  one of three modes (data-independent / data-dependent / upper-bound);
+* **compute** — the NumPy kernel body used by every executor;
+* **fusion pattern** — how the fusion pass may combine this op (§4.2's
+  fusion policy additionally forbids fusing *into* ops whose shape
+  functions are data-dependent or upper-bound);
+* **flops** — work estimate consumed by the hardware cost model.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import CompilerError
+from repro.ir.op import Op
+from repro.ir.types import Type
+
+
+class OpPattern(enum.IntEnum):
+    """Fusion patterns, ordered by generality (TVM's TOPI convention)."""
+
+    ELEMWISE = 0
+    BROADCAST = 1
+    INJECTIVE = 2
+    COMM_REDUCE = 3
+    OUT_ELEMWISE_FUSABLE = 4
+    OPAQUE = 8
+
+
+class ShapeFuncMode(enum.Enum):
+    """The three shape-function modes of §4.2."""
+
+    DATA_INDEPENDENT = "data_independent"
+    DATA_DEPENDENT = "data_dependent"
+    UPPER_BOUND = "upper_bound"
+
+
+# Signature aliases (documentation only; Python stays dynamic).
+TypeRel = Callable[[Sequence[Type], dict], Type]
+Compute = Callable[[Sequence[np.ndarray], dict], object]
+ShapeFunc = Callable[[Sequence[Tuple[int, ...]], Sequence[Optional[np.ndarray]], dict], List[Tuple[int, ...]]]
+FlopsFn = Callable[[Sequence[Tuple[int, ...]], Sequence[Tuple[int, ...]], dict], float]
+
+
+def _default_flops(in_shapes, out_shapes, attrs) -> float:
+    """Default work estimate: one op per output element."""
+    total = 0.0
+    for shape in out_shapes:
+        n = 1.0
+        for d in shape:
+            n *= d
+        total += n
+    return total
+
+
+@dataclass
+class OpDef:
+    name: str
+    type_rel: TypeRel
+    compute: Compute
+    shape_func: Optional[ShapeFunc] = None
+    shape_func_mode: ShapeFuncMode = ShapeFuncMode.DATA_INDEPENDENT
+    pattern: OpPattern = OpPattern.OPAQUE
+    flops: FlopsFn = _default_flops
+    num_outputs: int = 1
+    # Upper-bound ops return (data..., actual_shape) from compute; the
+    # runtime slices outputs down to the actual shape (§4.2).
+    returns_shape: bool = False
+
+    @property
+    def is_dynamic_shape_func(self) -> bool:
+        """True when fusing other ops *into* this op is forbidden (§4.2)."""
+        return self.shape_func_mode in (
+            ShapeFuncMode.DATA_DEPENDENT,
+            ShapeFuncMode.UPPER_BOUND,
+        )
+
+
+_REGISTRY: Dict[str, OpDef] = {}
+
+
+def register_op(op_def: OpDef) -> OpDef:
+    if op_def.name in _REGISTRY:
+        raise CompilerError(f"operator {op_def.name!r} registered twice")
+    _REGISTRY[op_def.name] = op_def
+    Op.get(op_def.name)  # intern the IR node
+    return op_def
+
+
+def get_op_def(name: str) -> OpDef:
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise CompilerError(f"unknown operator {name!r}") from None
+
+
+def has_op(name: str) -> bool:
+    return name in _REGISTRY
+
+
+def all_op_names() -> List[str]:
+    return sorted(_REGISTRY)

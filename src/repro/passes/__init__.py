@@ -1,0 +1,24 @@
+"""Compiler passes: generic rewrites + the dynamic-model pipeline stages."""
+
+from repro.passes.pass_manager import Pass, Sequential, function_pass
+from repro.passes.to_anf import ToANF, to_anf
+from repro.passes.fold_constant import FoldConstant
+from repro.passes.dead_code import DeadCodeElimination
+from repro.passes.cse import CommonSubexprElimination
+from repro.passes.simplify import SimplifyExpressions
+from repro.passes.fuse_ops import FuseOps
+from repro.passes.lambda_lift import LambdaLift
+
+__all__ = [
+    "Pass",
+    "Sequential",
+    "function_pass",
+    "ToANF",
+    "to_anf",
+    "FoldConstant",
+    "DeadCodeElimination",
+    "CommonSubexprElimination",
+    "SimplifyExpressions",
+    "FuseOps",
+    "LambdaLift",
+]

@@ -1,0 +1,273 @@
+"""Operator fusion with the dynamic-shape-aware policy (§4.2).
+
+Runs on strict-ANF, type-checked functions. Each maximal let-chain is
+treated as a dataflow graph; producer bindings are greedily merged into
+their single consumer when the fusion patterns allow it:
+
+* ELEMWISE/BROADCAST consumers absorb any producer up to
+  OUT_ELEMWISE_FUSABLE (the classic dense/conv + epilogue fusion);
+* INJECTIVE consumers absorb injective producers;
+* COMM_REDUCE consumers absorb injective producers;
+* OPAQUE never fuses.
+
+**Dynamic policy** (the paper's addition): an operator whose shape
+function is data-dependent or upper-bound can never absorb producers —
+its shape function would need access to intermediate values of the fused
+group. Such ops always compile as singleton kernels.
+
+After grouping, every group (including singletons — uniform lowering)
+becomes a ``primitive`` Function called with its external inputs, exactly
+how Relay marks post-fusion kernels; code generation consumes these.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple as PyTuple
+
+from repro.errors import CompilerError
+from repro.ir.analysis import iter_nodes
+from repro.ir.expr import (
+    Call,
+    Clause,
+    Constant,
+    Expr,
+    Function,
+    If,
+    Let,
+    Match,
+    Tuple,
+    TupleGetItem,
+    Var,
+)
+from repro.ir.module import IRModule
+from repro.ir.op import Op
+from repro.ir.types import Type
+from repro.ops import DIALECT_OPS, get_op_def
+from repro.ops.registry import OpPattern
+from repro.passes.pass_manager import Pass
+from repro.utils.naming import NameSupply
+
+
+def _fusable_call(value: Expr) -> bool:
+    return (
+        isinstance(value, Call)
+        and isinstance(value.op, Op)
+        and value.op.name not in DIALECT_OPS
+        and get_op_def(value.op.name).pattern != OpPattern.OPAQUE
+    )
+
+
+def _wrappable_call(value: Expr) -> bool:
+    """Calls that become (possibly singleton) primitive kernels."""
+    return (
+        isinstance(value, Call)
+        and isinstance(value.op, Op)
+        and value.op.name not in DIALECT_OPS
+    )
+
+
+def _can_fuse(producer_pattern: OpPattern, consumer_op: Op) -> bool:
+    op_def = get_op_def(consumer_op.name)
+    if op_def.is_dynamic_shape_func:
+        return False  # the paper's dynamic fusion policy
+    consumer_pattern = op_def.pattern
+    if consumer_pattern in (OpPattern.ELEMWISE, OpPattern.BROADCAST):
+        return producer_pattern <= OpPattern.OUT_ELEMWISE_FUSABLE
+    if consumer_pattern == OpPattern.INJECTIVE:
+        return producer_pattern <= OpPattern.INJECTIVE
+    if consumer_pattern == OpPattern.COMM_REDUCE:
+        return producer_pattern <= OpPattern.INJECTIVE
+    return False
+
+
+class _Group:
+    """A set of binding indices being fused together."""
+
+    __slots__ = ("indices", "pattern")
+
+    def __init__(self, index: int, pattern: OpPattern) -> None:
+        self.indices: List[int] = [index]
+        self.pattern = pattern
+
+
+class _Fuser:
+    def __init__(self) -> None:
+        self.names = NameSupply()
+        self.num_groups = 0
+        self.num_fused_ops = 0
+
+    # -- recursive scope handling -------------------------------------------
+    def fuse_expr(self, expr: Expr) -> Expr:
+        if isinstance(expr, Let):
+            return self.fuse_chain(expr)
+        return expr  # atoms (strict ANF scope results)
+
+    def _rewrite_value(self, value: Expr) -> Expr:
+        """Rewrite nested scopes inside a bound value."""
+        if isinstance(value, If):
+            return If(
+                value.cond,
+                self.fuse_expr(value.true_branch),
+                self.fuse_expr(value.false_branch),
+            )
+        if isinstance(value, Match):
+            return Match(
+                value.data,
+                [Clause(c.pattern, self.fuse_expr(c.rhs)) for c in value.clauses],
+                value.complete,
+            )
+        if isinstance(value, Function) and not value.is_primitive:
+            return Function(
+                value.params, self.fuse_expr(value.body), value.ret_type, value.attrs
+            )
+        return value
+
+    # -- per-chain fusion ------------------------------------------------------
+    def fuse_chain(self, head: Let) -> Expr:
+        bindings: List[PyTuple[Var, Expr]] = []
+        node: Expr = head
+        while isinstance(node, Let):
+            bindings.append((node.var, self._rewrite_value(node.value)))
+            node = node.body
+        tail = node
+
+        # Exact use counts: chain vars can only be used inside this chain
+        # (values incl. nested scopes) and its tail.
+        uses: Dict[Var, int] = {}
+        scan_roots: List[Expr] = [v for _, v in bindings] + [tail]
+        for root in scan_roots:
+            for sub in iter_nodes(root):
+                if isinstance(sub, Var):
+                    uses[sub] = uses.get(sub, 0) + 1
+
+        index_of: Dict[Var, int] = {var: i for i, (var, _) in enumerate(bindings)}
+        groups: Dict[int, _Group] = {}
+        group_of: Dict[int, int] = {}
+
+        for i, (var, value) in enumerate(bindings):
+            if not _fusable_call(value):
+                continue
+            op_def = get_op_def(value.op.name)  # type: ignore[union-attr]
+            groups[i] = _Group(i, op_def.pattern)
+            group_of[i] = i
+            if op_def.is_dynamic_shape_func:
+                continue  # never absorbs producers
+            for arg in value.args:  # type: ignore[union-attr]
+                if not isinstance(arg, Var):
+                    continue
+                j = index_of.get(arg)
+                if j is None or j not in group_of:
+                    continue
+                if uses.get(arg, 0) != 1:
+                    continue  # producer value needed elsewhere
+                producer_root = group_of[j]
+                producer = groups[producer_root]
+                if not _can_fuse(producer.pattern, value.op):  # type: ignore[arg-type]
+                    continue
+                # Merge the producer group into this one.
+                mine = groups[group_of[i]]
+                for idx in producer.indices:
+                    group_of[idx] = group_of[i]
+                mine.indices = sorted(set(mine.indices) | set(producer.indices))
+                mine.pattern = max(mine.pattern, producer.pattern)
+                if producer_root != group_of[i]:
+                    del groups[producer_root]
+                self.num_fused_ops += 1
+
+        # Rebuild the chain. A group materializes at its *root* (the
+        # highest index in the group); members are dropped from the chain.
+        root_of_group: Dict[int, int] = {}
+        for root_index, group in groups.items():
+            materialize_at = max(group.indices)
+            root_of_group[materialize_at] = root_index
+        member_indices: Set[int] = set()
+        for group in groups.values():
+            member_indices.update(group.indices)
+
+        new_bindings: List[PyTuple[Var, Expr]] = []
+        for i, (var, value) in enumerate(bindings):
+            if i in root_of_group:
+                group = groups[root_of_group[i]]
+                new_bindings.append((var, self._materialize(group, bindings)))
+            elif i in member_indices:
+                continue  # fused into a later root
+            elif _wrappable_call(value):
+                # OPAQUE (but non-dialect) calls become singleton kernels
+                # too, so every compute lowers uniformly to InvokePacked.
+                fake = _Group(i, get_op_def(value.op.name).pattern)  # type: ignore[union-attr]
+                new_bindings.append((var, self._materialize(fake, bindings)))
+            else:
+                new_bindings.append((var, value))
+
+        out = tail
+        for var, value in reversed(new_bindings):
+            out = Let(var, value, out)
+        return out
+
+    def _materialize(self, group: _Group, bindings: List[PyTuple[Var, Expr]]) -> Call:
+        """Build the primitive function + call for one fused group."""
+        self.num_groups += 1
+        members = [bindings[i] for i in sorted(group.indices)]
+        internal: Set[Var] = {var for var, _ in members}
+
+        # External inputs in first-use order (vars and constants).
+        ext_order: List[Expr] = []
+        seen: Set[int] = set()
+        for _, value in members:
+            assert isinstance(value, Call)
+            for arg in value.args:
+                if isinstance(arg, Var) and arg in internal:
+                    continue
+                if id(arg) in seen:
+                    continue
+                # Identical Var referenced twice should become one param.
+                if isinstance(arg, Var) and any(arg is e for e in ext_order):
+                    continue
+                seen.add(id(arg))
+                ext_order.append(arg)
+
+        params: List[Var] = []
+        replacement: Dict[int, Var] = {}
+        for ext in ext_order:
+            ty: Optional[Type] = ext.checked_type
+            if ty is None:
+                raise CompilerError("FuseOps requires a type-checked module")
+            param = Var(self.names.fresh("p"), ty)
+            params.append(param)
+            replacement[id(ext)] = param
+
+        def subst(arg: Expr) -> Expr:
+            if isinstance(arg, Var) and arg in internal:
+                return arg
+            return replacement.get(id(arg), arg)
+
+        # Body: inner let chain over the members, ending at the root value.
+        root_var, root_value = members[-1]
+        new_values: List[PyTuple[Var, Call]] = []
+        for var, value in members:
+            assert isinstance(value, Call)
+            new_values.append(
+                (var, Call(value.op, [subst(a) for a in value.args], value.attrs))
+            )
+        body: Expr = new_values[-1][1]
+        for var, value in reversed(new_values[:-1]):
+            body = Let(var, value, body)
+
+        ret_type = root_var.checked_type
+        prim = Function(params, body, ret_type, {"primitive": True})
+        return Call(prim, list(ext_order))
+
+
+class FuseOps(Pass):
+    name = "FuseOps"
+
+    def run(self, mod: IRModule) -> IRModule:
+        out = mod.shallow_copy()
+        for gv, func in list(out.functions.items()):
+            if func.is_primitive:
+                continue
+            fuser = _Fuser()
+            out.functions[gv] = Function(
+                func.params, fuser.fuse_expr(func.body), func.ret_type, func.attrs
+            )
+        return out

@@ -1,0 +1,80 @@
+"""Pass infrastructure.
+
+A pass is a callable ``IRModule -> IRModule`` with a ``name``. The
+:class:`Sequential` combinator runs a pipeline, optionally re-running type
+inference between passes (most passes rely on ``checked_type``) and
+recording per-pass timing for the compile-time report.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.ir.module import IRModule
+
+
+class Pass:
+    """Base class; subclasses implement ``run(mod)``."""
+
+    name = "Pass"
+
+    def run(self, mod: IRModule) -> IRModule:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def __call__(self, mod: IRModule) -> IRModule:
+        return self.run(mod)
+
+
+class _FunctionPass(Pass):
+    """Lifts a per-function rewrite to a module pass, skipping primitive
+    (fused) functions, which are opaque kernel bodies."""
+
+    def __init__(self, fn: Callable, name: str, skip_primitive: bool = True) -> None:
+        self._fn = fn
+        self.name = name
+        self._skip_primitive = skip_primitive
+
+    def run(self, mod: IRModule) -> IRModule:
+        out = mod.shallow_copy()
+        for gv, func in list(out.functions.items()):
+            if self._skip_primitive and func.is_primitive:
+                continue
+            out.functions[gv] = self._fn(func, out)
+        return out
+
+
+def function_pass(name: str, skip_primitive: bool = True):
+    """Decorator: ``@function_pass("MyPass")`` over ``fn(func, mod) -> func``."""
+
+    def wrap(fn: Callable) -> _FunctionPass:
+        return _FunctionPass(fn, name, skip_primitive)
+
+    return wrap
+
+
+class Sequential(Pass):
+    """Run passes in order; optionally interleave type inference."""
+
+    name = "Sequential"
+
+    def __init__(
+        self,
+        passes: Sequence[Callable[[IRModule], IRModule]],
+        reinfer_types: bool = True,
+    ) -> None:
+        self.passes = list(passes)
+        self.reinfer_types = reinfer_types
+        self.timings: Dict[str, float] = {}
+
+    def run(self, mod: IRModule) -> IRModule:
+        from repro.core.typing import infer_types
+
+        for p in self.passes:
+            name = getattr(p, "name", getattr(p, "__name__", repr(p)))
+            start = time.perf_counter()
+            mod = p(mod)
+            if self.reinfer_types:
+                mod = infer_types(mod)
+            self.timings[name] = self.timings.get(name, 0.0) + time.perf_counter() - start
+        return mod

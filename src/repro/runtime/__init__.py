@@ -1,0 +1,7 @@
+"""Runtime substrate: virtual clock, tracking allocator, static graph runtime."""
+
+from repro.runtime.clock import VirtualClock
+from repro.runtime.allocator import AllocStats, PoolingAllocator
+from repro.runtime.context import ExecutionContext
+
+__all__ = ["VirtualClock", "AllocStats", "PoolingAllocator", "ExecutionContext"]

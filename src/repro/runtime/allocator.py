@@ -1,0 +1,100 @@
+"""Pooling allocator with allocation accounting.
+
+Dynamic models allocate at runtime (shapes are inputs-dependent), so
+allocation cost shows up on the latency path — §6.3 measures 2.0 ms of it
+for BERT on Intel, reduced to 0.5 ms by planning. The VM frees buffers at
+``memory.kill`` and this allocator recycles them: a size-class pool hit is
+an order of magnitude cheaper than a fresh allocation.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.hardware import calibration
+from repro.hardware.platforms import Platform
+from repro.runtime.clock import VirtualClock
+from repro.tensor.device import Device
+from repro.tensor.storage import Storage
+
+
+@dataclass
+class AllocStats:
+    fresh_allocs: int = 0
+    pooled_allocs: int = 0
+    frees: int = 0
+    bytes_allocated: int = 0
+    peak_bytes: int = 0
+    alloc_time_us: float = 0.0
+
+    @property
+    def total_allocs(self) -> int:
+        return self.fresh_allocs + self.pooled_allocs
+
+    def reset(self) -> None:
+        self.fresh_allocs = 0
+        self.pooled_allocs = 0
+        self.frees = 0
+        self.bytes_allocated = 0
+        self.peak_bytes = 0
+        self.alloc_time_us = 0.0
+
+
+def _size_class(nbytes: int) -> int:
+    """Round up to the next power of two (min 64 B) for pool bucketing."""
+    size = 64
+    while size < nbytes:
+        size <<= 1
+    return size
+
+
+class PoolingAllocator:
+    def __init__(self, platform: Platform, clock: Optional[VirtualClock] = None,
+                 pooling: bool = True) -> None:
+        self.platform = platform
+        self.clock = clock
+        self.pooling = pooling
+        self.stats = AllocStats()
+        self._live_bytes = 0
+        self._pools: Dict[Device, Dict[int, List[Storage]]] = defaultdict(
+            lambda: defaultdict(list)
+        )
+
+    # -- allocation -----------------------------------------------------------
+    def alloc(self, nbytes: int, alignment: int, device: Device) -> Storage:
+        size = _size_class(max(1, int(nbytes)))
+        pool = self._pools[device][size]
+        if self.pooling and pool:
+            storage = pool.pop()
+            storage.freed = False
+            self.stats.pooled_allocs += 1
+            self._charge(calibration.ALLOC_POOLED_US[self.platform.name])
+        else:
+            storage = Storage(size, alignment, device)
+            self.stats.fresh_allocs += 1
+            self.stats.bytes_allocated += size
+            self._charge(calibration.ALLOC_FRESH_US[self.platform.name])
+        self._live_bytes += size
+        self.stats.peak_bytes = max(self.stats.peak_bytes, self._live_bytes)
+        return storage
+
+    def free(self, storage: Storage) -> None:
+        if storage.freed:
+            return
+        storage.free()
+        self.stats.frees += 1
+        self._live_bytes -= storage.size
+        if self.pooling:
+            self._pools[storage.device][storage.size].append(storage)
+
+    def release_all(self) -> None:
+        """End-of-inference: drop pool contents (tests use this)."""
+        self._pools.clear()
+        self._live_bytes = 0
+
+    def _charge(self, us: float) -> None:
+        self.stats.alloc_time_us += us
+        if self.clock is not None:
+            self.clock.host_advance(us)

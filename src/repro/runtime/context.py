@@ -1,0 +1,48 @@
+"""Execution context: platform + clock + allocator bundle.
+
+Every executor in this reproduction — the Nimble VM, the static graph
+runtime, and all baseline frameworks — runs against an ExecutionContext so
+that latency accounting and allocation behavior are directly comparable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.hardware.platforms import Platform, intel_cpu
+from repro.runtime.allocator import PoolingAllocator
+from repro.runtime.clock import VirtualClock
+
+
+class ExecutionContext:
+    """``numerics`` selects execution fidelity:
+
+    * ``"full"`` — every kernel computes real values (tests assert numerical
+      equality across executors);
+    * ``"lite"`` — large data-independent kernels skip their NumPy compute
+      (buffers keep their contents); shapes, control flow, scalar kernels,
+      shape functions, allocation and all latency modeling stay exact.
+      Benchmarks use this to run paper-sized models (BERT-base) quickly —
+      virtual latency is identical in both modes.
+    """
+
+    def __init__(
+        self,
+        platform: Optional[Platform] = None,
+        pooling: bool = True,
+        numerics: str = "full",
+    ) -> None:
+        if numerics not in ("full", "lite"):
+            raise ValueError(f"numerics must be 'full' or 'lite', got {numerics!r}")
+        self.platform = platform or intel_cpu()
+        self.numerics = numerics
+        self.clock = VirtualClock()
+        self.allocator = PoolingAllocator(self.platform, self.clock, pooling=pooling)
+
+    def reset_clock(self) -> None:
+        self.clock.reset()
+
+    @property
+    def elapsed_us(self) -> float:
+        return self.clock.elapsed_us

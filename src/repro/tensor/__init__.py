@@ -1,0 +1,24 @@
+"""Tensor runtime substrate: dtypes, devices, device-tagged NDArrays, storage.
+
+This is the layer Nimble's VM manipulates: coarse-grained tensor objects
+that are reference counted, copy-on-write, and pinned to a device.
+"""
+
+from repro.tensor.dtype import DataType, dtype_bytes, to_numpy_dtype
+from repro.tensor.device import Device, DeviceKind, cpu, gpu
+from repro.tensor.ndarray import NDArray, array, empty
+from repro.tensor.storage import Storage
+
+__all__ = [
+    "DataType",
+    "dtype_bytes",
+    "to_numpy_dtype",
+    "Device",
+    "DeviceKind",
+    "cpu",
+    "gpu",
+    "NDArray",
+    "array",
+    "empty",
+    "Storage",
+]

@@ -1,0 +1,63 @@
+"""Data types supported by the tensor runtime.
+
+Dtypes are plain strings in the IR (as in Relay: ``"float32"``), with this
+module providing validation and the mapping to NumPy.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import NimbleError
+
+# The canonical set of dtypes the op registry generates kernels for.
+_DTYPES = {
+    "float32": (np.float32, 4),
+    "float64": (np.float64, 8),
+    "float16": (np.float16, 2),
+    "int64": (np.int64, 8),
+    "int32": (np.int32, 4),
+    "int8": (np.int8, 1),
+    "uint8": (np.uint8, 1),
+    "bool": (np.bool_, 1),
+}
+
+
+class DataType(str):
+    """A validated dtype string (subclass of ``str`` so IR code can treat it
+    as a plain string)."""
+
+    def __new__(cls, value: str) -> "DataType":
+        if value not in _DTYPES:
+            raise NimbleError(f"unsupported dtype: {value!r}")
+        return super().__new__(cls, value)
+
+
+def is_valid_dtype(value: str) -> bool:
+    return value in _DTYPES
+
+
+def to_numpy_dtype(dtype: str) -> np.dtype:
+    """Map an IR dtype string to the NumPy dtype used by kernels."""
+    try:
+        return np.dtype(_DTYPES[dtype][0])
+    except KeyError:
+        raise NimbleError(f"unsupported dtype: {dtype!r}") from None
+
+
+def from_numpy_dtype(dtype: np.dtype) -> str:
+    """Map a NumPy dtype back to the IR dtype string."""
+    name = np.dtype(dtype).name
+    if name == "bool":
+        return "bool"
+    if name not in _DTYPES:
+        raise NimbleError(f"numpy dtype {name!r} has no IR equivalent")
+    return name
+
+
+def dtype_bytes(dtype: str) -> int:
+    """Size in bytes of one element of *dtype*."""
+    try:
+        return _DTYPES[dtype][1]
+    except KeyError:
+        raise NimbleError(f"unsupported dtype: {dtype!r}") from None

@@ -1,0 +1,6 @@
+"""Small shared utilities: union-find, counters, formatting helpers."""
+
+from repro.utils.union_find import UnionFind
+from repro.utils.naming import NameSupply
+
+__all__ = ["UnionFind", "NameSupply"]

@@ -1,0 +1,24 @@
+"""Fresh-name generation for IR variables and kernels."""
+
+from __future__ import annotations
+
+from typing import Dict
+
+
+class NameSupply:
+    """Generates unique names with a shared counter per prefix.
+
+    ``NameSupply()("x")`` returns ``x0``, ``x1``, ... — used by the ANF
+    converter, manifest-allocation pass and the VM compiler so that
+    generated IR stays readable in the pretty printer.
+    """
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, int] = {}
+
+    def fresh(self, prefix: str = "v") -> str:
+        n = self._counters.get(prefix, 0)
+        self._counters[prefix] = n + 1
+        return f"{prefix}{n}"
+
+    __call__ = fresh

@@ -1,0 +1,78 @@
+"""Union-find (disjoint set) used by device placement and type unification.
+
+The paper (section 4.4) formulates heterogeneous device placement as
+unification over ``DeviceDomain``s using ``union(s, t)`` and ``find(s)``;
+this module provides that data structure generically, with union-by-rank
+and path compression. Keys may be any hashable object.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Generic, Hashable, Iterable, Optional, TypeVar
+
+K = TypeVar("K", bound=Hashable)
+
+
+class UnionFind(Generic[K]):
+    """Disjoint-set forest over hashable keys.
+
+    An optional ``on_merge(repr_kept, repr_absorbed)`` callback lets callers
+    merge per-class metadata (e.g. device constraints) when two equivalence
+    classes join.
+    """
+
+    def __init__(self, on_merge: Optional[Callable[[K, K], None]] = None) -> None:
+        self._parent: Dict[K, K] = {}
+        self._rank: Dict[K, int] = {}
+        self._on_merge = on_merge
+
+    def add(self, key: K) -> None:
+        """Register *key* as its own singleton class (no-op if present)."""
+        if key not in self._parent:
+            self._parent[key] = key
+            self._rank[key] = 0
+
+    def __contains__(self, key: K) -> bool:
+        return key in self._parent
+
+    def find(self, key: K) -> K:
+        """Return the representative of *key*'s class, adding it if new."""
+        self.add(key)
+        root = key
+        while self._parent[root] != root:
+            root = self._parent[root]
+        # Path compression.
+        while self._parent[key] != root:
+            self._parent[key], key = root, self._parent[key]
+        return root
+
+    def union(self, a: K, b: K) -> K:
+        """Merge the classes of *a* and *b*; return the surviving representative."""
+        ra, rb = self.find(a), self.find(b)
+        if ra == rb:
+            return ra
+        if self._rank[ra] < self._rank[rb]:
+            ra, rb = rb, ra
+        self._parent[rb] = ra
+        if self._rank[ra] == self._rank[rb]:
+            self._rank[ra] += 1
+        if self._on_merge is not None:
+            self._on_merge(ra, rb)
+        return ra
+
+    def same(self, a: K, b: K) -> bool:
+        """True when *a* and *b* are currently in the same class."""
+        return self.find(a) == self.find(b)
+
+    def classes(self) -> Dict[K, list]:
+        """Group all registered keys by representative."""
+        groups: Dict[K, list] = {}
+        for key in list(self._parent):
+            groups.setdefault(self.find(key), []).append(key)
+        return groups
+
+    def keys(self) -> Iterable[K]:
+        return self._parent.keys()
+
+    def __len__(self) -> int:
+        return len(self._parent)

@@ -1,0 +1,446 @@
+"""IR → bytecode compilation (§5.1).
+
+Consumes a module that has been through the full dynamic pipeline (typing,
+fusion, ANF, manifest allocation, memory planning, device placement) and
+emits :class:`Executable` bytecode:
+
+* kernel invocations (``vm.invoke_mut``) become ``InvokePacked`` over a
+  packed-function table holding :class:`KernelSet`s (compute) and
+  :class:`ShapeFuncKernel`s (shape functions);
+* memory dialect ops become the Alloc* instructions; ``memory.kill``
+  lowers to clobbering the register (the refcount drop releases storage);
+* ``if`` lowers to the register-equality ``If`` + ``Goto``; ``match``
+  lowers to ``GetTag`` + tag tests + ``GetField`` destructuring;
+* recursion through GlobalVars becomes ``Invoke`` on the function table.
+
+Registers are virtual and single-assignment per binding (the "infinite
+register file" of §5.1), which keeps the compiler a single forward walk.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple as PyTuple
+
+from repro.codegen.kernels import KernelCache
+from repro.codegen.schedule import Schedule
+from repro.codegen.tuner import AutoTuner, SymbolicTuner
+from repro.errors import CompilerError
+from repro.hardware.platforms import Platform
+from repro.ir.analysis import structural_hash
+from repro.ir.expr import (
+    Call,
+    Constant,
+    Constructor,
+    Expr,
+    Function,
+    GlobalVar,
+    If as IRIf,
+    Let,
+    Match,
+    Pattern,
+    PatternConstructor,
+    PatternVar,
+    PatternWildcard,
+    Tuple as IRTuple,
+    TupleGetItem,
+    Var,
+)
+from repro.ir.module import IRModule
+from repro.ir.op import Op
+from repro.tensor.ndarray import NDArray
+from repro.vm import instruction as ins
+from repro.vm.executable import Executable, VMFunction
+from repro.vm.objects import ADTObj
+
+
+class CompilerOptions:
+    """Knobs for ablations (Figure 3 and the microbenchmarks)."""
+
+    def __init__(
+        self,
+        tune: bool = False,
+        num_dispatch_kernels: Optional[int] = None,
+        allow_library: bool = True,
+        schedule: Optional[Schedule] = None,
+        tuning_trials: int = 96,
+    ) -> None:
+        self.tune = tune
+        self.num_dispatch_kernels = num_dispatch_kernels
+        self.allow_library = allow_library
+        self.schedule = schedule
+        self.tuning_trials = tuning_trials
+
+
+class _FnCtx:
+    def __init__(self) -> None:
+        self.instructions: List[ins.Instruction] = []
+        self.env: Dict[Var, int] = {}
+        self.reg_count = 0
+        self._unit_reg: Optional[int] = None
+
+    def new_reg(self) -> int:
+        reg = self.reg_count
+        self.reg_count += 1
+        return reg
+
+    def emit(self, instr: ins.Instruction) -> None:
+        self.instructions.append(instr)
+
+    def unit_reg(self) -> int:
+        if self._unit_reg is None:
+            self._unit_reg = self.new_reg()
+            self.emit(ins.LoadConsti(0, self._unit_reg))
+        return self._unit_reg
+
+
+class VMCompiler:
+    def __init__(
+        self,
+        platform: Platform,
+        options: Optional[CompilerOptions] = None,
+        kernel_cache: Optional[KernelCache] = None,
+    ) -> None:
+        self.platform = platform
+        self.options = options or CompilerOptions()
+        self.kernel_cache = kernel_cache or KernelCache()
+        self._constants: List[NDArray] = []
+        self._const_index: Dict[int, int] = {}
+        self._kernels: list = []
+        self._packed_index: Dict[PyTuple[int, str], int] = {}
+        self._schedule_cache: Dict[int, Schedule] = {}
+
+    # ------------------------------------------------------------------ driver
+    def compile(self, mod: IRModule) -> Executable:
+        names = [gv.name_hint for gv, f in mod.functions.items() if not f.is_primitive]
+        func_index = {name: i for i, name in enumerate(names)}
+        functions: List[VMFunction] = []
+        for gv, func in mod.functions.items():
+            if func.is_primitive:
+                continue
+            functions.append(self.compile_function(gv.name_hint, func, func_index))
+        return Executable(
+            platform_name=self.platform.name,
+            functions=functions,
+            func_index=func_index,
+            constants=self._constants,
+            kernels=self._kernels,
+        )
+
+    # ------------------------------------------------------------- per function
+    def compile_function(self, name: str, func: Function, func_index: Dict[str, int]) -> VMFunction:
+        ctx = _FnCtx()
+        self._func_index = func_index
+        for param in func.params:
+            ctx.env[param] = ctx.new_reg()
+        result = self.compile_scope(func.body, ctx)
+        ctx.emit(ins.Ret(result))
+        return VMFunction(name, len(func.params), ctx.instructions, ctx.reg_count)
+
+    # --------------------------------------------------------------------- scopes
+    def compile_scope(self, expr: Expr, ctx: _FnCtx) -> int:
+        node: Expr = expr
+        while isinstance(node, Let):
+            ctx.env[node.var] = self.compile_value(node.var, node.value, ctx)
+            node = node.body
+        return self.compile_atom(node, ctx)
+
+    def compile_atom(self, expr: Expr, ctx: _FnCtx) -> int:
+        if isinstance(expr, Var):
+            try:
+                return ctx.env[expr]
+            except KeyError:
+                raise CompilerError(f"unbound variable %{expr.name_hint} at VM compile") from None
+        if isinstance(expr, Constant):
+            reg = ctx.new_reg()
+            ctx.emit(ins.LoadConst(self.const_index(expr), reg))
+            return reg
+        raise CompilerError(f"expected an atom, got {type(expr).__name__}")
+
+    # --------------------------------------------------------------------- values
+    def compile_value(self, var: Var, value: Expr, ctx: _FnCtx) -> int:
+        if isinstance(value, Var):
+            dst = ctx.new_reg()
+            ctx.emit(ins.Move(ctx.env[value], dst))
+            return dst
+        if isinstance(value, Constant):
+            return self.compile_atom(value, ctx)
+        if isinstance(value, IRTuple):
+            fields = tuple(self.compile_atom(f, ctx) for f in value.fields)
+            dst = ctx.new_reg()
+            ctx.emit(ins.AllocADT(ADTObj.TUPLE_TAG, len(fields), fields, dst))
+            return dst
+        if isinstance(value, TupleGetItem):
+            obj = self.compile_atom(value.tuple_value, ctx)
+            dst = ctx.new_reg()
+            ctx.emit(ins.GetField(obj, value.index, dst))
+            return dst
+        if isinstance(value, IRIf):
+            return self.compile_if(value, ctx)
+        if isinstance(value, Match):
+            return self.compile_match(value, ctx)
+        if isinstance(value, Call):
+            return self.compile_call(value, ctx)
+        if isinstance(value, Function):
+            raise CompilerError(
+                "function literal reached the VM compiler; run LambdaLift first"
+            )
+        raise CompilerError(f"cannot compile value {type(value).__name__}")
+
+    # ----------------------------------------------------------------------- calls
+    def compile_call(self, call: Call, ctx: _FnCtx) -> int:
+        op = call.op
+        if isinstance(op, Op):
+            return self.compile_dialect(call, ctx)
+        if isinstance(op, Constructor):
+            fields = tuple(self.compile_atom(a, ctx) for a in call.args)
+            dst = ctx.new_reg()
+            ctx.emit(ins.AllocADT(op.tag, len(fields), fields, dst))
+            return dst
+        if isinstance(op, GlobalVar):
+            args = tuple(self.compile_atom(a, ctx) for a in call.args)
+            dst = ctx.new_reg()
+            try:
+                index = self._func_index[op.name_hint]
+            except KeyError:
+                raise CompilerError(f"call to unknown function @{op.name_hint}") from None
+            ctx.emit(ins.Invoke(index, args, dst))
+            return dst
+        if isinstance(op, Var):
+            closure = ctx.env[op]
+            args = tuple(self.compile_atom(a, ctx) for a in call.args)
+            dst = ctx.new_reg()
+            ctx.emit(ins.InvokeClosure(closure, args, dst))
+            return dst
+        if isinstance(op, Function):
+            raise CompilerError(
+                "direct primitive call reached the VM compiler; run ManifestAlloc"
+            )
+        raise CompilerError(f"cannot compile call to {type(op).__name__}")
+
+    def compile_dialect(self, call: Call, ctx: _FnCtx) -> int:
+        name = call.op.name  # type: ignore[union-attr]
+        if name == "memory.alloc_storage":
+            size = self.compile_atom(call.args[0], ctx)
+            dst = ctx.new_reg()
+            ctx.emit(
+                ins.AllocStorage(
+                    size,
+                    call.attrs.get("alignment", 64),
+                    call.attrs.get("device", self.platform.host),
+                    dst,
+                )
+            )
+            return dst
+        if name == "memory.alloc_tensor":
+            storage = self.compile_atom(call.args[0], ctx)
+            offset = self.compile_atom(call.args[1], ctx)
+            dtype = call.attrs["ttype"].dtype
+            dst = ctx.new_reg()
+            const_shape = call.attrs.get("const_shape")
+            if const_shape is not None:
+                ctx.emit(
+                    ins.AllocTensor(storage, offset, tuple(int(d) for d in const_shape), dtype, dst)
+                )
+            else:
+                shape_reg = self.compile_atom(call.args[2], ctx)
+                ctx.emit(ins.AllocTensorReg(storage, offset, shape_reg, dtype, dst))
+            return dst
+        if name == "memory.kill":
+            victim = call.args[0]
+            if isinstance(victim, Var) and victim in ctx.env:
+                # Clobber the register: the refcount drop releases storage.
+                ctx.emit(ins.LoadConsti(0, ctx.env[victim]))
+            return ctx.unit_reg()
+        if name == "vm.invoke_mut":
+            return self.compile_invoke_mut(call, ctx)
+        if name == "vm.shape_of":
+            tensor = self.compile_atom(call.args[0], ctx)
+            dst = ctx.new_reg()
+            ctx.emit(ins.ShapeOf(tensor, dst))
+            return dst
+        if name == "device.device_copy":
+            src = self.compile_atom(call.args[0], ctx)
+            dst = ctx.new_reg()
+            ctx.emit(
+                ins.DeviceCopy(src, dst, call.attrs["src_device"], call.attrs["dst_device"])
+            )
+            return dst
+        if name == "vm.alloc_closure":
+            gv = call.args[0]
+            if not isinstance(gv, GlobalVar):
+                raise CompilerError("alloc_closure expects a lifted GlobalVar")
+            captured = tuple(self.compile_atom(a, ctx) for a in call.args[1:])
+            dst = ctx.new_reg()
+            try:
+                index = self._func_index[gv.name_hint]
+            except KeyError:
+                raise CompilerError(f"closure over unknown function @{gv.name_hint}") from None
+            ctx.emit(ins.AllocClosure(index, len(captured), captured, dst))
+            return dst
+        if name == "vm.reshape_tensor":
+            tensor = self.compile_atom(call.args[0], ctx)
+            shape = self.compile_atom(call.args[1], ctx)
+            dst = ctx.new_reg()
+            ctx.emit(ins.ReshapeTensor(tensor, shape, dst))
+            return dst
+        raise CompilerError(f"dialect op {name} not lowerable directly")
+
+    def compile_invoke_mut(self, call: Call, ctx: _FnCtx) -> int:
+        prim, inputs, outputs = call.args
+        if not isinstance(prim, Function) or not isinstance(inputs, IRTuple) or not isinstance(outputs, IRTuple):
+            raise CompilerError("malformed vm.invoke_mut")
+        kind = call.attrs.get("kind", "compute")
+        device = call.attrs.get("device", self.platform.compute)
+        in_regs = tuple(self.compile_atom(a, ctx) for a in inputs.fields)
+        out_regs = tuple(self.compile_atom(a, ctx) for a in outputs.fields)
+        index = self.packed_index(prim, kind, device)
+        ctx.emit(
+            ins.InvokePacked(
+                index,
+                arity=len(in_regs) + len(out_regs),
+                output_size=len(out_regs),
+                args=in_regs + out_regs,
+                device=device,
+                kind=kind,
+            )
+        )
+        return ctx.unit_reg()
+
+    # ------------------------------------------------------------------- control
+    def compile_if(self, iff: IRIf, ctx: _FnCtx) -> int:
+        cond = self.compile_atom(iff.cond, ctx)
+        one = ctx.new_reg()
+        ctx.emit(ins.LoadConsti(1, one))
+        out = ctx.new_reg()
+        if_pos = len(ctx.instructions)
+        ctx.emit(ins.If(cond, one, 0, 0))  # offsets patched below
+        true_result = self.compile_scope(iff.true_branch, ctx)
+        ctx.emit(ins.Move(true_result, out))
+        goto_pos = len(ctx.instructions)
+        ctx.emit(ins.Goto(0))  # patched
+        false_start = len(ctx.instructions)
+        false_result = self.compile_scope(iff.false_branch, ctx)
+        ctx.emit(ins.Move(false_result, out))
+        end = len(ctx.instructions)
+        ctx.instructions[if_pos] = ins.If(cond, one, 1, false_start - if_pos)
+        ctx.instructions[goto_pos] = ins.Goto(end - goto_pos)
+        return out
+
+    def compile_match(self, match: Match, ctx: _FnCtx) -> int:
+        data = self.compile_atom(match.data, ctx)
+        tag = ctx.new_reg()
+        ctx.emit(ins.GetTag(data, tag))
+        out = ctx.new_reg()
+        end_gotos: List[int] = []
+        pending_if: Optional[int] = None
+        for clause in match.clauses:
+            clause_start = len(ctx.instructions)
+            if pending_if is not None:
+                prev = ctx.instructions[pending_if]
+                ctx.instructions[pending_if] = ins.If(
+                    prev.test, prev.target, 1, clause_start - pending_if
+                )
+                pending_if = None
+            pattern = clause.pattern
+            if isinstance(pattern, PatternConstructor):
+                want = ctx.new_reg()
+                ctx.emit(ins.LoadConsti(pattern.constructor.tag, want))
+                pending_if = len(ctx.instructions)
+                ctx.emit(ins.If(tag, want, 0, 0))
+                self.bind_pattern_fields(pattern, data, ctx)
+            elif isinstance(pattern, PatternVar):
+                ctx.env[pattern.var] = data
+            # Wildcard: no test, no binding.
+            result = self.compile_scope(clause.rhs, ctx)
+            ctx.emit(ins.Move(result, out))
+            end_gotos.append(len(ctx.instructions))
+            ctx.emit(ins.Goto(0))
+        tail_start = len(ctx.instructions)
+        if pending_if is not None:
+            prev = ctx.instructions[pending_if]
+            ctx.instructions[pending_if] = ins.If(
+                prev.test, prev.target, 1, tail_start - pending_if
+            )
+        ctx.emit(ins.Fatal("no matching clause"))
+        end = len(ctx.instructions)
+        for pos in end_gotos:
+            ctx.instructions[pos] = ins.Goto(end - pos)
+        return out
+
+    def bind_pattern_fields(self, pattern: PatternConstructor, obj_reg: int, ctx: _FnCtx) -> None:
+        for i, sub in enumerate(pattern.patterns):
+            if isinstance(sub, PatternWildcard):
+                continue
+            field = ctx.new_reg()
+            ctx.emit(ins.GetField(obj_reg, i, field))
+            if isinstance(sub, PatternVar):
+                ctx.env[sub.var] = field
+            elif isinstance(sub, PatternConstructor):
+                # Nested constructor patterns would need their own tag test
+                # sequencing; the dynamic models only use one level.
+                raise CompilerError("nested constructor patterns are not supported")
+
+    # ------------------------------------------------------------------ resources
+    def const_index(self, const: Constant) -> int:
+        key = id(const.value)
+        found = self._const_index.get(key)
+        if found is None:
+            found = len(self._constants)
+            self._constants.append(const.value)
+            self._const_index[key] = found
+        return found
+
+    def packed_index(self, prim: Function, kind: str, device) -> int:
+        key = (structural_hash(prim), kind)
+        found = self._packed_index.get(key)
+        if found is not None:
+            return found
+        if kind == "shape_func":
+            kernel = self.kernel_cache.shape_func(prim, self.platform)
+        else:
+            spec = self.platform.spec_of(device)
+            schedule = self.options.schedule
+            if schedule is None and self.options.tune:
+                schedule = self._tuned_schedule(prim, spec)
+            kernel = self.kernel_cache.kernel(
+                prim,
+                self.platform,
+                spec,
+                schedule=schedule,
+                num_dispatch_kernels=self.options.num_dispatch_kernels,
+                allow_library=self.options.allow_library,
+            )
+        index = len(self._kernels)
+        self._kernels.append(kernel)
+        self._packed_index[key] = index
+        return index
+
+    def _tuned_schedule(self, prim: Function, spec) -> Schedule:
+        from repro.codegen.kernels import is_symbolic_prim
+
+        key = structural_hash(prim)
+        cached = self._schedule_cache.get(key)
+        if cached is not None:
+            return cached
+        try:
+            if is_symbolic_prim(prim):
+                tuner = SymbolicTuner(prim, self.platform, spec, seed=key & 0xFFFF)
+                schedule = tuner.tune(n_trials=self.options.tuning_trials)
+            else:
+                tuner = AutoTuner(prim, self.platform, spec, seed=key & 0xFFFF, symbolic=False)
+                records = tuner.tune(m=0, n_trials=self.options.tuning_trials)
+                schedule = records[0].schedule
+        except Exception:
+            schedule = Schedule()
+        self._schedule_cache[key] = schedule
+        return schedule
+
+
+def compile_module(
+    mod: IRModule,
+    platform: Platform,
+    options: Optional[CompilerOptions] = None,
+    kernel_cache: Optional[KernelCache] = None,
+) -> Executable:
+    """Convenience wrapper used by the top-level ``nimble.compile``."""
+    return VMCompiler(platform, options, kernel_cache).compile(mod)

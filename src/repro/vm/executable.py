@@ -1,0 +1,358 @@
+"""The VM executable: platform-independent bytecode + platform-dependent
+kernels + constant pool (§5, Figure 2).
+
+Bytecode and constants serialize to a compact custom binary format
+(magic + sections, varint-encoded instructions); kernels — which in the
+real system are machine code — serialize as a pickled section carrying
+their fused-function IR and schedules, from which they are re-materialized
+at load time. ``save``/``load`` round-trip is exercised by property tests.
+"""
+
+from __future__ import annotations
+
+import io
+import pickle
+import struct
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.errors import SerializationError, VMError
+from repro.tensor.device import Device, DeviceKind
+from repro.tensor.dtype import to_numpy_dtype
+from repro.tensor.ndarray import NDArray
+from repro.vm import instruction as ins
+
+MAGIC = b"NMBL"
+VERSION = 1
+
+
+@dataclass
+class VMFunction:
+    name: str
+    num_params: int
+    instructions: List[ins.Instruction]
+    register_count: int
+
+
+@dataclass
+class Executable:
+    platform_name: str
+    functions: List[VMFunction]
+    func_index: Dict[str, int]
+    constants: List[NDArray]
+    kernels: list  # KernelSet | ShapeFuncKernel, indexed by InvokePacked
+    entry: str = "main"
+
+    # ------------------------------------------------------------- statistics
+    @property
+    def num_instructions(self) -> int:
+        return sum(len(f.instructions) for f in self.functions)
+
+    def bytecode_size_bytes(self) -> int:
+        return len(self._serialize_bytecode())
+
+    def kernel_code_size_bytes(self) -> int:
+        return sum(getattr(k, "code_size_bytes", 512) for k in self.kernels)
+
+    # ------------------------------------------------------------ serialization
+    def save(self) -> bytes:
+        out = io.BytesIO()
+        out.write(MAGIC)
+        out.write(struct.pack("<H", VERSION))
+        _write_bytes(out, self.platform_name.encode())
+        _write_bytes(out, self._serialize_bytecode())
+        _write_bytes(out, self._serialize_constants())
+        _write_bytes(out, pickle.dumps(self.kernels))
+        _write_bytes(out, self.entry.encode())
+        return out.getvalue()
+
+    @staticmethod
+    def load(blob: bytes) -> "Executable":
+        buf = io.BytesIO(blob)
+        if buf.read(4) != MAGIC:
+            raise SerializationError("bad magic: not a Nimble executable")
+        (version,) = struct.unpack("<H", buf.read(2))
+        if version != VERSION:
+            raise SerializationError(f"unsupported executable version {version}")
+        platform_name = _read_bytes(buf).decode()
+        functions, func_index = _deserialize_bytecode(_read_bytes(buf))
+        constants = _deserialize_constants(_read_bytes(buf))
+        kernels = pickle.loads(_read_bytes(buf))
+        entry = _read_bytes(buf).decode()
+        return Executable(platform_name, functions, func_index, constants, kernels, entry)
+
+    # -- bytecode section -------------------------------------------------------
+    def _serialize_bytecode(self) -> bytes:
+        out = io.BytesIO()
+        _write_varint(out, len(self.functions))
+        for func in self.functions:
+            _write_bytes(out, func.name.encode())
+            _write_varint(out, func.num_params)
+            _write_varint(out, func.register_count)
+            _write_varint(out, len(func.instructions))
+            for instr in func.instructions:
+                _encode_instruction(out, instr)
+        return out.getvalue()
+
+    def _serialize_constants(self) -> bytes:
+        out = io.BytesIO()
+        _write_varint(out, len(self.constants))
+        for const in self.constants:
+            arr = const.numpy()
+            _write_bytes(out, str(const.dtype).encode())
+            _write_varint(out, arr.ndim)
+            for d in arr.shape:
+                _write_varint(out, d)
+            _write_bytes(out, arr.tobytes())
+        return out.getvalue()
+
+
+# ---------------------------------------------------------------------------
+# varint / framing helpers
+# ---------------------------------------------------------------------------
+
+
+def _write_varint(out: io.BytesIO, value: int) -> None:
+    """LEB128 with zigzag so negative jump offsets encode compactly."""
+    encoded = (value << 1) ^ (value >> 63) if value < 0 else value << 1
+    while True:
+        byte = encoded & 0x7F
+        encoded >>= 7
+        if encoded:
+            out.write(bytes((byte | 0x80,)))
+        else:
+            out.write(bytes((byte,)))
+            return
+
+
+def _read_varint(buf: io.BytesIO) -> int:
+    shift = 0
+    result = 0
+    while True:
+        raw = buf.read(1)
+        if not raw:
+            raise SerializationError("truncated varint")
+        byte = raw[0]
+        result |= (byte & 0x7F) << shift
+        if not byte & 0x80:
+            break
+        shift += 7
+    return (result >> 1) ^ -(result & 1)
+
+
+def _write_bytes(out: io.BytesIO, data: bytes) -> None:
+    _write_varint(out, len(data))
+    out.write(data)
+
+
+def _read_bytes(buf: io.BytesIO) -> bytes:
+    length = _read_varint(buf)
+    data = buf.read(length)
+    if len(data) != length:
+        raise SerializationError("truncated section")
+    return data
+
+
+def _write_device(out: io.BytesIO, device: Device) -> None:
+    out.write(bytes((0 if device.kind is DeviceKind.CPU else 1,)))
+    _write_varint(out, device.index)
+
+
+def _read_device(buf: io.BytesIO) -> Device:
+    kind = DeviceKind.CPU if buf.read(1)[0] == 0 else DeviceKind.GPU
+    return Device(kind, _read_varint(buf))
+
+
+# ---------------------------------------------------------------------------
+# instruction encoding
+# ---------------------------------------------------------------------------
+
+
+def _encode_instruction(out: io.BytesIO, instr: ins.Instruction) -> None:
+    out.write(bytes((int(instr.opcode),)))
+    if isinstance(instr, ins.Move):
+        _write_varint(out, instr.src)
+        _write_varint(out, instr.dst)
+    elif isinstance(instr, ins.Ret):
+        _write_varint(out, instr.result)
+    elif isinstance(instr, ins.Invoke):
+        _write_varint(out, instr.func_index)
+        _write_varint(out, len(instr.args))
+        for a in instr.args:
+            _write_varint(out, a)
+        _write_varint(out, instr.dst)
+    elif isinstance(instr, ins.InvokeClosure):
+        _write_varint(out, instr.closure)
+        _write_varint(out, len(instr.args))
+        for a in instr.args:
+            _write_varint(out, a)
+        _write_varint(out, instr.dst)
+    elif isinstance(instr, ins.InvokePacked):
+        _write_varint(out, instr.packed_index)
+        _write_varint(out, instr.arity)
+        _write_varint(out, instr.output_size)
+        for a in instr.args:
+            _write_varint(out, a)
+        _write_device(out, instr.device)
+        _write_bytes(out, instr.kind.encode())
+    elif isinstance(instr, ins.AllocStorage):
+        _write_varint(out, instr.allocation_size)
+        _write_varint(out, instr.alignment)
+        _write_device(out, instr.device)
+        _write_varint(out, instr.dst)
+    elif isinstance(instr, ins.AllocTensor):
+        _write_varint(out, instr.storage)
+        _write_varint(out, instr.offset)
+        _write_varint(out, len(instr.shape))
+        for d in instr.shape:
+            _write_varint(out, d)
+        _write_bytes(out, instr.dtype.encode())
+        _write_varint(out, instr.dst)
+    elif isinstance(instr, ins.AllocTensorReg):
+        _write_varint(out, instr.storage)
+        _write_varint(out, instr.offset)
+        _write_varint(out, instr.shape_register)
+        _write_bytes(out, instr.dtype.encode())
+        _write_varint(out, instr.dst)
+    elif isinstance(instr, ins.AllocADT):
+        _write_varint(out, instr.tag)
+        _write_varint(out, instr.num_fields)
+        for f in instr.fields:
+            _write_varint(out, f)
+        _write_varint(out, instr.dst)
+    elif isinstance(instr, ins.AllocClosure):
+        _write_varint(out, instr.func_index)
+        _write_varint(out, instr.num_captured)
+        for c in instr.captured:
+            _write_varint(out, c)
+        _write_varint(out, instr.dst)
+    elif isinstance(instr, ins.GetField):
+        _write_varint(out, instr.obj)
+        _write_varint(out, instr.field_index)
+        _write_varint(out, instr.dst)
+    elif isinstance(instr, ins.GetTag):
+        _write_varint(out, instr.obj)
+        _write_varint(out, instr.dst)
+    elif isinstance(instr, ins.If):
+        _write_varint(out, instr.test)
+        _write_varint(out, instr.target)
+        _write_varint(out, instr.true_offset)
+        _write_varint(out, instr.false_offset)
+    elif isinstance(instr, ins.Goto):
+        _write_varint(out, instr.pc_offset)
+    elif isinstance(instr, ins.LoadConst):
+        _write_varint(out, instr.const_index)
+        _write_varint(out, instr.dst)
+    elif isinstance(instr, ins.LoadConsti):
+        _write_varint(out, instr.value)
+        _write_varint(out, instr.dst)
+    elif isinstance(instr, ins.DeviceCopy):
+        _write_varint(out, instr.src)
+        _write_varint(out, instr.dst)
+        _write_device(out, instr.src_device)
+        _write_device(out, instr.dst_device)
+    elif isinstance(instr, ins.ShapeOf):
+        _write_varint(out, instr.tensor)
+        _write_varint(out, instr.dst)
+    elif isinstance(instr, ins.ReshapeTensor):
+        _write_varint(out, instr.tensor)
+        _write_varint(out, instr.newshape)
+        _write_varint(out, instr.dst)
+    elif isinstance(instr, ins.Fatal):
+        _write_bytes(out, instr.message.encode())
+    else:
+        raise SerializationError(f"cannot encode {type(instr).__name__}")
+
+
+def _decode_instruction(buf: io.BytesIO) -> ins.Instruction:
+    opcode = ins.Opcode(buf.read(1)[0])
+    rv = lambda: _read_varint(buf)
+    if opcode == ins.Opcode.MOVE:
+        return ins.Move(rv(), rv())
+    if opcode == ins.Opcode.RET:
+        return ins.Ret(rv())
+    if opcode == ins.Opcode.INVOKE:
+        func_index = rv()
+        args = tuple(rv() for _ in range(rv()))
+        return ins.Invoke(func_index, args, rv())
+    if opcode == ins.Opcode.INVOKE_CLOSURE:
+        closure = rv()
+        args = tuple(rv() for _ in range(rv()))
+        return ins.InvokeClosure(closure, args, rv())
+    if opcode == ins.Opcode.INVOKE_PACKED:
+        packed_index, arity, output_size = rv(), rv(), rv()
+        args = tuple(rv() for _ in range(arity))
+        device = _read_device(buf)
+        kind = _read_bytes(buf).decode()
+        return ins.InvokePacked(packed_index, arity, output_size, args, device, kind)
+    if opcode == ins.Opcode.ALLOC_STORAGE:
+        return ins.AllocStorage(rv(), rv(), _read_device(buf), rv())
+    if opcode == ins.Opcode.ALLOC_TENSOR:
+        storage, offset = rv(), rv()
+        shape = tuple(rv() for _ in range(rv()))
+        dtype = _read_bytes(buf).decode()
+        return ins.AllocTensor(storage, offset, shape, dtype, rv())
+    if opcode == ins.Opcode.ALLOC_TENSOR_REG:
+        storage, offset, shape_register = rv(), rv(), rv()
+        dtype = _read_bytes(buf).decode()
+        return ins.AllocTensorReg(storage, offset, shape_register, dtype, rv())
+    if opcode == ins.Opcode.ALLOC_ADT:
+        tag, num_fields = rv(), rv()
+        fields = tuple(rv() for _ in range(num_fields))
+        return ins.AllocADT(tag, num_fields, fields, rv())
+    if opcode == ins.Opcode.ALLOC_CLOSURE:
+        func_index, num_captured = rv(), rv()
+        captured = tuple(rv() for _ in range(num_captured))
+        return ins.AllocClosure(func_index, num_captured, captured, rv())
+    if opcode == ins.Opcode.GET_FIELD:
+        return ins.GetField(rv(), rv(), rv())
+    if opcode == ins.Opcode.GET_TAG:
+        return ins.GetTag(rv(), rv())
+    if opcode == ins.Opcode.IF:
+        return ins.If(rv(), rv(), rv(), rv())
+    if opcode == ins.Opcode.GOTO:
+        return ins.Goto(rv())
+    if opcode == ins.Opcode.LOAD_CONST:
+        return ins.LoadConst(rv(), rv())
+    if opcode == ins.Opcode.LOAD_CONSTI:
+        return ins.LoadConsti(rv(), rv())
+    if opcode == ins.Opcode.DEVICE_COPY:
+        src, dst = rv(), rv()
+        return ins.DeviceCopy(src, dst, _read_device(buf), _read_device(buf))
+    if opcode == ins.Opcode.SHAPE_OF:
+        return ins.ShapeOf(rv(), rv())
+    if opcode == ins.Opcode.RESHAPE_TENSOR:
+        return ins.ReshapeTensor(rv(), rv(), rv())
+    if opcode == ins.Opcode.FATAL:
+        return ins.Fatal(_read_bytes(buf).decode())
+    raise SerializationError(f"cannot decode opcode {opcode}")
+
+
+def _deserialize_bytecode(blob: bytes) -> Tuple[List[VMFunction], Dict[str, int]]:
+    buf = io.BytesIO(blob)
+    functions: List[VMFunction] = []
+    index: Dict[str, int] = {}
+    for _ in range(_read_varint(buf)):
+        name = _read_bytes(buf).decode()
+        num_params = _read_varint(buf)
+        register_count = _read_varint(buf)
+        count = _read_varint(buf)
+        instructions = [_decode_instruction(buf) for _ in range(count)]
+        index[name] = len(functions)
+        functions.append(VMFunction(name, num_params, instructions, register_count))
+    return functions, index
+
+
+def _deserialize_constants(blob: bytes) -> List[NDArray]:
+    buf = io.BytesIO(blob)
+    out: List[NDArray] = []
+    for _ in range(_read_varint(buf)):
+        dtype = _read_bytes(buf).decode()
+        ndim = _read_varint(buf)
+        shape = tuple(_read_varint(buf) for _ in range(ndim))
+        raw = _read_bytes(buf)
+        arr = np.frombuffer(raw, dtype=to_numpy_dtype(dtype)).reshape(shape).copy()
+        out.append(NDArray(arr))
+    return out

@@ -1,0 +1,251 @@
+"""The VM instruction set — the 20 opcodes of Appendix A, Table A.1.
+
+CISC-style, register-based: each instruction corresponds to a primitive IR
+expression on tensors (allocation, kernel invocation, control flow), so
+the dispatch loop executes very few instructions relative to kernel work
+(§5.1). Registers are virtual and unbounded; instructions are variable
+length (shape operands are inline).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Tuple
+
+from repro.tensor.device import Device
+
+
+class Opcode(enum.IntEnum):
+    MOVE = 0
+    RET = 1
+    INVOKE = 2
+    INVOKE_CLOSURE = 3
+    INVOKE_PACKED = 4
+    ALLOC_STORAGE = 5
+    ALLOC_TENSOR = 6
+    ALLOC_TENSOR_REG = 7
+    ALLOC_ADT = 8
+    ALLOC_CLOSURE = 9
+    GET_FIELD = 10
+    GET_TAG = 11
+    IF = 12
+    GOTO = 13
+    LOAD_CONST = 14
+    LOAD_CONSTI = 15
+    DEVICE_COPY = 16
+    SHAPE_OF = 17
+    RESHAPE_TENSOR = 18
+    FATAL = 19
+
+
+@dataclass(frozen=True)
+class Instruction:
+    opcode = None  # overridden per class
+
+
+@dataclass(frozen=True)
+class Move(Instruction):
+    """Moves data from one register to another (refcounted, cheap)."""
+
+    src: int
+    dst: int
+    opcode = Opcode.MOVE
+
+
+@dataclass(frozen=True)
+class Ret(Instruction):
+    """Returns the object in `result` to the caller's register."""
+
+    result: int
+    opcode = Opcode.RET
+
+
+@dataclass(frozen=True)
+class Invoke(Instruction):
+    """Invokes a global VM function."""
+
+    func_index: int
+    args: Tuple[int, ...]
+    dst: int
+    opcode = Opcode.INVOKE
+
+
+@dataclass(frozen=True)
+class InvokeClosure(Instruction):
+    """Invokes a closure (captured registers are appended to the args)."""
+
+    closure: int
+    args: Tuple[int, ...]
+    dst: int
+    opcode = Opcode.INVOKE_CLOSURE
+
+
+@dataclass(frozen=True)
+class InvokePacked(Instruction):
+    """Invokes an optimized operator kernel (or compiled shape function).
+
+    ``args`` holds input registers followed by output registers (in-out
+    calling convention of ``invoke_mut``); ``kind`` distinguishes compute
+    kernels from shape functions / host scalar kernels for placement and
+    profiling (Table 4's kernel-vs-others split).
+    """
+
+    packed_index: int
+    arity: int
+    output_size: int
+    args: Tuple[int, ...]
+    device: Device
+    kind: str = "compute"
+    opcode = Opcode.INVOKE_PACKED
+
+
+@dataclass(frozen=True)
+class AllocStorage(Instruction):
+    """Allocates a storage block on a device; size read from a register."""
+
+    allocation_size: int  # register holding an int64 scalar
+    alignment: int
+    device: Device
+    dst: int
+    opcode = Opcode.ALLOC_STORAGE
+
+
+@dataclass(frozen=True)
+class AllocTensor(Instruction):
+    """Allocates a tensor with a static shape from a storage block."""
+
+    storage: int
+    offset: int  # register holding an int64 scalar
+    shape: Tuple[int, ...]
+    dtype: str
+    dst: int
+    opcode = Opcode.ALLOC_TENSOR
+
+
+@dataclass(frozen=True)
+class AllocTensorReg(Instruction):
+    """Allocates a tensor whose shape is read from a register at runtime."""
+
+    storage: int
+    offset: int
+    shape_register: int
+    dtype: str
+    dst: int
+    opcode = Opcode.ALLOC_TENSOR_REG
+
+
+@dataclass(frozen=True)
+class AllocADT(Instruction):
+    """Allocates an algebraic data type object (tuples use tag 0)."""
+
+    tag: int
+    num_fields: int
+    fields: Tuple[int, ...]
+    dst: int
+    opcode = Opcode.ALLOC_ADT
+
+
+@dataclass(frozen=True)
+class AllocClosure(Instruction):
+    """Allocates a closure over a lowered VM function."""
+
+    func_index: int
+    num_captured: int
+    captured: Tuple[int, ...]
+    dst: int
+    opcode = Opcode.ALLOC_CLOSURE
+
+
+@dataclass(frozen=True)
+class GetField(Instruction):
+    """Gets the value at an index from an ADT/tuple object."""
+
+    obj: int
+    field_index: int
+    dst: int
+    opcode = Opcode.GET_FIELD
+
+
+@dataclass(frozen=True)
+class GetTag(Instruction):
+    """Gets the constructor tag of an ADT object."""
+
+    obj: int
+    dst: int
+    opcode = Opcode.GET_TAG
+
+
+@dataclass(frozen=True)
+class If(Instruction):
+    """Jumps to true/false offset depending on `test == target`."""
+
+    test: int
+    target: int
+    true_offset: int
+    false_offset: int
+    opcode = Opcode.IF
+
+
+@dataclass(frozen=True)
+class Goto(Instruction):
+    """Unconditionally jumps by a pc offset."""
+
+    pc_offset: int
+    opcode = Opcode.GOTO
+
+
+@dataclass(frozen=True)
+class LoadConst(Instruction):
+    """Loads a constant from the executable's constant pool."""
+
+    const_index: int
+    dst: int
+    opcode = Opcode.LOAD_CONST
+
+
+@dataclass(frozen=True)
+class LoadConsti(Instruction):
+    """Loads an immediate integer."""
+
+    value: int
+    dst: int
+    opcode = Opcode.LOAD_CONSTI
+
+
+@dataclass(frozen=True)
+class DeviceCopy(Instruction):
+    """Copies a tensor between devices."""
+
+    src: int
+    dst: int
+    src_device: Device
+    dst_device: Device
+    opcode = Opcode.DEVICE_COPY
+
+
+@dataclass(frozen=True)
+class ShapeOf(Instruction):
+    """Retrieves the shape of a tensor as an int64 vector."""
+
+    tensor: int
+    dst: int
+    opcode = Opcode.SHAPE_OF
+
+
+@dataclass(frozen=True)
+class ReshapeTensor(Instruction):
+    """Assigns a new shape to a tensor without altering its data."""
+
+    tensor: int
+    newshape: int  # register holding the shape vector
+    dst: int
+    opcode = Opcode.RESHAPE_TENSOR
+
+
+@dataclass(frozen=True)
+class Fatal(Instruction):
+    """Raises a fatal error in the VM."""
+
+    message: str = "fatal"
+    opcode = Opcode.FATAL

@@ -1,0 +1,336 @@
+"""The VM interpreter: a dispatch loop over coarse-grained instructions
+(§5.2), with an explicit frame stack (recursion depth is bounded by the
+model, not Python), reference-counted registers, and virtual-clock timing.
+
+Execution is *numerically real* (kernels run NumPy) and *temporally
+modeled* (the clock advances by the cost model): every run returns correct
+tensors plus deterministic latency.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.errors import VMError
+from repro.hardware.platforms import Platform, platform_by_name
+from repro.runtime.context import ExecutionContext
+from repro.tensor.device import Device
+from repro.tensor.ndarray import NDArray
+from repro.vm import instruction as ins
+from repro.vm.executable import Executable, VMFunction
+from repro.vm.objects import (
+    ADTObj,
+    ClosureObj,
+    RegisterValue,
+    StorageObj,
+    TensorObj,
+    VMObject,
+    as_tensor,
+    release_value,
+    retain_value,
+    scalar_of,
+)
+from repro.vm.profiler import VMProfile
+
+
+class _Frame:
+    __slots__ = ("func", "registers", "pc", "caller_dst")
+
+    def __init__(self, func: VMFunction, caller_dst: Optional[int]) -> None:
+        self.func = func
+        self.registers: List[RegisterValue] = [None] * func.register_count
+        self.pc = 0
+        self.caller_dst = caller_dst
+
+
+class VirtualMachine:
+    def __init__(self, executable: Executable, ctx: Optional[ExecutionContext] = None) -> None:
+        self.exe = executable
+        self.ctx = ctx or ExecutionContext(platform_by_name(executable.platform_name))
+        if self.ctx.platform.name != executable.platform_name:
+            raise VMError(
+                f"executable built for {executable.platform_name!r} cannot run on "
+                f"{self.ctx.platform.name!r}"
+            )
+        self.profile = VMProfile()
+        self._instr_us = self.ctx.platform.vm_instruction_us
+
+    # ------------------------------------------------------------------ public
+    def run(self, *inputs, entry: Optional[str] = None):
+        """Invoke the entry function; returns NDArray / nested tuples."""
+        name = entry or self.exe.entry
+        try:
+            index = self.exe.func_index[name]
+        except KeyError:
+            raise VMError(f"executable has no function {name!r}") from None
+        func = self.exe.functions[index]
+        if len(inputs) != func.num_params:
+            raise VMError(
+                f"{name} expects {func.num_params} inputs, got {len(inputs)}"
+            )
+        frame = _Frame(func, caller_dst=None)
+        for i, value in enumerate(inputs):
+            frame.registers[i] = self._wrap_input(value)
+        result = self._dispatch_loop(frame)
+        self.ctx.clock.sync_all()
+        unwrapped = self._unwrap(result)
+        # The unwrap copied the data out; drop the VM's last reference so
+        # the result buffer returns to the allocator pool.
+        release_value(result)
+        return unwrapped
+
+    def run_with_latency(self, *inputs, entry: Optional[str] = None):
+        """(result, latency_us) for one inference with a fresh clock."""
+        start = self.ctx.clock.elapsed_us
+        result = self.run(*inputs, entry=entry)
+        return result, self.ctx.clock.elapsed_us - start
+
+    # ------------------------------------------------------------ dispatch loop
+    def _dispatch_loop(self, root: _Frame) -> RegisterValue:
+        stack: List[_Frame] = [root]
+        final: RegisterValue = None
+        clock = self.ctx.clock
+        while stack:
+            frame = stack[-1]
+            if frame.pc >= len(frame.func.instructions):
+                raise VMError(f"fell off the end of {frame.func.name}")
+            instr = frame.func.instructions[frame.pc]
+            opcode = instr.opcode
+            self.profile.record_instruction(opcode.name, self._instr_us)
+            clock.host_advance(self._instr_us)
+            regs = frame.registers
+
+            if opcode == ins.Opcode.MOVE:
+                self._set(regs, instr.dst, retain_value(regs[instr.src]))
+            elif opcode == ins.Opcode.RET:
+                result = regs[instr.result]
+                if isinstance(result, VMObject):
+                    result.retain()
+                self._release_frame(frame)
+                stack.pop()
+                if stack:
+                    caller = stack[-1]
+                    self._set(caller.registers, frame.caller_dst, result)
+                else:
+                    final = result
+                continue
+            elif opcode == ins.Opcode.INVOKE:
+                callee = self.exe.functions[instr.func_index]
+                new_frame = _Frame(callee, caller_dst=instr.dst)
+                for i, arg in enumerate(instr.args):
+                    new_frame.registers[i] = retain_value(regs[arg])
+                frame.pc += 1
+                stack.append(new_frame)
+                continue
+            elif opcode == ins.Opcode.INVOKE_CLOSURE:
+                closure = regs[instr.closure]
+                if not isinstance(closure, ClosureObj):
+                    raise VMError("InvokeClosure on a non-closure object")
+                callee = self.exe.functions[closure.func_index]
+                new_frame = _Frame(callee, caller_dst=instr.dst)
+                pos = 0
+                for arg in instr.args:
+                    new_frame.registers[pos] = retain_value(regs[arg])
+                    pos += 1
+                for captured in closure.captured:
+                    new_frame.registers[pos] = retain_value(captured)
+                    pos += 1
+                frame.pc += 1
+                stack.append(new_frame)
+                continue
+            elif opcode == ins.Opcode.INVOKE_PACKED:
+                self._invoke_packed(instr, regs)
+            elif opcode == ins.Opcode.ALLOC_STORAGE:
+                nbytes = self._read_scalar(regs[instr.allocation_size])
+                storage = self.ctx.allocator.alloc(nbytes, instr.alignment, instr.device)
+                self.profile.alloc_time_us = self.ctx.allocator.stats.alloc_time_us
+                self._set(regs, instr.dst, StorageObj(storage, on_free=self.ctx.allocator.free))
+            elif opcode == ins.Opcode.ALLOC_TENSOR:
+                self._alloc_tensor(regs, instr.storage, instr.offset, instr.shape, instr.dtype, instr.dst)
+            elif opcode == ins.Opcode.ALLOC_TENSOR_REG:
+                shape_obj = as_tensor(regs[instr.shape_register], "AllocTensorReg shape")
+                shape = tuple(int(d) for d in shape_obj.data)
+                self._alloc_tensor(regs, instr.storage, instr.offset, shape, instr.dtype, instr.dst)
+            elif opcode == ins.Opcode.ALLOC_ADT:
+                fields = [regs[r] for r in instr.fields]
+                self._set(regs, instr.dst, ADTObj(instr.tag, fields))
+            elif opcode == ins.Opcode.ALLOC_CLOSURE:
+                captured = [regs[r] for r in instr.captured]
+                self._set(regs, instr.dst, ClosureObj(instr.func_index, captured))
+            elif opcode == ins.Opcode.GET_FIELD:
+                obj = regs[instr.obj]
+                if not isinstance(obj, ADTObj):
+                    raise VMError("GetField on a non-ADT object")
+                if not 0 <= instr.field_index < len(obj.fields):
+                    raise VMError(
+                        f"GetField index {instr.field_index} out of range "
+                        f"({len(obj.fields)} fields)"
+                    )
+                self._set(regs, instr.dst, retain_value(obj.fields[instr.field_index]))
+            elif opcode == ins.Opcode.GET_TAG:
+                obj = regs[instr.obj]
+                if not isinstance(obj, ADTObj):
+                    raise VMError("GetTag on a non-ADT object")
+                self._set(regs, instr.dst, obj.tag)
+            elif opcode == ins.Opcode.IF:
+                test = self._read_scalar(regs[instr.test])
+                target = self._read_scalar(regs[instr.target])
+                frame.pc += instr.true_offset if test == target else instr.false_offset
+                continue
+            elif opcode == ins.Opcode.GOTO:
+                frame.pc += instr.pc_offset
+                continue
+            elif opcode == ins.Opcode.LOAD_CONST:
+                arr = self.exe.constants[instr.const_index]
+                self._set(regs, instr.dst, TensorObj(arr))
+            elif opcode == ins.Opcode.LOAD_CONSTI:
+                self._set(regs, instr.dst, instr.value)
+            elif opcode == ins.Opcode.DEVICE_COPY:
+                self._device_copy(instr, regs)
+            elif opcode == ins.Opcode.SHAPE_OF:
+                tensor = as_tensor(regs[instr.tensor], "ShapeOf")
+                shape = np.asarray(tensor.shape, dtype=np.int64)
+                self._set(regs, instr.dst, TensorObj(NDArray(shape, self.ctx.platform.host)))
+            elif opcode == ins.Opcode.RESHAPE_TENSOR:
+                tensor = as_tensor(regs[instr.tensor], "ReshapeTensor data")
+                shape_obj = as_tensor(regs[instr.newshape], "ReshapeTensor shape")
+                newshape = tuple(int(d) for d in shape_obj.data)
+                reshaped = TensorObj(tensor.array.reshape(newshape), tensor.storage_obj)
+                self._set(regs, instr.dst, reshaped)
+            elif opcode == ins.Opcode.FATAL:
+                raise VMError(f"VM fatal: {instr.message}")
+            else:  # pragma: no cover - exhaustive
+                raise VMError(f"unknown opcode {opcode}")
+            frame.pc += 1
+        return final
+
+    # --------------------------------------------------------------- helpers
+    def _set(self, regs: List[RegisterValue], dst: Optional[int], value: RegisterValue) -> None:
+        if dst is None:
+            release_value(value)
+            return
+        release_value(regs[dst])
+        regs[dst] = value
+
+    def _release_frame(self, frame: _Frame) -> None:
+        for value in frame.registers:
+            release_value(value)
+
+    def _wrap_input(self, value) -> RegisterValue:
+        if isinstance(value, TensorObj):
+            return value
+        if isinstance(value, ADTObj):
+            return value
+        if isinstance(value, NDArray):
+            return TensorObj(value)
+        if isinstance(value, np.ndarray):
+            return TensorObj(NDArray(value, self.ctx.platform.compute))
+        if isinstance(value, (int, float, bool, np.generic)):
+            return TensorObj(NDArray(np.asarray(value)))
+        raise VMError(f"cannot pass {type(value).__name__} to the VM")
+
+    def _unwrap(self, value: RegisterValue):
+        if isinstance(value, TensorObj):
+            return NDArray(value.data.copy(), value.device)
+        if isinstance(value, ADTObj):
+            return tuple(self._unwrap(f) for f in value.fields)
+        if isinstance(value, int):
+            return value
+        return value
+
+    def _read_scalar(self, value: RegisterValue) -> int:
+        if isinstance(value, TensorObj) and value.device.is_gpu:
+            # Host reads of device values synchronize the queue.
+            self.ctx.clock.sync(value.device)
+        return scalar_of(value)
+
+    def _alloc_tensor(self, regs, storage_reg: int, offset_reg: int, shape, dtype: str, dst: int) -> None:
+        storage_obj = regs[storage_reg]
+        if not isinstance(storage_obj, StorageObj):
+            raise VMError("AllocTensor on a non-storage object")
+        offset = self._read_scalar(regs[offset_reg])
+        array = NDArray.from_storage(storage_obj.storage, offset, shape, dtype)
+        self._set(regs, dst, TensorObj(array, storage_obj))
+
+    def _device_copy(self, instr: ins.DeviceCopy, regs) -> None:
+        tensor = as_tensor(regs[instr.src], "DeviceCopy")
+        clock = self.ctx.clock
+        spec = None
+        if instr.src_device.is_gpu or instr.dst_device.is_gpu:
+            gpu_dev = instr.src_device if instr.src_device.is_gpu else instr.dst_device
+            spec = self.ctx.platform.spec_of(gpu_dev)
+        if instr.src_device.is_gpu:
+            clock.sync(instr.src_device)
+        if spec is not None:
+            cost = spec.copy_latency_us + tensor.array.nbytes / (spec.copy_bw_gbps * 1e3)
+        else:
+            host = self.ctx.platform.host_spec
+            cost = tensor.array.nbytes / (host.dram_bw_gbps * 1e3)
+        clock.host_advance(cost)
+        self.profile.copy_time_us += cost
+        copied = TensorObj(tensor.array.to_device(instr.dst_device))
+        self._set(regs, instr.dst, copied)
+
+    def _invoke_packed(self, instr: ins.InvokePacked, regs) -> None:
+        kernel = self.exe.kernels[instr.packed_index]
+        num_inputs = instr.arity - instr.output_size
+        in_objs = [as_tensor(regs[r], "kernel input") for r in instr.args[:num_inputs]]
+        out_objs = [as_tensor(regs[r], "kernel output") for r in instr.args[num_inputs:]]
+        clock = self.ctx.clock
+
+        if instr.kind == "shape_func":
+            info = kernel.info
+            if info.mode.value == "data_dependent":
+                in_shapes = [t.shape for t in in_objs]
+                in_values = [t.data for t in in_objs]
+            else:
+                # Inputs are shape vectors produced by ShapeOf.
+                in_shapes = [tuple(int(d) for d in t.data) for t in in_objs]
+                in_values = None
+            cost = kernel.cost_us(in_values)
+            clock.host_advance(cost)
+            self.profile.record_shape_func(cost)
+            results = kernel.run(in_shapes, in_values)
+            for out, result in zip(out_objs, results):
+                np.copyto(out.data, result)
+            return
+
+        in_shapes = [t.shape for t in in_objs]
+        invocation = kernel.invoke_cost(in_shapes)
+        device = instr.device
+        spec = self.ctx.platform.spec_of(device)
+        if device.is_gpu:
+            clock.launch_async(device, invocation.duration_us, spec.host_launch_us)
+        else:
+            clock.run_sync(invocation.duration_us)
+        if instr.kind == "host_scalar":
+            self.profile.host_scalar_time_us += invocation.duration_us
+        else:
+            self.profile.record_kernel(invocation.duration_us, invocation.impl)
+
+        # Lite numerics: large, data-independent compute kernels skip the
+        # NumPy execution — output buffers already have the right shapes
+        # (allocated through shape functions) and latency was modeled above.
+        if (
+            self.ctx.numerics == "lite"
+            and instr.kind == "compute"
+            and invocation.flops > 1e4
+            and not kernel.info.is_dynamic
+        ):
+            return
+
+        results = kernel.run([t.data for t in in_objs])
+        if len(results) != len(out_objs):
+            raise VMError(
+                f"kernel {getattr(kernel, 'name', '?')} produced {len(results)} "
+                f"outputs for {len(out_objs)} buffers"
+            )
+        for out, result in zip(out_objs, results):
+            if out.data.shape != result.shape:
+                raise VMError(
+                    f"kernel output shape {result.shape} does not fit buffer "
+                    f"{out.data.shape}"
+                )
+            np.copyto(out.data, result)

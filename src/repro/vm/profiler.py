@@ -1,0 +1,70 @@
+"""VM profiling: the kernel-vs-others breakdown of Table 4.
+
+``kernel_time_us`` accumulates modeled kernel durations (device busy
+time); everything else — instruction dispatch, shape functions, memory
+allocation, data movement — is "other instructions". On a GPU platform
+the host-side "others" overlap with asynchronous kernel execution, so the
+end-to-end overhead they contribute is ``elapsed - kernel_busy``, which
+§6.3 observes to be negligible there.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from dataclasses import dataclass, field
+from typing import Dict
+
+
+@dataclass
+class VMProfile:
+    instruction_counts: Counter = field(default_factory=Counter)
+    kernel_time_us: float = 0.0
+    kernel_invocations: int = 0
+    shape_func_time_us: float = 0.0
+    shape_func_invocations: int = 0
+    host_scalar_time_us: float = 0.0
+    alloc_time_us: float = 0.0
+    copy_time_us: float = 0.0
+    dispatch_time_us: float = 0.0
+    impl_counts: Counter = field(default_factory=Counter)
+
+    def record_instruction(self, opcode_name: str, dispatch_us: float) -> None:
+        self.instruction_counts[opcode_name] += 1
+        self.dispatch_time_us += dispatch_us
+
+    def record_kernel(self, duration_us: float, impl: str) -> None:
+        self.kernel_time_us += duration_us
+        self.kernel_invocations += 1
+        self.impl_counts[impl] += 1
+
+    def record_shape_func(self, duration_us: float) -> None:
+        self.shape_func_time_us += duration_us
+        self.shape_func_invocations += 1
+
+    def others_us(self, elapsed_us: float) -> float:
+        """Latency not attributable to compute kernels (Table 4 'others')."""
+        return max(0.0, elapsed_us - self.kernel_time_us)
+
+    def merge(self, other: "VMProfile") -> None:
+        self.instruction_counts.update(other.instruction_counts)
+        self.kernel_time_us += other.kernel_time_us
+        self.kernel_invocations += other.kernel_invocations
+        self.shape_func_time_us += other.shape_func_time_us
+        self.shape_func_invocations += other.shape_func_invocations
+        self.host_scalar_time_us += other.host_scalar_time_us
+        self.alloc_time_us += other.alloc_time_us
+        self.copy_time_us += other.copy_time_us
+        self.dispatch_time_us += other.dispatch_time_us
+        self.impl_counts.update(other.impl_counts)
+
+    def reset(self) -> None:
+        self.instruction_counts.clear()
+        self.impl_counts.clear()
+        self.kernel_time_us = 0.0
+        self.kernel_invocations = 0
+        self.shape_func_time_us = 0.0
+        self.shape_func_invocations = 0
+        self.host_scalar_time_us = 0.0
+        self.alloc_time_us = 0.0
+        self.copy_time_us = 0.0
+        self.dispatch_time_us = 0.0

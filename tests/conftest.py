@@ -1,0 +1,31 @@
+"""Shared fixtures for the test suite."""
+
+import numpy as np
+import pytest
+
+from repro.hardware import arm_cpu, intel_cpu, nvidia_gpu
+
+
+@pytest.fixture
+def rng():
+    return np.random.RandomState(0)
+
+
+@pytest.fixture(params=["intel", "nvidia", "arm"])
+def any_platform(request):
+    return {"intel": intel_cpu, "nvidia": nvidia_gpu, "arm": arm_cpu}[request.param]()
+
+
+@pytest.fixture
+def intel():
+    return intel_cpu()
+
+
+@pytest.fixture
+def nvidia():
+    return nvidia_gpu()
+
+
+@pytest.fixture
+def arm():
+    return arm_cpu()

@@ -1,0 +1,195 @@
+"""Baseline frameworks, the static graph runtime, clock, allocator."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import EagerFramework, FoldFramework, GraphFramework, HybridFramework
+from repro.baselines.base import OpExecutor
+from repro.baselines.graph_framework import Graph, GraphExecutor
+from repro.data import embedding_table, sst_like_trees
+from repro.errors import CompilerError
+from repro.hardware import arm_cpu, intel_cpu, nvidia_gpu
+from repro.models.bert import BertConfig, BertWeights, bert_reference
+from repro.models.lstm import LSTMWeights, lstm_reference
+from repro.models.tree_lstm import TreeLSTMWeights, tree_lstm_reference
+from repro.runtime.clock import VirtualClock
+from repro.runtime.context import ExecutionContext
+from repro.runtime.graph_runtime import GraphRuntime
+from repro.tensor.device import gpu
+
+
+class TestVirtualClock:
+    def test_sync_execution(self):
+        clock = VirtualClock()
+        clock.run_sync(10.0)
+        assert clock.elapsed_us == 10.0
+
+    def test_async_overlap(self):
+        clock = VirtualClock()
+        dev = gpu(0)
+        clock.launch_async(dev, 100.0, enqueue_us=1.0)
+        clock.host_advance(50.0)  # overlapped host work
+        assert clock.host_us == 51.0
+        assert clock.elapsed_us == 101.0  # device finishes at 1 + 100
+
+    def test_sync_waits_for_queue(self):
+        clock = VirtualClock()
+        dev = gpu(0)
+        clock.launch_async(dev, 100.0, enqueue_us=1.0)
+        clock.sync(dev)
+        assert clock.host_us == 101.0
+
+    def test_queue_serializes_kernels(self):
+        clock = VirtualClock()
+        dev = gpu(0)
+        clock.launch_async(dev, 10.0, 1.0)
+        clock.launch_async(dev, 10.0, 1.0)
+        assert clock.elapsed_us == pytest.approx(21.0)
+
+
+class TestAllocator:
+    def test_pool_hit_cheaper_than_fresh(self):
+        from repro.hardware import calibration
+
+        ctx = ExecutionContext(intel_cpu())
+        alloc = ctx.allocator
+        s = alloc.alloc(1000, 64, intel_cpu().host)
+        alloc.free(s)
+        s2 = alloc.alloc(900, 64, intel_cpu().host)  # same size class
+        assert alloc.stats.pooled_allocs == 1
+        assert alloc.stats.fresh_allocs == 1
+
+    def test_no_pooling_mode(self):
+        ctx = ExecutionContext(intel_cpu(), pooling=False)
+        s = ctx.allocator.alloc(128, 64, intel_cpu().host)
+        ctx.allocator.free(s)
+        ctx.allocator.alloc(128, 64, intel_cpu().host)
+        assert ctx.allocator.stats.pooled_allocs == 0
+        assert ctx.allocator.stats.fresh_allocs == 2
+
+    def test_peak_tracking(self):
+        ctx = ExecutionContext(intel_cpu())
+        a = ctx.allocator.alloc(1024, 64, intel_cpu().host)
+        b = ctx.allocator.alloc(1024, 64, intel_cpu().host)
+        ctx.allocator.free(a)
+        ctx.allocator.alloc(512, 64, intel_cpu().host)
+        assert ctx.allocator.stats.peak_bytes == 2048
+
+    def test_double_free_ignored(self):
+        ctx = ExecutionContext(intel_cpu())
+        s = ctx.allocator.alloc(64, 64, intel_cpu().host)
+        ctx.allocator.free(s)
+        ctx.allocator.free(s)
+        assert ctx.allocator.stats.frees == 1
+
+
+class TestGraphRuntime:
+    def test_static_bert_matches_reference(self):
+        from repro.models.bert import build_bert_static_module
+
+        cfg = BertConfig(hidden=16, num_layers=1, num_heads=2, ffn=32)
+        w = BertWeights.create(cfg)
+        rt = GraphRuntime(build_bert_static_module(w, 6), intel_cpu())
+        x = np.random.RandomState(1).randn(6, 16).astype(np.float32)
+        out, latency = rt.run(x)
+        assert np.allclose(out, bert_reference(x, w), atol=1e-4)
+        assert latency > 0
+
+    def test_rejects_dynamic_models(self):
+        from repro.models.bert import build_bert_module
+
+        cfg = BertConfig(hidden=16, num_layers=1, num_heads=2, ffn=32)
+        w = BertWeights.create(cfg)
+        with pytest.raises(CompilerError):
+            GraphRuntime(build_bert_module(w), intel_cpu())
+
+    def test_static_planning_reuses_buffers(self):
+        from repro.models.vision import build_vgg_like
+
+        rt = GraphRuntime(build_vgg_like(image=32), intel_cpu())
+        assert rt.planned_bytes < rt.total_tensor_bytes
+
+
+class TestEagerFramework:
+    def test_lstm_numerics_and_tokens(self):
+        w = LSTMWeights.create(8, 4, 1)
+        fw = EagerFramework(intel_cpu())
+        sents = [np.random.RandomState(i).randn(3 + i, 8).astype(np.float32) for i in range(2)]
+        result = fw.run_lstm(sents, w)
+        assert result.total_tokens == 3 + 4
+        assert result.total_us > 0
+
+    def test_tree_lstm_supported(self):
+        assert EagerFramework(intel_cpu()).supports("tree_lstm")
+
+    def test_bert_runs(self):
+        cfg = BertConfig(hidden=16, num_layers=1, num_heads=2, ffn=32)
+        w = BertWeights.create(cfg)
+        fw = EagerFramework(intel_cpu())
+        r = fw.run_bert([np.zeros((4, 16), np.float32)], w)
+        assert r.total_tokens == 4
+
+
+class TestFrameworkSupportMatrix:
+    """§6.2's availability: who can run what (and where)."""
+
+    def test_mxnet_cannot_tree_lstm(self):
+        assert not HybridFramework(intel_cpu()).supports("tree_lstm")
+
+    def test_tensorflow_cannot_tree_lstm(self):
+        assert not GraphFramework(intel_cpu()).supports("tree_lstm")
+
+    def test_fold_only_tree_lstm(self):
+        fold = FoldFramework(intel_cpu())
+        assert fold.supports("tree_lstm")
+        assert not fold.supports("lstm")
+        assert not fold.supports("bert")
+
+    def test_fold_does_not_build_on_arm(self):
+        assert not FoldFramework(arm_cpu()).supports("tree_lstm")
+
+
+class TestGraphFrameworkExecutor:
+    def test_while_loop_semantics(self):
+        w = LSTMWeights.create(8, 4, 1)
+        fw = GraphFramework(intel_cpu())
+        graph = fw.build_lstm_graph(w)
+        ctx = fw.make_context()
+        ex = fw._executor(ctx)
+        executor = GraphExecutor(ex, "intel")
+        x = np.random.RandomState(0).randn(5, 8).astype(np.float32)
+        (out,) = executor.run(graph, [np.asarray(5, np.int64), x])
+        assert np.allclose(out, lstm_reference(x, w), atol=1e-4)
+
+    def test_control_primitives_charged(self):
+        w = LSTMWeights.create(8, 4, 1)
+        fw_graph = GraphFramework(intel_cpu())
+        fw_eager = EagerFramework(intel_cpu())
+        sent = [np.zeros((20, 8), np.float32)]
+        graph_us = fw_graph.run_lstm(sent, w).total_us
+        eager_us = fw_eager.run_lstm(sent, w).total_us
+        # TF's per-iteration control primitives dominate its LSTM cost.
+        assert graph_us > eager_us
+
+
+class TestFoldFramework:
+    def test_batched_numerics_match_reference(self):
+        w = TreeLSTMWeights.create(10, 5, seed=2)
+        emb = embedding_table(vocab_size=30, dim=10, seed=1)
+        trees = sst_like_trees(2, vocab_size=30, seed=5)
+        fold = FoldFramework(intel_cpu())
+        ctx = fold.make_context()
+        ex = OpExecutor(intel_cpu(), ctx, 1.0)
+        for tree in trees:
+            h, c = fold._run_batched(ex, tree, emb, w, level_us=1.0)
+            ref_h, ref_c = tree_lstm_reference(tree, emb, w)
+            assert np.allclose(h, ref_h, atol=1e-4)
+            assert np.allclose(c, ref_c, atol=1e-4)
+
+    def test_fold_faster_than_eager_slower_than_nothing(self):
+        w = TreeLSTMWeights.create(10, 5)
+        emb = embedding_table(vocab_size=30, dim=10)
+        trees = sst_like_trees(3, vocab_size=30, seed=6)
+        fold_us = FoldFramework(intel_cpu()).run_tree_lstm(trees, emb, w).us_per_token
+        eager_us = EagerFramework(intel_cpu()).run_tree_lstm(trees, emb, w).us_per_token
+        assert fold_us < eager_us  # batching wins despite per-input compile

@@ -1,0 +1,205 @@
+"""Symbolic codegen (§4.5): workload analysis, cost model, schedules,
+residue dispatch, auto-tuning."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.codegen import (
+    KernelSet,
+    Schedule,
+    SymbolicTuner,
+    compute_workload,
+    run_prim_func,
+    search_space,
+)
+from repro.codegen.kernels import canonical_mnk, is_symbolic_prim
+from repro.codegen.tuner import AutoTuner, instantiate_shapes
+from repro.core.typing import infer_types
+from repro.hardware import arm_cpu, intel_cpu, nvidia_gpu
+from repro.ir import Any, Constant, Function, IRModule, TensorType, Var, const
+from repro.ops import api
+from repro.tensor.ndarray import array as make_array
+
+
+def _dense_prim(n_out=16, k_in=8, symbolic=True, with_relu=False):
+    rng = np.random.RandomState(0)
+    w = (rng.randn(n_out, k_in) * 0.1).astype(np.float32)
+    m = Any() if symbolic else 4
+    x = Var("x", TensorType((m, k_in), "float32"))
+    body = api.dense(x, Constant(make_array(w)))
+    if with_relu:
+        body = api.relu(body)
+    f = Function([x], body, TensorType((Any() if symbolic else 4, n_out), "float32"), {"primitive": True})
+    infer_types(IRModule.from_expr(Function([Var("d", TensorType((1,)))], const(0.0))))  # no-op
+    return f, w
+
+
+class TestWorkload:
+    def test_dense_flops_and_bytes(self):
+        prim, w = _dense_prim(16, 8)
+        wl = compute_workload(prim, [(4, 8)])
+        assert wl.flops == 2.0 * 4 * 16 * 8
+        assert wl.is_gemm
+        # bytes: x (4*8*4) + w (16*8*4) + out (4*16*4)
+        assert wl.bytes_moved == 4 * 8 * 4 + 16 * 8 * 4 + 4 * 16 * 4
+        assert wl.out_shapes == ((4, 16),)
+
+    def test_fusion_does_not_double_count_bytes(self):
+        fused, _ = _dense_prim(16, 8, with_relu=True)
+        plain, _ = _dense_prim(16, 8, with_relu=False)
+        wl_fused = compute_workload(fused, [(4, 8)])
+        wl_plain = compute_workload(plain, [(4, 8)])
+        # The relu adds flops but no extra memory traffic (that is the
+        # point of fusion).
+        assert wl_fused.flops > wl_plain.flops
+        assert wl_fused.bytes_moved == wl_plain.bytes_moved
+
+    def test_run_prim_func_numerics(self):
+        prim, w = _dense_prim(16, 8, with_relu=True)
+        x = np.random.RandomState(1).randn(4, 8).astype(np.float32)
+        (out,) = run_prim_func(prim, [x])
+        assert np.allclose(out, np.maximum(x @ w.T, 0), atol=1e-5)
+
+    def test_canonical_mnk_with_constant_weight(self):
+        prim, _ = _dense_prim(16, 8)
+        wl = compute_workload(prim, [(4, 8)])
+        assert canonical_mnk(prim, [(4, 8)], wl.out_shapes[0]) == (4, 16, 8)
+
+    def test_is_symbolic_detection(self):
+        sym, _ = _dense_prim(symbolic=True)
+        sta, _ = _dense_prim(symbolic=False)
+        assert is_symbolic_prim(sym)
+        assert not is_symbolic_prim(sta)
+
+
+class TestCostModel:
+    def test_more_flops_costs_more(self):
+        prim, _ = _dense_prim(64, 64)
+        spec = intel_cpu().compute_spec
+        k = KernelSet(prim, intel_cpu(), spec, symbolic=False)
+        small = k.invoke_cost([(2, 64)]).duration_us
+        large = k.invoke_cost([(256, 64)]).duration_us
+        assert large > small
+
+    def test_gpu_launch_floor(self):
+        prim, _ = _dense_prim(4, 4)
+        plat = nvidia_gpu()
+        k = KernelSet(prim, plat, plat.compute_spec, symbolic=False)
+        assert k.invoke_cost([(1, 4)]).duration_us >= plat.compute_spec.launch_overhead_us
+
+    def test_symbolic_slower_than_static(self):
+        sym, _ = _dense_prim(64, 64, symbolic=True)
+        sta, _ = _dense_prim(64, 64, symbolic=False)
+        plat = arm_cpu()
+        s = Schedule(8, 4, 2, True)
+        k_sym = KernelSet(sym, plat, plat.compute_spec, schedule=s, symbolic=True, allow_library=False)
+        k_sta = KernelSet(sta, plat, plat.compute_spec, schedule=s, symbolic=False, allow_library=False)
+        assert k_sym.invoke_cost([(64, 64)]).duration_us > k_sta.invoke_cost([(64, 64)]).duration_us
+
+    def test_dispatch_monotone_in_kernel_count(self):
+        """Figure 3's trend: fewer dispatch kernels -> more boundary checks
+        -> slower."""
+        prim, _ = _dense_prim(64, 64, symbolic=True)
+        plat = arm_cpu()
+        s = Schedule(8, 4, 2, True)
+        costs = []
+        for n in (8, 4, 2, 1):
+            k = KernelSet(prim, plat, plat.compute_spec, schedule=s,
+                          num_dispatch_kernels=n, symbolic=True, allow_library=False)
+            costs.append(k.invoke_cost([(63, 64)]).duration_us)
+        assert costs == sorted(costs)
+        assert costs[-1] > costs[0]
+
+    def test_library_selected_when_faster(self):
+        """The dispatcher picks the vendor library when profiling favors it
+        (§6.2)."""
+        prim, _ = _dense_prim(512, 512, symbolic=True)
+        plat = intel_cpu()
+        bad = Schedule(32, 1, 1, False)  # deliberately poor schedule
+        k = KernelSet(prim, plat, plat.compute_spec, schedule=bad, symbolic=True)
+        inv = k.invoke_cost([(256, 512)])
+        assert inv.impl == "mkl"
+
+    def test_kernel_code_size_scales_with_variants(self):
+        prim, _ = _dense_prim(symbolic=True)
+        plat = intel_cpu()
+        k8 = KernelSet(prim, plat, plat.compute_spec, num_dispatch_kernels=8)
+        k1 = KernelSet(prim, plat, plat.compute_spec, num_dispatch_kernels=1)
+        assert k8.code_size_bytes > k1.code_size_bytes
+
+
+class TestSchedule:
+    def test_search_space_nonempty_unique(self):
+        space = search_space()
+        assert len(space) > 100
+        assert len(set(space)) == len(space)
+
+    def test_quality_in_unit_interval(self):
+        for s in search_space()[:50]:
+            q = s.quality(21, 768, 768)
+            assert 0.0 < q <= 1.0
+
+    @given(m=st.integers(1, 256))
+    @settings(max_examples=30, deadline=None)
+    def test_divisible_rows_never_worse(self, m):
+        s = Schedule(8, 4, 2, True)
+        q_div = s.quality(m - m % 8 + 8, 768, 768)
+        q_frac = s.quality(m - m % 8 + 3, 768, 768)
+        assert q_div >= q_frac - 1e-9
+
+    def test_boundary_penalty_grows_with_footprint(self):
+        narrow = Schedule(8, 2, 1, True)
+        wide = Schedule(8, 16, 4, True)
+        assert wide.boundary_penalty_coeff("arm") > narrow.boundary_penalty_coeff("arm")
+
+
+class TestTuner:
+    def test_instantiate_shapes(self):
+        prim, _ = _dense_prim(16, 8, symbolic=True)
+        assert instantiate_shapes(prim, 13) == [(13, 8)]
+
+    def test_tuner_improves_over_worst(self):
+        prim, _ = _dense_prim(64, 64, symbolic=True)
+        plat = arm_cpu()
+        tuner = AutoTuner(prim, plat, plat.compute_spec, seed=0)
+        records = tuner.tune(64, n_trials=64)
+        assert records[0].cost_us <= records[-1].cost_us
+        assert records[0].cost_us < records[len(records) // 2].cost_us
+
+    def test_tuning_deterministic(self):
+        prim, _ = _dense_prim(64, 64, symbolic=True)
+        plat = arm_cpu()
+        a = AutoTuner(prim, plat, plat.compute_spec, seed=5).tune(64, 32)
+        b = AutoTuner(prim, plat, plat.compute_spec, seed=5).tune(64, 32)
+        assert a[0].schedule == b[0].schedule
+
+    def test_symbolic_workflow_beats_naive_on_average(self):
+        """§4.5's claim: the cross-shape-selected config is at least as good
+        on the shape distribution as naively reusing the shape-64 winner."""
+        prim, _ = _dense_prim(256, 128, symbolic=True)
+        plat = arm_cpu()
+        tuner = AutoTuner(prim, plat, plat.compute_spec, seed=2)
+        naive = tuner.tune(64, n_trials=96)[0].schedule
+        chosen = SymbolicTuner(prim, plat, plat.compute_spec, seed=2).tune(n_trials=96)
+        shapes = [2**i for i in range(9)]
+        total_naive = sum(tuner.measure(naive, m) for m in shapes)
+        total_chosen = sum(tuner.measure(chosen, m) for m in shapes)
+        assert total_chosen <= total_naive * 1.0001
+
+    def test_empty_space_rejected(self):
+        from repro.errors import TuningError
+
+        prim, _ = _dense_prim()
+        plat = intel_cpu()
+        tuner = AutoTuner(prim, plat, plat.compute_spec)
+        import repro.codegen.tuner as tuner_mod
+
+        original = tuner_mod.search_space
+        tuner_mod.search_space = lambda: []
+        try:
+            with pytest.raises(TuningError):
+                tuner.tune(64)
+        finally:
+            tuner_mod.search_space = original

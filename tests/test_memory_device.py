@@ -1,0 +1,221 @@
+"""Manifest allocation, memory planning (§4.3), device placement (§4.4)."""
+
+import numpy as np
+import pytest
+
+from repro.core.device import DevicePlace
+from repro.core.memory import ManifestAlloc, MemoryPlan
+from repro.core.memory.liveness import AliasLiveness
+from repro.core.typing import infer_types
+from repro.hardware import intel_cpu, nvidia_gpu
+from repro.ir import (
+    Any,
+    Call,
+    Function,
+    IRModule,
+    Let,
+    Op,
+    TensorType,
+    Var,
+    iter_nodes,
+)
+from repro.ops import api
+from repro.passes import DeadCodeElimination, FuseOps, Sequential, ToANF
+from repro.tensor.device import cpu, gpu
+
+
+def _lower(func, plan=True, platform=None):
+    platform = platform or intel_cpu()
+    # Same order as nimble.build: placement before planning.
+    passes = [ToANF(), FuseOps(), ManifestAlloc(), DevicePlace(platform.host, platform.compute)]
+    if plan:
+        passes.append(MemoryPlan())
+    mod = infer_types(IRModule.from_expr(func))
+    return Sequential(passes).run(mod)
+
+
+def _op_calls(func, name):
+    out = []
+    for node in iter_nodes(func.body):
+        if isinstance(node, Call) and isinstance(node.op, Op) and node.op.name == name:
+            out.append(node)
+    return out
+
+
+class TestManifestAlloc:
+    def test_static_call_gets_explicit_allocation(self):
+        x = Var("x", TensorType((4, 8)))
+        w = Var("w", TensorType((8, 8)))
+        mod = _lower(Function([x, w], api.dense(x, w)), plan=False)
+        main = mod.main
+        assert len(_op_calls(main, "memory.alloc_storage")) == 1
+        assert len(_op_calls(main, "memory.alloc_tensor")) == 1
+        assert len(_op_calls(main, "vm.invoke_mut")) == 1
+        # Static shapes: no shape functions needed.
+        assert len(_op_calls(main, "vm.shape_of")) == 0
+
+    def test_dynamic_call_gets_shape_function(self):
+        """The paper's §4.3 dynamic-concat lowering: shape_of on each input,
+        a shape-function invocation, size computation, then the kernel."""
+        x = Var("x", TensorType((Any(), 2), "float32"))
+        y = Var("y", TensorType((1, 2), "float32"))
+        mod = _lower(Function([x, y], api.concatenate([x, y], axis=0)), plan=False)
+        main = mod.main
+        assert len(_op_calls(main, "vm.shape_of")) == 2
+        invokes = _op_calls(main, "vm.invoke_mut")
+        kinds = sorted(c.attrs.get("kind", "compute") for c in invokes)
+        assert kinds == ["compute", "host_scalar", "shape_func"]
+
+    def test_data_dependent_op_receives_values(self):
+        x = Var("x", TensorType((6,), "float32"))
+        mod = _lower(Function([x], api.unique(x)), plan=False)
+        main = mod.main
+        # Data-dependent: shape function consumes the value, not shape_of.
+        sf = [c for c in _op_calls(main, "vm.invoke_mut") if c.attrs.get("kind") == "shape_func"]
+        assert len(sf) == 1
+        assert len(_op_calls(main, "vm.shape_of")) == 0
+
+    def test_upper_bound_op_gets_slice(self):
+        boxes = Var("b", TensorType((8, 4), "float32"))
+        scores = Var("s", TensorType((8,), "float32"))
+        mod = _lower(
+            Function([boxes, scores], api.non_max_suppression(boxes, scores)), plan=False
+        )
+        main = mod.main
+        slices = _op_calls(main, "vm.slice_upper_bound")
+        assert len(slices) == 1
+
+
+class TestMemoryPlan:
+    def _bert_like(self, n_layers=4):
+        """A chain of denses: successive temporaries have disjoint lives."""
+        x = Var("x", TensorType((8, 16)))
+        cur = x
+        params = [x]
+        import numpy as np
+        from repro.ir import const
+
+        for i in range(n_layers):
+            w = const(np.zeros((16, 16), np.float32))
+            cur = api.relu(api.dense(cur, w))
+        return Function(params, cur)
+
+    def test_coalescing_reduces_allocations(self):
+        plan_pass = MemoryPlan()
+        mod = infer_types(IRModule.from_expr(self._bert_like()))
+        mod = Sequential([ToANF(), FuseOps(), ManifestAlloc(), plan_pass]).run(mod)
+        report = plan_pass.report
+        assert report.allocs_before > report.allocs_after
+        assert report.alloc_reduction > 0.3
+
+    def test_kills_inserted(self):
+        plan_pass = MemoryPlan()
+        mod = infer_types(IRModule.from_expr(self._bert_like()))
+        mod = Sequential([ToANF(), FuseOps(), ManifestAlloc(), plan_pass]).run(mod)
+        assert plan_pass.report.kills_inserted > 0
+        assert len(_op_calls(mod.main, "memory.kill")) == plan_pass.report.kills_inserted
+
+    def test_result_buffer_never_killed(self):
+        plan_pass = MemoryPlan()
+        mod = infer_types(IRModule.from_expr(self._bert_like()))
+        mod = Sequential([ToANF(), FuseOps(), ManifestAlloc(), plan_pass]).run(mod)
+        # Execute and verify the result buffer is intact (the VM would
+        # raise use-after-free otherwise).
+        from repro.vm.compiler import VMCompiler
+        from repro.vm.interpreter import VirtualMachine
+
+        exe = VMCompiler(intel_cpu()).compile(mod)
+        vm = VirtualMachine(exe)
+        out = vm.run(np.random.randn(8, 16).astype(np.float32))
+        assert out.shape == (8, 16)
+
+    def test_reuse_preserves_numerics(self):
+        """The planner's non-overlap invariant: with and without planning,
+        results are identical."""
+        func = self._bert_like()
+        x = np.random.RandomState(0).randn(8, 16).astype(np.float32)
+        import repro.nimble as nimble
+
+        results = []
+        for plan in (False, True):
+            exe, _ = nimble.build(IRModule.from_expr(func), intel_cpu(), plan_memory=plan)
+            from repro.vm.interpreter import VirtualMachine
+
+            results.append(VirtualMachine(exe).run(x).numpy())
+        assert np.allclose(results[0], results[1])
+
+
+class TestAliasLiveness:
+    def test_move_aliases_share_group(self):
+        x = Var("x", TensorType((2,)))
+        a = Var("a")
+        b = Var("b")
+        chain = Let(a, api.tanh(x), Let(b, a, b))
+        live = AliasLiveness(chain)
+        assert live.aliases.same(a, b)
+
+    def test_escaping_tail(self):
+        x = Var("x", TensorType((2,)))
+        a = Var("a")
+        chain = Let(a, api.tanh(x), a)
+        live = AliasLiveness(chain)
+        assert live.group_escapes(a)
+
+    def test_non_escaping_intermediate(self):
+        x = Var("x", TensorType((2,)))
+        a, b = Var("a"), Var("b")
+        chain = Let(a, api.tanh(x), Let(b, api.exp(a), b))
+        live = AliasLiveness(chain)
+        assert not live.group_escapes(a)
+        assert live.group_interval(a) == (0, 1)
+
+
+class TestDevicePlacement:
+    def _lower_gpu(self, func, **kw):
+        return _lower(func, platform=nvidia_gpu(), **kw)
+
+    def test_cpu_platform_no_copies(self):
+        x = Var("x", TensorType((Any(), 2), "float32"))
+        y = Var("y", TensorType((1, 2), "float32"))
+        place = DevicePlace(cpu(0), cpu(0))
+        mod = infer_types(IRModule.from_expr(Function([x, y], api.concatenate([x, y], axis=0))))
+        mod = Sequential([ToANF(), FuseOps(), ManifestAlloc(), place]).run(mod)
+        assert place.report.copies_inserted == 0
+
+    def test_gpu_kernels_on_device_shape_funcs_on_host(self):
+        x = Var("x", TensorType((Any(), 2), "float32"))
+        y = Var("y", TensorType((1, 2), "float32"))
+        mod = self._lower_gpu(Function([x, y], api.concatenate([x, y], axis=0)), plan=False)
+        invokes = _op_calls(mod.main, "vm.invoke_mut")
+        for call in invokes:
+            kind = call.attrs.get("kind", "compute")
+            device = call.attrs.get("device")
+            if kind == "compute":
+                assert device.is_gpu
+            else:
+                assert device.is_cpu
+
+    def test_alloc_storage_gets_device_attr(self):
+        x = Var("x", TensorType((4, 8), "float32"))
+        w = Var("w", TensorType((8, 8), "float32"))
+        mod = self._lower_gpu(Function([x, w], api.dense(x, w)))
+        allocs = _op_calls(mod.main, "memory.alloc_storage")
+        assert all("device" in a.attrs for a in allocs)
+        assert any(a.attrs["device"].is_gpu for a in allocs)
+
+    def test_data_dependent_shape_func_forces_copy(self):
+        """unique's shape function needs the VALUE on the host: on a GPU
+        platform a device_copy must appear (§4.4)."""
+        x = Var("x", TensorType((6,), "float32"))
+        func = Function([x], api.unique(api.tanh(x)))
+        mod = self._lower_gpu(func, plan=False)
+        copies = _op_calls(mod.main, "device.device_copy")
+        assert len(copies) >= 1
+
+    def test_scalar_kernels_go_to_host(self):
+        i = Var("i", TensorType((), "int64"))
+        n = Var("n", TensorType((), "int64"))
+        func = Function([i, n], api.less(i, n))
+        mod = self._lower_gpu(func)
+        invokes = _op_calls(mod.main, "vm.invoke_mut")
+        assert all(c.attrs["device"].is_cpu for c in invokes)

@@ -1,0 +1,352 @@
+"""Operator library: computes vs NumPy ground truth, shape-function
+exactness (property-based), fusion patterns, dynamic-op contracts."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ShapeError
+from repro.ops import (
+    OpPattern,
+    ShapeFuncMode,
+    all_op_names,
+    get_op_def,
+    has_op,
+    num_outputs_of,
+)
+
+RNG = np.random.RandomState(7)
+
+
+def run_op(name, inputs, attrs=None):
+    return get_op_def(name).compute([np.asarray(i) for i in inputs], attrs or {})
+
+
+class TestElementwise:
+    @pytest.mark.parametrize(
+        "name,fn",
+        [
+            ("add", np.add),
+            ("subtract", np.subtract),
+            ("multiply", np.multiply),
+            ("divide", np.divide),
+            ("maximum", np.maximum),
+            ("minimum", np.minimum),
+        ],
+    )
+    def test_binary_matches_numpy(self, name, fn):
+        a = RNG.randn(3, 4).astype(np.float32)
+        b = RNG.randn(3, 4).astype(np.float32) + 2.0
+        assert np.allclose(run_op(name, [a, b]), fn(a, b), atol=1e-6)
+
+    @pytest.mark.parametrize(
+        "name,fn",
+        [
+            ("exp", np.exp),
+            ("log", lambda x: np.log(np.abs(x) + 1)),
+            ("tanh", np.tanh),
+            ("negative", np.negative),
+            ("abs", np.abs),
+            ("sqrt", lambda x: np.sqrt(np.abs(x))),
+        ],
+    )
+    def test_unary_matches_numpy(self, name, fn):
+        x = np.abs(RNG.randn(5).astype(np.float32)) + 1.0 if name in ("log", "sqrt") else RNG.randn(5).astype(np.float32)
+        expect = fn(x) if name not in ("log", "sqrt") else (np.log(x) if name == "log" else np.sqrt(x))
+        assert np.allclose(run_op(name, [x]), expect, atol=1e-5)
+
+    def test_sigmoid(self):
+        x = RNG.randn(8).astype(np.float32)
+        assert np.allclose(run_op("sigmoid", [x]), 1 / (1 + np.exp(-x)), atol=1e-6)
+
+    def test_broadcasting(self):
+        a = RNG.randn(3, 1).astype(np.float32)
+        b = RNG.randn(1, 4).astype(np.float32)
+        assert run_op("add", [a, b]).shape == (3, 4)
+
+    def test_comparisons_produce_bool(self):
+        a = np.array([1.0, 2.0], np.float32)
+        b = np.array([2.0, 1.0], np.float32)
+        out = run_op("less", [a, b])
+        assert out.dtype == np.bool_
+        assert out.tolist() == [True, False]
+
+    def test_where(self):
+        c = np.array([True, False])
+        out = run_op("where", [c, np.float32([1, 1]), np.float32([2, 2])])
+        assert out.tolist() == [1.0, 2.0]
+
+    def test_cast(self):
+        out = run_op("cast", [np.float32([1.7])], {"dtype": "int64"})
+        assert out.dtype == np.int64
+
+    def test_clip(self):
+        out = run_op("clip", [np.float32([-5, 0.5, 5])], {"a_min": 0.0, "a_max": 1.0})
+        assert out.tolist() == [0.0, 0.5, 1.0]
+
+
+class TestNN:
+    def test_dense(self):
+        x = RNG.randn(3, 8).astype(np.float32)
+        w = RNG.randn(5, 8).astype(np.float32)
+        assert np.allclose(run_op("nn.dense", [x, w]), x @ w.T, atol=1e-5)
+
+    def test_batch_matmul(self):
+        a = RNG.randn(2, 3, 4).astype(np.float32)
+        b = RNG.randn(2, 5, 4).astype(np.float32)
+        assert np.allclose(
+            run_op("nn.batch_matmul", [a, b]), a @ b.transpose(0, 2, 1), atol=1e-5
+        )
+
+    def test_softmax_rows_sum_to_one(self):
+        x = RNG.randn(4, 9).astype(np.float32)
+        out = run_op("nn.softmax", [x], {"axis": -1})
+        assert np.allclose(out.sum(axis=-1), 1.0, atol=1e-5)
+
+    def test_log_softmax(self):
+        x = RNG.randn(4, 9).astype(np.float32)
+        out = run_op("nn.log_softmax", [x], {"axis": -1})
+        assert np.allclose(np.exp(out).sum(axis=-1), 1.0, atol=1e-4)
+
+    def test_layer_norm_normalizes(self):
+        x = RNG.randn(6, 16).astype(np.float32) * 3 + 5
+        g, b = np.ones(16, np.float32), np.zeros(16, np.float32)
+        out = run_op("nn.layer_norm", [x, g, b], {"axis": -1, "epsilon": 1e-5})
+        assert np.allclose(out.mean(axis=-1), 0.0, atol=1e-4)
+        assert np.allclose(out.std(axis=-1), 1.0, atol=1e-2)
+
+    def test_bias_add(self):
+        x = RNG.randn(2, 3).astype(np.float32)
+        b = RNG.randn(3).astype(np.float32)
+        assert np.allclose(run_op("nn.bias_add", [x, b], {"axis": -1}), x + b)
+
+    def test_conv2d_matches_direct(self):
+        x = RNG.randn(1, 2, 6, 6).astype(np.float32)
+        w = RNG.randn(3, 2, 3, 3).astype(np.float32)
+        out = run_op("nn.conv2d", [x, w], {"strides": 1, "padding": 1, "groups": 1})
+        assert out.shape == (1, 3, 6, 6)
+        # Check one output position against a direct dot product: output
+        # (1, 1) covers padded rows/cols [1:4] with a 3x3 kernel.
+        patch = np.pad(x, ((0, 0), (0, 0), (1, 1), (1, 1)))[0, :, 1:4, 1:4]
+        assert np.allclose(out[0, 0, 1, 1], np.sum(patch * w[0]), atol=1e-4)
+
+    def test_depthwise_conv2d(self):
+        x = RNG.randn(1, 4, 6, 6).astype(np.float32)
+        w = RNG.randn(4, 1, 3, 3).astype(np.float32)
+        out = run_op("nn.conv2d", [x, w], {"strides": 1, "padding": 1, "groups": 4})
+        assert out.shape == (1, 4, 6, 6)
+
+    def test_max_pool(self):
+        x = np.arange(16, dtype=np.float32).reshape(1, 1, 4, 4)
+        out = run_op("nn.max_pool2d", [x], {"pool_size": 2, "strides": 2, "padding": 0})
+        assert out[0, 0].tolist() == [[5.0, 7.0], [13.0, 15.0]]
+
+    def test_gelu_bounds(self):
+        x = RNG.randn(100).astype(np.float32)
+        out = run_op("nn.gelu", [x])
+        assert np.all(out >= np.minimum(x, 0) - 0.2)
+
+
+class TestTransforms:
+    def test_reshape(self):
+        x = np.arange(6, dtype=np.float32)
+        assert run_op("reshape", [x], {"newshape": (2, 3)}).shape == (2, 3)
+        assert run_op("reshape", [x], {"newshape": (-1, 3)}).shape == (2, 3)
+
+    def test_transpose(self):
+        x = RNG.randn(2, 3, 4).astype(np.float32)
+        assert run_op("transpose", [x], {"axes": (2, 0, 1)}).shape == (4, 2, 3)
+
+    def test_concatenate(self):
+        a, b = np.ones((2, 3), np.float32), np.zeros((1, 3), np.float32)
+        out = run_op("concatenate", [a, b], {"axis": 0})
+        assert out.shape == (3, 3)
+
+    def test_split(self):
+        x = np.arange(12, dtype=np.float32).reshape(2, 6)
+        parts = run_op("split", [x], {"indices_or_sections": 3, "axis": 1})
+        assert len(parts) == 3 and parts[0].shape == (2, 2)
+        assert num_outputs_of("split", {"indices_or_sections": 3}) == 3
+        assert num_outputs_of("split", {"indices_or_sections": (2, 5)}) == 3
+
+    def test_take_embedding_style(self):
+        table = RNG.randn(10, 4).astype(np.float32)
+        ids = np.array([1, 3, 1], np.int64)
+        out = run_op("take", [table, ids], {"axis": 0})
+        assert out.shape == (3, 4)
+        assert np.allclose(out[0], table[1])
+
+    def test_strided_slice(self):
+        x = np.arange(20, dtype=np.float32).reshape(4, 5)
+        out = run_op("strided_slice", [x], {"begin": (1, 0), "end": (3, 4), "strides": None})
+        assert out.shape == (2, 4)
+
+    def test_stack_expand_squeeze(self):
+        a = np.ones((2,), np.float32)
+        assert run_op("stack", [a, a], {"axis": 0}).shape == (2, 2)
+        assert run_op("expand_dims", [a], {"axis": 0}).shape == (1, 2)
+        assert run_op("squeeze", [np.ones((1, 2), np.float32)], {"axis": 0}).shape == (2,)
+
+    def test_zeros_ones_full(self):
+        assert np.all(run_op("zeros", [], {"shape": (2,), "dtype": "float32"}) == 0)
+        assert np.all(run_op("ones", [], {"shape": (2,), "dtype": "float32"}) == 1)
+        out = run_op("full", [], {"shape": (2,), "dtype": "float32", "fill_value": 3.0})
+        assert np.all(out == 3.0)
+
+
+class TestReduce:
+    @pytest.mark.parametrize("name,fn", [("sum", np.sum), ("mean", np.mean), ("max", np.max), ("min", np.min)])
+    def test_reductions(self, name, fn):
+        x = RNG.randn(3, 4).astype(np.float32)
+        assert np.allclose(run_op(name, [x], {"axis": 1}), fn(x, axis=1), atol=1e-5)
+        assert np.allclose(run_op(name, [x], {"axis": None}), fn(x), atol=1e-5)
+
+    def test_keepdims(self):
+        x = RNG.randn(3, 4).astype(np.float32)
+        assert run_op("sum", [x], {"axis": 1, "keepdims": True}).shape == (3, 1)
+
+    def test_argmax_int64(self):
+        x = RNG.randn(3, 4).astype(np.float32)
+        out = run_op("argmax", [x], {"axis": -1})
+        assert out.dtype == np.int64
+        assert np.all(out == np.argmax(x, axis=-1))
+
+
+class TestDynamicOps:
+    def test_arange_data_dependent(self):
+        op = get_op_def("arange")
+        assert op.shape_func_mode is ShapeFuncMode.DATA_DEPENDENT
+        out = run_op("arange", [np.float32(0), np.float32(5), np.float32(1)], {"dtype": "float32"})
+        assert out.tolist() == [0, 1, 2, 3, 4]
+        shapes = op.shape_func([(), (), ()], [np.float32(0), np.float32(5), np.float32(1)], {})
+        assert shapes == [(5,)]
+
+    def test_arange_shape_func_requires_values(self):
+        with pytest.raises(ShapeError):
+            get_op_def("arange").shape_func([(), (), ()], None, {})
+
+    def test_unique(self):
+        out = run_op("unique", [np.array([3, 1, 3, 2], np.int64)])
+        assert out.tolist() == [1, 2, 3]
+        shapes = get_op_def("unique").shape_func(
+            [(4,)], [np.array([3, 1, 3, 2], np.int64)], {}
+        )
+        assert shapes == [(3,)]
+
+    def test_nonzero(self):
+        out = run_op("nonzero", [np.array([0, 1, 0, 2], np.int64)])
+        assert out.shape == (1, 2)
+
+    def test_nms_upper_bound_contract(self):
+        op = get_op_def("vision.non_max_suppression")
+        assert op.shape_func_mode is ShapeFuncMode.UPPER_BOUND
+        assert op.returns_shape
+        boxes = np.array(
+            [[0, 0, 10, 10], [1, 1, 11, 11], [50, 50, 60, 60]], np.float32
+        )
+        scores = np.array([0.9, 0.8, 0.7], np.float32)
+        padded, actual = op.compute([boxes, scores], {"iou_threshold": 0.5})
+        assert padded.shape == (3,)  # upper bound
+        assert actual.tolist() == [2]  # two boxes survive
+        assert padded[:2].tolist() == [0, 2]
+        # Upper-bound shape function needs only shapes.
+        assert op.shape_func([(3, 4), (3,)], None, {}) == [(3,)]
+
+    def test_topk(self):
+        values, idx = run_op("topk", [np.float32([1, 9, 3, 7])], {"k": 2})
+        assert values.tolist() == [9.0, 7.0]
+        assert idx.tolist() == [1, 3]
+
+
+class TestShapeFunctionExactness:
+    """Property: for data-independent ops, the shape function's prediction
+    must equal the compute's actual output shape — this is the §4.2
+    invariant the allocator relies on."""
+
+    @given(
+        rows=st.integers(1, 7),
+        cols=st.integers(1, 7),
+        units=st.integers(1, 7),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_dense_shape_func_exact(self, rows, cols, units):
+        op = get_op_def("nn.dense")
+        x = np.zeros((rows, cols), np.float32)
+        w = np.zeros((units, cols), np.float32)
+        predicted = op.shape_func([x.shape, w.shape], None, {})
+        actual = op.compute([x, w], {})
+        assert tuple(predicted[0]) == actual.shape
+
+    @given(
+        a=st.integers(1, 5), b=st.integers(1, 5), axis=st.integers(0, 1)
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_concat_shape_func_exact(self, a, b, axis):
+        op = get_op_def("concatenate")
+        base = (3, 4)
+        s1 = list(base)
+        s2 = list(base)
+        s1[axis], s2[axis] = a, b
+        x, y = np.zeros(s1, np.float32), np.zeros(s2, np.float32)
+        predicted = op.shape_func([x.shape, y.shape], None, {"axis": axis})
+        actual = op.compute([x, y], {"axis": axis})
+        assert tuple(predicted[0]) == actual.shape
+
+    @pytest.mark.parametrize(
+        "name,make_inputs,attrs",
+        [
+            ("nn.softmax", lambda: [np.zeros((3, 5), np.float32)], {"axis": -1}),
+            ("transpose", lambda: [np.zeros((2, 3, 4), np.float32)], {"axes": (1, 2, 0)}),
+            ("reshape", lambda: [np.zeros((6,), np.float32)], {"newshape": (2, -1)}),
+            ("sum", lambda: [np.zeros((3, 4), np.float32)], {"axis": 0, "keepdims": False}),
+            ("take", lambda: [np.zeros((5, 2), np.float32), np.zeros((3,), np.int64)], {"axis": 0}),
+            ("nn.max_pool2d", lambda: [np.zeros((1, 2, 8, 8), np.float32)], {"pool_size": 2, "strides": 2, "padding": 0}),
+        ],
+    )
+    def test_shape_func_matches_compute(self, name, make_inputs, attrs):
+        op = get_op_def(name)
+        inputs = make_inputs()
+        predicted = op.shape_func([i.shape for i in inputs], None, attrs)
+        actual = op.compute(inputs, attrs)
+        if isinstance(actual, tuple):
+            assert [tuple(p) for p in predicted] == [a.shape for a in actual]
+        else:
+            assert tuple(predicted[0]) == actual.shape
+
+
+class TestRegistry:
+    def test_registry_has_expected_size(self):
+        assert len(all_op_names()) >= 70
+
+    def test_dynamic_policy_classification(self):
+        assert get_op_def("arange").is_dynamic_shape_func
+        assert get_op_def("unique").is_dynamic_shape_func
+        assert get_op_def("vision.non_max_suppression").is_dynamic_shape_func
+        assert not get_op_def("nn.dense").is_dynamic_shape_func
+        assert not get_op_def("concatenate").is_dynamic_shape_func
+
+    def test_patterns(self):
+        assert get_op_def("add").pattern == OpPattern.BROADCAST
+        assert get_op_def("tanh").pattern == OpPattern.ELEMWISE
+        assert get_op_def("nn.dense").pattern == OpPattern.OUT_ELEMWISE_FUSABLE
+        assert get_op_def("concatenate").pattern == OpPattern.INJECTIVE
+        assert get_op_def("sum").pattern == OpPattern.COMM_REDUCE
+
+    def test_unknown_op_rejected(self):
+        from repro.errors import CompilerError
+
+        assert not has_op("nn.flux_capacitor")
+        with pytest.raises(CompilerError):
+            get_op_def("nn.flux_capacitor")
+
+    def test_duplicate_registration_rejected(self):
+        from repro.errors import CompilerError
+        from repro.ops.registry import OpDef, register_op
+
+        with pytest.raises(CompilerError):
+            register_op(OpDef(name="add", type_rel=None, compute=None))
+
+    def test_dense_flops(self):
+        flops = get_op_def("nn.dense").flops([(4, 8), (16, 8)], [(4, 16)], {})
+        assert flops == 2.0 * 4 * 16 * 8

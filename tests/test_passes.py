@@ -1,0 +1,303 @@
+"""Generic passes: ANF, constant folding, DCE, CSE, simplification, fusion."""
+
+import numpy as np
+import pytest
+
+from repro.core.typing import infer_types
+from repro.ir import (
+    Any,
+    Call,
+    Constant,
+    Function,
+    If,
+    IRModule,
+    Let,
+    Op,
+    ScopeBuilder,
+    TensorType,
+    Tuple,
+    TupleGetItem,
+    Var,
+    const,
+    free_vars,
+    iter_nodes,
+    scalar_type,
+)
+from repro.ops import api
+from repro.ops.registry import OpPattern
+from repro.passes import (
+    CommonSubexprElimination,
+    DeadCodeElimination,
+    FoldConstant,
+    FuseOps,
+    SimplifyExpressions,
+    ToANF,
+    to_anf,
+)
+
+
+def _let_chain(expr):
+    out = []
+    node = expr
+    while isinstance(node, Let):
+        out.append((node.var, node.value))
+        node = node.body
+    return out, node
+
+
+class TestToANF:
+    def test_nested_calls_flattened(self):
+        x = Var("x", TensorType((2,)))
+        expr = api.add(api.multiply(x, x), api.tanh(x))
+        body = to_anf(Function([x], expr)).body
+        bindings, tail = _let_chain(body)
+        assert len(bindings) == 3
+        assert isinstance(tail, Var)  # strict ANF: atom result
+
+    def test_shared_subexpression_bound_once(self):
+        x = Var("x", TensorType((2,)))
+        shared = api.multiply(x, x)
+        expr = api.add(shared, shared)  # same object twice
+        bindings, _ = _let_chain(to_anf(Function([x], expr)).body)
+        assert len(bindings) == 2  # multiply once + add
+
+    def test_if_branches_get_own_scopes(self):
+        c = Var("c", scalar_type("bool"))
+        x = Var("x", TensorType((2,)))
+        expr = If(c, api.add(x, x), api.multiply(x, x))
+        bindings, tail = _let_chain(to_anf(Function([c, x], expr)).body)
+        (var, value), = [b for b in bindings if isinstance(b[1], If)]
+        t_bindings, t_tail = _let_chain(value.true_branch)
+        assert len(t_bindings) == 1 and isinstance(t_tail, Var)
+
+    def test_existing_lets_preserved(self):
+        x = Var("x", TensorType((2,)))
+        sb = ScopeBuilder()
+        a = sb.let("a", api.add(x, x))
+        body = to_anf(Function([x], sb.get(a))).body
+        bindings, tail = _let_chain(body)
+        assert bindings[0][0] is a
+        assert tail is a
+
+    def test_free_vars_preserved(self):
+        x = Var("x", TensorType((2,)))
+        y = Var("y", TensorType((2,)))
+        f = Function([x], api.add(api.multiply(x, y), y))
+        assert free_vars(to_anf(f)) == [y]
+
+
+class TestFoldConstant:
+    def _fold(self, expr, params=()):
+        mod = IRModule.from_expr(Function(list(params), expr))
+        mod = infer_types(mod)
+        return FoldConstant().run(mod).main.body
+
+    def test_folds_constant_arithmetic(self):
+        out = self._fold(api.add(const(2.0), const(3.0)))
+        assert isinstance(out, Constant)
+        assert out.data.item() == pytest.approx(5.0)
+
+    def test_folds_dynamic_arange_to_static(self):
+        out = self._fold(api.arange(const(0.0), const(4.0), const(1.0)))
+        assert isinstance(out, Constant)
+        assert out.data.shape == (4,)
+
+    def test_leaves_variable_expressions(self):
+        x = Var("x", TensorType((2,)))
+        out = self._fold(api.add(x, const(1.0)), [x])
+        assert isinstance(out, Call)
+
+    def test_folds_multi_output_and_projection(self):
+        expr = TupleGetItem(api.split(const(np.arange(6, dtype=np.float32)), 3), 1)
+        out = self._fold(expr)
+        assert isinstance(out, Constant)
+        assert out.data.tolist() == [2.0, 3.0]
+
+
+class TestDeadCode:
+    def test_removes_unused_binding(self):
+        x = Var("x", TensorType((2,)))
+        sb = ScopeBuilder()
+        sb.let("dead", api.add(x, x))
+        live = sb.let("live", api.multiply(x, x))
+        mod = IRModule.from_expr(Function([x], sb.get(live)))
+        out = DeadCodeElimination().run(mod).main
+        bindings, _ = _let_chain(out.body)
+        assert len(bindings) == 1
+
+    def test_cascading_removal(self):
+        x = Var("x", TensorType((2,)))
+        sb = ScopeBuilder()
+        a = sb.let("a", api.add(x, x))
+        sb.let("b", api.tanh(a))  # b unused -> then a unused
+        live = sb.let("live", x)
+        mod = IRModule.from_expr(Function([x], sb.get(live)))
+        out = DeadCodeElimination().run(mod).main
+        bindings, _ = _let_chain(out.body)
+        assert len(bindings) == 1
+
+    def test_keeps_effectful_ops(self):
+        x = Var("x", TensorType((2,)))
+        sb = ScopeBuilder()
+        sb.let("k", Call(Op.get("memory.kill"), [x]))
+        live = sb.let("live", x)
+        mod = IRModule.from_expr(Function([x], sb.get(live)))
+        out = DeadCodeElimination().run(mod).main
+        bindings, _ = _let_chain(out.body)
+        assert len(bindings) == 2
+
+
+class TestCSE:
+    def test_duplicate_calls_merged(self):
+        x = Var("x", TensorType((2,)))
+        sb = ScopeBuilder()
+        a = sb.let("a", api.add(x, x))
+        b = sb.let("b", api.add(x, x))  # duplicate
+        out_v = sb.let("out", api.multiply(a, b))
+        mod = IRModule.from_expr(Function([x], sb.get(out_v)))
+        mod = infer_types(mod)
+        out = CommonSubexprElimination().run(mod).main
+        bindings, _ = _let_chain(out.body)
+        adds = [v for _, v in bindings if isinstance(v, Call) and v.op == Op.get("add")]
+        assert len(adds) == 1
+        # The multiply now uses the surviving variable twice.
+        mul = bindings[-1][1]
+        assert mul.args[0] is mul.args[1]
+
+    def test_different_attrs_not_merged(self):
+        x = Var("x", TensorType((4,)))
+        sb = ScopeBuilder()
+        a = sb.let("a", api.reshape(x, (2, 2)))
+        b = sb.let("b", api.reshape(x, (4, 1)))
+        out_v = sb.let("o", Tuple([a, b]))
+        mod = IRModule.from_expr(Function([x], sb.get(out_v)))
+        out = CommonSubexprElimination().run(mod).main
+        bindings, _ = _let_chain(out.body)
+        reshapes = [v for _, v in bindings if isinstance(v, Call)]
+        assert len(reshapes) == 2
+
+
+class TestSimplify:
+    def _simplify(self, expr, params):
+        mod = IRModule.from_expr(Function(list(params), expr))
+        mod = infer_types(mod)
+        return SimplifyExpressions().run(mod).main.body
+
+    def test_identity_reshape_removed(self):
+        x = Var("x", TensorType((2, 3)))
+        out = self._simplify(api.reshape(x, (2, 3)), [x])
+        assert out is x
+
+    def test_identity_cast_removed(self):
+        x = Var("x", TensorType((2,), "float32"))
+        out = self._simplify(api.cast(x, "float32"), [x])
+        assert out is x
+
+    def test_add_zero_removed(self):
+        x = Var("x", TensorType((2,)))
+        out = self._simplify(api.add(x, const(0.0)), [x])
+        assert out is x
+
+    def test_mul_one_removed(self):
+        x = Var("x", TensorType((2,)))
+        out = self._simplify(api.multiply(x, const(1.0)), [x])
+        assert out is x
+
+    def test_real_reshape_kept(self):
+        x = Var("x", TensorType((2, 3)))
+        out = self._simplify(api.reshape(x, (3, 2)), [x])
+        assert isinstance(out, Call)
+
+
+class TestFusion:
+    def _fuse(self, func):
+        mod = IRModule.from_expr(func)
+        mod = infer_types(mod)
+        mod = ToANF().run(mod)
+        mod = infer_types(mod)
+        return FuseOps().run(mod).main
+
+    @staticmethod
+    def _prim_calls(func):
+        out = []
+        for node in iter_nodes(func.body):
+            if isinstance(node, Call) and isinstance(node.op, Function) and node.op.is_primitive:
+                out.append(node)
+        return out
+
+    @staticmethod
+    def _ops_of(prim_call):
+        names = []
+        for node in iter_nodes(prim_call.op.body):
+            if isinstance(node, Call) and isinstance(node.op, Op):
+                names.append(node.op.name)
+        return sorted(names)
+
+    def test_dense_absorbs_elementwise_epilogue(self):
+        x = Var("x", TensorType((4, 8)))
+        w = Var("w", TensorType((16, 8)))
+        func = Function([x, w], api.relu(api.dense(x, w)))
+        fused = self._fuse(func)
+        prims = self._prim_calls(fused)
+        assert len(prims) == 1
+        assert self._ops_of(prims[0]) == ["nn.dense", "nn.relu"]
+
+    def test_elementwise_chain_fuses(self):
+        x = Var("x", TensorType((4,)))
+        func = Function([x], api.tanh(api.sigmoid(api.exp(x))))
+        prims = self._prim_calls(self._fuse(func))
+        assert len(prims) == 1
+        assert len(self._ops_of(prims[0])) == 3
+
+    def test_two_denses_not_fused_together(self):
+        x = Var("x", TensorType((4, 8)))
+        w1 = Var("w1", TensorType((8, 8)))
+        w2 = Var("w2", TensorType((8, 8)))
+        func = Function([x, w1, w2], api.dense(api.dense(x, w1), w2))
+        prims = self._prim_calls(self._fuse(func))
+        assert len(prims) == 2
+
+    def test_multi_use_producer_not_fused(self):
+        x = Var("x", TensorType((4,)))
+        shared = api.exp(x)
+        func = Function([x], api.add(api.tanh(shared), shared))
+        prims = self._prim_calls(self._fuse(func))
+        # exp has two consumers: it must stay its own kernel.
+        exp_groups = [p for p in prims if "exp" in self._ops_of(p)]
+        assert len(exp_groups) == 1
+        assert self._ops_of(exp_groups[0]) == ["exp"]
+
+    def test_dynamic_op_never_absorbs_producers(self):
+        """The §4.2 fusion policy: data-dependent shape functions cannot
+        take fused intermediate results."""
+        x = Var("x", TensorType((6,)))
+        func = Function([x], api.unique(api.tanh(x)))
+        prims = self._prim_calls(self._fuse(func))
+        assert len(prims) == 2
+        unique_groups = [p for p in prims if "unique" in self._ops_of(p)]
+        assert self._ops_of(unique_groups[0]) == ["unique"]
+
+    def test_injective_fuses_into_reduce(self):
+        x = Var("x", TensorType((4, 4)))
+        func = Function([x], api.sum_(api.tanh(x), axis=1))
+        prims = self._prim_calls(self._fuse(func))
+        assert len(prims) == 1
+
+    def test_every_compute_becomes_primitive(self):
+        # After fusion, every top-level binding that computes does so
+        # through a primitive function call (uniform kernel lowering).
+        x = Var("x", TensorType((4, 8)))
+        w = Var("w", TensorType((8, 8)))
+        fused = self._fuse(Function([x, w], api.dense(x, w)))
+        bindings, _ = _let_chain(fused.body)
+        for _, value in bindings:
+            if isinstance(value, Call) and isinstance(value.op, Op):
+                assert value.op.name.startswith(("vm.", "memory.", "device."))
+
+    def test_constants_become_params(self):
+        x = Var("x", TensorType((2, 4)))
+        w = const(np.zeros((3, 4), np.float32))
+        fused = self._fuse(Function([x], api.dense(x, w)))
+        prims = self._prim_calls(fused)
+        assert len(prims[0].op.params) == 2
+        assert any(isinstance(a, Constant) for a in prims[0].args)

@@ -1,0 +1,322 @@
+"""The VM (§5): ISA completeness, serialization round-trip, interpreter
+semantics, reference counting, profiling."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import repro.nimble as nimble
+from repro.errors import SerializationError, VMError
+from repro.hardware import intel_cpu, nvidia_gpu
+from repro.ir import (
+    Any,
+    Call,
+    Clause,
+    Function,
+    If,
+    IRModule,
+    Match,
+    PatternConstructor,
+    PatternVar,
+    PatternWildcard,
+    ScopeBuilder,
+    TensorType,
+    Tuple,
+    TupleGetItem,
+    TypeCall,
+    TypeData,
+    Var,
+    const,
+    scalar_type,
+)
+from repro.ops import api
+from repro.runtime.context import ExecutionContext
+from repro.tensor import array, cpu, gpu
+from repro.vm import instruction as ins
+from repro.vm.executable import Executable, VMFunction, _decode_instruction, _encode_instruction
+from repro.vm.interpreter import VirtualMachine
+from repro.vm.objects import ADTObj, StorageObj, TensorObj
+
+
+class TestISA:
+    def test_exactly_twenty_opcodes(self):
+        """Table A.1: the ISA has exactly 20 instructions."""
+        assert len(ins.Opcode) == 20
+
+    def test_all_opcodes_named_as_paper(self):
+        names = {op.name for op in ins.Opcode}
+        for expected in (
+            "MOVE", "RET", "INVOKE", "INVOKE_CLOSURE", "INVOKE_PACKED",
+            "ALLOC_STORAGE", "ALLOC_TENSOR", "ALLOC_TENSOR_REG", "ALLOC_ADT",
+            "ALLOC_CLOSURE", "GET_FIELD", "GET_TAG", "IF", "GOTO",
+            "LOAD_CONST", "LOAD_CONSTI", "DEVICE_COPY", "SHAPE_OF",
+            "RESHAPE_TENSOR", "FATAL",
+        ):
+            assert expected in names
+
+
+def _sample_instructions():
+    return [
+        ins.Move(1, 2),
+        ins.Ret(3),
+        ins.Invoke(0, (1, 2), 3),
+        ins.InvokeClosure(4, (5,), 6),
+        ins.InvokePacked(2, 3, 1, (0, 1, 2), cpu(0), "compute"),
+        ins.AllocStorage(1, 64, gpu(0), 2),
+        ins.AllocTensor(1, 2, (3, 4), "float32", 5),
+        ins.AllocTensorReg(1, 2, 3, "int64", 4),
+        ins.AllocADT(-1, 2, (1, 2), 3),
+        ins.AllocClosure(1, 2, (3, 4), 5),
+        ins.GetField(1, 0, 2),
+        ins.GetTag(1, 2),
+        ins.If(1, 2, 1, -5),
+        ins.Goto(-3),
+        ins.LoadConst(0, 1),
+        ins.LoadConsti(-42, 1),
+        ins.DeviceCopy(1, 2, gpu(0), cpu(0)),
+        ins.ShapeOf(1, 2),
+        ins.ReshapeTensor(1, 2, 3),
+        ins.Fatal("boom"),
+    ]
+
+
+class TestSerialization:
+    def test_every_instruction_roundtrips(self):
+        import io
+
+        for instr in _sample_instructions():
+            buf = io.BytesIO()
+            _encode_instruction(buf, instr)
+            buf.seek(0)
+            assert _decode_instruction(buf) == instr
+
+    def test_executable_roundtrip(self):
+        exe = Executable(
+            platform_name="intel",
+            functions=[VMFunction("main", 1, _sample_instructions(), 10)],
+            func_index={"main": 0},
+            constants=[array(np.arange(6, dtype=np.float32).reshape(2, 3))],
+            kernels=[],
+        )
+        blob = exe.save()
+        loaded = Executable.load(blob)
+        assert loaded.platform_name == "intel"
+        assert loaded.functions[0].instructions == exe.functions[0].instructions
+        assert np.array_equal(loaded.constants[0].numpy(), exe.constants[0].numpy())
+
+    def test_bad_magic_rejected(self):
+        with pytest.raises(SerializationError):
+            Executable.load(b"XXXX" + b"\x00" * 16)
+
+    @given(values=st.lists(st.integers(-(2**40), 2**40), min_size=1, max_size=20))
+    @settings(max_examples=50, deadline=None)
+    def test_varint_roundtrip(self, values):
+        import io
+
+        from repro.vm.executable import _read_varint, _write_varint
+
+        buf = io.BytesIO()
+        for v in values:
+            _write_varint(buf, v)
+        buf.seek(0)
+        assert [_read_varint(buf) for _ in values] == values
+
+    def test_compiled_executable_roundtrips_and_runs(self):
+        x = Var("x", TensorType((Any(), 2), "float32"))
+        y = Var("y", TensorType((1, 2), "float32"))
+        mod = IRModule.from_expr(Function([x, y], api.concatenate([x, y], axis=0)))
+        exe, _ = nimble.build(mod, intel_cpu())
+        loaded = Executable.load(exe.save())
+        xa = np.random.rand(3, 2).astype(np.float32)
+        ya = np.random.rand(1, 2).astype(np.float32)
+        out = VirtualMachine(loaded).run(xa, ya)
+        assert np.allclose(out.numpy(), np.concatenate([xa, ya]))
+
+
+class TestObjects:
+    def test_storage_refcount_frees_once(self):
+        freed = []
+        from repro.tensor.storage import Storage
+
+        sto = StorageObj(Storage(64, 64, cpu()), on_free=freed.append)
+        sto.retain()
+        sto.release()
+        assert not freed
+        sto.release()
+        assert len(freed) == 1
+
+    def test_tensor_retains_storage(self):
+        freed = []
+        from repro.tensor.storage import Storage
+
+        raw = Storage(64, 64, cpu())
+        sto = StorageObj(raw, on_free=freed.append)
+        t = TensorObj(array([1.0]), sto)
+        sto.release()  # drop the storage register's own ref
+        assert not freed
+        t.release()  # last tensor reference
+        assert len(freed) == 1
+
+    def test_adt_retains_fields(self):
+        freed = []
+        from repro.tensor.storage import Storage
+
+        sto = StorageObj(Storage(64, 64, cpu()), on_free=freed.append)
+        t = TensorObj(array([1.0]), sto)
+        adt = ADTObj(0, [t])
+        sto.release()
+        t.release()
+        assert not freed  # ADT still holds the field
+        adt.release()
+        assert len(freed) == 1
+
+
+class TestInterpreterSemantics:
+    def _run(self, mod, *inputs, platform=None):
+        exe, _ = nimble.build(mod, platform or intel_cpu())
+        vm = VirtualMachine(exe)
+        return vm.run(*inputs), vm
+
+    def test_if_both_branches(self):
+        c = Var("c", scalar_type("bool"))
+        x = Var("x", TensorType((2,)))
+        mod = IRModule.from_expr(Function([c, x], If(c, api.add(x, x), x)))
+        x_in = np.float32([1, 2])
+        out_t, _ = self._run(mod, np.bool_(True), x_in)
+        out_f, _ = self._run(mod, np.bool_(False), x_in)
+        assert out_t.numpy().tolist() == [2, 4]
+        assert out_f.numpy().tolist() == [1, 2]
+
+    def test_match_wildcard_clause(self):
+        mod = IRModule()
+        gtv = mod.get_global_type_var("Opt")
+        data = TypeData(gtv, [], [("None_", []), ("Some", [TensorType((2,))])])
+        mod.add_type_data(data)
+        t = Var("t", TypeCall(gtv, []))
+        v = Var("v")
+        fallback = const(np.zeros(2, np.float32))
+        clauses = [
+            Clause(PatternConstructor(data.constructor("Some"), [PatternVar(v)]), v),
+            Clause(PatternWildcard(), fallback),
+        ]
+        mod["main"] = Function([t], Match(t, clauses), TensorType((2,)))
+        some = ADTObj(1, [TensorObj(array(np.float32([5, 6])))])
+        none = ADTObj(0, [])
+        out_some, _ = self._run(mod, some)
+        out_none, _ = self._run(mod, none)
+        assert out_some.numpy().tolist() == [5, 6]
+        assert out_none.numpy().tolist() == [0, 0]
+
+    def test_no_matching_clause_is_fatal(self):
+        mod = IRModule()
+        gtv = mod.get_global_type_var("Opt2")
+        data = TypeData(gtv, [], [("A", []), ("B", [])])
+        mod.add_type_data(data)
+        t = Var("t", TypeCall(gtv, []))
+        clauses = [Clause(PatternConstructor(data.constructor("A"), []), const(1.0))]
+        mod["main"] = Function([t], Match(t, clauses), scalar_type())
+        exe, _ = nimble.build(mod, intel_cpu())
+        with pytest.raises(VMError, match="no matching clause"):
+            VirtualMachine(exe).run(ADTObj(1, []))
+
+    def test_tuple_construction_and_projection(self):
+        x = Var("x", TensorType((2,)))
+        pair = Tuple([x, api.add(x, x)])
+        mod = IRModule.from_expr(Function([x], TupleGetItem(pair, 1)))
+        out, _ = self._run(mod, np.float32([1, 2]))
+        assert out.numpy().tolist() == [2, 4]
+
+    def test_returning_tuple_unwraps(self):
+        x = Var("x", TensorType((2,)))
+        mod = IRModule.from_expr(Function([x], Tuple([x, x])))
+        out, _ = self._run(mod, np.float32([1, 2]))
+        assert isinstance(out, tuple) and len(out) == 2
+
+    def test_wrong_arity_rejected(self):
+        x = Var("x", TensorType((2,)))
+        mod = IRModule.from_expr(Function([x], x))
+        exe, _ = nimble.build(mod, intel_cpu())
+        with pytest.raises(VMError):
+            VirtualMachine(exe).run()
+
+    def test_platform_mismatch_rejected(self):
+        x = Var("x", TensorType((2,)))
+        mod = IRModule.from_expr(Function([x], api.tanh(x)))
+        exe, _ = nimble.build(mod, intel_cpu())
+        with pytest.raises(VMError):
+            VirtualMachine(exe, ExecutionContext(nvidia_gpu()))
+
+    def test_deep_recursion_via_frame_stack(self):
+        """300 recursive calls: the explicit frame stack handles depths
+        that would stress Python recursion inside the dispatch loop."""
+        mod = IRModule()
+        gv = mod.get_global_var("count")
+        i = Var("i", scalar_type("int64"))
+        n = Var("n", scalar_type("int64"))
+        body = If(
+            api.less(i, n),
+            Call(gv, [api.add(i, const(np.int64(1), "int64")), n]),
+            i,
+        )
+        mod[gv] = Function([i, n], body, scalar_type("int64"))
+        main_n = Var("n", scalar_type("int64"))
+        mod["main"] = Function([main_n], Call(gv, [const(np.int64(0), "int64"), main_n]))
+        out, _ = self._run(mod, np.int64(300))
+        assert out.numpy().item() == 300
+
+    def test_profile_counts_instructions(self):
+        x = Var("x", TensorType((4, 8)))
+        w = Var("w", TensorType((8, 8)))
+        mod = IRModule.from_expr(Function([x, w], api.dense(x, w)))
+        _, vm = self._run(mod, np.zeros((4, 8), np.float32), np.zeros((8, 8), np.float32))
+        assert vm.profile.kernel_invocations == 1
+        assert vm.profile.instruction_counts["INVOKE_PACKED"] == 1
+        assert vm.profile.instruction_counts["RET"] == 1
+
+    def test_gpu_overlap_reduces_others(self):
+        """§6.3: on the GPU platform, bytecode overhead overlaps with
+        asynchronous kernel execution."""
+        x = Var("x", TensorType((64, 64)))
+        w = Var("w", TensorType((64, 64)))
+        body = api.relu(api.dense(x, w))
+        for _ in range(4):
+            body = api.relu(api.dense(body, w))  # denses never fuse together
+        mod = IRModule.from_expr(Function([x, w], body))
+        exe, _ = nimble.build(mod, nvidia_gpu())
+        ctx = ExecutionContext(nvidia_gpu())
+        vm = VirtualMachine(exe, ctx)
+        vm.run(np.zeros((64, 64), np.float32), np.zeros((64, 64), np.float32))
+        elapsed = ctx.elapsed_us
+        others = vm.profile.others_us(elapsed)
+        # Host work overlaps: "others" is a small fraction of kernel time.
+        assert others < vm.profile.kernel_time_us * 0.5
+
+    def test_lite_numerics_same_latency(self):
+        """The latency model is identical in full and lite modes."""
+        x = Var("x", TensorType((Any(), 32), "float32"))
+        w = const(np.random.RandomState(0).randn(32, 32).astype(np.float32))
+        mod = IRModule.from_expr(Function([x], api.relu(api.dense(x, w))))
+        exe, _ = nimble.build(mod, intel_cpu())
+        lat = {}
+        for mode in ("full", "lite"):
+            ctx = ExecutionContext(intel_cpu(), numerics=mode)
+            vm = VirtualMachine(exe, ctx)
+            vm.run(np.random.rand(9, 32).astype(np.float32))
+            lat[mode] = ctx.elapsed_us
+        assert lat["full"] == pytest.approx(lat["lite"], rel=1e-9)
+
+    def test_allocator_pooling_across_runs(self):
+        x = Var("x", TensorType((Any(), 16), "float32"))
+        w = const(np.zeros((16, 16), np.float32))
+        mod = IRModule.from_expr(Function([x], api.relu(api.dense(x, w))))
+        exe, _ = nimble.build(mod, intel_cpu())
+        ctx = ExecutionContext(intel_cpu())
+        vm = VirtualMachine(exe, ctx)
+        data = np.zeros((4, 16), np.float32)
+        vm.run(data)
+        fresh_first = ctx.allocator.stats.fresh_allocs
+        vm.run(data)
+        # Second run reuses pooled buffers freed by kills/refcounting.
+        assert ctx.allocator.stats.pooled_allocs > 0
+        assert ctx.allocator.stats.fresh_allocs == fresh_first
