@@ -3,13 +3,14 @@
 from repro.harness.experiments import (
     figure3_dispatch,
     memory_planning_study,
+    serving_study,
     table1_lstm,
     table2_tree_lstm,
     table3_bert,
     table4_overhead,
     tuning_ablation,
 )
-from repro.harness.reporting import format_table
+from repro.harness.reporting import format_table, percentile
 
 __all__ = [
     "table1_lstm",
@@ -18,6 +19,8 @@ __all__ = [
     "table4_overhead",
     "figure3_dispatch",
     "memory_planning_study",
+    "serving_study",
     "tuning_ablation",
     "format_table",
+    "percentile",
 ]

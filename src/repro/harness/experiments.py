@@ -20,7 +20,7 @@ from repro.baselines import (
     GraphFramework,
     HybridFramework,
 )
-from repro.codegen.kernels import KernelSet
+from repro.codegen.kernels import KernelCache, KernelSet
 from repro.codegen.tuner import SymbolicTuner
 from repro.codegen.workload import compute_workload
 from repro.core.memory import MemoryPlanReport
@@ -362,6 +362,103 @@ def memory_footprint_vs_static(
             "overhead_pct": 100.0 * (nimble_bytes / max(1, static_bytes) - 1.0),
         }
     return out
+
+
+# ---------------------------------------------------------------------------
+# Serving study: batched shape-bucketed serving vs serial dispatch
+# ---------------------------------------------------------------------------
+
+
+def serving_study(
+    model: str = "lstm",
+    num_requests: int = 32,
+    platform_name: str = "nvidia",
+    num_workers: int = 4,
+    max_batch_size: int = 8,
+    max_delay_us: float = 4000.0,
+    mean_interarrival_us: float = 50.0,
+    bucket_granularity: int = 8,
+    input_size: int = 300,
+    hidden_size: int = 512,
+    bert_config: Optional[BertConfig] = None,
+    numerics: str = "lite",
+    seed: int = 0,
+) -> Dict[str, Dict[str, float]]:
+    """Throughput/latency of the batched server vs one-at-a-time dispatch
+    on the same MRPC-like traffic trace.
+
+    Returns ``{"serial": {...}, "batched": {...}, "summary": {...}}`` where
+    the summary carries the throughput speedup and a determinism flag (the
+    batched simulation re-run from scratch must reproduce identical
+    numbers).
+    """
+    from repro.serve import InferenceServer, ServeConfig, bert_traffic, lstm_traffic
+
+    platform = platform_by_name(platform_name)
+    if model == "lstm":
+        weights = LSTMWeights.create(input_size, hidden_size, num_layers=1, seed=seed)
+        mod = build_lstm_module(weights)
+        requests = lstm_traffic(
+            num_requests, input_size=input_size,
+            mean_interarrival_us=mean_interarrival_us, seed=seed,
+        )
+    elif model == "bert":
+        config = bert_config or BertConfig()
+        weights = BertWeights.create(config, seed=seed)
+        mod = build_bert_module(weights)
+        requests = bert_traffic(
+            num_requests, hidden=config.hidden,
+            mean_interarrival_us=mean_interarrival_us, seed=seed,
+        )
+    else:
+        raise ValueError(f"unknown serving model {model!r}")
+
+    batched_config = ServeConfig(
+        max_batch_size=max_batch_size,
+        max_delay_us=max_delay_us,
+        num_workers=num_workers,
+        bucket_granularity=bucket_granularity,
+        numerics=numerics,
+    )
+
+    def run(config: ServeConfig, kernel_cache: Optional[KernelCache] = None):
+        server = InferenceServer(mod, platform, config, kernel_cache=kernel_cache)
+        return server.simulate(requests)
+
+    # Serial and batched share one kernel cache (identical module, compile
+    # once); the repeat run builds from scratch so the determinism check
+    # covers the whole compile-and-serve path.
+    shared_cache = KernelCache()
+    serial = run(
+        ServeConfig.serial(bucket_granularity=bucket_granularity, numerics=numerics),
+        shared_cache,
+    )
+    batched = run(batched_config, shared_cache)
+    repeat = run(batched_config)
+
+    def row(report) -> Dict[str, float]:
+        return {
+            "throughput_rps": report.throughput_rps,
+            "p50_us": report.p50_us,
+            "p99_us": report.p99_us,
+            "mean_latency_us": report.mean_latency_us,
+            "mean_batch_size": report.mean_batch_size,
+            "num_batches": float(report.num_batches),
+            "span_us": report.span_us,
+        }
+
+    deterministic = row(batched) == row(repeat) and (
+        batched.latencies_us == repeat.latencies_us
+    )
+    return {
+        "serial": row(serial),
+        "batched": row(batched),
+        "summary": {
+            "throughput_speedup": batched.throughput_rps
+            / max(1e-12, serial.throughput_rps),
+            "deterministic": float(deterministic),
+        },
+    }
 
 
 # ---------------------------------------------------------------------------

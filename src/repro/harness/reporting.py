@@ -39,3 +39,18 @@ def speedup(baseline_us: Optional[float], nimble_us: float) -> Optional[float]:
     if baseline_us is None or nimble_us <= 0:
         return None
     return baseline_us / nimble_us
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """Linear-interpolation percentile (numpy's default method), pure
+    Python so serving reports stay bit-deterministic across platforms."""
+    if not values:
+        raise ValueError("percentile of empty sequence")
+    if not 0.0 <= q <= 100.0:
+        raise ValueError(f"percentile q must be in [0, 100], got {q}")
+    ordered = sorted(values)
+    rank = (len(ordered) - 1) * q / 100.0
+    lo = int(rank)
+    hi = min(lo + 1, len(ordered) - 1)
+    frac = rank - lo
+    return ordered[lo] * (1.0 - frac) + ordered[hi] * frac

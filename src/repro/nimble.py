@@ -15,6 +15,7 @@ device placement → VM bytecode + kernel generation.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Dict, Optional, Tuple
 
@@ -57,6 +58,10 @@ class BuildReport:
     num_instructions: int = 0
     bytecode_bytes: int = 0
     kernel_code_bytes: int = 0
+    # The module right after type inference: callers that need checked
+    # types (e.g. the serving layer's shape bucketer) reuse this instead
+    # of re-running inference.
+    typed_module: Optional[IRModule] = None
 
 
 def build(
@@ -71,8 +76,11 @@ def build(
     platform = platform or intel_cpu()
     options = options or CompilerOptions()
 
+    infer_start = time.perf_counter()
+    typed = InferType()(mod)
+    infer_time = time.perf_counter() - infer_start
+
     passes = [
-        InferType(),
         FoldConstant(),
         SimplifyExpressions(),
         ToANF(),
@@ -92,18 +100,19 @@ def build(
         passes.append(memory_pass)
 
     pipeline = Sequential(passes)
-    lowered = pipeline.run(mod)
+    lowered = pipeline.run(typed)
 
     compiler = VMCompiler(platform, options, kernel_cache)
     exe = compiler.compile(lowered)
 
     report = BuildReport(
-        pass_timings=dict(pipeline.timings),
+        pass_timings={"InferType": infer_time, **pipeline.timings},
         memory=memory_pass.report if memory_pass is not None else None,
         placement=device_pass.report,
         num_kernels=len(exe.kernels),
         num_instructions=exe.num_instructions,
         bytecode_bytes=exe.bytecode_size_bytes(),
         kernel_code_bytes=exe.kernel_code_size_bytes(),
+        typed_module=typed,
     )
     return exe, report

@@ -62,6 +62,13 @@ class PoolingAllocator:
             lambda: defaultdict(list)
         )
 
+    @property
+    def live_bytes(self) -> int:
+        """Bytes currently allocated and not yet freed. Zero between
+        inferences means every buffer drained back to the pool — the VM
+        leak-regression tests assert exactly this."""
+        return self._live_bytes
+
     # -- allocation -----------------------------------------------------------
     def alloc(self, nbytes: int, alignment: int, device: Device) -> Storage:
         size = _size_class(max(1, int(nbytes)))

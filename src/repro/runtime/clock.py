@@ -28,6 +28,15 @@ class VirtualClock:
     def host_advance(self, us: float) -> None:
         self.host_us += us
 
+    def advance_to(self, us: float) -> None:
+        """Fast-forward host time to a global timestamp (no-op if already
+        past it). Serving workers use this to align their local clock with
+        the server's event timeline before dispatching a batch: the idle gap
+        between a worker's last finish and the next batch's start is wall
+        time, not work."""
+        if us > self.host_us:
+            self.host_us = us
+
     # -- kernels -----------------------------------------------------------------
     def run_sync(self, us: float) -> None:
         """A kernel on the host device: fully synchronous."""

@@ -1,0 +1,37 @@
+"""Multi-tenant serving on top of the Nimble VM.
+
+The paper compiles one executable that handles every input shape; this
+package serves *streams* of such inputs. A deterministic, virtual-clock
+driven inference server accepts dynamically-shaped requests, buckets them
+by their ``Any``-dimension values (reusing the §4.1 sub-shaping analysis),
+forms batches under a latency deadline, and dispatches batches across a
+pool of :class:`VirtualMachine` workers that share one compiled
+:class:`Executable` and :class:`KernelCache`.
+
+Everything is simulated on the virtual clock (see ``runtime/clock.py``):
+arrivals, queueing delay, batching deadlines, and worker busy time all
+live on one timeline, so throughput and tail-latency numbers are exactly
+reproducible run to run.
+"""
+
+from repro.serve.batcher import Batch, Batcher, ShapeBucketer
+from repro.serve.report import ServeReport
+from repro.serve.request import Request, Response
+from repro.serve.server import InferenceServer, ServeConfig
+from repro.serve.traffic import bert_traffic, lstm_traffic, poisson_arrivals
+from repro.serve.worker import Worker
+
+__all__ = [
+    "Batch",
+    "Batcher",
+    "ShapeBucketer",
+    "ServeReport",
+    "Request",
+    "Response",
+    "InferenceServer",
+    "ServeConfig",
+    "Worker",
+    "poisson_arrivals",
+    "lstm_traffic",
+    "bert_traffic",
+]

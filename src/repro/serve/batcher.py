@@ -1,0 +1,138 @@
+"""Shape-bucketed batching under a latency deadline.
+
+Requests are grouped by the runtime values of their ``Any`` dimensions so
+every member of a batch hits the same symbolic-kernel dispatch path and
+the same allocator size classes. Which dimensions matter comes from the
+§4.1 sub-shaping analysis (``core/typing/subshape.py``): dimensions whose
+``Any`` tokens are provably identical contribute one bucket-key entry, and
+values are rounded up to a configurable granularity so near-identical
+lengths share a bucket (the classic padding-bucket trick, except the VM
+needs no padding — the bucket only decides *who batches together*).
+
+A bucket flushes when it reaches ``max_batch_size`` or when its oldest
+request has waited ``max_delay_us`` — the standard deadline-batching
+tradeoff between throughput and tail latency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.typing.subshape import any_dim_groups
+from repro.ir.expr import Function, Var
+
+
+class ShapeBucketer:
+    """Derives a bucket key from a request payload.
+
+    Built from a *type-checked* entry function: each distinct ``Any`` token
+    appearing in a parameter type yields one key component. Two dimensions
+    the sub-shaping analysis proves equal share a token and therefore
+    contribute a single component.
+    """
+
+    def __init__(self, func: Function, granularity: int = 8) -> None:
+        if granularity < 1:
+            raise ValueError(f"bucket granularity must be >= 1, got {granularity}")
+        self.granularity = granularity
+        param_index = {p: i for i, p in enumerate(func.params)}
+        dims: List[Tuple[int, int]] = []
+        for entries in any_dim_groups(func).values():
+            # One key component per token group: the first parameter-level
+            # occurrence represents every dim proven equal to it.
+            for node, path, dim in entries:
+                if isinstance(node, Var) and node in param_index and path == ():
+                    dims.append((param_index[node], dim))
+                    break
+        # Key components in (param, dim) order regardless of token order.
+        self.dynamic_dims: List[Tuple[int, int]] = sorted(dims)
+
+    def key(self, payload) -> Tuple[int, ...]:
+        """Bucket key: each dynamic dim rounded up to the granularity."""
+        inputs = payload if isinstance(payload, tuple) else (payload,)
+        parts: List[int] = []
+        g = self.granularity
+        for p, d in self.dynamic_dims:
+            if p >= len(inputs):
+                raise ValueError(
+                    f"payload provides {len(inputs)} inputs but param {p} "
+                    f"is shape-bucketed"
+                )
+            shape = getattr(inputs[p], "shape", None)
+            if shape is None or d >= len(shape):
+                raise ValueError(
+                    f"payload for param {p} has no dimension {d} to bucket on"
+                )
+            parts.append(-(-int(shape[d]) // g) * g)
+        return tuple(parts)
+
+
+@dataclass
+class Batch:
+    """A group of same-bucket requests dispatched together."""
+
+    key: Tuple[int, ...]
+    requests: List
+    formed_us: float
+
+    def __len__(self) -> int:
+        return len(self.requests)
+
+
+class Batcher:
+    """Per-bucket FIFO queues with size- and deadline-triggered flushing."""
+
+    def __init__(
+        self,
+        bucketer: ShapeBucketer,
+        max_batch_size: int = 8,
+        max_delay_us: float = 2000.0,
+    ) -> None:
+        if max_batch_size < 1:
+            raise ValueError(f"max_batch_size must be >= 1, got {max_batch_size}")
+        if max_delay_us < 0:
+            raise ValueError(f"max_delay_us must be >= 0, got {max_delay_us}")
+        self.bucketer = bucketer
+        self.max_batch_size = max_batch_size
+        self.max_delay_us = max_delay_us
+        self._queues: Dict[Tuple[int, ...], List] = {}
+
+    @property
+    def pending(self) -> int:
+        return sum(len(q) for q in self._queues.values())
+
+    def add(self, request, now_us: float) -> Optional[Batch]:
+        """Enqueue; returns a full batch if this arrival filled its bucket."""
+        key = self.bucketer.key(request.payload)
+        queue = self._queues.setdefault(key, [])
+        queue.append(request)
+        if len(queue) >= self.max_batch_size:
+            del self._queues[key]
+            return Batch(key, queue, now_us)
+        return None
+
+    def next_deadline(self) -> Optional[float]:
+        """Earliest instant at which some bucket must flush, or None."""
+        deadlines = [
+            queue[0].arrival_us + self.max_delay_us
+            for queue in self._queues.values()
+            if queue
+        ]
+        return min(deadlines) if deadlines else None
+
+    def flush_due(self, now_us: float) -> List[Batch]:
+        """Flush every bucket whose oldest request has hit its deadline."""
+        out: List[Batch] = []
+        for key in list(self._queues):
+            queue = self._queues[key]
+            if queue and queue[0].arrival_us + self.max_delay_us <= now_us:
+                del self._queues[key]
+                out.append(Batch(key, queue, now_us))
+        return out
+
+    def flush_all(self, now_us: float) -> List[Batch]:
+        """Drain every bucket regardless of deadline (server shutdown)."""
+        out = [Batch(key, queue, now_us) for key, queue in self._queues.items()]
+        self._queues.clear()
+        return out

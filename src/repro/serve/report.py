@@ -1,0 +1,143 @@
+"""Aggregated serving statistics: latency percentiles, throughput, batch
+shapes, and per-worker utilization, plus the merged VM profile of every
+worker (the Table 4 kernel-vs-others breakdown, fleet-wide)."""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+from repro.harness.reporting import format_table, percentile
+from repro.serve.request import Response
+from repro.vm.profiler import VMProfile
+
+
+@dataclass
+class ServeReport:
+    responses: List[Response] = field(default_factory=list)
+    worker_busy_us: List[float] = field(default_factory=list)
+    worker_batches: List[int] = field(default_factory=list)
+    profile: VMProfile = field(default_factory=VMProfile)
+
+    # ----------------------------------------------------------------- counts
+    @property
+    def num_requests(self) -> int:
+        return len(self.responses)
+
+    @property
+    def num_batches(self) -> int:
+        return sum(self.worker_batches)
+
+    @property
+    def batch_histogram(self) -> Dict[int, int]:
+        """{batch_size: number of batches of that size}."""
+        sizes = Counter()
+        for r in self.responses:
+            sizes[r.batch_size] += 1
+        # Each batch of size k contributes k responses.
+        return {k: v // k for k, v in sorted(sizes.items())}
+
+    @property
+    def mean_batch_size(self) -> float:
+        if self.num_batches == 0:
+            return 0.0
+        return self.num_requests / self.num_batches
+
+    @property
+    def bucket_keys(self) -> List[Tuple[int, ...]]:
+        return sorted({r.bucket_key for r in self.responses})
+
+    # ----------------------------------------------------------------- timing
+    @property
+    def latencies_us(self) -> List[float]:
+        return [r.latency_us for r in self.responses]
+
+    @property
+    def span_us(self) -> float:
+        """First arrival to last completion."""
+        if not self.responses:
+            return 0.0
+        start = min(r.arrival_us for r in self.responses)
+        end = max(r.finish_us for r in self.responses)
+        return end - start
+
+    @property
+    def throughput_rps(self) -> float:
+        """Requests per (virtual) second over the busy span."""
+        if self.span_us <= 0:
+            return 0.0
+        return self.num_requests / self.span_us * 1e6
+
+    def latency_percentile_us(self, q: float) -> float:
+        lats = self.latencies_us
+        return percentile(lats, q) if lats else 0.0
+
+    @property
+    def p50_us(self) -> float:
+        return self.latency_percentile_us(50.0)
+
+    @property
+    def p99_us(self) -> float:
+        return self.latency_percentile_us(99.0)
+
+    @property
+    def mean_latency_us(self) -> float:
+        lats = self.latencies_us
+        return sum(lats) / len(lats) if lats else 0.0
+
+    @property
+    def max_latency_us(self) -> float:
+        return max(self.latencies_us) if self.latencies_us else 0.0
+
+    @property
+    def worker_utilization(self) -> List[float]:
+        """Busy fraction of the serving span, per worker."""
+        span = self.span_us
+        if span <= 0:
+            return [0.0 for _ in self.worker_busy_us]
+        return [busy / span for busy in self.worker_busy_us]
+
+    # -------------------------------------------------------------- rendering
+    def format(self, title: str = "Serving report") -> str:
+        rows = [
+            ["requests", float(self.num_requests)],
+            ["batches", float(self.num_batches)],
+            ["mean batch size", self.mean_batch_size],
+            ["shape buckets", float(len(self.bucket_keys))],
+            ["throughput (req/s)", self.throughput_rps],
+            ["latency p50 (µs)", self.p50_us],
+            ["latency p99 (µs)", self.p99_us],
+            ["latency max (µs)", self.max_latency_us],
+            ["kernel time (µs)", self.profile.kernel_time_us],
+        ]
+        main = format_table(title, rows, ["metric", "value"])
+        hist_rows = [
+            [size, count] for size, count in self.batch_histogram.items()
+        ]
+        hist = format_table(
+            "Batch-size histogram", hist_rows, ["batch size", "batches"]
+        )
+        util_rows = [
+            [i, busy, 100.0 * util]
+            for i, (busy, util) in enumerate(
+                zip(self.worker_busy_us, self.worker_utilization)
+            )
+        ]
+        util = format_table(
+            "Workers", util_rows, ["worker", "busy µs", "util %"]
+        )
+        return "\n\n".join([main, hist, util])
+
+
+def build_report(responses: Sequence[Response], workers) -> ServeReport:
+    """Assemble a ServeReport from responses + the worker pool."""
+    profile = VMProfile()
+    for worker in workers:
+        profile.merge(worker.vm.profile)
+    return ServeReport(
+        responses=sorted(responses, key=lambda r: r.rid),
+        worker_busy_us=[w.busy_us for w in workers],
+        worker_batches=[w.batches_run for w in workers],
+        profile=profile,
+    )

@@ -1,0 +1,126 @@
+"""The inference server: an event-driven simulation over virtual time.
+
+``simulate`` replays a request trace against the batcher and worker pool.
+The loop advances virtual time from event to event — the next arrival or
+the next bucket deadline, whichever comes first — so the trace, the
+batching decisions, and every latency number are a pure function of the
+inputs. Two identical simulations are bit-identical.
+
+Workers never block batch formation: a flushed batch is assigned to the
+earliest-free worker (ties broken by worker id) and starts at
+``max(flush time, worker free time)``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import repro.nimble as nimble
+from repro.codegen.kernels import KernelCache
+from repro.errors import VMError
+from repro.hardware.platforms import Platform, intel_cpu
+from repro.ir.module import IRModule
+from repro.serve.batcher import Batch, Batcher, ShapeBucketer
+from repro.serve.report import ServeReport, build_report
+from repro.serve.request import Request, Response
+from repro.serve.worker import Worker
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    max_batch_size: int = 8
+    max_delay_us: float = 2000.0
+    num_workers: int = 2
+    bucket_granularity: int = 8
+    numerics: str = "lite"
+    entry: str = "main"
+
+    @staticmethod
+    def serial(**overrides) -> "ServeConfig":
+        """One-request-at-a-time dispatch: the unbatched baseline. Other
+        knobs (numerics, entry, ...) pass through so a serial baseline runs
+        under the same conditions as the batched server it is compared to."""
+        return ServeConfig(
+            max_batch_size=1, max_delay_us=0.0, num_workers=1, **overrides
+        )
+
+
+class InferenceServer:
+    """Compile once, serve a stream of dynamically-shaped requests."""
+
+    def __init__(
+        self,
+        mod: IRModule,
+        platform: Optional[Platform] = None,
+        config: Optional[ServeConfig] = None,
+        kernel_cache: Optional[KernelCache] = None,
+    ) -> None:
+        self.platform = platform or intel_cpu()
+        self.config = config or ServeConfig()
+        if self.config.num_workers < 1:
+            raise ValueError("num_workers must be >= 1")
+        self.kernel_cache = kernel_cache or KernelCache()
+        self.exe, self.build_report = nimble.build(
+            mod, self.platform, kernel_cache=self.kernel_cache
+        )
+        typed = self.build_report.typed_module
+        if self.config.entry not in typed:
+            raise VMError(f"module has no entry function {self.config.entry!r}")
+        self.bucketer = ShapeBucketer(
+            typed[self.config.entry], granularity=self.config.bucket_granularity
+        )
+        self.workers = [
+            Worker(
+                i, self.exe, self.platform,
+                numerics=self.config.numerics, entry=self.config.entry,
+            )
+            for i in range(self.config.num_workers)
+        ]
+
+    # ------------------------------------------------------------- simulation
+    def simulate(self, requests: Sequence[Request]) -> ServeReport:
+        """Serve the trace to completion; returns the aggregate report.
+
+        Each call is an independent replay: workers reset to cold start,
+        so the same trace always yields the same report, and repeated
+        simulations never inherit clock/pool/profile state."""
+        for worker in self.workers:
+            worker.reset()
+        trace = sorted(requests, key=lambda r: (r.arrival_us, r.rid))
+        batcher = Batcher(
+            self.bucketer,
+            max_batch_size=self.config.max_batch_size,
+            max_delay_us=self.config.max_delay_us,
+        )
+        responses: List[Response] = []
+        now = 0.0
+        i, n = 0, len(trace)
+        while i < n or batcher.pending:
+            next_arrival = trace[i].arrival_us if i < n else math.inf
+            deadline = batcher.next_deadline()
+            next_deadline = deadline if deadline is not None else math.inf
+            if next_arrival == math.inf and next_deadline == math.inf:
+                # Arrivals exhausted and no finite deadline will ever fire
+                # (max_delay_us=inf means flush-on-size-only): shutdown
+                # drain of the leftover partial buckets at the last event.
+                for batch in batcher.flush_all(now):
+                    responses.extend(self._dispatch(batch))
+                break
+            if next_arrival <= next_deadline:
+                now = next_arrival
+                batch = batcher.add(trace[i], now)
+                i += 1
+                if batch is not None:
+                    responses.extend(self._dispatch(batch))
+            else:
+                now = next_deadline
+                for batch in batcher.flush_due(now):
+                    responses.extend(self._dispatch(batch))
+        return build_report(responses, self.workers)
+
+    def _dispatch(self, batch: Batch) -> List[Response]:
+        worker = min(self.workers, key=lambda w: (w.free_at_us, w.worker_id))
+        start = max(batch.formed_us, worker.free_at_us)
+        return worker.run_batch(batch, start)

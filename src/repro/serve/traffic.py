@@ -1,0 +1,62 @@
+"""Deterministic traffic models for the serving benchmarks.
+
+Arrival processes are Poisson (exponential inter-arrival gaps) with a
+fixed seed; payload shapes follow the MRPC sentence-length distribution
+from ``data/mrpc.py`` — the same distribution Tables 1 and 3 use — so the
+serving benchmark exercises exactly the dynamic-shape mix the compiler
+was built for.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from repro.data.mrpc import mrpc_like_lengths
+from repro.serve.request import Request
+
+
+def poisson_arrivals(n: int, mean_interarrival_us: float, seed: int = 0) -> List[float]:
+    """n arrival timestamps from a seeded Poisson process."""
+    rng = np.random.RandomState(seed)
+    gaps = rng.exponential(mean_interarrival_us, size=n)
+    return [float(t) for t in np.cumsum(gaps)]
+
+
+def _embedded_requests(
+    n: int, dim: int, mean_interarrival_us: float, seed: int
+) -> List[Request]:
+    arrivals = poisson_arrivals(n, mean_interarrival_us, seed)
+    lengths = mrpc_like_lengths(n, seed)
+    rng = np.random.RandomState(seed + 7)
+    return [
+        Request(
+            rid=i,
+            arrival_us=arrivals[i],
+            payload=(rng.randn(lengths[i], dim) * 0.1).astype(np.float32),
+        )
+        for i in range(n)
+    ]
+
+
+def lstm_traffic(
+    n: int = 32,
+    input_size: int = 300,
+    mean_interarrival_us: float = 200.0,
+    seed: int = 0,
+) -> List[Request]:
+    """Variable-length embedded sentences for the LSTM entry
+    ``main(x: Tensor[(Any, input_size)])``."""
+    return _embedded_requests(n, input_size, mean_interarrival_us, seed)
+
+
+def bert_traffic(
+    n: int = 32,
+    hidden: int = 768,
+    mean_interarrival_us: float = 500.0,
+    seed: int = 0,
+) -> List[Request]:
+    """Variable-length embedded sentences for the BERT entry
+    ``main(x: Tensor[(Any, hidden)])``."""
+    return _embedded_requests(n, hidden, mean_interarrival_us, seed)

@@ -56,10 +56,22 @@ class VirtualMachine:
             )
         self.profile = VMProfile()
         self._instr_us = self.ctx.platform.vm_instruction_us
+        self._running = False
 
     # ------------------------------------------------------------------ public
-    def run(self, *inputs, entry: Optional[str] = None):
-        """Invoke the entry function; returns NDArray / nested tuples."""
+    def run(self, *inputs, entry: Optional[str] = None, sync: bool = True):
+        """Invoke the entry function; returns NDArray / nested tuples.
+
+        ``sync=False`` skips the final device synchronization: the host
+        returns as soon as the last kernel is enqueued, so a subsequent
+        ``run`` on the same VM overlaps its host-side dispatch with the
+        device queue of this one. The serving layer uses this to pipeline
+        the members of a batch and synchronize once per batch.
+        """
+        if self._running:
+            raise VMError(
+                "VirtualMachine.run is not re-entrant; use one VM per worker"
+            )
         name = entry or self.exe.entry
         try:
             index = self.exe.func_index[name]
@@ -73,8 +85,14 @@ class VirtualMachine:
         frame = _Frame(func, caller_dst=None)
         for i, value in enumerate(inputs):
             frame.registers[i] = self._wrap_input(value)
-        result = self._dispatch_loop(frame)
-        self.ctx.clock.sync_all()
+        self._running = True
+        try:
+            result = self._dispatch_loop(frame)
+        finally:
+            self._running = False
+        self.profile.record_run()
+        if sync:
+            self.ctx.clock.sync_all()
         unwrapped = self._unwrap(result)
         # The unwrap copied the data out; drop the VM's last reference so
         # the result buffer returns to the allocator pool.
@@ -90,6 +108,17 @@ class VirtualMachine:
     # ------------------------------------------------------------ dispatch loop
     def _dispatch_loop(self, root: _Frame) -> RegisterValue:
         stack: List[_Frame] = [root]
+        try:
+            return self._run_frames(stack)
+        except BaseException:
+            # An error mid-dispatch must not leak buffers: drop every live
+            # frame so their registers' refcounts drain and pooled storage
+            # returns to the allocator.
+            while stack:
+                self._release_frame(stack.pop())
+            raise
+
+    def _run_frames(self, stack: List[_Frame]) -> RegisterValue:
         final: RegisterValue = None
         clock = self.ctx.clock
         while stack:

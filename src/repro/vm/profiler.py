@@ -17,6 +17,7 @@ from typing import Dict
 
 @dataclass
 class VMProfile:
+    runs: int = 0
     instruction_counts: Counter = field(default_factory=Counter)
     kernel_time_us: float = 0.0
     kernel_invocations: int = 0
@@ -27,6 +28,9 @@ class VMProfile:
     copy_time_us: float = 0.0
     dispatch_time_us: float = 0.0
     impl_counts: Counter = field(default_factory=Counter)
+
+    def record_run(self) -> None:
+        self.runs += 1
 
     def record_instruction(self, opcode_name: str, dispatch_us: float) -> None:
         self.instruction_counts[opcode_name] += 1
@@ -46,6 +50,7 @@ class VMProfile:
         return max(0.0, elapsed_us - self.kernel_time_us)
 
     def merge(self, other: "VMProfile") -> None:
+        self.runs += other.runs
         self.instruction_counts.update(other.instruction_counts)
         self.kernel_time_us += other.kernel_time_us
         self.kernel_invocations += other.kernel_invocations
@@ -58,6 +63,7 @@ class VMProfile:
         self.impl_counts.update(other.impl_counts)
 
     def reset(self) -> None:
+        self.runs = 0
         self.instruction_counts.clear()
         self.impl_counts.clear()
         self.kernel_time_us = 0.0

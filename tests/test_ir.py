@@ -268,6 +268,81 @@ class TestStructuralEquality:
         assert structural_hash(a) == structural_hash(b)
 
 
+class TestPrinterGolden:
+    """The printed text of each model family is stable (golden files) and
+    carries enough structure to recover every function signature."""
+
+    @staticmethod
+    def _builders():
+        from repro.models.bert import BertConfig, BertWeights, build_bert_module
+        from repro.models.lstm import LSTMWeights, build_lstm_module
+        from repro.models.tree_lstm import TreeLSTMWeights, build_tree_lstm_module
+
+        return {
+            "lstm": lambda: build_lstm_module(
+                LSTMWeights.create(input_size=8, hidden_size=4, num_layers=1, seed=0)
+            ),
+            "tree_lstm": lambda: build_tree_lstm_module(
+                TreeLSTMWeights.create(input_size=8, hidden_size=4, seed=0)
+            ),
+            "bert": lambda: build_bert_module(
+                BertWeights.create(
+                    BertConfig(hidden=8, num_layers=1, num_heads=2, ffn=16), seed=0
+                )
+            ),
+        }
+
+    @staticmethod
+    def _golden(name):
+        import pathlib
+
+        path = pathlib.Path(__file__).parent / "golden" / f"{name}.txt"
+        return path.read_text()
+
+    @pytest.mark.parametrize("family", ["lstm", "tree_lstm", "bert"])
+    def test_printed_module_matches_golden(self, family):
+        from repro.ir import pretty_module
+
+        mod = self._builders()[family]()
+        assert pretty_module(mod) + "\n" == self._golden(family)
+
+    @pytest.mark.parametrize("family", ["lstm", "tree_lstm", "bert"])
+    def test_rebuild_is_equivalent(self, family):
+        from repro.ir import pretty_module
+
+        from repro.ir import iter_nodes
+        from repro.ir.expr import Constructor
+
+        build = self._builders()[family]
+        a, b = build(), build()
+        assert pretty_module(a) == pretty_module(b)
+        for gv, func in a.functions.items():
+            # Global refs compare by identity, so alpha-equivalence only
+            # applies to self-contained functions; cross-module reference
+            # equality is covered by the printed-text comparison above.
+            self_contained = not any(
+                isinstance(n, (GlobalVar, Constructor)) for n in iter_nodes(func)
+            )
+            if self_contained:
+                assert structural_equal(func, b[gv.name_hint])
+
+    @pytest.mark.parametrize("family", ["lstm", "tree_lstm", "bert"])
+    def test_signature_reparses_from_text(self, family):
+        from repro.ir import module_signature, parse_module_signature
+
+        mod = self._builders()[family]()
+        parsed = parse_module_signature(self._golden(family))
+        assert parsed == module_signature(mod)
+        assert "main" in parsed
+
+    def test_signature_parser_handles_nested_types(self):
+        from repro.ir import module_signature, parse_module_signature, pretty_module
+
+        x = Var("x", TupleType([TensorType((Any(), 2)), scalar_type("int64")]))
+        mod = IRModule.from_expr(Function([x], TupleGetItem(x, 0), TensorType((Any(), 2))))
+        assert parse_module_signature(pretty_module(mod)) == module_signature(mod)
+
+
 class TestPrinter:
     def test_prints_function(self):
         x = Var("x", TensorType((2, Any()), "float32"))

@@ -2,6 +2,8 @@
 
 import numpy as np
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.core.device import DevicePlace
 from repro.core.memory import ManifestAlloc, MemoryPlan
@@ -143,6 +145,128 @@ class TestMemoryPlan:
 
             results.append(VirtualMachine(exe).run(x).numpy())
         assert np.allclose(results[0], results[1])
+
+
+@st.composite
+def _op_chains(draw):
+    """A random straight-line compute chain: each step applies a unary or
+    binary elementwise op (or a dense) to previously-computed values."""
+    n = draw(st.integers(min_value=3, max_value=10))
+    steps = []
+    for i in range(n):
+        kind = draw(st.sampled_from(["relu", "tanh", "sigmoid", "dense", "add", "multiply"]))
+        a = draw(st.integers(min_value=0, max_value=i))
+        b = draw(st.integers(min_value=0, max_value=i)) if kind in ("add", "multiply") else None
+        steps.append((kind, a, b))
+    return steps
+
+
+class TestPlannerProperty:
+    """§4.3 soundness, property-based: whatever the liveness intervals, the
+    planner never multiplexes two overlapping-lifetime buffers onto one
+    storage slot — checked structurally on the planned IR and end-to-end on
+    the numerics."""
+
+    SHAPE = (8, 16)
+
+    def _build(self, steps):
+        from repro.ir import const
+
+        rng = np.random.RandomState(0)
+        w = const(rng.randn(self.SHAPE[1], self.SHAPE[1]).astype(np.float32) * 0.1)
+        x = Var("x", TensorType(self.SHAPE, "float32"))
+        vals = [x]
+        for kind, a, b in steps:
+            if kind == "dense":
+                vals.append(api.dense(vals[a], w))
+            elif kind in ("add", "multiply"):
+                vals.append(getattr(api, kind)(vals[a], vals[b]))
+            else:
+                vals.append(getattr(api, kind)(vals[a]))
+        return Function([x], vals[-1])
+
+    @staticmethod
+    def _storage_conflicts(main):
+        """Group planned tensors by storage root; return any pair carved
+        from one slot whose [def, last-use] intervals overlap."""
+        bindings = []
+        node = main.body
+        while isinstance(node, Let):
+            bindings.append((node.var, node.value))
+            node = node.body
+        tail = node
+
+        def op_name(value):
+            if isinstance(value, Call) and isinstance(value.op, Op):
+                return value.op.name
+            return None
+
+        # Resolve storage aliases (Let var = other_storage_var) to roots.
+        roots = {}
+        for var, value in bindings:
+            if op_name(value) == "memory.alloc_storage":
+                roots[var] = var
+            elif isinstance(value, Var) and value in roots:
+                roots[var] = roots[value]
+
+        index = {}
+        tensor_storage = {}
+        for i, (var, value) in enumerate(bindings):
+            index[var] = i
+            if op_name(value) == "memory.alloc_tensor":
+                storage = value.args[0]
+                if isinstance(storage, Var) and storage in roots:
+                    tensor_storage[var] = roots[storage]
+
+        # Last *real* use of each var: kills are destructor markers, not reads.
+        last_use = {}
+        for i, (var, value) in enumerate(bindings):
+            if op_name(value) == "memory.kill":
+                continue
+            for node in iter_nodes(value):
+                if isinstance(node, Var):
+                    last_use[node] = i
+        for node in iter_nodes(tail):
+            if isinstance(node, Var):
+                last_use[node] = len(bindings)
+
+        by_storage = {}
+        for tensor, storage in tensor_storage.items():
+            interval = (index[tensor], max(index[tensor], last_use.get(tensor, -1)))
+            by_storage.setdefault(storage, []).append((tensor, interval))
+
+        conflicts = []
+        for storage, tensors in by_storage.items():
+            tensors.sort(key=lambda entry: entry[1])
+            for (t1, (s1, e1)), (t2, (s2, e2)) in zip(tensors, tensors[1:]):
+                if s2 <= e1:
+                    conflicts.append((storage, t1, (s1, e1), t2, (s2, e2)))
+        return conflicts
+
+    @given(steps=_op_chains())
+    @settings(max_examples=25, deadline=None, derandomize=True)
+    def test_no_overlapping_lifetimes_share_a_slot(self, steps):
+        func = self._build(steps)
+        plan_pass = MemoryPlan()
+        platform = intel_cpu()
+        # Same order as nimble.build: placement before planning.
+        mod = infer_types(IRModule.from_expr(func))
+        mod = Sequential(
+            [ToANF(), FuseOps(), ManifestAlloc(),
+             DevicePlace(platform.host, platform.compute), plan_pass]
+        ).run(mod)
+        assert self._storage_conflicts(mod.main) == []
+
+        # End-to-end: reuse must be invisible in the numerics.
+        import repro.nimble as nimble
+        from repro.vm.interpreter import VirtualMachine
+
+        x = np.random.RandomState(1).randn(*self.SHAPE).astype(np.float32)
+        outputs = []
+        for plan in (False, True):
+            exe, _ = nimble.build(IRModule.from_expr(func), platform, plan_memory=plan)
+            outputs.append(VirtualMachine(exe).run(x).numpy())
+        assert np.allclose(outputs[0], outputs[1], atol=1e-5)
 
 
 class TestAliasLiveness:

@@ -1,0 +1,367 @@
+"""The serving layer: shape bucketing, deadline batching, worker-pool
+scheduling, report statistics, determinism, and leak-freedom."""
+
+import numpy as np
+import pytest
+
+from repro.core.typing import infer_types
+from repro.errors import VMError
+from repro.harness.reporting import percentile
+from repro.hardware import intel_cpu, nvidia_gpu
+from repro.ir import Any, Function, IRModule, TensorType, Var, const
+from repro.models.lstm import LSTMWeights, build_lstm_module, lstm_reference
+from repro.ops import api
+from repro.serve import (
+    Batcher,
+    InferenceServer,
+    Request,
+    Response,
+    ServeConfig,
+    ShapeBucketer,
+    lstm_traffic,
+    poisson_arrivals,
+)
+from repro.serve.report import ServeReport
+
+
+def _dyn_mlp_module(dim=8, seed=0):
+    """main(x: Tensor[(Any, dim)]): one dense + relu — a fast dynamic model."""
+    w = const((np.random.RandomState(seed).randn(dim, dim) * 0.1).astype(np.float32))
+    x = Var("x", TensorType((Any(), dim), "float32"))
+    return IRModule.from_expr(Function([x], api.relu(api.dense(x, w))))
+
+
+def _typed_main(mod):
+    return infer_types(mod)["main"]
+
+
+def _payload(rows, dim=8, seed=0):
+    return (np.random.RandomState(seed).randn(rows, dim) * 0.1).astype(np.float32)
+
+
+def _requests(rows_list, dim=8, gap_us=100.0):
+    return [
+        Request(rid=i, arrival_us=i * gap_us, payload=_payload(rows, dim, seed=i))
+        for i, rows in enumerate(rows_list)
+    ]
+
+
+class TestShapeBucketer:
+    def test_lengths_round_up_to_shared_bucket(self):
+        b = ShapeBucketer(_typed_main(_dyn_mlp_module()), granularity=8)
+        assert b.dynamic_dims == [(0, 0)]
+        assert b.key(_payload(9)) == (16,)
+        assert b.key(_payload(16)) == (16,)
+        assert b.key(_payload(17)) == (24,)
+
+    def test_granularity_one_keeps_exact_shapes(self):
+        b = ShapeBucketer(_typed_main(_dyn_mlp_module()), granularity=1)
+        assert b.key(_payload(9)) == (9,)
+        assert b.key(_payload(10)) == (10,)
+
+    def test_static_model_has_single_bucket(self):
+        x = Var("x", TensorType((4, 8), "float32"))
+        mod = IRModule.from_expr(Function([x], api.relu(x)))
+        b = ShapeBucketer(_typed_main(mod), granularity=8)
+        assert b.dynamic_dims == []
+        assert b.key(_payload(4)) == ()
+
+    def test_independent_dynamic_dims_get_separate_components(self):
+        x = Var("x", TensorType((Any(), 4), "float32"))
+        y = Var("y", TensorType((Any(), 4), "float32"))
+        mod = IRModule.from_expr(Function([x, y], api.concatenate([x, y], axis=0)))
+        b = ShapeBucketer(_typed_main(mod), granularity=4)
+        assert len(b.dynamic_dims) == 2
+        key = b.key((_payload(3, 4), _payload(9, 4)))
+        assert key == (4, 12)
+
+    def test_invalid_granularity_rejected(self):
+        with pytest.raises(ValueError):
+            ShapeBucketer(_typed_main(_dyn_mlp_module()), granularity=0)
+
+
+class TestBatcher:
+    def _batcher(self, max_batch=3, max_delay=500.0, granularity=8):
+        bucketer = ShapeBucketer(_typed_main(_dyn_mlp_module()), granularity)
+        return Batcher(bucketer, max_batch_size=max_batch, max_delay_us=max_delay)
+
+    def test_full_bucket_flushes_immediately(self):
+        batcher = self._batcher(max_batch=2)
+        assert batcher.add(Request(0, 0.0, _payload(8)), 0.0) is None
+        batch = batcher.add(Request(1, 10.0, _payload(8)), 10.0)
+        assert batch is not None and len(batch) == 2
+        assert batcher.pending == 0
+
+    def test_deadline_tracks_oldest_request(self):
+        batcher = self._batcher(max_delay=500.0)
+        assert batcher.next_deadline() is None
+        batcher.add(Request(0, 100.0, _payload(8)), 100.0)
+        batcher.add(Request(1, 150.0, _payload(24)), 150.0)
+        assert batcher.next_deadline() == pytest.approx(600.0)
+        assert batcher.flush_due(599.0) == []
+        due = batcher.flush_due(600.0)
+        assert len(due) == 1 and due[0].requests[0].rid == 0
+        assert batcher.pending == 1  # the other bucket still waits
+
+    def test_different_buckets_never_mix(self):
+        batcher = self._batcher(max_batch=8)
+        for i, rows in enumerate([5, 20, 6, 21, 7, 22]):
+            batcher.add(Request(i, float(i), _payload(rows)), float(i))
+        batches = batcher.flush_all(100.0)
+        assert sorted(len(b) for b in batches) == [3, 3]
+        for batch in batches:
+            keys = {batcher.bucketer.key(r.payload) for r in batch.requests}
+            assert keys == {batch.key}
+
+    def test_flush_all_drains_everything(self):
+        batcher = self._batcher()
+        for i in range(5):
+            batcher.add(Request(i, float(i), _payload(8 + 8 * i)), float(i))
+        assert batcher.pending > 0
+        batcher.flush_all(10.0)
+        assert batcher.pending == 0 and batcher.next_deadline() is None
+
+
+class TestInferenceServer:
+    def test_deadline_bounds_queueing_delay(self):
+        """A lone request flushes exactly at arrival + max_delay."""
+        server = InferenceServer(
+            _dyn_mlp_module(), intel_cpu(),
+            ServeConfig(max_batch_size=8, max_delay_us=700.0, num_workers=1),
+        )
+        report = server.simulate([Request(0, arrival_us=50.0, payload=_payload(9))])
+        (resp,) = report.responses
+        assert resp.dispatch_us == pytest.approx(750.0)
+        assert resp.queue_us == pytest.approx(700.0)
+        assert resp.finish_us > resp.dispatch_us
+
+    def test_worker_pool_fairness(self):
+        """Back-to-back batches spread across the pool via earliest-free."""
+        server = InferenceServer(
+            _dyn_mlp_module(), intel_cpu(),
+            ServeConfig(max_batch_size=2, max_delay_us=50.0, num_workers=2),
+        )
+        report = server.simulate(_requests([8] * 12, gap_us=1.0))
+        assert report.num_batches == 6
+        assert all(b >= 2 for b in report.worker_batches)
+        busy = report.worker_busy_us
+        assert max(busy) < 2.0 * min(busy)  # no worker starves
+
+    def test_single_worker_serializes(self):
+        server = InferenceServer(
+            _dyn_mlp_module(), intel_cpu(),
+            ServeConfig(max_batch_size=1, max_delay_us=0.0, num_workers=1),
+        )
+        report = server.simulate(_requests([8, 8, 8], gap_us=0.5))
+        # Batches run in order on one worker: dispatches never overlap.
+        spans = sorted((r.dispatch_us, r.finish_us) for r in report.responses)
+        for (_, end), (start, _) in zip(spans, spans[1:]):
+            assert start >= end
+
+    def test_outputs_match_direct_execution(self):
+        """Serving changes scheduling, never numerics."""
+        import repro.nimble as nimble
+        from repro.runtime.context import ExecutionContext
+        from repro.vm.interpreter import VirtualMachine
+
+        mod = _dyn_mlp_module()
+        requests = _requests([5, 9, 9, 17, 5], gap_us=10.0)
+        server = InferenceServer(
+            mod, intel_cpu(),
+            ServeConfig(max_batch_size=2, max_delay_us=100.0, num_workers=2,
+                        numerics="full"),
+        )
+        report = server.simulate(requests)
+        exe, _ = nimble.build(mod, intel_cpu())
+        vm = VirtualMachine(exe, ExecutionContext(intel_cpu()))
+        for req, resp in zip(requests, report.responses):
+            assert resp.rid == req.rid
+            expect = vm.run(req.payload)
+            assert np.array_equal(resp.output.numpy(), expect.numpy())
+
+    def test_lstm_outputs_match_reference(self):
+        weights = LSTMWeights.create(input_size=8, hidden_size=8, seed=0)
+        mod = build_lstm_module(weights)
+        requests = lstm_traffic(4, input_size=8, mean_interarrival_us=100.0, seed=1)
+        server = InferenceServer(
+            mod, intel_cpu(),
+            ServeConfig(max_batch_size=2, max_delay_us=500.0, numerics="full"),
+        )
+        report = server.simulate(requests)
+        for req, resp in zip(requests, report.responses):
+            expect = lstm_reference(req.payload, weights)
+            assert np.allclose(resp.output.numpy(), expect, atol=1e-5)
+
+    def test_simulation_is_deterministic(self):
+        def run():
+            server = InferenceServer(
+                _dyn_mlp_module(), nvidia_gpu(),
+                ServeConfig(max_batch_size=4, max_delay_us=300.0, num_workers=2),
+            )
+            return server.simulate(_requests([5, 9, 17, 9, 5, 33, 9, 5], gap_us=20.0))
+
+        a, b = run(), run()
+        assert a.latencies_us == b.latencies_us
+        assert a.throughput_rps == b.throughput_rps
+        assert a.worker_busy_us == b.worker_busy_us
+        assert a.batch_histogram == b.batch_histogram
+
+    def test_repeated_simulate_is_independent(self):
+        """Each simulate() is a cold-start replay: no clock, pool, busy-time
+        or profile state bleeds from one simulation into the next."""
+        server = InferenceServer(
+            _dyn_mlp_module(), intel_cpu(),
+            ServeConfig(max_batch_size=2, max_delay_us=100.0, num_workers=2),
+        )
+        trace = _requests([5, 9, 17, 9], gap_us=10.0)
+        a, b = server.simulate(trace), server.simulate(trace)
+        assert a.latencies_us == b.latencies_us
+        assert a.worker_busy_us == b.worker_busy_us
+        assert a.profile.runs == b.profile.runs == len(trace)
+
+    def test_infinite_delay_flushes_on_size_only(self):
+        """max_delay_us=inf: buckets flush when full; partial buckets drain
+        at shutdown instead of waiting for a deadline that never fires."""
+        import math
+
+        server = InferenceServer(
+            _dyn_mlp_module(), intel_cpu(),
+            ServeConfig(max_batch_size=2, max_delay_us=math.inf, num_workers=1),
+        )
+        report = server.simulate(_requests([8, 8, 8], gap_us=10.0))
+        assert report.num_requests == 3
+        assert report.batch_histogram == {1: 1, 2: 1}
+        # The leftover singleton drains at the last event, not at infinity.
+        assert all(math.isfinite(r.finish_us) for r in report.responses)
+
+    def test_empty_trace_reports_cleanly(self):
+        server = InferenceServer(_dyn_mlp_module(), intel_cpu(), ServeConfig())
+        report = server.simulate([])
+        assert report.num_requests == 0
+        assert report.throughput_rps == 0.0
+        assert report.p50_us == 0.0
+        assert "requests" in report.format()
+
+    def test_batched_beats_serial_dispatch(self):
+        weights = LSTMWeights.create(input_size=16, hidden_size=32, seed=0)
+        mod = build_lstm_module(weights)
+        requests = lstm_traffic(12, input_size=16, mean_interarrival_us=20.0, seed=0)
+
+        def throughput(config):
+            server = InferenceServer(mod, nvidia_gpu(), config)
+            return server.simulate(requests).throughput_rps
+
+        serial = throughput(ServeConfig.serial())
+        batched = throughput(
+            ServeConfig(max_batch_size=4, max_delay_us=2000.0, num_workers=4)
+        )
+        assert batched > 1.5 * serial
+
+    def test_no_buffer_leaks_after_serving(self):
+        server = InferenceServer(
+            _dyn_mlp_module(), intel_cpu(),
+            ServeConfig(max_batch_size=3, max_delay_us=100.0, num_workers=2),
+        )
+        server.simulate(_requests([5, 9, 17, 9, 5, 33], gap_us=10.0))
+        for worker in server.workers:
+            assert worker.ctx.allocator.live_bytes == 0
+
+    def test_profile_aggregates_across_workers(self):
+        server = InferenceServer(
+            _dyn_mlp_module(), intel_cpu(),
+            ServeConfig(max_batch_size=2, max_delay_us=50.0, num_workers=2),
+        )
+        report = server.simulate(_requests([8] * 6, gap_us=1.0))
+        assert report.profile.runs == 6
+        assert report.profile.kernel_invocations >= 6
+        per_worker = sum(w.vm.profile.runs for w in server.workers)
+        assert per_worker == report.profile.runs
+
+    def test_vm_run_is_not_reentrant(self):
+        server = InferenceServer(_dyn_mlp_module(), intel_cpu(), ServeConfig())
+        vm = server.workers[0].vm
+        vm._running = True
+        try:
+            with pytest.raises(VMError, match="re-entrant"):
+                vm.run(_payload(4))
+        finally:
+            vm._running = False
+        assert vm.run(_payload(4)).shape == (4, 8)
+
+
+class TestReportStatistics:
+    def _report(self):
+        responses = []
+        rid = 0
+        # Two batches of 2 (latencies 100, 200, 300, 400) + one singleton (500).
+        for batch_size, lats in ((2, (100.0, 200.0)), (2, (300.0, 400.0)), (1, (500.0,))):
+            for lat in lats:
+                responses.append(
+                    Response(
+                        rid=rid, output=None, arrival_us=100.0 * rid,
+                        dispatch_us=100.0 * rid + 10.0,
+                        finish_us=100.0 * rid + lat,
+                        bucket_key=(8,), batch_size=batch_size, worker_id=rid % 2,
+                    )
+                )
+                rid += 1
+        return ServeReport(
+            responses=responses,
+            worker_busy_us=[300.0, 200.0],
+            worker_batches=[2, 1],
+        )
+
+    def test_percentiles_and_means(self):
+        report = self._report()
+        assert report.latencies_us == [100.0, 200.0, 300.0, 400.0, 500.0]
+        assert report.p50_us == pytest.approx(300.0)
+        assert report.p99_us == pytest.approx(496.0)
+        assert report.mean_latency_us == pytest.approx(300.0)
+        assert report.max_latency_us == pytest.approx(500.0)
+
+    def test_throughput_over_span(self):
+        report = self._report()
+        # First arrival 0, last finish 400*1 + 500 = 900.
+        assert report.span_us == pytest.approx(900.0)
+        assert report.throughput_rps == pytest.approx(5 / 900.0 * 1e6)
+
+    def test_batch_histogram_counts_batches(self):
+        report = self._report()
+        assert report.batch_histogram == {1: 1, 2: 2}
+        assert report.num_batches == 3
+        assert report.mean_batch_size == pytest.approx(5 / 3)
+
+    def test_format_renders_tables(self):
+        text = self._report().format("unit test")
+        assert "unit test" in text
+        assert "throughput (req/s)" in text
+        assert "Batch-size histogram" in text
+        assert "Workers" in text
+
+    def test_percentile_function(self):
+        values = list(range(1, 101))
+        assert percentile(values, 0) == 1
+        assert percentile(values, 100) == 100
+        assert percentile(values, 50) == pytest.approx(50.5)
+        with pytest.raises(ValueError):
+            percentile([], 50)
+        with pytest.raises(ValueError):
+            percentile([1.0], 101)
+
+
+class TestTraffic:
+    def test_poisson_arrivals_monotone_and_seeded(self):
+        a = poisson_arrivals(20, 100.0, seed=3)
+        b = poisson_arrivals(20, 100.0, seed=3)
+        assert a == b
+        assert all(x < y for x, y in zip(a, a[1:]))
+        assert poisson_arrivals(20, 100.0, seed=4) != a
+
+    def test_lstm_traffic_shapes_follow_mrpc(self):
+        from repro.data.mrpc import MAX_LENGTH, MIN_LENGTH
+
+        requests = lstm_traffic(16, input_size=8, seed=0)
+        assert [r.rid for r in requests] == list(range(16))
+        for req in requests:
+            assert MIN_LENGTH <= req.payload.shape[0] <= MAX_LENGTH
+            assert req.payload.shape[1] == 8

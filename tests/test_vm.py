@@ -306,6 +306,14 @@ class TestInterpreterSemantics:
             lat[mode] = ctx.elapsed_us
         assert lat["full"] == pytest.approx(lat["lite"], rel=1e-9)
 
+    def test_profile_counts_runs(self):
+        x = Var("x", TensorType((2,)))
+        mod = IRModule.from_expr(Function([x], api.tanh(x)))
+        _, vm = self._run(mod, np.zeros(2, np.float32))
+        assert vm.profile.runs == 1
+        vm.run(np.zeros(2, np.float32))
+        assert vm.profile.runs == 2
+
     def test_allocator_pooling_across_runs(self):
         x = Var("x", TensorType((Any(), 16), "float32"))
         w = const(np.zeros((16, 16), np.float32))
@@ -320,3 +328,69 @@ class TestInterpreterSemantics:
         # Second run reuses pooled buffers freed by kills/refcounting.
         assert ctx.allocator.stats.pooled_allocs > 0
         assert ctx.allocator.stats.fresh_allocs == fresh_first
+
+
+class TestLeakRegression:
+    """After every run — successful or not — each pooled storage buffer must
+    return to the allocator: refcounts drain to zero, live bytes hit zero."""
+
+    def _dyn_module(self):
+        x = Var("x", TensorType((Any(), 8), "float32"))
+        w = const(np.zeros((8, 8), np.float32))
+        return IRModule.from_expr(Function([x], api.relu(api.dense(x, w))))
+
+    def test_buffers_drain_after_run(self):
+        exe, _ = nimble.build(self._dyn_module(), intel_cpu())
+        ctx = ExecutionContext(intel_cpu())
+        vm = VirtualMachine(exe, ctx)
+        for rows in (3, 9, 3, 17):
+            vm.run(np.zeros((rows, 8), np.float32))
+            assert ctx.allocator.live_bytes == 0
+        stats = ctx.allocator.stats
+        assert stats.frees == stats.total_allocs
+
+    def test_buffers_drain_after_tuple_result(self):
+        x = Var("x", TensorType((4,)))
+        mod = IRModule.from_expr(Function([x], Tuple([api.tanh(x), api.exp(x)])))
+        exe, _ = nimble.build(mod, intel_cpu())
+        ctx = ExecutionContext(intel_cpu())
+        out = VirtualMachine(exe, ctx).run(np.zeros(4, np.float32))
+        assert isinstance(out, tuple)
+        assert ctx.allocator.live_bytes == 0
+
+    def _failing_module(self):
+        """Allocates a buffer (tanh), then dies: Match with no clause for B."""
+        from repro.ir import Clause, Match, PatternConstructor, ScopeBuilder, TypeCall, TypeData
+
+        mod = IRModule()
+        gtv = mod.get_global_type_var("LeakOpt")
+        data = TypeData(gtv, [], [("A", []), ("B", [])])
+        mod.add_type_data(data)
+        t = Var("t", TypeCall(gtv, []))
+        x = Var("x", TensorType((16,)))
+        sb = ScopeBuilder()
+        a = sb.let("a", api.tanh(x))
+        clauses = [Clause(PatternConstructor(data.constructor("A"), []), a)]
+        m = sb.let("m", Match(t, clauses))
+        mod["main"] = Function([t, x], sb.get(m), TensorType((16,)))
+        return mod
+
+    def test_buffers_drain_on_error_path(self):
+        exe, _ = nimble.build(self._failing_module(), intel_cpu())
+        ctx = ExecutionContext(intel_cpu())
+        vm = VirtualMachine(exe, ctx)
+        bad = ADTObj(1, [])  # constructor B: no matching clause -> Fatal
+        with pytest.raises(VMError, match="no matching clause"):
+            vm.run(bad, np.zeros(16, np.float32))
+        assert ctx.allocator.live_bytes == 0
+        assert ctx.allocator.stats.frees == ctx.allocator.stats.total_allocs
+
+    def test_vm_usable_after_error(self):
+        exe, _ = nimble.build(self._failing_module(), intel_cpu())
+        ctx = ExecutionContext(intel_cpu())
+        vm = VirtualMachine(exe, ctx)
+        with pytest.raises(VMError):
+            vm.run(ADTObj(1, []), np.zeros(16, np.float32))
+        good = vm.run(ADTObj(0, []), np.ones(16, np.float32))
+        assert np.allclose(good.numpy(), np.tanh(np.ones(16, np.float32)))
+        assert ctx.allocator.live_bytes == 0
