@@ -31,7 +31,7 @@ from repro.hardware.specs import DeviceSpec
 from repro.ir.analysis import structural_hash
 from repro.ir.expr import Call, Expr, Function, Let, Var
 from repro.ir.op import Op
-from repro.ir.types import TensorType, has_any_dim
+from repro.ir.types import TensorType, has_any_dim, type_hash
 from repro.ops.shape_funcs import prod
 
 Shape = Tuple[int, ...]
@@ -82,6 +82,25 @@ def canonical_mnk(func: Function, in_shapes: Sequence[Shape], out_shape: Shape) 
     if len(out_shape) >= 2:
         return (prod(out_shape[:-1]), out_shape[-1], 1)
     return (out_shape[0] if out_shape else 1, 1, 1)
+
+
+def prim_signature(func: Function) -> Tuple[int, ...]:
+    """Shape-signature component of a kernel cache key.
+
+    ``structural_hash`` is alpha-insensitive and ignores variable *types*,
+    so a shape-specialized prim (``dense`` over ``(12, 16)``) hashes equal
+    to its symbolic original (``dense`` over ``(Any, 16)``). Keying caches
+    on structure alone would hand the symbolic kernel back to a static
+    compile (and vice versa); the type hashes of params and return
+    disambiguate — ``type_hash`` maps ``Any`` to a distinct marker.
+    """
+    parts = []
+    for p in func.params:
+        ty = p.checked_type or p.type_annotation
+        parts.append(type_hash(ty) if ty is not None else 0)
+    ret = func.ret_type
+    parts.append(type_hash(ret) if ret is not None else 0)
+    return tuple(parts)
 
 
 def is_symbolic_prim(func: Function) -> bool:
@@ -234,11 +253,11 @@ class KernelCache:
     """Structural-hash cache: identical fused groups compile once."""
 
     def __init__(self) -> None:
-        self._kernels: Dict[Tuple[int, str], KernelSet] = {}
-        self._shape_funcs: Dict[Tuple[int, str], ShapeFuncKernel] = {}
+        self._kernels: Dict[tuple, KernelSet] = {}
+        self._shape_funcs: Dict[tuple, ShapeFuncKernel] = {}
 
     def kernel(self, prim: Function, platform: Platform, spec: DeviceSpec, **kwargs) -> KernelSet:
-        key = (structural_hash(prim), platform.name)
+        key = (structural_hash(prim), prim_signature(prim), platform.name)
         found = self._kernels.get(key)
         if found is None:
             found = KernelSet(prim, platform, spec, **kwargs)
@@ -246,7 +265,7 @@ class KernelCache:
         return found
 
     def shape_func(self, prim: Function, platform: Platform) -> ShapeFuncKernel:
-        key = (structural_hash(prim), platform.name)
+        key = (structural_hash(prim), prim_signature(prim), platform.name)
         found = self._shape_funcs.get(key)
         if found is None:
             found = ShapeFuncKernel(prim, platform)

@@ -91,7 +91,13 @@ class AutoTuner:
 
     def tune(self, m: int, n_trials: int = 128) -> List[TuningRecord]:
         """Random sampling + greedy neighborhood mutation; returns records
-        sorted best-first."""
+        sorted best-first, one record per distinct schedule.
+
+        Mutation can rediscover an already-recorded schedule; without
+        deduplication those duplicates occupy slots of the top-k that
+        :class:`SymbolicTuner` cross-evaluates on every shape, wasting its
+        evaluation budget on repeats.
+        """
         space = search_space()
         if not space:
             raise TuningError("empty schedule search space")
@@ -108,7 +114,16 @@ class AutoTuner:
                 incumbent = TuningRecord(cost, neighbor)
                 records.insert(0, incumbent)
         records.sort()
-        return records
+        # The measurement is deterministic, so a duplicate schedule always
+        # carries the same cost: keeping the first (best-sorted) suffices.
+        seen = set()
+        unique: List[TuningRecord] = []
+        for record in records:
+            if record.schedule in seen:
+                continue
+            seen.add(record.schedule)
+            unique.append(record)
+        return unique
 
     def _mutate(self, s: Schedule) -> Schedule:
         choice = self.rng.randrange(4)

@@ -3,6 +3,7 @@
 from repro.core.typing.unify import check_subtype, join_types, unify_types
 from repro.core.typing.infer import InferType, infer_expr_type, infer_types
 from repro.core.typing.subshape import any_dim_groups, shared_any_dims
+from repro.core.typing.bind import bind_any_dims, collect_shape_bindings
 
 __all__ = [
     "check_subtype",
@@ -13,4 +14,6 @@ __all__ = [
     "infer_types",
     "any_dim_groups",
     "shared_any_dims",
+    "bind_any_dims",
+    "collect_shape_bindings",
 ]

@@ -1,0 +1,115 @@
+"""Binding ``Any`` dimensions to concrete values (shape specialization).
+
+The sub-shaping analysis (§4.1) gives every ``Any`` an identity token;
+specializing a module to one concrete input shape is then a pure *type*
+substitution: replace every ``Any`` carrying a bound token with its
+integer value, everywhere it occurs. Re-running type inference over the
+substituted module propagates the now-static dims through every operator,
+so downstream passes (manifest allocation, memory planning) see static
+extents and emit none of the dynamic-shape machinery.
+
+Two helpers live here:
+
+* :func:`collect_shape_bindings` — walk a parameter annotation against a
+  concrete shape spec, producing the ``{token: value}`` binding (and
+  validating rank/static-dim agreement);
+* :func:`bind_any_dims` — apply a binding to a type, recursively.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+from repro.errors import TypeInferenceError
+from repro.ir.types import Any, FuncType, TensorType, TupleType, Type, TypeCall
+
+Binding = Dict[int, int]
+
+
+def collect_shape_bindings(
+    ty: Type,
+    shape_spec,
+    binding: Optional[Binding] = None,
+    what: str = "specialization",
+) -> Binding:
+    """Match *shape_spec* against annotation *ty*, binding ``Any`` tokens.
+
+    ``shape_spec`` mirrors the type structure: a sequence of ints for a
+    :class:`TensorType`, a sequence of per-field specs for a
+    :class:`TupleType`, or ``None`` to leave that subtree dynamic. Static
+    dims in the annotation must agree with the spec; a token bound twice
+    must agree both times.
+    """
+    binding = binding if binding is not None else {}
+    if shape_spec is None:
+        return binding
+    if isinstance(ty, TensorType):
+        shape = tuple(int(d) for d in shape_spec)
+        if len(shape) != ty.ndim:
+            raise TypeInferenceError(
+                f"{what}: shape {shape} has rank {len(shape)} but the "
+                f"annotation {ty!r} has rank {ty.ndim}"
+            )
+        for dim, value in zip(ty.shape, shape):
+            if value < 0:
+                raise TypeInferenceError(f"{what}: negative dimension {value}")
+            if isinstance(dim, Any):
+                bound = binding.get(dim.token)
+                if bound is not None and bound != value:
+                    raise TypeInferenceError(
+                        f"{what}: Any token bound to both {bound} and {value}"
+                    )
+                binding[dim.token] = value
+            elif dim != value:
+                raise TypeInferenceError(
+                    f"{what}: static dim {dim} of {ty!r} cannot be "
+                    f"specialized to {value}"
+                )
+        return binding
+    if isinstance(ty, TupleType):
+        fields = list(shape_spec)
+        if len(fields) != len(ty.fields):
+            raise TypeInferenceError(
+                f"{what}: spec has {len(fields)} fields for tuple type {ty!r}"
+            )
+        for field_ty, field_spec in zip(ty.fields, fields):
+            collect_shape_bindings(field_ty, field_spec, binding, what)
+        return binding
+    raise TypeInferenceError(f"{what}: cannot bind shapes into {ty!r}")
+
+
+def bind_any_dims(ty: Type, binding: Binding) -> Type:
+    """Replace every ``Any`` whose token is in *binding* with its value.
+
+    Unbound tokens survive unchanged (they stay dynamic); the input type
+    is returned as-is when nothing inside it is bound.
+    """
+    if not binding:
+        return ty
+    if isinstance(ty, TensorType):
+        changed = False
+        dims = []
+        for dim in ty.shape:
+            if isinstance(dim, Any) and dim.token in binding:
+                dims.append(binding[dim.token])
+                changed = True
+            else:
+                dims.append(dim)
+        return TensorType(dims, ty.dtype) if changed else ty
+    if isinstance(ty, TupleType):
+        fields = [bind_any_dims(f, binding) for f in ty.fields]
+        if all(n is o for n, o in zip(fields, ty.fields)):
+            return ty
+        return TupleType(fields)
+    if isinstance(ty, FuncType):
+        args = [bind_any_dims(a, binding) for a in ty.arg_types]
+        ret = bind_any_dims(ty.ret_type, binding)
+        if ret is ty.ret_type and all(n is o for n, o in zip(args, ty.arg_types)):
+            return ty
+        return FuncType(args, ret)
+    if isinstance(ty, TypeCall):
+        args = [bind_any_dims(a, binding) for a in ty.args]
+        if all(n is o for n, o in zip(args, ty.args)):
+            return ty
+        return TypeCall(ty.func, args)
+    return ty

@@ -69,3 +69,19 @@ SYMBOLIC_INDEX_OVERHEAD = {
     "nvidia": 0.03,
     "arm": 0.045,
 }
+
+# Modeled cost of compiling one shape-specialized executable at serving
+# time (the tiered-compilation hot path): a fixed pipeline overhead plus a
+# per-kernel code-generation charge. Order-of-magnitude from TVM-class
+# compilers with schedules already chosen (no tuning): tens of
+# milliseconds per kernel, slower on ARM hosts.
+SPECIALIZE_BASE_US = {
+    "intel": 20_000.0,
+    "nvidia": 25_000.0,
+    "arm": 60_000.0,
+}
+SPECIALIZE_PER_KERNEL_US = {
+    "intel": 4_000.0,
+    "nvidia": 5_000.0,
+    "arm": 12_000.0,
+}

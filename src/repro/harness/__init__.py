@@ -4,6 +4,7 @@ from repro.harness.experiments import (
     figure3_dispatch,
     memory_planning_study,
     serving_study,
+    specialization_study,
     table1_lstm,
     table2_tree_lstm,
     table3_bert,
@@ -20,6 +21,7 @@ __all__ = [
     "figure3_dispatch",
     "memory_planning_study",
     "serving_study",
+    "specialization_study",
     "tuning_ablation",
     "format_table",
     "percentile",

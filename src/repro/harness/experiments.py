@@ -462,6 +462,109 @@ def serving_study(
 
 
 # ---------------------------------------------------------------------------
+# Tiered specialization study: static recompilation of hot shapes
+# ---------------------------------------------------------------------------
+
+
+def specialization_study(
+    platform_name: str = "intel",
+    hot_len: int = 24,
+    bert_config: Optional[BertConfig] = None,
+    num_requests: int = 256,
+    mean_interarrival_us: float = 800.0,
+    num_workers: int = 2,
+    max_batch_size: int = 4,
+    max_delay_us: float = 2000.0,
+    threshold: int = 3,
+    input_size: int = 64,
+    hidden_size: int = 64,
+    seed: int = 0,
+) -> Dict[str, Dict[str, float]]:
+    """Two measurements of tiered compilation (DyCL-style static recovery):
+
+    1. **Executable tier comparison** — one BERT-class module compiled
+       dynamically and specialized to the hot shape, run on the same
+       input: end-to-end latency, shape-function time, allocations, and a
+       bit-identity check (the tiers must differ only in overhead).
+    2. **Serving with tiering** — the LSTM MRPC mix served with
+       ``specialize=True``: specialized hit rate, per-tier latency, and a
+       replay-determinism flag.
+    """
+    from repro.serve import InferenceServer, ServeConfig, lstm_traffic
+
+    platform = platform_by_name(platform_name)
+
+    # --- 1. dynamic vs specialized executable on the hot shape -------------
+    config = bert_config or BertConfig(hidden=64, num_layers=2, num_heads=2, ffn=128)
+    weights = BertWeights.create(config, seed=seed)
+    mod = build_bert_module(weights)
+    cache = KernelCache()
+    dyn_exe, _ = nimble.build(mod, platform, kernel_cache=cache)
+    spec_exe, _ = nimble.specialize(
+        mod, platform, shapes=[(hot_len, config.hidden)], kernel_cache=cache
+    )
+    x = (np.random.RandomState(seed).randn(hot_len, config.hidden) * 0.1).astype(
+        np.float32
+    )
+
+    def run_exe(exe):
+        ctx = ExecutionContext(platform, numerics="full")
+        vm = VirtualMachine(exe, ctx)
+        out, latency = vm.run_with_latency(x)
+        return out, latency, vm.profile, ctx.allocator.stats
+
+    out_d, lat_d, prof_d, stats_d = run_exe(dyn_exe)
+    out_s, lat_s, prof_s, stats_s = run_exe(spec_exe)
+    tiers = {
+        "dynamic_us": lat_d,
+        "specialized_us": lat_s,
+        "speedup": lat_d / max(1e-9, lat_s),
+        "shape_func_us_dynamic": prof_d.shape_func_time_us,
+        "shape_func_us_specialized": prof_s.shape_func_time_us,
+        "dispatch_us_dynamic": prof_d.dispatch_time_us,
+        "dispatch_us_specialized": prof_s.dispatch_time_us,
+        "allocs_dynamic": float(stats_d.total_allocs),
+        "allocs_specialized": float(stats_s.total_allocs),
+        "bit_identical": float(np.array_equal(out_d.numpy(), out_s.numpy())),
+    }
+
+    # --- 2. serving the LSTM MRPC mix with tiering on ----------------------
+    lstm_weights = LSTMWeights.create(input_size, hidden_size, num_layers=1, seed=seed)
+    lstm_mod = build_lstm_module(lstm_weights)
+    requests = lstm_traffic(
+        num_requests, input_size=input_size,
+        mean_interarrival_us=mean_interarrival_us, seed=seed,
+    )
+    serve_config = ServeConfig(
+        max_batch_size=max_batch_size,
+        max_delay_us=max_delay_us,
+        num_workers=num_workers,
+        specialize=True,
+        specialize_threshold=threshold,
+    )
+    server = InferenceServer(lstm_mod, platform, serve_config)
+    report = server.simulate(requests)
+    replay = server.simulate(requests)
+    deterministic = (
+        report.latencies_us == replay.latencies_us
+        and report.specialized_hits == replay.specialized_hits
+        and report.specialize_compile_us == replay.specialize_compile_us
+    )
+    serving = {
+        "specialized_hits": float(report.specialized_hits),
+        "specialized_hit_rate": report.specialized_hit_rate,
+        "num_specialized_executables": float(report.num_specialized_executables),
+        "compile_us": report.specialize_compile_us,
+        "p50_us": report.p50_us,
+        "p99_us": report.p99_us,
+        "p50_us_dynamic": report.tier_latency_percentile_us("dynamic", 50.0),
+        "p50_us_specialized": report.tier_latency_percentile_us("specialized", 50.0),
+        "deterministic": float(deterministic),
+    }
+    return {"tiers": tiers, "serving": serving}
+
+
+# ---------------------------------------------------------------------------
 # §4.5 symbolic tuning ablation
 # ---------------------------------------------------------------------------
 

@@ -11,6 +11,13 @@
 inference with ``Any`` → constant folding → simplification → ANF → CSE →
 DCE → dynamic-aware fusion → manifest allocation → memory planning →
 device placement → VM bytecode + kernel generation.
+
+``specialize`` is the static tier of the same pipeline: it binds the
+entry function's ``Any`` dims to concrete values (``SpecializeShapes``)
+and re-runs the identical pass sequence, so shape functions disappear,
+allocations get compile-time sizes, and kernels compile without residue
+dispatch — while sharing the dynamic build's :class:`KernelCache` so
+common (already-static) kernels compile once.
 """
 
 from __future__ import annotations
@@ -33,6 +40,7 @@ from repro.passes import (
     LambdaLift,
     Sequential,
     SimplifyExpressions,
+    SpecializeShapes,
     ToANF,
 )
 from repro.vm.compiler import CompilerOptions, VMCompiler
@@ -41,6 +49,7 @@ from repro.vm.interpreter import VirtualMachine  # re-export for convenience
 
 __all__ = [
     "build",
+    "specialize",
     "BuildReport",
     "CompilerOptions",
     "VirtualMachine",
@@ -116,3 +125,42 @@ def build(
         typed_module=typed,
     )
     return exe, report
+
+
+def specialize(
+    mod: IRModule,
+    platform: Optional[Platform] = None,
+    shapes=None,
+    binding=None,
+    options: Optional[CompilerOptions] = None,
+    plan_memory: bool = True,
+    kernel_cache: Optional[KernelCache] = None,
+    entry: str = "main",
+) -> Tuple[Executable, BuildReport]:
+    """Compile a static-shape executable for one concrete input shape.
+
+    ``shapes`` gives one shape spec per entry parameter (a tuple of ints
+    for tensor params, nested tuples for tuple params, ``None`` to leave
+    a param dynamic); alternatively ``binding`` maps ``Any`` identity
+    tokens to values directly. Pass the dynamic build's ``kernel_cache``
+    to share already-compiled static kernels between the tiers. The
+    returned executable carries ``specialized_shapes`` describing what it
+    was specialized to, and its outputs are bit-identical to the dynamic
+    executable's on matching inputs — only the dispatch/shape-function/
+    allocation overhead changes.
+    """
+    spec_pass = SpecializeShapes(shapes=shapes, binding=binding, entry=entry)
+    specialized = spec_pass(mod)
+    base = options or CompilerOptions()
+    opts = CompilerOptions(
+        tune=base.tune,
+        num_dispatch_kernels=base.num_dispatch_kernels,
+        allow_library=base.allow_library,
+        schedule=base.schedule,
+        tuning_trials=base.tuning_trials,
+        specialized_shapes=spec_pass.bound_shapes,
+    )
+    return build(
+        specialized, platform, opts, plan_memory=plan_memory,
+        kernel_cache=kernel_cache,
+    )

@@ -8,6 +8,7 @@ from repro.passes.cse import CommonSubexprElimination
 from repro.passes.simplify import SimplifyExpressions
 from repro.passes.fuse_ops import FuseOps
 from repro.passes.lambda_lift import LambdaLift
+from repro.passes.specialize import SpecializeShapes
 
 __all__ = [
     "Pass",
@@ -21,4 +22,5 @@ __all__ = [
     "SimplifyExpressions",
     "FuseOps",
     "LambdaLift",
+    "SpecializeShapes",
 ]

@@ -1,0 +1,212 @@
+"""Shape specialization: bind ``Any`` dims of the entry to concrete values.
+
+Dynamic compilation (Figure 2) pays for generality on every inference:
+shape functions run on the host, allocations are sized at runtime, and
+symbolic kernels carry residue dispatch. When one input shape dominates —
+a hot bucket in the serving layer, or a known deployment shape — that
+generality is pure overhead. :class:`SpecializeShapes` removes it at the
+type level: every ``Any`` whose identity token is bound gets replaced by
+its concrete value throughout the module, and re-running ``InferType``
+propagates the static dims through every operator. Downstream the
+standard pipeline then does the rest for free — ``ManifestAlloc`` takes
+its static path (no shape functions, constant storage sizes), the memory
+planner coalesces exact extents, and the code generator emits static
+kernels with no residue dispatch.
+
+The pass rebuilds the module with fresh expression nodes (stale
+``checked_type`` slots from a previous inference run must not leak into
+the specialized typing) while sharing constants, operators, ADT
+definitions, and constructors — weights are never copied.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.typing.bind import Binding, bind_any_dims, collect_shape_bindings
+from repro.errors import CompilerError
+from repro.ir.expr import (
+    Call,
+    Clause,
+    Expr,
+    Function,
+    GlobalVar,
+    If,
+    Let,
+    Match,
+    Tuple as IRTuple,
+    TupleGetItem,
+    Var,
+)
+from repro.ir.module import IRModule
+from repro.ir.types import Any, TensorType, TupleType, Type
+from repro.passes.pass_manager import Pass
+
+
+class _Specializer:
+    """Deep-copies a function body, substituting bound ``Any`` dims in
+    every type annotation. Every interior node is rebuilt so no
+    ``checked_type`` from the dynamic module survives into the
+    specialized one."""
+
+    def __init__(self, binding: Binding, gv_map: Dict[GlobalVar, GlobalVar]) -> None:
+        self.binding = binding
+        self.gv_map = gv_map
+        self._memo: Dict[int, Expr] = {}
+
+    def _sub(self, ty: Optional[Type]) -> Optional[Type]:
+        return None if ty is None else bind_any_dims(ty, self.binding)
+
+    def visit(self, expr: Expr) -> Expr:
+        key = id(expr)
+        found = self._memo.get(key)
+        if found is not None:
+            return found
+        result = self._copy(expr)
+        self._memo[key] = result
+        return result
+
+    def _copy(self, expr: Expr) -> Expr:
+        if isinstance(expr, Var):
+            return Var(expr.name_hint, self._sub(expr.type_annotation))
+        if isinstance(expr, GlobalVar):
+            return self.gv_map.get(expr, expr)
+        if isinstance(expr, Let):
+            # Iterative over the chain (ANF bodies are thousands deep).
+            bindings: List[Tuple[Var, Expr]] = []
+            node: Expr = expr
+            while isinstance(node, Let):
+                var = self.visit(node.var)
+                if not isinstance(var, Var):
+                    raise CompilerError("let binder must remain a Var")
+                bindings.append((var, self.visit(node.value)))
+                node = node.body
+            out = self.visit(node)
+            for var, value in reversed(bindings):
+                out = Let(var, value, out)
+            self._memo[id(expr)] = out
+            return out
+        if isinstance(expr, Call):
+            return Call(
+                self.visit(expr.op), [self.visit(a) for a in expr.args], expr.attrs
+            )
+        if isinstance(expr, Function):
+            return Function(
+                [self.visit(p) for p in expr.params],
+                self.visit(expr.body),
+                self._sub(expr.ret_type),
+                expr.attrs,
+            )
+        if isinstance(expr, IRTuple):
+            return IRTuple([self.visit(f) for f in expr.fields])
+        if isinstance(expr, TupleGetItem):
+            return TupleGetItem(self.visit(expr.tuple_value), expr.index)
+        if isinstance(expr, If):
+            return If(
+                self.visit(expr.cond),
+                self.visit(expr.true_branch),
+                self.visit(expr.false_branch),
+            )
+        if isinstance(expr, Match):
+            return Match(
+                self.visit(expr.data),
+                [
+                    Clause(self._copy_pattern(c.pattern), self.visit(c.rhs))
+                    for c in expr.clauses
+                ],
+                expr.complete,
+            )
+        # Constants, operators, and constructors are shared: their types
+        # are input-independent and constructors are identity-interned.
+        return expr
+
+    def _copy_pattern(self, pattern):
+        from repro.ir.expr import PatternConstructor, PatternVar
+
+        if isinstance(pattern, PatternVar):
+            var = self.visit(pattern.var)
+            assert isinstance(var, Var)
+            return PatternVar(var)
+        if isinstance(pattern, PatternConstructor):
+            return PatternConstructor(
+                pattern.constructor,
+                [self._copy_pattern(p) for p in pattern.patterns],
+            )
+        return pattern
+
+
+def _static_param_shapes(func: Function):
+    """Per-param shape summary after binding: a tuple of dims (with None
+    for still-dynamic dims) for tensor params, nested tuples for tuple
+    params, None for ADT/function params."""
+
+    def summarize(ty: Optional[Type]):
+        if isinstance(ty, TensorType):
+            return tuple(None if isinstance(d, Any) else int(d) for d in ty.shape)
+        if isinstance(ty, TupleType):
+            return tuple(summarize(f) for f in ty.fields)
+        return None
+
+    return tuple(summarize(p.type_annotation) for p in func.params)
+
+
+class SpecializeShapes(Pass):
+    """Bind the entry function's ``Any`` dims and rewrite the module.
+
+    Construct with either ``shapes`` — one concrete shape spec per entry
+    parameter (ints for tensor params, nested sequences for tuple params,
+    ``None`` to leave a param dynamic) — or a pre-computed ``binding`` of
+    ``Any`` identity tokens to values (the serving layer's specialization
+    manager derives one from its bucketer). After :meth:`run`,
+    ``bound_shapes`` records the entry parameter shapes the module was
+    specialized to.
+    """
+
+    name = "SpecializeShapes"
+
+    def __init__(
+        self,
+        shapes: Optional[Sequence] = None,
+        binding: Optional[Binding] = None,
+        entry: str = "main",
+    ) -> None:
+        self.shapes = shapes
+        self.binding = dict(binding) if binding else {}
+        self.entry = entry
+        self.bound_shapes = None
+
+    def run(self, mod: IRModule) -> IRModule:
+        if self.entry not in mod:
+            raise CompilerError(f"module has no entry function {self.entry!r}")
+        entry_fn = mod[self.entry]
+        binding: Binding = dict(self.binding)
+        if self.shapes is not None:
+            if len(self.shapes) != len(entry_fn.params):
+                raise CompilerError(
+                    f"specialize: {len(self.shapes)} shapes for "
+                    f"{len(entry_fn.params)} entry parameters"
+                )
+            for param, spec in zip(entry_fn.params, self.shapes):
+                if param.type_annotation is None:
+                    raise CompilerError(
+                        f"specialize: entry parameter %{param.name_hint} "
+                        f"has no type annotation"
+                    )
+                collect_shape_bindings(
+                    param.type_annotation, spec, binding,
+                    what=f"specializing %{param.name_hint}",
+                )
+
+        out = IRModule()
+        # ADTs are shared: constructors and global type vars are
+        # identity-interned and their field types carry no entry tokens.
+        out.type_data = dict(mod.type_data)
+        out._global_type_vars = dict(mod._global_type_vars)
+        gv_map = {gv: out.get_global_var(gv.name_hint) for gv in mod.functions}
+        rewriter = _Specializer(binding, gv_map)
+        for gv, func in mod.functions.items():
+            new_func = rewriter.visit(func)
+            assert isinstance(new_func, Function)
+            out[gv_map[gv]] = new_func
+        self.bound_shapes = _static_param_shapes(out[self.entry])
+        return out

@@ -97,9 +97,26 @@ class PoolingAllocator:
             self._pools[storage.device][storage.size].append(storage)
 
     def release_all(self) -> None:
-        """End-of-inference: drop pool contents (tests use this)."""
+        """End-of-inference: drop *pooled* (already freed) storage.
+
+        Live bytes are deliberately left untouched — zeroing them here
+        would forgive leaked buffers and defeat the leak-regression
+        invariant that ``live_bytes == 0`` between inferences (which
+        ``Worker.reset`` and the VM leak tests rely on). A leak must stay
+        visible; callers that expect a drained allocator should check
+        :attr:`live_bytes` (or call :meth:`assert_drained`).
+        """
         self._pools.clear()
-        self._live_bytes = 0
+
+    def assert_drained(self) -> None:
+        """Raise if any buffer is still live (a leak escaped the VM's
+        refcounting); used at worker reset so leaks surface at the
+        serving layer instead of silently skewing the next replay."""
+        if self._live_bytes != 0:
+            raise MemoryError(
+                f"allocator still holds {self._live_bytes} live bytes at "
+                f"release; a buffer leaked past the VM's refcounting"
+            )
 
     def _charge(self, us: float) -> None:
         self.stats.alloc_time_us += us

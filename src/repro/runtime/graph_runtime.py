@@ -70,7 +70,9 @@ class GraphRuntime:
         kernel_cache: Optional[KernelCache] = None,
     ) -> None:
         self.platform = platform or intel_cpu()
-        self.cache = kernel_cache or KernelCache()
+        # Explicit None check: an empty KernelCache is falsy (__len__), and
+        # `or` would silently swap a shared cache for a private one.
+        self.cache = KernelCache() if kernel_cache is None else kernel_cache
         pipeline = Sequential(
             [
                 InferType(),

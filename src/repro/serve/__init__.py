@@ -12,12 +12,19 @@ Everything is simulated on the virtual clock (see ``runtime/clock.py``):
 arrivals, queueing delay, batching deadlines, and worker busy time all
 live on one timeline, so throughput and tail-latency numbers are exactly
 reproducible run to run.
+
+Tiered specialization (``ServeConfig(specialize=True)``) adds a static
+tier on top: hot shapes get a statically recompiled executable
+(``nimble.specialize``) and exact-shape batches route to it, removing the
+shape-function/dispatch/allocation tax the dynamic executable pays — with
+bit-identical outputs and transparent fallback.
 """
 
 from repro.serve.batcher import Batch, Batcher, ShapeBucketer
 from repro.serve.report import ServeReport
 from repro.serve.request import Request, Response
 from repro.serve.server import InferenceServer, ServeConfig
+from repro.serve.specialization import SpecializationManager
 from repro.serve.traffic import bert_traffic, lstm_traffic, poisson_arrivals
 from repro.serve.worker import Worker
 
@@ -30,6 +37,7 @@ __all__ = [
     "Response",
     "InferenceServer",
     "ServeConfig",
+    "SpecializationManager",
     "Worker",
     "poisson_arrivals",
     "lstm_traffic",

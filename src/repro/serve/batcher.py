@@ -29,7 +29,10 @@ class ShapeBucketer:
     Built from a *type-checked* entry function: each distinct ``Any`` token
     appearing in a parameter type yields one key component. Two dimensions
     the sub-shaping analysis proves equal share a token and therefore
-    contribute a single component.
+    contribute a single component. A component is described by
+    ``(param index, tuple path, dim index)`` — the tuple path is non-empty
+    when the dynamic dim lives inside a tuple-typed parameter, and the key
+    resolves through the payload's tuple structure to reach it.
     """
 
     def __init__(self, func: Function, granularity: int = 8) -> None:
@@ -37,35 +40,73 @@ class ShapeBucketer:
             raise ValueError(f"bucket granularity must be >= 1, got {granularity}")
         self.granularity = granularity
         param_index = {p: i for i, p in enumerate(func.params)}
-        dims: List[Tuple[int, int]] = []
-        for entries in any_dim_groups(func).values():
-            # One key component per token group: the first parameter-level
-            # occurrence represents every dim proven equal to it.
+        dims: List[Tuple[int, Tuple[int, ...], int, int]] = []
+        for token, entries in any_dim_groups(func).items():
+            # One key component per token group: the first parameter
+            # occurrence (top-level or through a tuple path) represents
+            # every dim proven equal to it. Skipping non-top-level
+            # occurrences here would silently merge buckets whose dynamic
+            # dim only appears inside a tuple-typed parameter.
+            chosen: Optional[Tuple[int, Tuple[int, ...], int]] = None
             for node, path, dim in entries:
-                if isinstance(node, Var) and node in param_index and path == ():
-                    dims.append((param_index[node], dim))
-                    break
-        # Key components in (param, dim) order regardless of token order.
-        self.dynamic_dims: List[Tuple[int, int]] = sorted(dims)
+                if isinstance(node, Var) and node in param_index:
+                    cand = (param_index[node], path, dim)
+                    if chosen is None or cand < chosen:
+                        chosen = cand
+            if chosen is not None:
+                dims.append((*chosen, token))
+        # Key components in (param, path, dim) order regardless of token order.
+        dims.sort()
+        self.dynamic_dims: List[Tuple[int, Tuple[int, ...], int]] = [
+            (p, path, d) for p, path, d, _ in dims
+        ]
+        # The Any identity token behind each component, aligned with
+        # ``dynamic_dims`` — the specialization manager binds these tokens
+        # to an exact key's values when compiling a static executable.
+        self.tokens: List[int] = [t for _, _, _, t in dims]
+
+    @staticmethod
+    def _resolve(inputs, p: int, path: Tuple[int, ...]):
+        if p >= len(inputs):
+            raise ValueError(
+                f"payload provides {len(inputs)} inputs but param {p} "
+                f"is shape-bucketed"
+            )
+        value = inputs[p]
+        for idx in path:
+            fields = getattr(value, "fields", None)  # VM ADT tuples
+            if fields is not None:
+                value = fields[idx]
+            elif isinstance(value, (tuple, list)):
+                value = value[idx]
+            else:
+                raise ValueError(
+                    f"payload for param {p} is not tuple-structured; cannot "
+                    f"resolve bucketed dim at path {path}"
+                )
+        return value
+
+    def exact_key(self, payload) -> Tuple[int, ...]:
+        """The unrounded dynamic-dim values — what a statically specialized
+        executable must match exactly."""
+        inputs = payload if isinstance(payload, tuple) else (payload,)
+        parts: List[int] = []
+        for p, path, d in self.dynamic_dims:
+            value = self._resolve(inputs, p, path)
+            shape = getattr(value, "shape", None)
+            if shape is None or d >= len(shape):
+                where = f" at path {path}" if path else ""
+                raise ValueError(
+                    f"payload for param {p}{where} has no dimension {d} "
+                    f"to bucket on"
+                )
+            parts.append(int(shape[d]))
+        return tuple(parts)
 
     def key(self, payload) -> Tuple[int, ...]:
         """Bucket key: each dynamic dim rounded up to the granularity."""
-        inputs = payload if isinstance(payload, tuple) else (payload,)
-        parts: List[int] = []
         g = self.granularity
-        for p, d in self.dynamic_dims:
-            if p >= len(inputs):
-                raise ValueError(
-                    f"payload provides {len(inputs)} inputs but param {p} "
-                    f"is shape-bucketed"
-                )
-            shape = getattr(inputs[p], "shape", None)
-            if shape is None or d >= len(shape):
-                raise ValueError(
-                    f"payload for param {p} has no dimension {d} to bucket on"
-                )
-            parts.append(-(-int(shape[d]) // g) * g)
-        return tuple(parts)
+        return tuple(-(-v // g) * g for v in self.exact_key(payload))
 
 
 @dataclass
@@ -81,13 +122,20 @@ class Batch:
 
 
 class Batcher:
-    """Per-bucket FIFO queues with size- and deadline-triggered flushing."""
+    """Per-bucket FIFO queues with size- and deadline-triggered flushing.
+
+    ``key_fn`` overrides how a payload maps to a bucket key (default: the
+    bucketer's rounded key). The serving layer's specialization tier uses
+    this to give hot exact shapes their own buckets, so batches destined
+    for a static executable form shape-uniform.
+    """
 
     def __init__(
         self,
         bucketer: ShapeBucketer,
         max_batch_size: int = 8,
         max_delay_us: float = 2000.0,
+        key_fn=None,
     ) -> None:
         if max_batch_size < 1:
             raise ValueError(f"max_batch_size must be >= 1, got {max_batch_size}")
@@ -96,6 +144,7 @@ class Batcher:
         self.bucketer = bucketer
         self.max_batch_size = max_batch_size
         self.max_delay_us = max_delay_us
+        self.key_fn = key_fn if key_fn is not None else bucketer.key
         self._queues: Dict[Tuple[int, ...], List] = {}
 
     @property
@@ -104,7 +153,7 @@ class Batcher:
 
     def add(self, request, now_us: float) -> Optional[Batch]:
         """Enqueue; returns a full batch if this arrival filled its bucket."""
-        key = self.bucketer.key(request.payload)
+        key = self.key_fn(request.payload)
         queue = self._queues.setdefault(key, [])
         queue.append(request)
         if len(queue) >= self.max_batch_size:

@@ -1,12 +1,15 @@
 """Aggregated serving statistics: latency percentiles, throughput, batch
-shapes, and per-worker utilization, plus the merged VM profile of every
-worker (the Table 4 kernel-vs-others breakdown, fleet-wide)."""
+shapes, per-worker utilization, the merged VM profile of every worker
+(the Table 4 kernel-vs-others breakdown, fleet-wide), and — with tiered
+specialization — the per-tier split: how many requests the static tier
+served, at what latency, and what the dynamic tier kept paying in
+shape-function time."""
 
 from __future__ import annotations
 
 from collections import Counter
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.harness.reporting import format_table, percentile
 from repro.serve.request import Response
@@ -18,7 +21,10 @@ class ServeReport:
     responses: List[Response] = field(default_factory=list)
     worker_busy_us: List[float] = field(default_factory=list)
     worker_batches: List[int] = field(default_factory=list)
-    profile: VMProfile = field(default_factory=VMProfile)
+    profile_dynamic: VMProfile = field(default_factory=VMProfile)
+    profile_specialized: VMProfile = field(default_factory=VMProfile)
+    specialize_compile_us: float = 0.0
+    num_specialized_executables: int = 0
 
     # ----------------------------------------------------------------- counts
     @property
@@ -47,6 +53,39 @@ class ServeReport:
     @property
     def bucket_keys(self) -> List[Tuple[int, ...]]:
         return sorted({r.bucket_key for r in self.responses})
+
+    # ------------------------------------------------------------------ tiers
+    @property
+    def specialized_hits(self) -> int:
+        """Requests served by a static (specialized) executable."""
+        return sum(1 for r in self.responses if r.tier == "specialized")
+
+    @property
+    def specialized_hit_rate(self) -> float:
+        """Fraction of requests the static tier served."""
+        if not self.responses:
+            return 0.0
+        return self.specialized_hits / len(self.responses)
+
+    def tier_latencies_us(self, tier: str) -> List[float]:
+        return [r.latency_us for r in self.responses if r.tier == tier]
+
+    def tier_latency_percentile_us(self, tier: str, q: float) -> float:
+        lats = self.tier_latencies_us(tier)
+        return percentile(lats, q) if lats else 0.0
+
+    def tier_mean_latency_us(self, tier: str) -> float:
+        lats = self.tier_latencies_us(tier)
+        return sum(lats) / len(lats) if lats else 0.0
+
+    # ---------------------------------------------------------------- profile
+    @property
+    def profile(self) -> VMProfile:
+        """Both tiers merged (what the pre-tiering report exposed)."""
+        merged = VMProfile()
+        merged.merge(self.profile_dynamic)
+        merged.merge(self.profile_specialized)
+        return merged
 
     # ----------------------------------------------------------------- timing
     @property
@@ -112,11 +151,41 @@ class ServeReport:
             ["kernel time (µs)", self.profile.kernel_time_us],
         ]
         main = format_table(title, rows, ["metric", "value"])
+        sections = [main]
+        if self.specialized_hits or self.num_specialized_executables:
+            tier_rows = []
+            for tier in ("dynamic", "specialized"):
+                prof = (
+                    self.profile_dynamic
+                    if tier == "dynamic"
+                    else self.profile_specialized
+                )
+                tier_rows.append(
+                    [
+                        tier,
+                        float(len(self.tier_latencies_us(tier))),
+                        self.tier_latency_percentile_us(tier, 50.0),
+                        self.tier_latency_percentile_us(tier, 99.0),
+                        prof.shape_func_time_us,
+                    ]
+                )
+            sections.append(
+                format_table(
+                    f"Tiers — specialized hit rate "
+                    f"{100.0 * self.specialized_hit_rate:.1f}%, "
+                    f"{self.num_specialized_executables} static exe(s), "
+                    f"compile {self.specialize_compile_us:.0f} µs",
+                    tier_rows,
+                    ["tier", "requests", "p50 µs", "p99 µs", "shape-func µs"],
+                )
+            )
         hist_rows = [
             [size, count] for size, count in self.batch_histogram.items()
         ]
-        hist = format_table(
-            "Batch-size histogram", hist_rows, ["batch size", "batches"]
+        sections.append(
+            format_table(
+                "Batch-size histogram", hist_rows, ["batch size", "batches"]
+            )
         )
         util_rows = [
             [i, busy, 100.0 * util]
@@ -124,20 +193,32 @@ class ServeReport:
                 zip(self.worker_busy_us, self.worker_utilization)
             )
         ]
-        util = format_table(
-            "Workers", util_rows, ["worker", "busy µs", "util %"]
+        sections.append(
+            format_table("Workers", util_rows, ["worker", "busy µs", "util %"])
         )
-        return "\n\n".join([main, hist, util])
+        return "\n\n".join(sections)
 
 
-def build_report(responses: Sequence[Response], workers) -> ServeReport:
-    """Assemble a ServeReport from responses + the worker pool."""
-    profile = VMProfile()
+def build_report(
+    responses: Sequence[Response], workers, specializer=None
+) -> ServeReport:
+    """Assemble a ServeReport from responses + the worker pool (and the
+    specialization manager, when tiering is enabled)."""
+    profile_dynamic = VMProfile()
+    profile_specialized = VMProfile()
     for worker in workers:
-        profile.merge(worker.vm.profile)
+        profile_dynamic.merge(worker.vm.profile)
+        profile_specialized.merge(worker.specialized_profile)
     return ServeReport(
         responses=sorted(responses, key=lambda r: r.rid),
         worker_busy_us=[w.busy_us for w in workers],
         worker_batches=[w.batches_run for w in workers],
-        profile=profile,
+        profile_dynamic=profile_dynamic,
+        profile_specialized=profile_specialized,
+        specialize_compile_us=(
+            specializer.compile_us_spent if specializer is not None else 0.0
+        ),
+        num_specialized_executables=(
+            specializer.num_executables if specializer is not None else 0
+        ),
     )

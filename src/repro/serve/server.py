@@ -9,6 +9,16 @@ inputs. Two identical simulations are bit-identical.
 Workers never block batch formation: a flushed batch is assigned to the
 earliest-free worker (ties broken by worker id) and starts at
 ``max(flush time, worker free time)``.
+
+With ``specialize=True`` the server runs tiered compilation: request
+arrivals are counted per exact dynamic-dim shape, hot shapes get a
+statically recompiled executable (``nimble.specialize``, sharing the
+dynamic build's kernel cache), and a batch whose members all match a
+specialized shape exactly is routed to the static tier — everything else
+falls back to the dynamic executable, including the hot shape itself
+while its compile occupies the background compile lane (the compile cost
+is charged on the virtual clock as that lane's latency). Once a shape is
+hot it also gets its own exact bucket, so its batches form shape-uniform.
 """
 
 from __future__ import annotations
@@ -25,6 +35,7 @@ from repro.ir.module import IRModule
 from repro.serve.batcher import Batch, Batcher, ShapeBucketer
 from repro.serve.report import ServeReport, build_report
 from repro.serve.request import Request, Response
+from repro.serve.specialization import SpecializationManager
 from repro.serve.worker import Worker
 
 
@@ -36,15 +47,25 @@ class ServeConfig:
     bucket_granularity: int = 8
     numerics: str = "lite"
     entry: str = "main"
+    # Tiered specialization: compile a static executable for a shape once
+    # `specialize_threshold` requests with exactly that shape have been
+    # observed, keeping at most `specialize_max_executables` static builds
+    # (beyond the cap new shapes stay dynamic; eviction is a follow-on).
+    # `specialize_compile_us` overrides the modeled compile cost.
+    specialize: bool = False
+    specialize_threshold: int = 8
+    specialize_max_executables: int = 4
+    specialize_compile_us: Optional[float] = None
 
     @staticmethod
     def serial(**overrides) -> "ServeConfig":
         """One-request-at-a-time dispatch: the unbatched baseline. Other
         knobs (numerics, entry, ...) pass through so a serial baseline runs
-        under the same conditions as the batched server it is compared to."""
-        return ServeConfig(
-            max_batch_size=1, max_delay_us=0.0, num_workers=1, **overrides
-        )
+        under the same conditions as the batched server it is compared to.
+        Overrides win — including for the serial defaults themselves."""
+        params = dict(max_batch_size=1, max_delay_us=0.0, num_workers=1)
+        params.update(overrides)
+        return ServeConfig(**params)
 
 
 class InferenceServer:
@@ -61,7 +82,10 @@ class InferenceServer:
         self.config = config or ServeConfig()
         if self.config.num_workers < 1:
             raise ValueError("num_workers must be >= 1")
-        self.kernel_cache = kernel_cache or KernelCache()
+        self.kernel_cache = (
+            KernelCache() if kernel_cache is None else kernel_cache
+        )
+        self.mod = mod
         self.exe, self.build_report = nimble.build(
             mod, self.platform, kernel_cache=self.kernel_cache
         )
@@ -71,6 +95,18 @@ class InferenceServer:
         self.bucketer = ShapeBucketer(
             typed[self.config.entry], granularity=self.config.bucket_granularity
         )
+        self.specializer: Optional[SpecializationManager] = None
+        if self.config.specialize:
+            self.specializer = SpecializationManager(
+                mod,
+                self.platform,
+                self.bucketer,
+                self.kernel_cache,
+                threshold=self.config.specialize_threshold,
+                max_executables=self.config.specialize_max_executables,
+                compile_us=self.config.specialize_compile_us,
+                entry=self.config.entry,
+            )
         self.workers = [
             Worker(
                 i, self.exe, self.platform,
@@ -83,19 +119,24 @@ class InferenceServer:
     def simulate(self, requests: Sequence[Request]) -> ServeReport:
         """Serve the trace to completion; returns the aggregate report.
 
-        Each call is an independent replay: workers reset to cold start,
-        so the same trace always yields the same report, and repeated
-        simulations never inherit clock/pool/profile state."""
+        Each call is an independent replay: workers reset to cold start
+        and the specialization manager's hit counters restart (compiled
+        static executables are kept — compilation is deterministic, so
+        replays stay bit-identical either way)."""
         for worker in self.workers:
             worker.reset()
+        if self.specializer is not None:
+            self.specializer.reset()
         trace = sorted(requests, key=lambda r: (r.arrival_us, r.rid))
         batcher = Batcher(
             self.bucketer,
             max_batch_size=self.config.max_batch_size,
             max_delay_us=self.config.max_delay_us,
+            key_fn=self._bucket_key if self.specializer is not None else None,
         )
         responses: List[Response] = []
         now = 0.0
+        self._sim_now = 0.0
         i, n = 0, len(trace)
         while i < n or batcher.pending:
             next_arrival = trace[i].arrival_us if i < n else math.inf
@@ -110,6 +151,11 @@ class InferenceServer:
                 break
             if next_arrival <= next_deadline:
                 now = next_arrival
+                self._sim_now = now
+                if self.specializer is not None:
+                    self.specializer.observe(
+                        self.bucketer.exact_key(trace[i].payload), now
+                    )
                 batch = batcher.add(trace[i], now)
                 i += 1
                 if batch is not None:
@@ -118,9 +164,44 @@ class InferenceServer:
                 now = next_deadline
                 for batch in batcher.flush_due(now):
                     responses.extend(self._dispatch(batch))
-        return build_report(responses, self.workers)
+        return build_report(responses, self.workers, self.specializer)
+
+    def _bucket_key(self, payload):
+        """Bucket key under tiered specialization: a hot shape (static
+        executable ready at the current simulation time) gets its own
+        exact bucket so its batches form shape-uniform and can route to
+        the static tier; everything else keeps the rounded key. The -1
+        marker keeps exact buckets disjoint from rounded ones (rounded
+        key components are never negative)."""
+        exact = self.bucketer.exact_key(payload)
+        if self.specializer.is_hot(exact, self._sim_now):
+            return (-1,) + exact
+        g = self.config.bucket_granularity
+        return tuple(-(-v // g) * g for v in exact)
 
     def _dispatch(self, batch: Batch) -> List[Response]:
         worker = min(self.workers, key=lambda w: (w.free_at_us, w.worker_id))
         start = max(batch.formed_us, worker.free_at_us)
-        return worker.run_batch(batch, start)
+        executable = None
+        tier = "dynamic"
+        if self.specializer is not None:
+            # The static tier only takes exact-shape-uniform batches whose
+            # executable is ready; mixed batches within a (rounded) bucket
+            # and in-flight compiles stay dynamic. Exact buckets carry the
+            # -1 marker and are uniform by construction; a rounded bucket
+            # may still happen to be uniform (requests enqueued before the
+            # shape went hot), so those are checked member-by-member.
+            if batch.key and batch.key[0] == -1:
+                exact = tuple(batch.key[1:])
+                executable = self.specializer.executable_for(exact, start)
+            else:
+                keys = {
+                    self.bucketer.exact_key(r.payload) for r in batch.requests
+                }
+                if len(keys) == 1:
+                    executable = self.specializer.executable_for(
+                        keys.pop(), start
+                    )
+            if executable is not None:
+                tier = "specialized"
+        return worker.run_batch(batch, start, executable=executable, tier=tier)

@@ -1,0 +1,170 @@
+"""Tiered shape specialization for the serving layer.
+
+The batcher already groups traffic by ``Any``-dim values, so a hot bucket
+is, in effect, a static workload that keeps paying the dynamic tax —
+shape functions, runtime-sized allocation, symbolic-kernel dispatch. The
+:class:`SpecializationManager` closes that gap: it counts per-shape hits,
+and once a shape crosses the hot threshold it compiles a static-shape
+:class:`Executable` through ``nimble.specialize`` (sharing the dynamic
+build's :class:`KernelCache`). Batches whose members all match the
+specialized shape exactly are routed to the static tier; everything else
+— including the hot shape itself while its compile is in flight — falls
+back to the dynamic executable, so correctness never depends on the
+tier: outputs are bit-identical either way.
+
+Compile cost is charged on the virtual clock through a single background
+compile lane: a triggered compile occupies the lane for its modeled cost
+and the executable only becomes routable once the lane finishes
+(``ready_at``). Requests are never stalled by compilation — they fall
+back to the dynamic tier until the static one is ready. (A compile-lane
+*pool* and an eviction policy for the executable cache are ROADMAP
+follow-ons.)
+
+Compiled executables are cached across simulations, but hit counts, lane
+state, and ready times reset per replay, so repeated simulations of one
+trace are bit-identical.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import repro.nimble as nimble
+from repro.codegen.kernels import KernelCache
+from repro.hardware import calibration
+from repro.hardware.platforms import Platform
+from repro.ir.module import IRModule
+from repro.serve.batcher import ShapeBucketer
+from repro.vm.executable import Executable
+
+ExactKey = Tuple[int, ...]
+
+
+@dataclass(frozen=True)
+class SpecializationEvent:
+    """One triggered compile on the background lane (per simulation)."""
+
+    key: ExactKey
+    trigger_us: float
+    ready_us: float
+    compile_us: float
+
+
+class SpecializationManager:
+    """Decides when a shape is hot and owns the specialized executables.
+
+    ``threshold`` is the number of observed requests with one exact shape
+    before a static executable is compiled for it; ``max_executables``
+    caps the cache (an eviction policy for long-tailed shape mixes is a
+    ROADMAP follow-on — beyond the cap, new shapes simply stay on the
+    dynamic tier). ``compile_us`` overrides the modeled compile cost; by
+    default it is derived from the calibration constants and the number
+    of kernels in the specialized executable.
+    """
+
+    def __init__(
+        self,
+        mod: IRModule,
+        platform: Platform,
+        bucketer: ShapeBucketer,
+        kernel_cache: KernelCache,
+        threshold: int = 8,
+        max_executables: int = 4,
+        compile_us: Optional[float] = None,
+        entry: str = "main",
+    ) -> None:
+        if threshold < 1:
+            raise ValueError(f"specialization threshold must be >= 1, got {threshold}")
+        self.mod = mod
+        self.platform = platform
+        self.bucketer = bucketer
+        self.kernel_cache = kernel_cache
+        self.threshold = threshold
+        self.max_executables = max_executables
+        self.compile_us = compile_us
+        self.entry = entry
+        # Compiled artifacts persist across simulations (compilation is a
+        # pure function of module + shape + platform, so reusing them
+        # keeps replays bit-identical while skipping redundant work).
+        self._executables: Dict[ExactKey, Executable] = {}
+        self._compile_cost: Dict[ExactKey, float] = {}
+        self.reset()
+
+    # ----------------------------------------------------------------- replay
+    def reset(self) -> None:
+        """Per-simulation state: hit counts, compile-lane occupancy, and
+        ready times all restart so each replay is independent."""
+        self._hits: Counter = Counter()
+        self._ready_at: Dict[ExactKey, float] = {}
+        self._lane_free_us = 0.0
+        self.events: List[SpecializationEvent] = []
+
+    # ------------------------------------------------------------------ stats
+    @property
+    def num_executables(self) -> int:
+        return len(self._executables)
+
+    @property
+    def compile_us_spent(self) -> float:
+        """Total modeled compile time triggered in this simulation."""
+        return sum(e.compile_us for e in self.events)
+
+    def hits(self, key: ExactKey) -> int:
+        return self._hits[key]
+
+    def is_hot(self, key: ExactKey, now_us: float) -> bool:
+        """Is the static executable for this exact shape routable at
+        *now_us* (compiled, and its compile lane has finished)?"""
+        ready = self._ready_at.get(key)
+        return ready is not None and ready <= now_us
+
+    # ------------------------------------------------------------------- flow
+    def observe(self, key: ExactKey, now_us: float) -> None:
+        """Record one request arrival with exact dynamic-dim values *key*;
+        crossing the threshold triggers a compile on the background lane."""
+        if not key:
+            return  # fully static model: there is nothing to specialize
+        self._hits[key] += 1
+        if self._hits[key] != self.threshold:
+            return
+        if key not in self._executables:
+            if len(self._executables) >= self.max_executables:
+                return
+            self._compile(key)
+        cost = self._compile_cost[key]
+        ready = max(now_us, self._lane_free_us) + cost
+        self._lane_free_us = ready
+        self._ready_at[key] = ready
+        self.events.append(SpecializationEvent(key, now_us, ready, cost))
+
+    def executable_for(self, key: ExactKey, at_us: float) -> Optional[Executable]:
+        """The static executable for a batch whose members all have exact
+        shape *key*, or None when the shape is not specialized (or its
+        compile has not finished by *at_us* — the caller falls back to
+        the dynamic tier)."""
+        if not self.is_hot(key, at_us):
+            return None
+        return self._executables.get(key)
+
+    # ---------------------------------------------------------------- compile
+    def _compile(self, key: ExactKey) -> None:
+        binding = dict(zip(self.bucketer.tokens, key))
+        exe, _ = nimble.specialize(
+            self.mod,
+            self.platform,
+            binding=binding,
+            kernel_cache=self.kernel_cache,
+            entry=self.entry,
+        )
+        self._executables[key] = exe
+        if self.compile_us is not None:
+            cost = float(self.compile_us)
+        else:
+            cost = (
+                calibration.SPECIALIZE_BASE_US[self.platform.name]
+                + calibration.SPECIALIZE_PER_KERNEL_US[self.platform.name]
+                * len(exe.kernels)
+            )
+        self._compile_cost[key] = cost

@@ -1,4 +1,4 @@
-"""A serving worker: one VM + execution context on the shared executable.
+"""A serving worker: VMs + execution context on the shared executables.
 
 Each worker models an independent replica (its own device queue, clock,
 and pooling allocator) while sharing the compiled :class:`Executable` —
@@ -6,6 +6,13 @@ bytecode, constants, and kernels compile once and fan out. A worker's
 clock *is* its availability: after a batch the clock sits at the batch's
 finish time, and ``VirtualClock.advance_to`` fast-forwards over idle gaps
 to the next dispatch.
+
+With tiered specialization enabled a worker additionally keeps one VM per
+specialized (static-shape) executable, all sharing this worker's context,
+so a batch routed to the static tier runs on the same clock/allocator and
+its latency lands in the same report. Specialized VMs pool their profile
+into ``specialized_profile`` — the report splits kernel/shape-func time
+by tier from it.
 
 Batch members run back-to-back with ``sync=False`` and one device
 synchronization at the end, so on GPU-class platforms the host-side
@@ -15,7 +22,7 @@ device queue of request *i* — the §6.3 overlap, amortized across a batch.
 
 from __future__ import annotations
 
-from typing import List
+from typing import Dict, List, Optional
 
 from repro.hardware.platforms import Platform
 from repro.runtime.context import ExecutionContext
@@ -23,6 +30,7 @@ from repro.serve.batcher import Batch
 from repro.serve.request import Response
 from repro.vm.executable import Executable
 from repro.vm.interpreter import VirtualMachine
+from repro.vm.profiler import VMProfile
 
 
 class Worker:
@@ -38,6 +46,8 @@ class Worker:
         self.entry = entry
         self.ctx = ExecutionContext(platform, numerics=numerics)
         self.vm = VirtualMachine(executable, self.ctx)
+        self.specialized_profile = VMProfile()
+        self._specialized_vms: Dict[tuple, VirtualMachine] = {}
         self.busy_us = 0.0
         self.batches_run = 0
 
@@ -49,23 +59,49 @@ class Worker:
     def reset(self) -> None:
         """Return to the cold-start state so each simulation is an
         independent, reproducible replay: clock to zero, pools drained,
-        counters and profile cleared."""
+        counters and profiles cleared. A leak (live bytes at reset) is an
+        error, not something to silently forgive."""
+        self.ctx.allocator.assert_drained()
         self.ctx.reset_clock()
         self.ctx.allocator.release_all()
         self.ctx.allocator.stats.reset()
         self.vm.profile.reset()
+        self.specialized_profile.reset()
         self.busy_us = 0.0
         self.batches_run = 0
 
-    def run_batch(self, batch: Batch, start_us: float) -> List[Response]:
-        """Execute every request of *batch*, completing them together."""
+    def _specialized_vm(self, executable: Executable) -> VirtualMachine:
+        """One VM per specialized executable, sharing this worker's
+        context and pooling their profile (per-tier accounting). Keyed by
+        the specialization marker — stable across executable-cache
+        eviction, unlike id()."""
+        key = executable.specialized_shapes
+        vm = self._specialized_vms.get(key)
+        if vm is None or vm.exe is not executable:
+            vm = VirtualMachine(executable, self.ctx)
+            vm.profile = self.specialized_profile
+            self._specialized_vms[key] = vm
+        return vm
+
+    def run_batch(
+        self,
+        batch: Batch,
+        start_us: float,
+        executable: Optional[Executable] = None,
+        tier: str = "dynamic",
+    ) -> List[Response]:
+        """Execute every request of *batch*, completing them together.
+
+        ``executable`` selects the static tier (a specialized build run
+        on this worker's own context/clock)."""
         clock = self.ctx.clock
         clock.advance_to(start_us)
+        vm = self.vm if executable is None else self._specialized_vm(executable)
         begin = clock.elapsed_us
         outputs = []
         for req in batch.requests:
             args = req.payload if isinstance(req.payload, tuple) else (req.payload,)
-            outputs.append(self.vm.run(*args, entry=self.entry, sync=False))
+            outputs.append(vm.run(*args, entry=self.entry, sync=False))
         clock.sync_all()
         finish = clock.elapsed_us
         self.busy_us += finish - begin
@@ -80,6 +116,7 @@ class Worker:
                 bucket_key=batch.key,
                 batch_size=len(batch),
                 worker_id=self.worker_id,
+                tier=tier,
             )
             for req, out in zip(batch.requests, outputs)
         ]

@@ -63,12 +63,17 @@ class CompilerOptions:
         allow_library: bool = True,
         schedule: Optional[Schedule] = None,
         tuning_trials: int = 96,
+        specialized_shapes: Optional[tuple] = None,
     ) -> None:
         self.tune = tune
         self.num_dispatch_kernels = num_dispatch_kernels
         self.allow_library = allow_library
         self.schedule = schedule
         self.tuning_trials = tuning_trials
+        # Set by ``nimble.specialize``: the entry shapes this build was
+        # statically specialized to (stamped onto the Executable so the
+        # serving tier and serialized artifacts can identify it).
+        self.specialized_shapes = specialized_shapes
 
 
 class _FnCtx:
@@ -102,12 +107,15 @@ class VMCompiler:
     ) -> None:
         self.platform = platform
         self.options = options or CompilerOptions()
-        self.kernel_cache = kernel_cache or KernelCache()
+        # `or` would discard an *empty* shared cache (KernelCache defines
+        # __len__, so a fresh cache is falsy) and silently compile into a
+        # private one — an explicit None check keeps sharing intact.
+        self.kernel_cache = KernelCache() if kernel_cache is None else kernel_cache
         self._constants: List[NDArray] = []
         self._const_index: Dict[int, int] = {}
         self._kernels: list = []
-        self._packed_index: Dict[PyTuple[int, str], int] = {}
-        self._schedule_cache: Dict[int, Schedule] = {}
+        self._packed_index: Dict[tuple, int] = {}
+        self._schedule_cache: Dict[tuple, Schedule] = {}
 
     # ------------------------------------------------------------------ driver
     def compile(self, mod: IRModule) -> Executable:
@@ -124,6 +132,7 @@ class VMCompiler:
             func_index=func_index,
             constants=self._constants,
             kernels=self._kernels,
+            specialized_shapes=self.options.specialized_shapes,
         )
 
     # ------------------------------------------------------------- per function
@@ -391,7 +400,11 @@ class VMCompiler:
         return found
 
     def packed_index(self, prim: Function, kind: str, device) -> int:
-        key = (structural_hash(prim), kind)
+        from repro.codegen.kernels import prim_signature
+
+        # The signature component keeps shape-specialized prims apart from
+        # structurally identical symbolic ones (see prim_signature).
+        key = (structural_hash(prim), prim_signature(prim), kind)
         found = self._packed_index.get(key)
         if found is not None:
             return found
@@ -416,18 +429,19 @@ class VMCompiler:
         return index
 
     def _tuned_schedule(self, prim: Function, spec) -> Schedule:
-        from repro.codegen.kernels import is_symbolic_prim
+        from repro.codegen.kernels import is_symbolic_prim, prim_signature
 
-        key = structural_hash(prim)
+        key = (structural_hash(prim), prim_signature(prim))
         cached = self._schedule_cache.get(key)
         if cached is not None:
             return cached
+        seed = key[0] & 0xFFFF
         try:
             if is_symbolic_prim(prim):
-                tuner = SymbolicTuner(prim, self.platform, spec, seed=key & 0xFFFF)
+                tuner = SymbolicTuner(prim, self.platform, spec, seed=seed)
                 schedule = tuner.tune(n_trials=self.options.tuning_trials)
             else:
-                tuner = AutoTuner(prim, self.platform, spec, seed=key & 0xFFFF, symbolic=False)
+                tuner = AutoTuner(prim, self.platform, spec, seed=seed, symbolic=False)
                 records = tuner.tune(m=0, n_trials=self.options.tuning_trials)
                 schedule = records[0].schedule
         except Exception:

@@ -25,7 +25,8 @@ from repro.tensor.ndarray import NDArray
 from repro.vm import instruction as ins
 
 MAGIC = b"NMBL"
-VERSION = 1
+# v2 appended the specialization-marker section (tiered compilation).
+VERSION = 2
 
 
 @dataclass
@@ -44,6 +45,14 @@ class Executable:
     constants: List[NDArray]
     kernels: list  # KernelSet | ShapeFuncKernel, indexed by InvokePacked
     entry: str = "main"
+    # For a statically specialized executable (``nimble.specialize``):
+    # the concrete entry-parameter shapes it was compiled for, with None
+    # marking dims/params left dynamic. None for a fully dynamic build.
+    specialized_shapes: Optional[tuple] = None
+
+    @property
+    def is_specialized(self) -> bool:
+        return self.specialized_shapes is not None
 
     # ------------------------------------------------------------- statistics
     @property
@@ -66,6 +75,7 @@ class Executable:
         _write_bytes(out, self._serialize_constants())
         _write_bytes(out, pickle.dumps(self.kernels))
         _write_bytes(out, self.entry.encode())
+        _write_bytes(out, pickle.dumps(self.specialized_shapes))
         return out.getvalue()
 
     @staticmethod
@@ -81,7 +91,11 @@ class Executable:
         constants = _deserialize_constants(_read_bytes(buf))
         kernels = pickle.loads(_read_bytes(buf))
         entry = _read_bytes(buf).decode()
-        return Executable(platform_name, functions, func_index, constants, kernels, entry)
+        specialized_shapes = pickle.loads(_read_bytes(buf))
+        return Executable(
+            platform_name, functions, func_index, constants, kernels, entry,
+            specialized_shapes,
+        )
 
     # -- bytecode section -------------------------------------------------------
     def _serialize_bytecode(self) -> bytes:

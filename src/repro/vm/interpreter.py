@@ -100,7 +100,13 @@ class VirtualMachine:
         return unwrapped
 
     def run_with_latency(self, *inputs, entry: Optional[str] = None):
-        """(result, latency_us) for one inference with a fresh clock."""
+        """(result, latency_us) for one inference.
+
+        The clock is *not* reset: the latency is the elapsed-µs delta on
+        the context's running clock across this call, so the method is
+        safe to interleave with other work on the same context (earlier
+        time is never re-counted, and device queues keep their state).
+        """
         start = self.ctx.clock.elapsed_us
         result = self.run(*inputs, entry=entry)
         return result, self.ctx.clock.elapsed_us - start

@@ -175,6 +175,21 @@ class TestTuner:
         b = AutoTuner(prim, plat, plat.compute_spec, seed=5).tune(64, 32)
         assert a[0].schedule == b[0].schedule
 
+    def test_records_carry_no_duplicate_schedules(self):
+        """Regression: greedy mutation re-inserted schedules already in the
+        record list, wasting SymbolicTuner's top-k cross-shape slots."""
+        prim, _ = _dense_prim(64, 64, symbolic=True)
+        plat = arm_cpu()
+        for seed in range(6):
+            records = AutoTuner(prim, plat, plat.compute_spec, seed=seed).tune(
+                64, n_trials=96
+            )
+            schedules = [r.schedule for r in records]
+            assert len(schedules) == len(set(schedules))
+            assert all(
+                x.cost_us <= y.cost_us for x, y in zip(records, records[1:])
+            )
+
     def test_symbolic_workflow_beats_naive_on_average(self):
         """§4.5's claim: the cross-shape-selected config is at least as good
         on the shape distribution as naively reusing the shape-64 winner."""

@@ -8,7 +8,7 @@ from repro.core.typing import infer_types
 from repro.errors import VMError
 from repro.harness.reporting import percentile
 from repro.hardware import intel_cpu, nvidia_gpu
-from repro.ir import Any, Function, IRModule, TensorType, Var, const
+from repro.ir import Any, Function, IRModule, TensorType, TupleGetItem, Var, const
 from repro.models.lstm import LSTMWeights, build_lstm_module, lstm_reference
 from repro.ops import api
 from repro.serve import (
@@ -49,7 +49,7 @@ def _requests(rows_list, dim=8, gap_us=100.0):
 class TestShapeBucketer:
     def test_lengths_round_up_to_shared_bucket(self):
         b = ShapeBucketer(_typed_main(_dyn_mlp_module()), granularity=8)
-        assert b.dynamic_dims == [(0, 0)]
+        assert b.dynamic_dims == [(0, (), 0)]
         assert b.key(_payload(9)) == (16,)
         assert b.key(_payload(16)) == (16,)
         assert b.key(_payload(17)) == (24,)
@@ -78,6 +78,46 @@ class TestShapeBucketer:
     def test_invalid_granularity_rejected(self):
         with pytest.raises(ValueError):
             ShapeBucketer(_typed_main(_dyn_mlp_module()), granularity=0)
+
+    def test_tuple_typed_entry_dims_are_not_dropped(self):
+        """Regression: a dynamic dim that only occurs inside a tuple-typed
+        parameter used to be silently dropped from the bucket key, letting
+        different dynamic shapes batch together."""
+        from repro.ir.types import TupleType
+
+        a, b = Any(), Any()
+        pair_ty = TupleType(
+            [TensorType((a, 4), "float32"), TensorType((b, 4), "float32")]
+        )
+        p = Var("p", pair_ty)
+        body = api.concatenate(
+            [TupleGetItem(p, 0), TupleGetItem(p, 1)], axis=0
+        )
+        mod = IRModule.from_expr(Function([p], body))
+        bucketer = ShapeBucketer(_typed_main(mod), granularity=4)
+        # Both tuple-field dims contribute key components through paths.
+        assert bucketer.dynamic_dims == [(0, (0,), 0), (0, (1,), 0)]
+        key = bucketer.key(((_payload(3, 4), _payload(9, 4)),))
+        assert key == (4, 12)
+        assert bucketer.exact_key(((_payload(3, 4), _payload(9, 4)),)) == (3, 9)
+        # Different tuple shapes land in different buckets.
+        other = bucketer.key(((_payload(9, 4), _payload(9, 4)),))
+        assert other != key
+
+    def test_tuple_path_on_non_tuple_payload_raises(self):
+        from repro.ir.types import TupleType
+
+        pair_ty = TupleType([TensorType((Any(), 4), "float32")])
+        p = Var("p", pair_ty)
+        mod = IRModule.from_expr(Function([p], api.relu(TupleGetItem(p, 0))))
+        bucketer = ShapeBucketer(_typed_main(mod), granularity=4)
+        with pytest.raises(ValueError, match="tuple-structured"):
+            bucketer.key((_payload(3, 4),))
+
+    def test_exact_key_is_unrounded(self):
+        b = ShapeBucketer(_typed_main(_dyn_mlp_module()), granularity=8)
+        assert b.exact_key(_payload(9)) == (9,)
+        assert b.key(_payload(9)) == (16,)
 
 
 class TestBatcher:
@@ -120,6 +160,22 @@ class TestBatcher:
         assert batcher.pending > 0
         batcher.flush_all(10.0)
         assert batcher.pending == 0 and batcher.next_deadline() is None
+
+
+class TestServeConfig:
+    def test_serial_accepts_pass_through_knobs(self):
+        config = ServeConfig.serial(numerics="full", bucket_granularity=4)
+        assert config.max_batch_size == 1
+        assert config.numerics == "full"
+        assert config.bucket_granularity == 4
+
+    def test_serial_overrides_win_for_serial_defaults(self):
+        """Regression: overriding max_batch_size/max_delay_us/num_workers
+        used to raise TypeError('got multiple values')."""
+        config = ServeConfig.serial(num_workers=3, max_delay_us=50.0)
+        assert config.num_workers == 3
+        assert config.max_delay_us == 50.0
+        assert config.max_batch_size == 1  # untouched serial default
 
 
 class TestInferenceServer:

@@ -1,0 +1,445 @@
+"""Tiered shape specialization: the SpecializeShapes pass, the
+nimble.specialize API, kernel-cache tier separation, serialization, the
+serving-layer SpecializationManager, and tier routing."""
+
+import numpy as np
+import pytest
+
+import repro.nimble as nimble
+from repro.codegen.kernels import KernelCache, prim_signature
+from repro.core.typing import collect_shape_bindings, infer_types
+from repro.core.typing.bind import bind_any_dims
+from repro.errors import CompilerError, TypeInferenceError
+from repro.hardware import intel_cpu, nvidia_gpu
+from repro.ir import Any, Function, IRModule, TensorType, Var, const
+from repro.ir.types import TupleType, has_any_dim
+from repro.models.bert import BertConfig, BertWeights, build_bert_module
+from repro.models.lstm import LSTMWeights, build_lstm_module, lstm_reference
+from repro.models.tree_lstm import (
+    TreeLSTMWeights,
+    build_tree_lstm_module,
+    tree_to_adt,
+)
+from repro.ops import api
+from repro.passes import SpecializeShapes
+from repro.runtime.context import ExecutionContext
+from repro.serve import (
+    InferenceServer,
+    Request,
+    ServeConfig,
+    ShapeBucketer,
+    SpecializationManager,
+    lstm_traffic,
+)
+from repro.vm.executable import Executable
+from repro.vm.interpreter import VirtualMachine
+
+
+def _dyn_mlp_module(dim=8, seed=0):
+    w = const((np.random.RandomState(seed).randn(dim, dim) * 0.1).astype(np.float32))
+    x = Var("x", TensorType((Any(), dim), "float32"))
+    return IRModule.from_expr(Function([x], api.relu(api.dense(x, w))))
+
+
+def _run(exe, *inputs, platform=None, numerics="full"):
+    ctx = ExecutionContext(platform or intel_cpu(), numerics=numerics)
+    vm = VirtualMachine(exe, ctx)
+    out, latency = vm.run_with_latency(*inputs)
+    return out, latency, vm
+
+
+# ---------------------------------------------------------------------------
+# Binding helpers
+# ---------------------------------------------------------------------------
+
+
+class TestBindHelpers:
+    def test_collect_binds_any_and_checks_static(self):
+        a = Any()
+        ty = TensorType((a, 8), "float32")
+        binding = collect_shape_bindings(ty, (12, 8))
+        assert binding == {a.token: 12}
+
+    def test_collect_rejects_static_mismatch(self):
+        ty = TensorType((Any(), 8), "float32")
+        with pytest.raises(TypeInferenceError, match="static dim"):
+            collect_shape_bindings(ty, (12, 9))
+
+    def test_collect_rejects_rank_mismatch(self):
+        ty = TensorType((Any(), 8), "float32")
+        with pytest.raises(TypeInferenceError, match="rank"):
+            collect_shape_bindings(ty, (12,))
+
+    def test_collect_rejects_conflicting_token_values(self):
+        a = Any()
+        ty = TupleType([TensorType((a, 4)), TensorType((a, 4))])
+        with pytest.raises(TypeInferenceError, match="bound to both"):
+            collect_shape_bindings(ty, [(3, 4), (5, 4)])
+
+    def test_collect_through_tuple_and_none_skips(self):
+        a, b = Any(), Any()
+        ty = TupleType([TensorType((a, 4)), TensorType((b, 4))])
+        binding = collect_shape_bindings(ty, [(3, 4), None])
+        assert binding == {a.token: 3}
+
+    def test_bind_substitutes_only_bound_tokens(self):
+        a, b = Any(), Any()
+        ty = TupleType([TensorType((a, b)), TensorType((4,))])
+        out = bind_any_dims(ty, {a.token: 7})
+        assert out.fields[0].shape[0] == 7
+        assert isinstance(out.fields[0].shape[1], Any)
+        assert out.fields[1] is ty.fields[1]  # untouched subtree shared
+
+
+# ---------------------------------------------------------------------------
+# The SpecializeShapes pass
+# ---------------------------------------------------------------------------
+
+
+class TestSpecializeShapesPass:
+    def test_entry_types_become_static(self):
+        mod = _dyn_mlp_module()
+        out = SpecializeShapes(shapes=[(12, 8)])(mod)
+        typed = infer_types(out)
+        main = typed["main"]
+        assert main.params[0].checked_type == TensorType((12, 8), "float32")
+        assert not has_any_dim(main.body.checked_type)
+
+    def test_original_module_untouched(self):
+        mod = _dyn_mlp_module()
+        typed = infer_types(mod)
+        before = repr(typed["main"].params[0].type_annotation)
+        SpecializeShapes(shapes=[(12, 8)])(mod)
+        assert repr(typed["main"].params[0].type_annotation) == before
+        assert has_any_dim(typed["main"].params[0].type_annotation)
+
+    def test_binding_propagates_across_functions(self):
+        """The LSTM shares its sequence Any token between main and the
+        recursive loop function; binding it must specialize both."""
+        mod = build_lstm_module(LSTMWeights.create(8, 8, seed=0))
+        out = SpecializeShapes(shapes=[(10, 8)])(mod)
+        typed = infer_types(out)
+        loop = typed["lstm_loop"]
+        x_param = loop.params[2]  # (t, n, x, ...)
+        assert x_param.checked_type == TensorType((10, 8), "float32")
+
+    def test_wrong_arity_rejected(self):
+        with pytest.raises(CompilerError, match="entry parameters"):
+            SpecializeShapes(shapes=[(12, 8), (1, 1)])(_dyn_mlp_module())
+
+    def test_missing_entry_rejected(self):
+        with pytest.raises(CompilerError, match="no entry"):
+            SpecializeShapes(shapes=[(12, 8)], entry="nope")(_dyn_mlp_module())
+
+    def test_bound_shapes_recorded(self):
+        p = SpecializeShapes(shapes=[(12, 8)])
+        p(_dyn_mlp_module())
+        assert p.bound_shapes == (((12, 8)),)
+
+
+# ---------------------------------------------------------------------------
+# nimble.specialize: bit-identical outputs, overhead removal, round-trips
+# ---------------------------------------------------------------------------
+
+
+class TestSpecializeAPI:
+    @pytest.mark.parametrize("rows", [5, 12, 24])
+    def test_lstm_bit_identical_across_shapes(self, rows):
+        weights = LSTMWeights.create(8, 16, seed=0)
+        mod = build_lstm_module(weights)
+        cache = KernelCache()
+        dyn, _ = nimble.build(mod, intel_cpu(), kernel_cache=cache)
+        spec, _ = nimble.specialize(
+            mod, intel_cpu(), shapes=[(rows, 8)], kernel_cache=cache
+        )
+        x = (np.random.RandomState(rows).randn(rows, 8) * 0.1).astype(np.float32)
+        out_d, _, _ = _run(dyn, x)
+        out_s, _, _ = _run(spec, x)
+        assert np.array_equal(out_d.numpy(), out_s.numpy())
+        assert np.allclose(out_s.numpy(), lstm_reference(x, weights), atol=1e-5)
+
+    def test_bert_removes_shape_funcs_and_dynamic_allocs(self):
+        config = BertConfig(hidden=32, num_layers=1, num_heads=2, ffn=64)
+        weights = BertWeights.create(config, seed=0)
+        mod = build_bert_module(weights)
+        cache = KernelCache()
+        dyn, _ = nimble.build(mod, intel_cpu(), kernel_cache=cache)
+        spec, _ = nimble.specialize(
+            mod, intel_cpu(), shapes=[(24, 32)], kernel_cache=cache
+        )
+        x = (np.random.RandomState(0).randn(24, 32) * 0.1).astype(np.float32)
+        out_d, lat_d, vm_d = _run(dyn, x)
+        out_s, lat_s, vm_s = _run(spec, x)
+        assert np.array_equal(out_d.numpy(), out_s.numpy())
+        # The static tier pays no shape functions, fewer instructions,
+        # fewer allocations, and strictly less end-to-end latency.
+        assert vm_d.profile.shape_func_invocations > 0
+        assert vm_s.profile.shape_func_invocations == 0
+        assert vm_s.profile.dispatch_time_us < vm_d.profile.dispatch_time_us
+        assert (
+            vm_s.ctx.allocator.stats.total_allocs
+            < vm_d.ctx.allocator.stats.total_allocs
+        )
+        assert lat_s < lat_d
+
+    def test_tree_lstm_specialize_is_safe_on_adt_entry(self):
+        """No Any dims in the TreeLSTM entry: specialization is an
+        (ADT-preserving) identity and stays bit-identical."""
+        from repro.data import sst_like_trees, embedding_table
+
+        weights = TreeLSTMWeights.create(16, 8, seed=0)
+        mod = build_tree_lstm_module(weights)
+        cache = KernelCache()
+        dyn, _ = nimble.build(mod, intel_cpu(), kernel_cache=cache)
+        spec, _ = nimble.specialize(
+            mod, intel_cpu(), shapes=[None], kernel_cache=cache
+        )
+        tree = sst_like_trees(1, seed=3)[0]
+        adt = tree_to_adt(tree, embedding_table(dim=16, seed=0))
+        out_d, _, _ = _run(dyn, adt)
+        out_s, _, _ = _run(spec, adt)
+        assert np.array_equal(out_d.numpy(), out_s.numpy())
+
+    def test_specialized_marker_and_save_load_round_trip(self):
+        weights = LSTMWeights.create(8, 16, seed=0)
+        mod = build_lstm_module(weights)
+        spec, _ = nimble.specialize(mod, intel_cpu(), shapes=[(9, 8)])
+        assert spec.is_specialized
+        assert spec.specialized_shapes == ((9, 8),)
+        loaded = Executable.load(spec.save())
+        assert loaded.specialized_shapes == ((9, 8),)
+        x = (np.random.RandomState(4).randn(9, 8) * 0.1).astype(np.float32)
+        out_a, _, _ = _run(spec, x)
+        out_b, _, _ = _run(loaded, x)
+        assert np.array_equal(out_a.numpy(), out_b.numpy())
+
+    def test_dynamic_build_is_unmarked(self):
+        exe, _ = nimble.build(_dyn_mlp_module(), intel_cpu())
+        assert not exe.is_specialized
+        assert Executable.load(exe.save()).specialized_shapes is None
+
+    def test_kernel_cache_keeps_tiers_apart(self):
+        """A specialized prim hashes structurally equal to its symbolic
+        original; the cache key's shape signature must keep them apart
+        (the symbolic kernel must never serve the static tier)."""
+        mod = _dyn_mlp_module()
+        cache = KernelCache()
+        dyn, _ = nimble.build(mod, intel_cpu(), kernel_cache=cache)
+        n_dynamic = len(cache)
+        spec, _ = nimble.specialize(
+            mod, intel_cpu(), shapes=[(16, 8)], kernel_cache=cache
+        )
+        assert len(cache) > n_dynamic
+        assert any(getattr(k, "symbolic", False) for k in dyn.kernels)
+        assert not any(getattr(k, "symbolic", False) for k in spec.kernels)
+
+    def test_prim_signature_distinguishes_static_from_symbolic(self):
+        w = const(np.zeros((8, 8), np.float32))
+
+        def prim(m):
+            x = Var("x", TensorType((m, 8), "float32"))
+            return Function(
+                [x], api.dense(x, w), TensorType((m, 8), "float32"),
+                {"primitive": True},
+            )
+
+        a = Any()
+        assert prim_signature(prim(a)) != prim_signature(prim(16))
+        assert prim_signature(prim(16)) != prim_signature(prim(32))
+
+    def test_empty_shared_kernel_cache_is_not_discarded(self):
+        """Regression: KernelCache defines __len__, so an empty cache is
+        falsy — `or`-defaulting used to silently compile into a private
+        cache and defeat sharing."""
+        cache = KernelCache()
+        nimble.build(_dyn_mlp_module(), intel_cpu(), kernel_cache=cache)
+        assert len(cache) > 0
+
+
+# ---------------------------------------------------------------------------
+# The serving tier
+# ---------------------------------------------------------------------------
+
+
+def _lstm_server(threshold=3, compile_us=1000.0, **overrides):
+    weights = LSTMWeights.create(8, 16, seed=0)
+    mod = build_lstm_module(weights)
+    config = ServeConfig(
+        max_batch_size=4,
+        max_delay_us=2000.0,
+        num_workers=2,
+        specialize=True,
+        specialize_threshold=threshold,
+        specialize_compile_us=compile_us,
+        **overrides,
+    )
+    return InferenceServer(mod, intel_cpu(), config), weights
+
+
+class TestSpecializationManager:
+    def _manager(self, threshold=2, **kwargs):
+        mod = _dyn_mlp_module()
+        typed = infer_types(mod)
+        bucketer = ShapeBucketer(typed["main"], granularity=8)
+        return SpecializationManager(
+            mod, intel_cpu(), bucketer, KernelCache(),
+            threshold=threshold, compile_us=100.0, **kwargs,
+        )
+
+    def test_threshold_triggers_compile_on_background_lane(self):
+        mgr = self._manager(threshold=2)
+        mgr.observe((16,), 10.0)
+        assert mgr.num_executables == 0
+        mgr.observe((16,), 20.0)
+        assert mgr.num_executables == 1
+        (event,) = mgr.events
+        assert event.trigger_us == 20.0
+        assert event.ready_us == pytest.approx(120.0)
+        # Not routable until the compile lane finishes.
+        assert mgr.executable_for((16,), 50.0) is None
+        exe = mgr.executable_for((16,), 120.0)
+        assert exe is not None and exe.specialized_shapes == ((16, 8),)
+
+    def test_lane_serializes_compiles(self):
+        mgr = self._manager(threshold=1)
+        mgr.observe((8,), 0.0)
+        mgr.observe((16,), 0.0)
+        assert [e.ready_us for e in mgr.events] == [100.0, 200.0]
+
+    def test_capacity_cap_stops_new_specializations(self):
+        mgr = self._manager(threshold=1, max_executables=2)
+        for v in (8, 16, 24):
+            mgr.observe((v,), 0.0)
+        assert mgr.num_executables == 2
+        assert mgr.executable_for((24,), 1e9) is None
+
+    def test_reset_preserves_compiled_cache_but_restarts_counters(self):
+        mgr = self._manager(threshold=2)
+        mgr.observe((16,), 0.0)
+        mgr.observe((16,), 1.0)
+        assert mgr.num_executables == 1
+        mgr.reset()
+        assert mgr.num_executables == 1
+        assert mgr.hits((16,)) == 0
+        assert mgr.executable_for((16,), 1e9) is None  # not hot again yet
+        mgr.observe((16,), 5.0)
+        mgr.observe((16,), 6.0)
+        assert mgr.executable_for((16,), 106.0) is not None
+
+    def test_static_model_never_specializes(self):
+        x = Var("x", TensorType((4, 8), "float32"))
+        mod = IRModule.from_expr(Function([x], api.relu(x)))
+        typed = infer_types(mod)
+        bucketer = ShapeBucketer(typed["main"], granularity=8)
+        mgr = SpecializationManager(
+            mod, intel_cpu(), bucketer, KernelCache(), threshold=1,
+            compile_us=1.0,
+        )
+        mgr.observe((), 0.0)
+        assert mgr.num_executables == 0
+
+
+class TestTieredServing:
+    def test_hot_bucket_gets_specialized_hits(self):
+        server, _ = _lstm_server()
+        requests = lstm_traffic(64, input_size=8, mean_interarrival_us=200.0, seed=0)
+        report = server.simulate(requests)
+        assert report.specialized_hits > 0
+        assert 0.0 < report.specialized_hit_rate <= 1.0
+        assert report.num_specialized_executables > 0
+        assert report.specialize_compile_us > 0.0
+        # Per-tier accounting: every response carries its tier and the
+        # split adds back up.
+        tiers = {r.tier for r in report.responses}
+        assert tiers == {"dynamic", "specialized"}
+        assert (
+            len(report.tier_latencies_us("dynamic"))
+            + len(report.tier_latencies_us("specialized"))
+            == report.num_requests
+        )
+
+    def test_outputs_identical_to_untiered_server(self):
+        """Tiering changes scheduling and dispatch, never numerics."""
+        weights = LSTMWeights.create(8, 16, seed=0)
+        mod = build_lstm_module(weights)
+        requests = lstm_traffic(32, input_size=8, mean_interarrival_us=150.0, seed=1)
+        tiered = InferenceServer(
+            mod, intel_cpu(),
+            ServeConfig(max_batch_size=4, max_delay_us=2000.0, num_workers=2,
+                        numerics="full", specialize=True,
+                        specialize_threshold=2, specialize_compile_us=500.0),
+        )
+        plain = InferenceServer(
+            mod, intel_cpu(),
+            ServeConfig(max_batch_size=4, max_delay_us=2000.0, num_workers=2,
+                        numerics="full"),
+        )
+        a = tiered.simulate(requests)
+        b = plain.simulate(requests)
+        assert a.specialized_hits > 0
+        for ra, rb in zip(a.responses, b.responses):
+            assert ra.rid == rb.rid
+            assert np.array_equal(ra.output.numpy(), rb.output.numpy())
+
+    def test_replay_is_bit_stable(self):
+        """The specialized-hit rate and the whole report reproduce exactly
+        across replays of one trace (compiled executables are cached, hit
+        counters reset)."""
+        server, _ = _lstm_server()
+        requests = lstm_traffic(48, input_size=8, mean_interarrival_us=200.0, seed=2)
+        a = server.simulate(requests)
+        b = server.simulate(requests)
+        assert a.specialized_hits == b.specialized_hits > 0
+        assert a.specialized_hit_rate == b.specialized_hit_rate
+        assert a.latencies_us == b.latencies_us
+        assert a.specialize_compile_us == b.specialize_compile_us
+        assert a.batch_histogram == b.batch_histogram
+        assert [r.tier for r in a.responses] == [r.tier for r in b.responses]
+
+    def test_specialized_tier_pays_no_shape_funcs(self):
+        server, _ = _lstm_server()
+        requests = lstm_traffic(64, input_size=8, mean_interarrival_us=200.0, seed=0)
+        report = server.simulate(requests)
+        assert report.specialized_hits > 0
+        assert report.profile_specialized.shape_func_time_us == 0.0
+        assert report.profile_specialized.runs == report.specialized_hits
+        assert report.profile_dynamic.runs == (
+            report.num_requests - report.specialized_hits
+        )
+
+    def test_tiering_off_keeps_everything_dynamic(self):
+        weights = LSTMWeights.create(8, 16, seed=0)
+        mod = build_lstm_module(weights)
+        server = InferenceServer(
+            mod, intel_cpu(), ServeConfig(max_batch_size=4, num_workers=2)
+        )
+        report = server.simulate(
+            lstm_traffic(16, input_size=8, mean_interarrival_us=100.0, seed=0)
+        )
+        assert report.specialized_hits == 0
+        assert report.specialized_hit_rate == 0.0
+        assert all(r.tier == "dynamic" for r in report.responses)
+
+    def test_report_format_shows_tiers(self):
+        server, _ = _lstm_server()
+        report = server.simulate(
+            lstm_traffic(64, input_size=8, mean_interarrival_us=200.0, seed=0)
+        )
+        text = report.format("tiered")
+        assert "specialized hit rate" in text
+        assert "shape-func µs" in text
+
+    def test_gpu_platform_tiering_is_deterministic(self):
+        weights = LSTMWeights.create(8, 16, seed=0)
+        mod = build_lstm_module(weights)
+        config = ServeConfig(
+            max_batch_size=4, max_delay_us=1000.0, num_workers=2,
+            specialize=True, specialize_threshold=2,
+            specialize_compile_us=800.0,
+        )
+        server = InferenceServer(mod, nvidia_gpu(), config)
+        requests = lstm_traffic(32, input_size=8, mean_interarrival_us=150.0, seed=3)
+        a = server.simulate(requests)
+        b = server.simulate(requests)
+        assert a.latencies_us == b.latencies_us
+        assert a.specialized_hits == b.specialized_hits

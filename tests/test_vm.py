@@ -394,3 +394,35 @@ class TestLeakRegression:
         good = vm.run(ADTObj(0, []), np.ones(16, np.float32))
         assert np.allclose(good.numpy(), np.tanh(np.ones(16, np.float32)))
         assert ctx.allocator.live_bytes == 0
+
+    def test_release_all_keeps_leaks_visible(self):
+        """Regression: release_all used to zero live_bytes unconditionally,
+        forgiving leaked (never-freed) buffers and defeating the
+        leak-regression invariant."""
+        from repro.runtime.allocator import PoolingAllocator
+
+        allocator = PoolingAllocator(intel_cpu())
+        device = intel_cpu().host
+        leaked = allocator.alloc(128, 64, device)
+        pooled = allocator.alloc(256, 64, device)
+        allocator.free(pooled)
+        assert allocator.live_bytes == 128
+        allocator.release_all()  # drops only the pooled storage
+        assert allocator.live_bytes == 128
+        with pytest.raises(MemoryError, match="live bytes"):
+            allocator.assert_drained()
+        allocator.free(leaked)
+        assert allocator.live_bytes == 0
+        allocator.assert_drained()
+
+    def test_worker_reset_surfaces_leaks(self):
+        """A worker whose allocator still holds live buffers must fail its
+        reset instead of silently replaying on a leaky pool."""
+        from repro.serve import Worker
+
+        exe, _ = nimble.build(self._dyn_module(), intel_cpu())
+        worker = Worker(0, exe, intel_cpu())
+        worker.reset()  # clean reset works
+        worker.ctx.allocator.alloc(64, 64, intel_cpu().host)  # simulate a leak
+        with pytest.raises(MemoryError, match="live bytes"):
+            worker.reset()
