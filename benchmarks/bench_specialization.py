@@ -10,13 +10,20 @@ disguise. Two measurements (``harness.specialization_study``):
    overhead (Table 4 "others") measurably reduced via ``VMProfile`` and
    outputs bit-identical;
 2. the LSTM MRPC serving mix with ``specialize=True`` — hot buckets are
-   detected, statically recompiled on the background compile lane, and
-   served with >0 specialized hits, all bit-reproducible across replays.
+   detected, statically recompiled on the compile-worker pool, and served
+   with >0 specialized hits, all bit-reproducible across replays.
+
+A third measurement (``harness.compile_pool_study``) sweeps the compile
+pool over lanes × cache size on a phased long-tailed shape mix: cache
+eviction must keep the specialized hit rate above the no-eviction hard
+cap (which starves every late hot shape), a second compile lane must
+strictly cut the mean compile-queue wait, and every configuration must
+replay bit-identically. CI runs this file and fails on any assertion.
 """
 
 import pytest
 
-from repro.harness import format_table, specialization_study
+from repro.harness import compile_pool_study, format_table, specialization_study
 
 TIER_METRICS = (
     "dynamic_us",
@@ -74,6 +81,63 @@ def test_specialization_tiers(benchmark):
     assert serving["specialized_hits"] > 0
     assert serving["num_specialized_executables"] > 0
     assert serving["deterministic"] == 1.0
+
+
+POOL_METRICS = (
+    "specialized_hit_rate",
+    "compiles",
+    "evictions",
+    "mean_queue_wait_us",
+    "p99_queue_wait_us",
+)
+
+
+@pytest.mark.paper
+def test_compile_pool_eviction(benchmark):
+    """Lanes × cache size on the long-tailed mix: eviction beats the hard
+    cap, a second lane strictly cuts queue wait, replays bit-identical."""
+    results = benchmark.pedantic(
+        lambda: compile_pool_study(
+            lane_counts=(1, 2), cache_sizes=(2, 4), num_requests=160
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    rows = [
+        [key] + [results[key][m] for m in POOL_METRICS]
+        for key in sorted(k for k in results if k != "summary")
+    ]
+    print()
+    print(
+        format_table(
+            "Compile pool: lanes × cache on the long-tailed shape mix",
+            rows,
+            ["config", "hit rate", "compiles", "evictions",
+             "mean qwait µs", "p99 qwait µs"],
+        )
+    )
+    summary = results["summary"]
+    print(
+        f"eviction hit-rate gain {summary['eviction_hit_rate_gain']:.3f}, "
+        f"queue wait lanes={summary['min_lanes']:.0f} "
+        f"{summary['queue_wait_min_lanes_us']:.0f} µs vs "
+        f"lanes={summary['max_lanes']:.0f} "
+        f"{summary['queue_wait_max_lanes_us']:.0f} µs, "
+        f"deterministic={bool(summary['deterministic'])}"
+    )
+    # Eviction must keep the specialized hit rate above the no-eviction
+    # cap baseline on the same trace, at every cache size — the hard cap
+    # starves every hot shape that shows up after the cache fills.
+    for cache in (2, 4):
+        evicting = results[f"lanes=1,cache={cache}"]
+        capped = results[f"no_eviction,cache={cache}"]
+        assert evicting["specialized_hit_rate"] > capped["specialized_hit_rate"]
+    assert results["lanes=1,cache=2"]["evictions"] > 0
+    assert summary["eviction_hit_rate_gain"] > 0
+    # The pool: a second lane strictly lowers the mean compile-queue wait.
+    assert summary["queue_wait_max_lanes_us"] < summary["queue_wait_min_lanes_us"]
+    # Everything above reproduces bit-identically across replays.
+    assert summary["deterministic"] == 1.0
 
 
 if __name__ == "__main__":

@@ -1,6 +1,7 @@
 """Experiment harness: runs every table/figure of the paper's evaluation."""
 
 from repro.harness.experiments import (
+    compile_pool_study,
     figure3_dispatch,
     memory_planning_study,
     serving_study,
@@ -22,6 +23,7 @@ __all__ = [
     "memory_planning_study",
     "serving_study",
     "specialization_study",
+    "compile_pool_study",
     "tuning_ablation",
     "format_table",
     "percentile",

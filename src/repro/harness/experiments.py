@@ -565,6 +565,132 @@ def specialization_study(
 
 
 # ---------------------------------------------------------------------------
+# Compile-pool study: lanes × cache size on a long-tailed shape mix
+# ---------------------------------------------------------------------------
+
+
+def compile_pool_study(
+    platform_name: str = "intel",
+    num_requests: int = 192,
+    mean_interarrival_us: float = 300.0,
+    lane_counts: Sequence[int] = (1, 2, 4),
+    cache_sizes: Sequence[int] = (2, 4),
+    threshold: int = 3,
+    compile_us: float = 8000.0,
+    decay_half_life_us: float = 6_000.0,
+    input_size: int = 16,
+    hidden_size: int = 16,
+    max_batch_size: int = 4,
+    max_delay_us: float = 1500.0,
+    num_workers: int = 2,
+    seed: int = 0,
+) -> Dict[str, Dict[str, float]]:
+    """Sweep the specialization compile pool over lanes × cache size on a
+    phased long-tailed shape mix (each phase's hot shape goes cold when
+    the next begins, so the executable cache must evict to keep up).
+
+    Per configuration: specialized hit rate, compile-queue wait
+    mean/p99, eviction count, per-lane utilization, and a
+    replay-determinism flag. The sweep also runs the eviction-off
+    baseline (PR 2's hard cap) at each cache size, so the summary can
+    report how much eviction recovers, and how much a second lane cuts
+    queue wait, on identical traces.
+    """
+    from repro.serve import InferenceServer, ServeConfig, long_tailed_traffic
+
+    platform = platform_by_name(platform_name)
+    weights = LSTMWeights.create(input_size, hidden_size, num_layers=1, seed=seed)
+    mod = build_lstm_module(weights)
+    requests = long_tailed_traffic(
+        num_requests,
+        input_size=input_size,
+        mean_interarrival_us=mean_interarrival_us,
+        seed=seed,
+    )
+    # One kernel cache across the sweep: every server compiles the same
+    # module, and the modeled compile cost is charged per trigger anyway.
+    shared_cache = KernelCache()
+
+    def run(lanes: int, cache: int, eviction: bool) -> Dict[str, float]:
+        config = ServeConfig(
+            max_batch_size=max_batch_size,
+            max_delay_us=max_delay_us,
+            num_workers=num_workers,
+            specialize=True,
+            specialize_threshold=threshold,
+            specialize_max_executables=cache,
+            specialize_compile_us=compile_us,
+            specialize_compile_lanes=lanes,
+            specialize_eviction=eviction,
+            specialize_decay_half_life_us=decay_half_life_us,
+        )
+        server = InferenceServer(mod, platform, config, kernel_cache=shared_cache)
+        report = server.simulate(requests)
+        replay = server.simulate(requests)
+        deterministic = (
+            report.latencies_us == replay.latencies_us
+            and report.specialized_hits == replay.specialized_hits
+            and report.specialize_queue_waits_us == replay.specialize_queue_waits_us
+            and report.specialize_lane_busy_us == replay.specialize_lane_busy_us
+            and report.specialize_evictions == replay.specialize_evictions
+        )
+        row = {
+            "specialized_hit_rate": report.specialized_hit_rate,
+            "specialized_hits": float(report.specialized_hits),
+            "compiles": float(len(report.specialize_queue_waits_us)),
+            "evictions": float(report.specialize_evictions),
+            "compile_us": report.specialize_compile_us,
+            "mean_queue_wait_us": report.mean_compile_queue_wait_us,
+            "p99_queue_wait_us": report.compile_queue_wait_percentile_us(99.0),
+            "p50_us": report.p50_us,
+            "p99_us": report.p99_us,
+            "deterministic": float(deterministic),
+        }
+        for i, util in enumerate(report.compile_lane_utilization):
+            row[f"lane{i}_util"] = util
+        return row
+
+    results: Dict[str, Dict[str, float]] = {}
+    for cache in cache_sizes:
+        # The no-eviction baseline runs at the narrowest pool in the
+        # sweep, so the summary's eviction gain isolates eviction from
+        # pool width.
+        results[f"no_eviction,cache={cache}"] = run(
+            min(lane_counts), cache, eviction=False
+        )
+        for lanes in lane_counts:
+            results[f"lanes={lanes},cache={cache}"] = run(lanes, cache, eviction=True)
+
+    # Summarize from the lane counts actually swept: the fewest-lane pool
+    # vs the widest, both at the largest cache, and the eviction gain at
+    # the smallest cache (where the hard cap starves hardest).
+    min_lanes, max_lanes = min(lane_counts), max(lane_counts)
+    small, big = min(cache_sizes), max(cache_sizes)
+    evict_small = results[f"lanes={min_lanes},cache={small}"]
+    capped_small = results[f"no_eviction,cache={small}"]
+    narrow = results[f"lanes={min_lanes},cache={big}"]
+    wide = results[f"lanes={max_lanes},cache={big}"]
+    results["summary"] = {
+        "min_lanes": float(min_lanes),
+        "max_lanes": float(max_lanes),
+        "eviction_hit_rate_gain": (
+            evict_small["specialized_hit_rate"]
+            - capped_small["specialized_hit_rate"]
+        ),
+        "queue_wait_min_lanes_us": narrow["mean_queue_wait_us"],
+        "queue_wait_max_lanes_us": wide["mean_queue_wait_us"],
+        "deterministic": float(
+            all(
+                row["deterministic"] == 1.0
+                for key, row in results.items()
+                if key != "summary"
+            )
+        ),
+    }
+    return results
+
+
+# ---------------------------------------------------------------------------
 # §4.5 symbolic tuning ablation
 # ---------------------------------------------------------------------------
 

@@ -17,15 +17,27 @@ Tiered specialization (``ServeConfig(specialize=True)``) adds a static
 tier on top: hot shapes get a statically recompiled executable
 (``nimble.specialize``) and exact-shape batches route to it, removing the
 shape-function/dispatch/allocation tax the dynamic executable pays — with
-bit-identical outputs and transparent fallback.
+bit-identical outputs and transparent fallback. Compiles run on a pool
+of virtual-clock lanes with traffic-priority queueing, and the
+specialized-executable cache evicts its coldest (decayed-score) entry so
+long-tailed shape mixes keep specializing past the cache cap.
 """
 
 from repro.serve.batcher import Batch, Batcher, ShapeBucketer
 from repro.serve.report import ServeReport
 from repro.serve.request import Request, Response
 from repro.serve.server import InferenceServer, ServeConfig
-from repro.serve.specialization import SpecializationManager
-from repro.serve.traffic import bert_traffic, lstm_traffic, poisson_arrivals
+from repro.serve.specialization import (
+    EvictionEvent,
+    SpecializationEvent,
+    SpecializationManager,
+)
+from repro.serve.traffic import (
+    bert_traffic,
+    long_tailed_traffic,
+    lstm_traffic,
+    poisson_arrivals,
+)
 from repro.serve.worker import Worker
 
 __all__ = [
@@ -37,9 +49,12 @@ __all__ = [
     "Response",
     "InferenceServer",
     "ServeConfig",
+    "EvictionEvent",
+    "SpecializationEvent",
     "SpecializationManager",
     "Worker",
     "poisson_arrivals",
     "lstm_traffic",
+    "long_tailed_traffic",
     "bert_traffic",
 ]

@@ -103,10 +103,16 @@ class ShapeBucketer:
             parts.append(int(shape[d]))
         return tuple(parts)
 
+    def round_key(self, exact: Tuple[int, ...]) -> Tuple[int, ...]:
+        """Round an exact key up to the granularity — the one place the
+        rounding rule lives, so every caller (the default bucket key, the
+        server's specialization-aware key) agrees on it."""
+        g = self.granularity
+        return tuple(-(-v // g) * g for v in exact)
+
     def key(self, payload) -> Tuple[int, ...]:
         """Bucket key: each dynamic dim rounded up to the granularity."""
-        g = self.granularity
-        return tuple(-(-v // g) * g for v in self.exact_key(payload))
+        return self.round_key(self.exact_key(payload))
 
 
 @dataclass
@@ -124,10 +130,12 @@ class Batch:
 class Batcher:
     """Per-bucket FIFO queues with size- and deadline-triggered flushing.
 
-    ``key_fn`` overrides how a payload maps to a bucket key (default: the
-    bucketer's rounded key). The serving layer's specialization tier uses
-    this to give hot exact shapes their own buckets, so batches destined
-    for a static executable form shape-uniform.
+    ``key_fn(payload, now_us)`` overrides how a payload maps to a bucket
+    key (default: the bucketer's rounded key, which ignores the time).
+    The current virtual time is threaded explicitly so a time-dependent
+    keying policy — the serving layer's specialization tier gives hot
+    exact shapes their own buckets once their static executable is ready
+    — never depends on hidden state smuggled through the caller.
     """
 
     def __init__(
@@ -144,7 +152,9 @@ class Batcher:
         self.bucketer = bucketer
         self.max_batch_size = max_batch_size
         self.max_delay_us = max_delay_us
-        self.key_fn = key_fn if key_fn is not None else bucketer.key
+        if key_fn is None:
+            key_fn = lambda payload, now_us: bucketer.key(payload)  # noqa: E731
+        self.key_fn = key_fn
         self._queues: Dict[Tuple[int, ...], List] = {}
 
     @property
@@ -153,7 +163,7 @@ class Batcher:
 
     def add(self, request, now_us: float) -> Optional[Batch]:
         """Enqueue; returns a full batch if this arrival filled its bucket."""
-        key = self.key_fn(request.payload)
+        key = self.key_fn(request.payload, now_us)
         queue = self._queues.setdefault(key, [])
         queue.append(request)
         if len(queue) >= self.max_batch_size:

@@ -3,7 +3,9 @@ shapes, per-worker utilization, the merged VM profile of every worker
 (the Table 4 kernel-vs-others breakdown, fleet-wide), and — with tiered
 specialization — the per-tier split: how many requests the static tier
 served, at what latency, and what the dynamic tier kept paying in
-shape-function time."""
+shape-function time, plus the compile-pool view: per-lane busy time and
+utilization, pending-queue wait percentiles, and executable-cache
+eviction counts."""
 
 from __future__ import annotations
 
@@ -24,7 +26,16 @@ class ServeReport:
     profile_dynamic: VMProfile = field(default_factory=VMProfile)
     profile_specialized: VMProfile = field(default_factory=VMProfile)
     specialize_compile_us: float = 0.0
+    # Distinct shapes compiled in *this* simulation / still holding a
+    # cache slot when it ended (the two differ once eviction recycles
+    # slots).
     num_specialized_executables: int = 0
+    num_resident_executables: int = 0
+    specialize_lane_busy_us: List[float] = field(default_factory=list)
+    specialize_queue_waits_us: List[float] = field(default_factory=list)
+    specialize_evictions: int = 0
+    # First trigger to last compile-ready: the window the pool was active.
+    specialize_pool_span_us: float = 0.0
 
     # ----------------------------------------------------------------- counts
     @property
@@ -77,6 +88,33 @@ class ServeReport:
     def tier_mean_latency_us(self, tier: str) -> float:
         lats = self.tier_latencies_us(tier)
         return sum(lats) / len(lats) if lats else 0.0
+
+    # ----------------------------------------------------------- compile pool
+    @property
+    def num_compile_lanes(self) -> int:
+        return len(self.specialize_lane_busy_us)
+
+    @property
+    def compile_lane_utilization(self) -> List[float]:
+        """Busy fraction of the pool-active window (first trigger to last
+        compile-ready), per lane. Lanes can keep compiling after the last
+        response lands (the end-of-trace drain), so the serving span
+        would be the wrong denominator — this one bounds every lane's
+        utilization to [0, 1]."""
+        span = self.specialize_pool_span_us
+        if span <= 0:
+            return [0.0 for _ in self.specialize_lane_busy_us]
+        return [busy / span for busy in self.specialize_lane_busy_us]
+
+    @property
+    def mean_compile_queue_wait_us(self) -> float:
+        """Mean time a triggered compile waited for a free lane."""
+        waits = self.specialize_queue_waits_us
+        return sum(waits) / len(waits) if waits else 0.0
+
+    def compile_queue_wait_percentile_us(self, q: float) -> float:
+        waits = self.specialize_queue_waits_us
+        return percentile(waits, q) if waits else 0.0
 
     # ---------------------------------------------------------------- profile
     @property
@@ -173,12 +211,34 @@ class ServeReport:
                 format_table(
                     f"Tiers — specialized hit rate "
                     f"{100.0 * self.specialized_hit_rate:.1f}%, "
-                    f"{self.num_specialized_executables} static exe(s), "
-                    f"compile {self.specialize_compile_us:.0f} µs",
+                    f"{self.num_specialized_executables} compiled / "
+                    f"{self.num_resident_executables} resident static exe(s), "
+                    f"compile {self.specialize_compile_us:.0f} µs, "
+                    f"{self.specialize_evictions} eviction(s)",
                     tier_rows,
                     ["tier", "requests", "p50 µs", "p99 µs", "shape-func µs"],
                 )
             )
+            if self.specialize_lane_busy_us:
+                lane_rows = [
+                    [i, busy, 100.0 * util]
+                    for i, (busy, util) in enumerate(
+                        zip(
+                            self.specialize_lane_busy_us,
+                            self.compile_lane_utilization,
+                        )
+                    )
+                ]
+                sections.append(
+                    format_table(
+                        f"Compile pool — queue wait mean "
+                        f"{self.mean_compile_queue_wait_us:.0f} µs, "
+                        f"p50 {self.compile_queue_wait_percentile_us(50.0):.0f} µs, "
+                        f"p99 {self.compile_queue_wait_percentile_us(99.0):.0f} µs",
+                        lane_rows,
+                        ["lane", "busy µs", "util %"],
+                    )
+                )
         hist_rows = [
             [size, count] for size, count in self.batch_histogram.items()
         ]
@@ -219,6 +279,26 @@ def build_report(
             specializer.compile_us_spent if specializer is not None else 0.0
         ),
         num_specialized_executables=(
-            specializer.num_executables if specializer is not None else 0
+            len({e.key for e in specializer.events})
+            if specializer is not None
+            else 0
+        ),
+        num_resident_executables=(
+            specializer.num_resident if specializer is not None else 0
+        ),
+        specialize_lane_busy_us=(
+            list(specializer.lane_busy_us) if specializer is not None else []
+        ),
+        specialize_queue_waits_us=(
+            specializer.queue_waits_us if specializer is not None else []
+        ),
+        specialize_evictions=(
+            len(specializer.evictions) if specializer is not None else 0
+        ),
+        specialize_pool_span_us=(
+            max(e.ready_us for e in specializer.events)
+            - min(e.trigger_us for e in specializer.events)
+            if specializer is not None and specializer.events
+            else 0.0
         ),
     )

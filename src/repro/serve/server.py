@@ -16,9 +16,14 @@ statically recompiled executable (``nimble.specialize``, sharing the
 dynamic build's kernel cache), and a batch whose members all match a
 specialized shape exactly is routed to the static tier — everything else
 falls back to the dynamic executable, including the hot shape itself
-while its compile occupies the background compile lane (the compile cost
-is charged on the virtual clock as that lane's latency). Once a shape is
-hot it also gets its own exact bucket, so its batches form shape-uniform.
+while its compile sits in the compile-worker pool (the compile cost is
+charged on the virtual clock as lane latency; ``specialize_compile_lanes``
+sizes the pool and pending compiles queue by observed traffic). Once a
+shape is hot it also gets its own exact bucket, so its batches form
+shape-uniform. The specialized-executable cache evicts its coldest entry
+under a decayed-hit-score policy when a new shape goes hot past
+``specialize_max_executables``; evicted (or momentarily blocked) shapes
+stay armed and recompile once a slot frees.
 """
 
 from __future__ import annotations
@@ -49,13 +54,24 @@ class ServeConfig:
     entry: str = "main"
     # Tiered specialization: compile a static executable for a shape once
     # `specialize_threshold` requests with exactly that shape have been
-    # observed, keeping at most `specialize_max_executables` static builds
-    # (beyond the cap new shapes stay dynamic; eviction is a follow-on).
-    # `specialize_compile_us` overrides the modeled compile cost.
+    # observed. Compiles run on a pool of `specialize_compile_lanes`
+    # virtual-clock lanes (pending compiles queue by observed traffic);
+    # at most `specialize_max_executables` static builds stay resident,
+    # with the coldest entry (hit score decayed on the
+    # `specialize_decay_half_life_us` half-life) evicted when a
+    # challenger more than `specialize_eviction_margin` times hotter
+    # needs the slot (the margin prevents comparable-heat shapes from
+    # thrashing the cache) — `specialize_eviction=False` restores the
+    # hard cap. `specialize_compile_us` overrides the modeled compile
+    # cost.
     specialize: bool = False
     specialize_threshold: int = 8
     specialize_max_executables: int = 4
     specialize_compile_us: Optional[float] = None
+    specialize_compile_lanes: int = 1
+    specialize_eviction: bool = True
+    specialize_decay_half_life_us: float = 100_000.0
+    specialize_eviction_margin: float = 2.0
 
     @staticmethod
     def serial(**overrides) -> "ServeConfig":
@@ -106,6 +122,10 @@ class InferenceServer:
                 max_executables=self.config.specialize_max_executables,
                 compile_us=self.config.specialize_compile_us,
                 entry=self.config.entry,
+                compile_lanes=self.config.specialize_compile_lanes,
+                eviction=self.config.specialize_eviction,
+                decay_half_life_us=self.config.specialize_decay_half_life_us,
+                eviction_margin=self.config.specialize_eviction_margin,
             )
         self.workers = [
             Worker(
@@ -136,7 +156,6 @@ class InferenceServer:
         )
         responses: List[Response] = []
         now = 0.0
-        self._sim_now = 0.0
         i, n = 0, len(trace)
         while i < n or batcher.pending:
             next_arrival = trace[i].arrival_us if i < n else math.inf
@@ -151,7 +170,6 @@ class InferenceServer:
                 break
             if next_arrival <= next_deadline:
                 now = next_arrival
-                self._sim_now = now
                 if self.specializer is not None:
                     self.specializer.observe(
                         self.bucketer.exact_key(trace[i].payload), now
@@ -164,20 +182,24 @@ class InferenceServer:
                 now = next_deadline
                 for batch in batcher.flush_due(now):
                     responses.extend(self._dispatch(batch))
+        if self.specializer is not None:
+            # Arrivals are over but the compile pool keeps working: bind
+            # every still-pending compile to a lane so queue-wait and
+            # lane-utilization stats cover the whole triggered set.
+            self.specializer.drain()
         return build_report(responses, self.workers, self.specializer)
 
-    def _bucket_key(self, payload):
+    def _bucket_key(self, payload, now_us: float):
         """Bucket key under tiered specialization: a hot shape (static
-        executable ready at the current simulation time) gets its own
-        exact bucket so its batches form shape-uniform and can route to
-        the static tier; everything else keeps the rounded key. The -1
-        marker keeps exact buckets disjoint from rounded ones (rounded
-        key components are never negative)."""
+        executable ready at *now_us*, the batcher's current virtual time)
+        gets its own exact bucket so its batches form shape-uniform and
+        can route to the static tier; everything else keeps the bucketer's
+        rounded key. The -1 marker keeps exact buckets disjoint from
+        rounded ones (rounded key components are never negative)."""
         exact = self.bucketer.exact_key(payload)
-        if self.specializer.is_hot(exact, self._sim_now):
+        if self.specializer.is_hot(exact, now_us):
             return (-1,) + exact
-        g = self.config.bucket_granularity
-        return tuple(-(-v // g) * g for v in exact)
+        return self.bucketer.round_key(exact)
 
     def _dispatch(self, batch: Batch) -> List[Response]:
         worker = min(self.workers, key=lambda w: (w.free_at_us, w.worker_id))

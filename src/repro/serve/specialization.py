@@ -12,24 +12,41 @@ specialized shape exactly are routed to the static tier; everything else
 back to the dynamic executable, so correctness never depends on the
 tier: outputs are bit-identical either way.
 
-Compile cost is charged on the virtual clock through a single background
-compile lane: a triggered compile occupies the lane for its modeled cost
-and the executable only becomes routable once the lane finishes
-(``ready_at``). Requests are never stalled by compilation — they fall
-back to the dynamic tier until the static one is ready. (A compile-lane
-*pool* and an eviction policy for the executable cache are ROADMAP
-follow-ons.)
+Compile cost is charged on the virtual clock through a **compile-worker
+pool** of ``compile_lanes`` lanes. A shape that crosses the threshold
+enqueues a pending compile; pending compiles wait in a priority queue
+ordered by observed traffic — hit rate since trigger, recomputed at each
+lane-free event on the virtual clock — and are bound to the
+lowest-numbered earliest-free lane, so replays of one trace are
+bit-identical under any lane count. Requests are never stalled by
+compilation — they fall back to the dynamic tier until the static one is
+ready (``ready_at``).
 
-Compiled executables are cached across simulations, but hit counts, lane
-state, and ready times reset per replay, so repeated simulations of one
-trace are bit-identical.
+The specialized-executable cache holds at most ``max_executables``
+*resident* entries and evicts under an LRU/LFU-with-decay policy:
+per-shape hit scores decay on a virtual-clock half-life
+(``decay_half_life_us``), and when a new shape goes hot past the cap the
+coldest resident entry — colder than the challenger by the
+``eviction_margin`` thrash-protection factor, and never one with an
+in-flight compile — loses its slot. An evicted shape re-arms:
+its hit count already sits past the threshold, so its next observation
+retries the trigger and can recompile into a freed slot (the artifact is
+memoised, but the modeled compile cost is charged again — the model
+dropped the binary). A shape whose trigger is blocked (cache full,
+nothing colder) stays armed the same way and retries on every subsequent
+hit, so no hot shape is ever starved by a momentarily full cache.
+
+Compiled artifacts are memoised across simulations, but hit counts,
+scores, lane state, pending queues, and ready times reset per replay, so
+repeated simulations of one trace are bit-identical.
 """
 
 from __future__ import annotations
 
+import math
 from collections import Counter
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Set, Tuple
 
 import repro.nimble as nimble
 from repro.codegen.kernels import KernelCache
@@ -44,24 +61,66 @@ ExactKey = Tuple[int, ...]
 
 @dataclass(frozen=True)
 class SpecializationEvent:
-    """One triggered compile on the background lane (per simulation)."""
+    """One compile executed by the pool (per simulation).
+
+    ``trigger_us`` is when the shape crossed the threshold and entered the
+    pending queue, ``start_us`` when a lane picked it up, ``ready_us``
+    when the executable became routable."""
 
     key: ExactKey
     trigger_us: float
+    start_us: float
     ready_us: float
     compile_us: float
+    lane: int
+
+    @property
+    def queue_us(self) -> float:
+        """Time the compile waited in the pending queue for a free lane."""
+        return self.start_us - self.trigger_us
+
+
+@dataclass(frozen=True)
+class EvictionEvent:
+    """One executable-cache eviction (per simulation)."""
+
+    key: ExactKey
+    evicted_us: float
+    score: float
+    by_key: ExactKey
+
+
+@dataclass
+class _PendingCompile:
+    """A triggered compile waiting for a free lane. ``hit_times_us``
+    records every observation of the key since the trigger, so priority
+    at a lane-free event counts only hits already seen *by that event* —
+    a later arrival can never rewrite an earlier binding decision."""
+
+    key: ExactKey
+    trigger_us: float
+    compile_us: float
+    hit_times_us: List[float]
+
+    def hits_by(self, at_us: float) -> int:
+        return sum(1 for t in self.hit_times_us if t <= at_us)
 
 
 class SpecializationManager:
     """Decides when a shape is hot and owns the specialized executables.
 
     ``threshold`` is the number of observed requests with one exact shape
-    before a static executable is compiled for it; ``max_executables``
-    caps the cache (an eviction policy for long-tailed shape mixes is a
-    ROADMAP follow-on — beyond the cap, new shapes simply stay on the
-    dynamic tier). ``compile_us`` overrides the modeled compile cost; by
-    default it is derived from the calibration constants and the number
-    of kernels in the specialized executable.
+    before a static executable is compiled for it. ``max_executables``
+    caps the *resident* cache; with ``eviction`` enabled (the default)
+    the coldest resident entry — by hit score decayed on the
+    ``decay_half_life_us`` virtual-clock half-life, ties broken LRU —
+    yields its slot to a challenger more than ``eviction_margin`` times
+    hotter, while ``eviction=False`` reproduces the
+    stop-specializing-beyond-the-cap behaviour.
+    ``compile_lanes`` sizes the compile-worker pool. ``compile_us``
+    overrides the modeled compile cost; by default it is derived from the
+    calibration constants and the number of kernels in the specialized
+    executable.
     """
 
     def __init__(
@@ -74,9 +133,23 @@ class SpecializationManager:
         max_executables: int = 4,
         compile_us: Optional[float] = None,
         entry: str = "main",
+        compile_lanes: int = 1,
+        eviction: bool = True,
+        decay_half_life_us: float = 100_000.0,
+        eviction_margin: float = 2.0,
     ) -> None:
         if threshold < 1:
             raise ValueError(f"specialization threshold must be >= 1, got {threshold}")
+        if compile_lanes < 1:
+            raise ValueError(f"compile_lanes must be >= 1, got {compile_lanes}")
+        if decay_half_life_us <= 0:
+            raise ValueError(
+                f"decay_half_life_us must be > 0, got {decay_half_life_us}"
+            )
+        if eviction_margin < 1.0:
+            raise ValueError(
+                f"eviction_margin must be >= 1.0, got {eviction_margin}"
+            )
         self.mod = mod
         self.platform = platform
         self.bucketer = bucketer
@@ -85,59 +158,100 @@ class SpecializationManager:
         self.max_executables = max_executables
         self.compile_us = compile_us
         self.entry = entry
-        # Compiled artifacts persist across simulations (compilation is a
-        # pure function of module + shape + platform, so reusing them
-        # keeps replays bit-identical while skipping redundant work).
+        self.compile_lanes = compile_lanes
+        self.eviction = eviction
+        self.decay_half_life_us = decay_half_life_us
+        self.eviction_margin = eviction_margin
+        # Compiled artifacts are memoised across simulations (compilation
+        # is a pure function of module + shape + platform, so reusing them
+        # keeps replays bit-identical while skipping redundant work). The
+        # *modeled* compile cost is still charged every time a shape
+        # (re-)triggers — in the model, eviction dropped the binary.
         self._executables: Dict[ExactKey, Executable] = {}
         self._compile_cost: Dict[ExactKey, float] = {}
         self.reset()
 
     # ----------------------------------------------------------------- replay
     def reset(self) -> None:
-        """Per-simulation state: hit counts, compile-lane occupancy, and
-        ready times all restart so each replay is independent."""
+        """Per-simulation state: hit counts, decayed scores, the pending
+        queue, lane occupancy, residency, and ready times all restart so
+        each replay is independent."""
         self._hits: Counter = Counter()
+        self._score: Dict[ExactKey, float] = {}
+        self._score_at: Dict[ExactKey, float] = {}
+        self._last_hit_us: Dict[ExactKey, float] = {}
         self._ready_at: Dict[ExactKey, float] = {}
-        self._lane_free_us = 0.0
+        self._resident: Set[ExactKey] = set()
+        self._triggered: Set[ExactKey] = set()
+        self._pending: List[_PendingCompile] = []
+        self._lane_free_us: List[float] = [0.0] * self.compile_lanes
+        self.lane_busy_us: List[float] = [0.0] * self.compile_lanes
         self.events: List[SpecializationEvent] = []
+        self.evictions: List[EvictionEvent] = []
 
     # ------------------------------------------------------------------ stats
     @property
     def num_executables(self) -> int:
+        """Distinct shapes ever compiled (the cross-simulation memo)."""
         return len(self._executables)
 
     @property
+    def num_resident(self) -> int:
+        """Shapes currently holding an executable-cache slot."""
+        return len(self._resident)
+
+    @property
     def compile_us_spent(self) -> float:
-        """Total modeled compile time triggered in this simulation."""
+        """Total modeled compile time executed in this simulation."""
         return sum(e.compile_us for e in self.events)
+
+    @property
+    def queue_waits_us(self) -> List[float]:
+        """Pending-queue wait of every executed compile, in event order."""
+        return [e.queue_us for e in self.events]
 
     def hits(self, key: ExactKey) -> int:
         return self._hits[key]
 
+    def score(self, key: ExactKey, now_us: float) -> float:
+        """The decayed hit score driving eviction, as of *now_us*."""
+        raw = self._score.get(key)
+        if raw is None:
+            return 0.0
+        age = now_us - self._score_at[key]
+        return raw * 0.5 ** (age / self.decay_half_life_us)
+
     def is_hot(self, key: ExactKey, now_us: float) -> bool:
         """Is the static executable for this exact shape routable at
-        *now_us* (compiled, and its compile lane has finished)?"""
+        *now_us* (resident, compiled, and its lane has finished)?"""
+        if key not in self._resident:
+            return False
         ready = self._ready_at.get(key)
         return ready is not None and ready <= now_us
 
     # ------------------------------------------------------------------- flow
     def observe(self, key: ExactKey, now_us: float) -> None:
-        """Record one request arrival with exact dynamic-dim values *key*;
-        crossing the threshold triggers a compile on the background lane."""
+        """Record one request arrival with exact dynamic-dim values *key*.
+
+        Crossing the threshold enqueues a compile on the worker pool. The
+        check is ``>= threshold``, not an exact hit: a shape whose trigger
+        was blocked by a full cache (or that lost its slot to eviction)
+        stays armed and retries on every later observation, so a freed
+        slot is always picked up. Lane-free events up to *now_us* are
+        processed before and after, so a newly enqueued compile can start
+        immediately on an idle lane."""
         if not key:
             return  # fully static model: there is nothing to specialize
         self._hits[key] += 1
-        if self._hits[key] != self.threshold:
-            return
-        if key not in self._executables:
-            if len(self._executables) >= self.max_executables:
-                return
-            self._compile(key)
-        cost = self._compile_cost[key]
-        ready = max(now_us, self._lane_free_us) + cost
-        self._lane_free_us = ready
-        self._ready_at[key] = ready
-        self.events.append(SpecializationEvent(key, now_us, ready, cost))
+        self._bump_score(key, now_us)
+        self._last_hit_us[key] = now_us
+        for job in self._pending:
+            if job.key == key:
+                job.hit_times_us.append(now_us)
+        self._pump(now_us)
+        if key not in self._triggered and self._hits[key] >= self.threshold:
+            self._try_trigger(key, now_us)
+            self._pump(now_us)
 
     def executable_for(self, key: ExactKey, at_us: float) -> Optional[Executable]:
         """The static executable for a batch whose members all have exact
@@ -148,8 +262,118 @@ class SpecializationManager:
             return None
         return self._executables.get(key)
 
+    def drain(self) -> None:
+        """Run the pool to completion: bind every still-pending compile to
+        a lane as lanes free up. The server calls this when a trace ends
+        so queue-wait and lane-utilization stats cover every triggered
+        compile (the lanes keep working after the last arrival)."""
+        self._pump(math.inf)
+
+    # ------------------------------------------------------------ scheduling
+    def _bump_score(self, key: ExactKey, now_us: float) -> None:
+        self._score[key] = self.score(key, now_us) + 1.0
+        self._score_at[key] = now_us
+
+    def _priority(self, job: _PendingCompile, at_us: float):
+        """Queue order at virtual time *at_us*: highest hit rate since
+        trigger first (the triggering hit counts, plus every hit observed
+        by *at_us* — never later ones), then earliest trigger, then
+        smallest key — a total order, so lane binding is deterministic
+        and a binding at a lane-free event only depends on what the pool
+        had seen by that event. The rate window is floored at the decay
+        half-life: without the floor a compile triggered an instant ago
+        would measure an enormous rate over its microsecond of existence
+        and preempt genuinely hotter long-pending jobs (newest-first in
+        disguise); with it, young jobs compete on hits over a common
+        window until they age past the half-life."""
+        elapsed = max(self.decay_half_life_us, at_us - job.trigger_us)
+        rate = (job.hits_by(at_us) + 1) / elapsed
+        return (-rate, job.trigger_us, job.key)
+
+    def _pump(self, now_us: float) -> None:
+        """Process every lane-free event up to *now_us*: bind the
+        highest-priority pending compile to the earliest-free lane
+        (lowest id on ties), priorities recomputed at each binding."""
+        while self._pending:
+            free_us, lane = min(
+                (t, i) for i, t in enumerate(self._lane_free_us)
+            )
+            if free_us > now_us:
+                break
+            at = max(free_us, min(j.trigger_us for j in self._pending))
+            job = min(self._pending, key=lambda j: self._priority(j, at))
+            self._pending.remove(job)
+            start = max(free_us, job.trigger_us)
+            ready = start + job.compile_us
+            self._lane_free_us[lane] = ready
+            self.lane_busy_us[lane] += job.compile_us
+            self._ready_at[job.key] = ready
+            self.events.append(
+                SpecializationEvent(
+                    job.key, job.trigger_us, start, ready, job.compile_us, lane
+                )
+            )
+
+    def _try_trigger(self, key: ExactKey, now_us: float) -> None:
+        """Acquire a cache slot and enqueue the compile; on a full cache,
+        evict the coldest resident (if strictly colder than the
+        challenger and not in flight) or leave the shape armed to retry."""
+        if len(self._resident) >= self.max_executables:
+            if not self.eviction:
+                return
+            victim = self._coldest_evictable(key, now_us)
+            if victim is None:
+                return
+            self._evict(victim, now_us, by=key)
+        self._resident.add(key)
+        self._triggered.add(key)
+        self._ensure_compiled(key)
+        self._pending.append(
+            _PendingCompile(key, now_us, self._compile_cost[key], [])
+        )
+
+    def _coldest_evictable(
+        self, challenger: ExactKey, now_us: float
+    ) -> Optional[ExactKey]:
+        """The resident shape losing its slot: minimal decayed score, ties
+        broken by least-recently-hit then key. A shape whose compile is
+        still in flight (pending, or bound but not ready) is never
+        evicted, and the challenger must be strictly hotter than
+        ``eviction_margin`` times the victim's decayed score — comparable
+        heat keeps the incumbent, so a mix of continuously-hot shapes
+        does not thrash the cache and throw away compile investment (the
+        margin at 1.0 degrades to plain strictly-colder)."""
+        candidates = [
+            k
+            for k in self._resident
+            if self._ready_at.get(k) is not None and self._ready_at[k] <= now_us
+        ]
+        if not candidates:
+            return None
+        victim = min(
+            candidates,
+            key=lambda k: (self.score(k, now_us), self._last_hit_us.get(k, -math.inf), k),
+        )
+        if self.score(challenger, now_us) <= self.eviction_margin * self.score(
+            victim, now_us
+        ):
+            return None
+        return victim
+
+    def _evict(self, key: ExactKey, now_us: float, by: ExactKey) -> None:
+        self._resident.discard(key)
+        self._ready_at.pop(key, None)
+        # Re-arm: the evicted shape's hit count still sits past the
+        # threshold, so its next observation retries the trigger.
+        self._triggered.discard(key)
+        self.evictions.append(
+            EvictionEvent(key, now_us, self.score(key, now_us), by)
+        )
+
     # ---------------------------------------------------------------- compile
-    def _compile(self, key: ExactKey) -> None:
+    def _ensure_compiled(self, key: ExactKey) -> None:
+        if key in self._executables:
+            return
         binding = dict(zip(self.bucketer.tokens, key))
         exe, _ = nimble.specialize(
             self.mod,

@@ -9,7 +9,7 @@ was built for.
 
 from __future__ import annotations
 
-from typing import List
+from typing import List, Sequence
 
 import numpy as np
 
@@ -49,6 +49,48 @@ def lstm_traffic(
     """Variable-length embedded sentences for the LSTM entry
     ``main(x: Tensor[(Any, input_size)])``."""
     return _embedded_requests(n, input_size, mean_interarrival_us, seed)
+
+
+def long_tailed_traffic(
+    n: int = 256,
+    input_size: int = 16,
+    mean_interarrival_us: float = 400.0,
+    hot_lengths: Sequence[int] = (9, 25, 41, 57, 73),
+    hot_fraction: float = 0.75,
+    tail_min: int = 4,
+    tail_max: int = 96,
+    seed: int = 0,
+) -> List[Request]:
+    """A phased, long-tailed shape mix for the eviction/compile-pool study.
+
+    The trace is split into ``len(hot_lengths)`` phases; within a phase,
+    ``hot_fraction`` of the requests carry that phase's hot length and the
+    rest draw uniformly from ``[tail_min, tail_max]`` (a long tail of rare
+    shapes). Each phase's hot shape goes cold when the next phase starts,
+    so a capped specialized-executable cache must *evict* yesterday's hot
+    shape to keep specializing today's — exactly the workload the hard
+    cap starves on. Deterministic for a fixed seed.
+    """
+    if not hot_lengths:
+        raise ValueError("long_tailed_traffic needs at least one hot length")
+    arrivals = poisson_arrivals(n, mean_interarrival_us, seed)
+    rng = np.random.RandomState(seed + 13)
+    per_phase = -(-n // len(hot_lengths))  # ceil: last phase may run short
+    requests = []
+    for i in range(n):
+        hot = hot_lengths[min(i // per_phase, len(hot_lengths) - 1)]
+        if rng.rand() < hot_fraction:
+            length = hot
+        else:
+            length = int(rng.randint(tail_min, tail_max + 1))
+        requests.append(
+            Request(
+                rid=i,
+                arrival_us=arrivals[i],
+                payload=(rng.randn(length, input_size) * 0.1).astype(np.float32),
+            )
+        )
+    return requests
 
 
 def bert_traffic(

@@ -12,7 +12,10 @@ specialized (static-shape) executable, all sharing this worker's context,
 so a batch routed to the static tier runs on the same clock/allocator and
 its latency lands in the same report. Specialized VMs pool their profile
 into ``specialized_profile`` — the report splits kernel/shape-func time
-by tier from it.
+by tier from it. The VM cache keys by specialization marker and is
+dropped on :meth:`reset`, so an executable evicted from the
+specialization manager's cache is not pinned alive by a stale VM across
+replays.
 
 Batch members run back-to-back with ``sync=False`` and one device
 synchronization at the end, so on GPU-class platforms the host-side
@@ -67,6 +70,7 @@ class Worker:
         self.ctx.allocator.stats.reset()
         self.vm.profile.reset()
         self.specialized_profile.reset()
+        self._specialized_vms.clear()
         self.busy_us = 0.0
         self.batches_run = 0
 

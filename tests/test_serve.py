@@ -119,6 +119,16 @@ class TestShapeBucketer:
         assert b.exact_key(_payload(9)) == (9,)
         assert b.key(_payload(9)) == (16,)
 
+    def test_round_key_is_the_single_rounding_path(self):
+        """`key` must be exactly `round_key(exact_key(...))` — the server's
+        specialization-aware bucket key reuses `round_key`, so the two
+        rounding paths cannot drift."""
+        b = ShapeBucketer(_typed_main(_dyn_mlp_module()), granularity=8)
+        assert b.round_key((9,)) == (16,)
+        assert b.round_key((16,)) == (16,)
+        for rows in (1, 7, 8, 9, 31):
+            assert b.key(_payload(rows)) == b.round_key(b.exact_key(_payload(rows)))
+
 
 class TestBatcher:
     def _batcher(self, max_batch=3, max_delay=500.0, granularity=8):
@@ -152,6 +162,34 @@ class TestBatcher:
         for batch in batches:
             keys = {batcher.bucketer.key(r.payload) for r in batch.requests}
             assert keys == {batch.key}
+
+    def test_key_fn_receives_the_virtual_time_explicitly(self):
+        """The key_fn contract is key_fn(payload, now_us): time-dependent
+        keying (the specialization tier's hot-bucket promotion) gets the
+        clock threaded through the call, not smuggled via hidden server
+        state."""
+        bucketer = ShapeBucketer(_typed_main(_dyn_mlp_module()), 8)
+        seen = []
+
+        def key_fn(payload, now_us):
+            seen.append(now_us)
+            return ("late",) if now_us >= 100.0 else ("early",)
+
+        batcher = Batcher(bucketer, max_batch_size=8, key_fn=key_fn)
+        batcher.add(Request(0, 0.0, _payload(8)), 10.0)
+        batcher.add(Request(1, 20.0, _payload(8)), 150.0)
+        assert seen == [10.0, 150.0]
+        keys = {batch.key for batch in batcher.flush_all(200.0)}
+        assert keys == {("early",), ("late",)}
+
+    def test_default_key_fn_ignores_time(self):
+        bucketer = ShapeBucketer(_typed_main(_dyn_mlp_module()), 8)
+        batcher = Batcher(bucketer, max_batch_size=8)
+        batcher.add(Request(0, 0.0, _payload(9)), 0.0)
+        batcher.add(Request(1, 10.0, _payload(10)), 1e9)
+        (batch,) = batcher.flush_all(1e9)
+        assert batch.key == (16,)
+        assert len(batch) == 2
 
     def test_flush_all_drains_everything(self):
         batcher = self._batcher()

@@ -4,6 +4,8 @@ serving-layer SpecializationManager, and tier routing."""
 
 import numpy as np
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 import repro.nimble as nimble
 from repro.codegen.kernels import KernelCache, prim_signature
@@ -276,15 +278,19 @@ def _lstm_server(threshold=3, compile_us=1000.0, **overrides):
     return InferenceServer(mod, intel_cpu(), config), weights
 
 
+def _mlp_manager(threshold=2, kernel_cache=None, **kwargs):
+    mod = _dyn_mlp_module()
+    typed = infer_types(mod)
+    bucketer = ShapeBucketer(typed["main"], granularity=8)
+    return SpecializationManager(
+        mod, intel_cpu(), bucketer, kernel_cache or KernelCache(),
+        threshold=threshold, compile_us=100.0, **kwargs,
+    )
+
+
 class TestSpecializationManager:
     def _manager(self, threshold=2, **kwargs):
-        mod = _dyn_mlp_module()
-        typed = infer_types(mod)
-        bucketer = ShapeBucketer(typed["main"], granularity=8)
-        return SpecializationManager(
-            mod, intel_cpu(), bucketer, KernelCache(),
-            threshold=threshold, compile_us=100.0, **kwargs,
-        )
+        return _mlp_manager(threshold=threshold, **kwargs)
 
     def test_threshold_triggers_compile_on_background_lane(self):
         mgr = self._manager(threshold=2)
@@ -300,17 +306,39 @@ class TestSpecializationManager:
         exe = mgr.executable_for((16,), 120.0)
         assert exe is not None and exe.specialized_shapes == ((16, 8),)
 
-    def test_lane_serializes_compiles(self):
+    def test_single_lane_serializes_compiles_through_queue(self):
         mgr = self._manager(threshold=1)
         mgr.observe((8,), 0.0)
         mgr.observe((16,), 0.0)
+        # The lane is busy until 100, so the second compile waits in the
+        # pending queue; draining the pool binds it when the lane frees.
+        assert [e.ready_us for e in mgr.events] == [100.0]
+        mgr.drain()
         assert [e.ready_us for e in mgr.events] == [100.0, 200.0]
+        assert [e.queue_us for e in mgr.events] == [0.0, 100.0]
+        assert mgr.lane_busy_us == [200.0]
+
+    def test_pending_compile_binds_at_lane_free_event(self):
+        """A compile left pending by a busy lane starts at the lane-free
+        time — not at the next observation — once any later observation
+        (or drain) pumps the pool past it."""
+        mgr = self._manager(threshold=1)
+        mgr.observe((8,), 0.0)
+        mgr.observe((16,), 10.0)
+        mgr.observe((8,), 500.0)  # any arrival pumps: lane freed at 100
+        assert [(e.key, e.start_us) for e in mgr.events] == [
+            ((8,), 0.0),
+            ((16,), 100.0),
+        ]
 
     def test_capacity_cap_stops_new_specializations(self):
+        # All resident compiles are still in flight at the third trigger,
+        # so even with eviction enabled nothing can be displaced.
         mgr = self._manager(threshold=1, max_executables=2)
         for v in (8, 16, 24):
             mgr.observe((v,), 0.0)
         assert mgr.num_executables == 2
+        assert mgr.num_resident == 2
         assert mgr.executable_for((24,), 1e9) is None
 
     def test_reset_preserves_compiled_cache_but_restarts_counters(self):
@@ -337,6 +365,338 @@ class TestSpecializationManager:
         )
         mgr.observe((), 0.0)
         assert mgr.num_executables == 0
+
+
+class TestCompilePool:
+    def test_two_lanes_overlap_independent_compiles(self):
+        mgr = _mlp_manager(threshold=1, compile_lanes=2)
+        mgr.observe((8,), 0.0)
+        mgr.observe((16,), 0.0)
+        assert [(e.lane, e.start_us, e.ready_us) for e in mgr.events] == [
+            (0, 0.0, 100.0),
+            (1, 0.0, 100.0),
+        ]
+        assert mgr.lane_busy_us == [100.0, 100.0]
+
+    def test_pending_queue_prioritizes_hotter_traffic(self):
+        """The free lane picks the pending compile with the highest hit
+        rate since trigger, recomputed at the lane-free event — not FIFO."""
+        mgr = _mlp_manager(threshold=1)
+        mgr.observe((8,), 0.0)    # occupies the lane until 100
+        mgr.observe((16,), 10.0)  # pending, 1 hit
+        mgr.observe((24,), 20.0)  # pending...
+        mgr.observe((24,), 30.0)
+        mgr.observe((24,), 40.0)  # ...but much hotter since its trigger
+        mgr.drain()
+        assert [e.key for e in mgr.events] == [(8,), (24,), (16,)]
+
+    def test_lane_assignment_is_deterministic(self):
+        """Equal-priority pending compiles and simultaneously-free lanes
+        bind by (trigger time, key) and (free time, lane id) — replays of
+        the same observation sequence are bit-identical."""
+
+        def run():
+            mgr = _mlp_manager(threshold=1, compile_lanes=3)
+            for t, v in [(0, 8), (0, 16), (5, 24), (5, 32), (9, 40)]:
+                mgr.observe((v,), float(t))
+            mgr.drain()
+            return [(e.key, e.lane, e.start_us, e.ready_us) for e in mgr.events]
+
+        first = run()
+        assert run() == first
+        assert {lane for _, lane, _, _ in first} == {0, 1, 2}
+
+    def test_compile_charge_equals_lane_busy_time(self):
+        mgr = _mlp_manager(threshold=1, compile_lanes=2)
+        for t, v in [(0, 8), (3, 16), (6, 24), (9, 32)]:
+            mgr.observe((v,), float(t))
+        mgr.drain()
+        assert mgr.compile_us_spent == pytest.approx(sum(mgr.lane_busy_us))
+        assert mgr.compile_us_spent == pytest.approx(400.0)
+
+
+class TestRearmAndEviction:
+    def test_starved_shape_rearms_and_recompiles_after_eviction(self):
+        """Regression for the headline trigger bug: `observe` fired only
+        on an exact threshold hit, so a shape whose trigger was swallowed
+        by a full cache could never specialize. Now it stays armed and
+        retries on every later hit, succeeding once eviction frees the
+        slot."""
+        mgr = _mlp_manager(
+            threshold=2, max_executables=1, decay_half_life_us=1000.0
+        )
+        mgr.observe((8,), 0.0)
+        mgr.observe((8,), 10.0)  # A triggers, compile ready at 110
+        assert mgr.is_hot((8,), 110.0)
+        # B crosses the threshold while the cache is full (and A's compile
+        # is still in flight): blocked. The old `!= threshold` trigger
+        # would have starved B forever from this point on.
+        mgr.observe((16,), 20.0)
+        mgr.observe((16,), 30.0)
+        assert mgr.evictions == []
+        assert mgr.num_resident == 1
+        assert not mgr.is_hot((16,), 1e9)
+        # Five half-lives later A has gone cold; B's next hit — well past
+        # the exact threshold — retries, evicts A, and compiles.
+        mgr.observe((16,), 5000.0)
+        assert mgr.hits((16,)) == 3  # the trigger fired on hit 3, not 2
+        assert [e.key for e in mgr.evictions] == [(8,)]
+        (compile_b,) = [e for e in mgr.events if e.key == (16,)]
+        assert compile_b.trigger_us == 5000.0
+        assert mgr.is_hot((16,), compile_b.ready_us)
+        assert not mgr.is_hot((8,), 1e9)  # evicted: no longer routable
+
+    def test_evicted_shape_rearms_and_recompiles(self):
+        """An evicted shape's hit count still sits past the threshold, so
+        when it heats back up it re-triggers; the artifact is memoised but
+        the modeled compile cost is charged again."""
+        mgr = _mlp_manager(
+            threshold=2, max_executables=1, decay_half_life_us=1000.0
+        )
+        mgr.observe((8,), 0.0)
+        mgr.observe((8,), 10.0)
+        mgr.observe((16,), 20.0)
+        mgr.observe((16,), 30.0)
+        mgr.observe((16,), 5000.0)  # evicts A (as above)
+        mgr.observe((8,), 5200.0)   # A warm again, but within the margin
+        assert [e.key for e in mgr.evictions] == [(8,)]
+        mgr.observe((8,), 5210.0)   # past 2x B's decayed score: evicts B
+        assert [e.key for e in mgr.evictions] == [(8,), (16,)]
+        assert [e.key for e in mgr.events] == [(8,), (16,), (8,)]
+        assert mgr.num_executables == 2  # artifacts memoised, not re-built
+        assert mgr.compile_us_spent == pytest.approx(300.0)  # 3 charges
+
+    def test_inflight_compile_is_never_evicted(self):
+        mgr = _mlp_manager(
+            threshold=1, max_executables=1, decay_half_life_us=1.0
+        )
+        mgr.observe((8,), 0.0)    # in flight until 100
+        mgr.observe((16,), 50.0)  # hotter, but the victim is in flight
+        assert mgr.evictions == []
+        assert mgr.num_resident == 1
+        mgr.observe((16,), 200.0)  # A landed and went cold: evictable now
+        assert [e.key for e in mgr.evictions] == [(8,)]
+
+    def test_eviction_requires_strictly_colder_victim(self):
+        """Equal heat keeps the incumbent — a challenger only displaces a
+        resident whose decayed score it strictly beats (margin 1.0: the
+        bare policy, no thrash protection). Hitting both shapes at the
+        same instants makes their decayed scores exactly equal."""
+        mgr = _mlp_manager(threshold=1, max_executables=1, eviction_margin=1.0)
+        mgr.observe((8,), 0.0)     # A triggers, resident, ready at 100
+        mgr.observe((16,), 0.0)    # B armed; A in flight anyway
+        mgr.observe((8,), 100.0)   # A: 2 same-instant-pattern hits
+        mgr.observe((16,), 100.0)  # B: exactly A's score — incumbent kept
+        assert mgr.evictions == []
+        assert mgr.num_resident == 1
+        mgr.observe((16,), 100.0)  # third hit: strictly hotter now
+        assert [e.key for e in mgr.evictions] == [(8,)]
+
+    def test_margin_blocks_comparable_heat_thrash(self):
+        """The default eviction margin (2x) keeps an incumbent whose heat
+        is comparable to the challenger's: a steady mix of hot shapes
+        must not ping-pong the cache and throw away compile investment.
+        Only a challenger more than twice as hot displaces."""
+        mgr = _mlp_manager(threshold=1, max_executables=1)
+        for t in (0.0, 1.0, 2.0):
+            mgr.observe((8,), t)  # A: score ~3, compile lands at 100
+        for t in (103.0, 104.0, 105.0, 106.0, 107.0):
+            mgr.observe((16,), t)  # B climbs to ~5: hotter, but under 2x
+        assert mgr.evictions == []
+        assert mgr.is_hot((8,), 107.0)
+        mgr.observe((16,), 108.0)  # score ~6 > 2 x 3: past the margin
+        assert [e.key for e in mgr.evictions] == [(8,)]
+
+    def test_eviction_off_restores_hard_cap(self):
+        mgr = _mlp_manager(
+            threshold=1, max_executables=1, eviction=False,
+            decay_half_life_us=1.0,
+        )
+        mgr.observe((8,), 0.0)
+        mgr.observe((16,), 1000.0)  # would evict; hard cap blocks instead
+        mgr.observe((16,), 2000.0)
+        assert mgr.evictions == []
+        assert mgr.num_resident == 1
+        assert not mgr.is_hot((16,), 1e9)
+
+
+class TestPoolProperties:
+    """Property-style invariants over randomized observation traces,
+    checked at every lane count on the same trace."""
+
+    _managers = {}
+
+    @classmethod
+    def _pool(cls, lanes):
+        # Managers are cached across examples (sharing one kernel cache)
+        # so the handful of distinct shapes compiles exactly once; reset()
+        # restores per-simulation state between examples.
+        if lanes not in cls._managers:
+            if not cls._managers:
+                cls._shared_cache = KernelCache()
+            cls._managers[lanes] = _mlp_manager(
+                threshold=2,
+                max_executables=2,
+                compile_lanes=lanes,
+                decay_half_life_us=200.0,
+                kernel_cache=cls._shared_cache,
+            )
+        mgr = cls._managers[lanes]
+        mgr.reset()
+        return mgr
+
+    @staticmethod
+    def _replay(mgr, trace):
+        now = 0.0
+        for idx, gap in trace:
+            now += gap
+            mgr.observe(((idx + 1) * 8,), now)
+        mgr.drain()
+        return (
+            [(e.key, e.lane, e.trigger_us, e.start_us, e.ready_us) for e in mgr.events],
+            [(e.key, e.evicted_us, e.by_key) for e in mgr.evictions],
+        )
+
+    @given(
+        trace=st.lists(
+            st.tuples(st.integers(0, 3), st.floats(0.0, 400.0)),
+            min_size=4,
+            max_size=40,
+        ),
+        lanes=st.integers(1, 3),
+    )
+    @settings(max_examples=40, deadline=None, derandomize=True)
+    def test_replay_eviction_and_charge_invariants(self, trace, lanes):
+        mgr = self._pool(lanes)
+        first = self._replay(mgr, trace)
+        events, evictions = first
+        # (a) replaying one trace is bit-identical.
+        mgr.reset()
+        assert self._replay(mgr, trace) == first
+        # (b) eviction never hits a shape with an in-flight compile: a
+        # victim must have a compile fully landed by its eviction, and no
+        # compile of it straddles the eviction instant. (A compile of the
+        # same key *starting* exactly at the eviction time is the shape
+        # legitimately re-triggering into the just-freed slot, so the
+        # straddle check is strict.)
+        for key, evicted_us, _ in evictions:
+            landed = [e for e in events if e[0] == key and e[4] <= evicted_us]
+            assert landed, "evicted a shape whose compile never landed"
+            straddling = [
+                e for e in events if e[0] == key and e[3] < evicted_us < e[4]
+            ]
+            assert not straddling
+        # (c) total compile charge equals the sum of per-lane busy time.
+        assert mgr.compile_us_spent == pytest.approx(sum(mgr.lane_busy_us))
+        assert len(mgr.lane_busy_us) == lanes
+        # Residency never exceeds the cap.
+        assert mgr.num_resident <= 2
+
+
+# One kernel cache shared by every server in the compile-pool serving
+# tests: they all compile the same LSTM module, so kernels memoise across
+# configurations (the *modeled* compile cost is still charged per trigger).
+_POOL_TEST_KERNELS = KernelCache()
+
+
+class TestCompilePoolServing:
+    """End-to-end acceptance for the compile pool + eviction on the
+    long-tailed shape mix (ISSUE 3): starved shapes recover via eviction,
+    a second lane strictly cuts compile-queue wait, and replays stay
+    bit-identical under every setting."""
+
+    _weights = LSTMWeights.create(8, 16, seed=0)
+
+    def _server(self, lanes, eviction=True):
+        mod = build_lstm_module(self._weights)
+        config = ServeConfig(
+            max_batch_size=4,
+            max_delay_us=1500.0,
+            num_workers=2,
+            specialize=True,
+            specialize_threshold=2,
+            specialize_max_executables=4,
+            specialize_compile_us=6000.0,
+            specialize_compile_lanes=lanes,
+            specialize_eviction=eviction,
+            specialize_decay_half_life_us=3_000.0,
+        )
+        return InferenceServer(
+            mod, intel_cpu(), config, kernel_cache=_POOL_TEST_KERNELS
+        )
+
+    @staticmethod
+    def _trace(n=80):
+        from repro.serve import long_tailed_traffic
+
+        return long_tailed_traffic(
+            n,
+            input_size=8,
+            mean_interarrival_us=300.0,
+            hot_lengths=(5, 11, 17, 23, 29),
+            tail_min=3,
+            tail_max=32,
+            seed=0,
+        )
+
+    def test_starved_hot_shape_specializes_after_eviction(self):
+        """Regression for the starved-shape trace: shapes the hard cap
+        blocks forever get specialized once eviction frees a slot."""
+        requests = self._trace()
+        capped = self._server(1, eviction=False)
+        evicting = self._server(1)
+        capped.simulate(requests)
+        report = evicting.simulate(requests)
+        assert report.specialize_evictions > 0
+        compiled_capped = {e.key for e in capped.specializer.events}
+        compiled_evicting = {e.key for e in evicting.specializer.events}
+        starved = compiled_evicting - compiled_capped
+        assert starved, "eviction should specialize shapes the cap starves"
+        # Each recovered shape triggered at/after the eviction that could
+        # have freed its slot — they were blocked until then.
+        first_eviction = evicting.specializer.evictions[0].evicted_us
+        for key in starved:
+            trigger = min(
+                e.trigger_us
+                for e in evicting.specializer.events
+                if e.key == key
+            )
+            assert trigger >= first_eviction
+        assert evicting.specializer.num_resident <= 4
+
+    def test_second_lane_strictly_cuts_queue_wait(self):
+        requests = self._trace()
+        waits = {}
+        for lanes in (1, 2):
+            server = self._server(lanes)
+            a = server.simulate(requests)
+            b = server.simulate(requests)
+            # Bit-identical replay under both settings.
+            assert a.latencies_us == b.latencies_us
+            assert [r.tier for r in a.responses] == [r.tier for r in b.responses]
+            assert a.specialize_queue_waits_us == b.specialize_queue_waits_us
+            assert a.specialize_lane_busy_us == b.specialize_lane_busy_us
+            assert a.specialize_evictions == b.specialize_evictions
+            assert len(a.specialize_lane_busy_us) == lanes
+            waits[lanes] = a.mean_compile_queue_wait_us
+        assert waits[1] > 0.0
+        assert waits[2] < waits[1]
+
+    def test_replay_bit_identical_under_any_lane_count(self):
+        requests = self._trace(n=36)
+        for lanes in (1, 2, 3):
+            server = self._server(lanes)
+            a = server.simulate(requests)
+            b = server.simulate(requests)
+            assert [
+                (r.rid, r.latency_us, r.tier, r.worker_id, r.bucket_key)
+                for r in a.responses
+            ] == [
+                (r.rid, r.latency_us, r.tier, r.worker_id, r.bucket_key)
+                for r in b.responses
+            ]
+            assert a.batch_histogram == b.batch_histogram
+            assert a.specialize_compile_us == b.specialize_compile_us
 
 
 class TestTieredServing:
