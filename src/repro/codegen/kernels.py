@@ -15,6 +15,7 @@ Table 4 breakdown.
 
 from __future__ import annotations
 
+import functools
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -22,7 +23,7 @@ import numpy as np
 
 from repro.codegen.cost_model import library_cost_us, tuned_cost_us
 from repro.codegen.schedule import Schedule, default_schedule
-from repro.codegen.workload import Workload, compute_workload, run_prim_func
+from repro.codegen.workload import GEMM_OPS, Workload, compute_workload, run_prim_func
 from repro.core.memory.prim_info import PrimFuncInfo, analyze_prim_func, run_fused_shape_func
 from repro.errors import CompilerError
 from repro.hardware import calibration
@@ -36,7 +37,7 @@ from repro.ops.shape_funcs import prod
 
 Shape = Tuple[int, ...]
 
-_GEMM_OPS = {"nn.dense", "nn.batch_matmul", "nn.conv2d"}
+_GEMM_OPS = GEMM_OPS
 
 
 def _prim_calls(func: Function) -> List[Call]:
@@ -66,7 +67,7 @@ def canonical_mnk(func: Function, in_shapes: Sequence[Shape], out_shape: Shape) 
 
     for call in _prim_calls(func):
         if isinstance(call.op, Op) and call.op.name in _GEMM_OPS:
-            if call.op.name == "nn.dense":
+            if call.op.name in ("nn.dense", "nn.batch_dense"):
                 d_shape = arg_shape(call.args[0], out_shape)
                 w_shape = arg_shape(call.args[1], (1, 1))
                 m = prod(d_shape[:-1]) if len(d_shape) > 1 else 1
@@ -159,8 +160,11 @@ class KernelSet:
         return self._info
 
     # -- identity ---------------------------------------------------------------
-    @property
+    @functools.cached_property
     def name(self) -> str:
+        # Cached: the profiler reads this on every kernel invocation —
+        # the interpreter's hottest path — and the Let-chain walk plus
+        # string join must not be repaid per dispatch.
         ops = "+".join(
             c.op.name for c in _prim_calls(self.prim) if isinstance(c.op, Op)
         )

@@ -24,8 +24,13 @@ from repro.tensor.dtype import dtype_bytes
 
 Shape = Tuple[int, ...]
 
-# Ops whose cost profile is GEMM-like (compute-bound at scale).
-_GEMM_OPS = {"nn.dense", "nn.batch_matmul", "nn.conv2d"}
+# Ops whose cost profile is GEMM-like (compute-bound at scale). The one
+# authoritative set — the kernel cost model and the profiler's GEMM
+# launch counting both import it.
+GEMM_OPS = frozenset(
+    {"nn.dense", "nn.batch_dense", "nn.batch_matmul", "nn.conv2d"}
+)
+_GEMM_OPS = GEMM_OPS
 
 
 @dataclass(frozen=True)

@@ -78,6 +78,34 @@ def collect_shape_bindings(
     raise TypeInferenceError(f"{what}: cannot bind shapes into {ty!r}")
 
 
+def batch_type(ty: Type, batch: int, what: str = "batch specialization") -> Type:
+    """Stack a (fully static) type's leading dimension *batch* times.
+
+    This is the leading-dim binding behind batch-granularity
+    specialization: the batched executable's value for a tensor of member
+    shape ``(d0, rest...)`` is the axis-0 concatenation of the ``batch``
+    member values, of shape ``(batch * d0, rest...)``. Rank-0 tensors are
+    shared across members (all members of a batch-specialized bucket have
+    the same exact shape, so scalars — loop counters, shape reads — are
+    member-independent) and pass through unchanged.
+    """
+    if batch < 1:
+        raise TypeInferenceError(f"{what}: batch must be >= 1, got {batch}")
+    if isinstance(ty, TensorType):
+        if ty.ndim == 0:
+            return ty
+        lead = ty.shape[0]
+        if isinstance(lead, Any):
+            raise TypeInferenceError(
+                f"{what}: cannot stack dynamic leading dim of {ty!r}; "
+                f"specialize the shape first"
+            )
+        return TensorType((batch * int(lead),) + tuple(ty.shape[1:]), ty.dtype)
+    if isinstance(ty, TupleType):
+        return TupleType([batch_type(f, batch, what) for f in ty.fields])
+    raise TypeInferenceError(f"{what}: cannot stack a batch dim into {ty!r}")
+
+
 def bind_any_dims(ty: Type, binding: Binding) -> Type:
     """Replace every ``Any`` whose token is in *binding* with its value.
 

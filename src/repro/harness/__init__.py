@@ -1,6 +1,7 @@
 """Experiment harness: runs every table/figure of the paper's evaluation."""
 
 from repro.harness.experiments import (
+    batch_specialization_study,
     compile_pool_study,
     figure3_dispatch,
     memory_planning_study,
@@ -24,6 +25,7 @@ __all__ = [
     "serving_study",
     "specialization_study",
     "compile_pool_study",
+    "batch_specialization_study",
     "tuning_ablation",
     "format_table",
     "percentile",

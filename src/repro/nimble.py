@@ -40,6 +40,7 @@ from repro.passes import (
     LambdaLift,
     Sequential,
     SimplifyExpressions,
+    SpecializeBatch,
     SpecializeShapes,
     ToANF,
 )
@@ -136,6 +137,7 @@ def specialize(
     plan_memory: bool = True,
     kernel_cache: Optional[KernelCache] = None,
     entry: str = "main",
+    batch: int = 1,
 ) -> Tuple[Executable, BuildReport]:
     """Compile a static-shape executable for one concrete input shape.
 
@@ -148,9 +150,22 @@ def specialize(
     was specialized to, and its outputs are bit-identical to the dynamic
     executable's on matching inputs — only the dispatch/shape-function/
     allocation overhead changes.
+
+    ``batch > 1`` additionally specializes at *batch granularity*
+    (:class:`SpecializeBatch`): the executable runs ``batch``
+    identical-shape members per call — inputs stacked along axis 0,
+    outputs split back — with each GEMM site compiling to one batched
+    kernel instead of ``batch`` member-wise launches. Outputs remain
+    bit-identical per member. ``specialized_shapes`` stays in member
+    terms; the stacking factor is recorded separately as
+    ``specialized_batch``. Raises
+    :class:`repro.passes.BatchSpecializeError` on modules that cannot be
+    batch-rewritten (e.g. ADT entries).
     """
     spec_pass = SpecializeShapes(shapes=shapes, binding=binding, entry=entry)
     specialized = spec_pass(mod)
+    if batch > 1:
+        specialized = SpecializeBatch(batch, entry=entry)(specialized)
     base = options or CompilerOptions()
     opts = CompilerOptions(
         tune=base.tune,
@@ -159,6 +174,7 @@ def specialize(
         schedule=base.schedule,
         tuning_trials=base.tuning_trials,
         specialized_shapes=spec_pass.bound_shapes,
+        specialized_batch=batch if batch > 1 else None,
     )
     return build(
         specialized, platform, opts, plan_memory=plan_memory,

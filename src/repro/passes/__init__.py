@@ -8,9 +8,15 @@ from repro.passes.cse import CommonSubexprElimination
 from repro.passes.simplify import SimplifyExpressions
 from repro.passes.fuse_ops import FuseOps
 from repro.passes.lambda_lift import LambdaLift
-from repro.passes.specialize import SpecializeShapes
+from repro.passes.specialize import (
+    BatchSpecializeError,
+    SpecializeBatch,
+    SpecializeShapes,
+)
 
 __all__ = [
+    "BatchSpecializeError",
+    "SpecializeBatch",
     "Pass",
     "Sequential",
     "function_pass",

@@ -21,6 +21,13 @@ bit-identical outputs and transparent fallback. Compiles run on a pool
 of virtual-clock lanes with traffic-priority queueing, and the
 specialized-executable cache evicts its coldest (decayed-score) entry so
 long-tailed shape mixes keep specializing past the cache cap.
+
+``specialize_batch=True`` adds the third tier: hot shapes additionally
+compile at batch granularity (``nimble.specialize(batch=cap)``), hot
+buckets cap at the compiled batch size, and a *full* bucket executes as
+one stacked VM call — one batched GEMM per layer instead of per member —
+while ragged tails fall back member-wise, then dynamic. Outputs stay
+bit-identical across all three tiers.
 """
 
 from repro.serve.batcher import Batch, Batcher, ShapeBucketer

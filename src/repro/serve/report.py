@@ -25,6 +25,7 @@ class ServeReport:
     worker_batches: List[int] = field(default_factory=list)
     profile_dynamic: VMProfile = field(default_factory=VMProfile)
     profile_specialized: VMProfile = field(default_factory=VMProfile)
+    profile_batched: VMProfile = field(default_factory=VMProfile)
     specialize_compile_us: float = 0.0
     # Distinct shapes compiled in *this* simulation / still holding a
     # cache slot when it ended (the two differ once eviction recycles
@@ -68,15 +69,38 @@ class ServeReport:
     # ------------------------------------------------------------------ tiers
     @property
     def specialized_hits(self) -> int:
-        """Requests served by a static (specialized) executable."""
-        return sum(1 for r in self.responses if r.tier == "specialized")
+        """Requests served by a static executable (member-wise or
+        batched — both pay zero shape functions and dispatch)."""
+        return sum(
+            1 for r in self.responses if r.tier in ("specialized", "batched")
+        )
 
     @property
     def specialized_hit_rate(self) -> float:
-        """Fraction of requests the static tier served."""
+        """Fraction of requests the static tiers served."""
         if not self.responses:
             return 0.0
         return self.specialized_hits / len(self.responses)
+
+    @property
+    def batched_hits(self) -> int:
+        """Requests served by the batch-specialized tier (a full bucket
+        executed as one stacked VM call)."""
+        return sum(1 for r in self.responses if r.tier == "batched")
+
+    @property
+    def batched_hit_rate(self) -> float:
+        """Fraction of requests the batched tier served."""
+        if not self.responses:
+            return 0.0
+        return self.batched_hits / len(self.responses)
+
+    def tier_profile(self, tier: str) -> VMProfile:
+        return {
+            "dynamic": self.profile_dynamic,
+            "specialized": self.profile_specialized,
+            "batched": self.profile_batched,
+        }[tier]
 
     def tier_latencies_us(self, tier: str) -> List[float]:
         return [r.latency_us for r in self.responses if r.tier == tier]
@@ -119,10 +143,11 @@ class ServeReport:
     # ---------------------------------------------------------------- profile
     @property
     def profile(self) -> VMProfile:
-        """Both tiers merged (what the pre-tiering report exposed)."""
+        """All tiers merged (what the pre-tiering report exposed)."""
         merged = VMProfile()
         merged.merge(self.profile_dynamic)
         merged.merge(self.profile_specialized)
+        merged.merge(self.profile_batched)
         return merged
 
     # ----------------------------------------------------------------- timing
@@ -191,13 +216,12 @@ class ServeReport:
         main = format_table(title, rows, ["metric", "value"])
         sections = [main]
         if self.specialized_hits or self.num_specialized_executables:
+            tiers = ["dynamic", "specialized"]
+            if self.batched_hits:
+                tiers.append("batched")
             tier_rows = []
-            for tier in ("dynamic", "specialized"):
-                prof = (
-                    self.profile_dynamic
-                    if tier == "dynamic"
-                    else self.profile_specialized
-                )
+            for tier in tiers:
+                prof = self.tier_profile(tier)
                 tier_rows.append(
                     [
                         tier,
@@ -210,7 +234,8 @@ class ServeReport:
             sections.append(
                 format_table(
                     f"Tiers — specialized hit rate "
-                    f"{100.0 * self.specialized_hit_rate:.1f}%, "
+                    f"{100.0 * self.specialized_hit_rate:.1f}% "
+                    f"(batched {100.0 * self.batched_hit_rate:.1f}%), "
                     f"{self.num_specialized_executables} compiled / "
                     f"{self.num_resident_executables} resident static exe(s), "
                     f"compile {self.specialize_compile_us:.0f} µs, "
@@ -266,15 +291,18 @@ def build_report(
     specialization manager, when tiering is enabled)."""
     profile_dynamic = VMProfile()
     profile_specialized = VMProfile()
+    profile_batched = VMProfile()
     for worker in workers:
         profile_dynamic.merge(worker.vm.profile)
         profile_specialized.merge(worker.specialized_profile)
+        profile_batched.merge(worker.batched_profile)
     return ServeReport(
         responses=sorted(responses, key=lambda r: r.rid),
         worker_busy_us=[w.busy_us for w in workers],
         worker_batches=[w.batches_run for w in workers],
         profile_dynamic=profile_dynamic,
         profile_specialized=profile_specialized,
+        profile_batched=profile_batched,
         specialize_compile_us=(
             specializer.compile_us_spent if specializer is not None else 0.0
         ),

@@ -72,6 +72,28 @@ class ServeConfig:
     specialize_eviction: bool = True
     specialize_decay_half_life_us: float = 100_000.0
     specialize_eviction_margin: float = 2.0
+    # Batch-granularity specialization: every hot shape additionally gets
+    # an executable compiled at (batch cap × exact shape), and a *full*
+    # exact bucket runs as one VM call on it (one batched GEMM per
+    # member-wise GEMM site). Ragged tails fall back member-wise. The cap
+    # defaults to max_batch_size and hot buckets are capped to it, so a
+    # bucket can never outgrow the kernel compiled for it.
+    specialize_batch: bool = False
+    specialize_batch_cap: Optional[int] = None
+
+    @property
+    def batch_cap(self) -> int:
+        """The compiled batch size of the batched tier (1 = tier off)."""
+        if not (self.specialize and self.specialize_batch):
+            return 1
+        cap = (
+            self.specialize_batch_cap
+            if self.specialize_batch_cap is not None
+            else self.max_batch_size
+        )
+        if cap < 1:
+            raise ValueError(f"specialize_batch_cap must be >= 1, got {cap}")
+        return min(cap, self.max_batch_size)
 
     @staticmethod
     def serial(**overrides) -> "ServeConfig":
@@ -126,6 +148,7 @@ class InferenceServer:
                 eviction=self.config.specialize_eviction,
                 decay_half_life_us=self.config.specialize_decay_half_life_us,
                 eviction_margin=self.config.specialize_eviction_margin,
+                batch_cap=self.config.batch_cap,
             )
         self.workers = [
             Worker(
@@ -153,6 +176,7 @@ class InferenceServer:
             max_batch_size=self.config.max_batch_size,
             max_delay_us=self.config.max_delay_us,
             key_fn=self._bucket_key if self.specializer is not None else None,
+            cap_fn=self._bucket_cap if self.specializer is not None else None,
         )
         responses: List[Response] = []
         now = 0.0
@@ -190,16 +214,32 @@ class InferenceServer:
         return build_report(responses, self.workers, self.specializer)
 
     def _bucket_key(self, payload, now_us: float):
-        """Bucket key under tiered specialization: a hot shape (static
-        executable ready at *now_us*, the batcher's current virtual time)
-        gets its own exact bucket so its batches form shape-uniform and
-        can route to the static tier; everything else keeps the bucketer's
-        rounded key. The -1 marker keeps exact buckets disjoint from
-        rounded ones (rounded key components are never negative)."""
+        """Bucket key under tiered specialization: a hot shape (some
+        static executable — member-wise or batched — ready at *now_us*,
+        the batcher's current virtual time) gets its own exact bucket so
+        its batches form shape-uniform and can route to the static tiers;
+        everything else keeps the bucketer's rounded key. The -1 marker
+        keeps exact buckets disjoint from rounded ones (rounded key
+        components are never negative)."""
         exact = self.bucketer.exact_key(payload)
-        if self.specializer.is_hot(exact, now_us):
+        if self.specializer.is_hot_any(exact, now_us):
             return (-1,) + exact
         return self.bucketer.round_key(exact)
+
+    def _bucket_cap(self, key):
+        """Bucket flush size under tiered specialization: exact (hot)
+        buckets align to the batched tier's compiled batch size, so a
+        full bucket is exactly one batched-executable call; rounded
+        buckets keep the configured max. When a shape turns out not to
+        admit the batch rewrite, its hot buckets keep the full batch size
+        — capping them would shrink member-tier batches for nothing."""
+        if (
+            key
+            and key[0] == -1
+            and self.specializer.batch_tier_active_for(tuple(key[1:]))
+        ):
+            return self.config.batch_cap
+        return self.config.max_batch_size
 
     def _dispatch(self, batch: Batch) -> List[Response]:
         worker = min(self.workers, key=lambda w: (w.free_at_us, w.worker_id))
@@ -207,23 +247,33 @@ class InferenceServer:
         executable = None
         tier = "dynamic"
         if self.specializer is not None:
-            # The static tier only takes exact-shape-uniform batches whose
+            # The static tiers only take exact-shape-uniform batches whose
             # executable is ready; mixed batches within a (rounded) bucket
             # and in-flight compiles stay dynamic. Exact buckets carry the
             # -1 marker and are uniform by construction; a rounded bucket
             # may still happen to be uniform (requests enqueued before the
             # shape went hot), so those are checked member-by-member.
+            exact = None
             if batch.key and batch.key[0] == -1:
                 exact = tuple(batch.key[1:])
-                executable = self.specializer.executable_for(exact, start)
             else:
                 keys = {
                     self.bucketer.exact_key(r.payload) for r in batch.requests
                 }
                 if len(keys) == 1:
-                    executable = self.specializer.executable_for(
-                        keys.pop(), start
+                    exact = keys.pop()
+            if exact is not None:
+                # Routing ladder: a *full* bucket takes the batched tier
+                # (one VM call for the whole bucket); ragged tails fall
+                # back to member-wise static, then dynamic.
+                if len(batch) == self.config.batch_cap > 1:
+                    executable = self.specializer.batched_executable_for(
+                        exact, start
                     )
-            if executable is not None:
-                tier = "specialized"
+                    if executable is not None:
+                        tier = "batched"
+                if executable is None:
+                    executable = self.specializer.executable_for(exact, start)
+                    if executable is not None:
+                        tier = "specialized"
         return worker.run_batch(batch, start, executable=executable, tier=tier)

@@ -12,6 +12,18 @@ specialized shape exactly are routed to the static tier; everything else
 back to the dynamic executable, so correctness never depends on the
 tier: outputs are bit-identical either way.
 
+With ``batch_cap > 1`` each hot trigger compiles **two variants** of the
+shape: the member-wise static build and a batch-specialized build
+(``nimble.specialize(batch=batch_cap)``) that executes a full bucket as
+one stacked VM call — one batched GEMM per member-wise GEMM site instead
+of ``batch_cap`` pipelined launches. Artifacts are keyed by
+(exact shape, batch), so batch-cap changes never alias; the two variants
+share one cache slot and are evicted, re-armed, and recompiled together.
+Shapes the batch rewrite cannot express (ADT entries, member-dependent
+control flow, shape-dependent broadcasts) are detected on their first
+batched compile and served member-wise only — per shape, so one exotic
+shape never disables the tier for the rest.
+
 Compile cost is charged on the virtual clock through a **compile-worker
 pool** of ``compile_lanes`` lanes. A shape that crosses the threshold
 enqueues a pending compile; pending compiles wait in a priority queue
@@ -50,6 +62,7 @@ from typing import Dict, List, Optional, Set, Tuple
 
 import repro.nimble as nimble
 from repro.codegen.kernels import KernelCache
+from repro.errors import NimbleError
 from repro.hardware import calibration
 from repro.hardware.platforms import Platform
 from repro.ir.module import IRModule
@@ -57,6 +70,9 @@ from repro.serve.batcher import ShapeBucketer
 from repro.vm.executable import Executable
 
 ExactKey = Tuple[int, ...]
+# A compiled artifact is one (exact shape, batch) variant: batch 1 is the
+# member-wise static build, batch > 1 stacks that many members per call.
+VariantKey = Tuple[ExactKey, int]
 
 
 @dataclass(frozen=True)
@@ -65,7 +81,8 @@ class SpecializationEvent:
 
     ``trigger_us`` is when the shape crossed the threshold and entered the
     pending queue, ``start_us`` when a lane picked it up, ``ready_us``
-    when the executable became routable."""
+    when the executable became routable. ``batch`` identifies the variant
+    (1 = member-wise static, >1 = batch-specialized)."""
 
     key: ExactKey
     trigger_us: float
@@ -73,6 +90,7 @@ class SpecializationEvent:
     ready_us: float
     compile_us: float
     lane: int
+    batch: int = 1
 
     @property
     def queue_us(self) -> float:
@@ -101,6 +119,7 @@ class _PendingCompile:
     trigger_us: float
     compile_us: float
     hit_times_us: List[float]
+    batch: int = 1
 
     def hits_by(self, at_us: float) -> int:
         return sum(1 for t in self.hit_times_us if t <= at_us)
@@ -137,6 +156,7 @@ class SpecializationManager:
         eviction: bool = True,
         decay_half_life_us: float = 100_000.0,
         eviction_margin: float = 2.0,
+        batch_cap: int = 1,
     ) -> None:
         if threshold < 1:
             raise ValueError(f"specialization threshold must be >= 1, got {threshold}")
@@ -150,6 +170,8 @@ class SpecializationManager:
             raise ValueError(
                 f"eviction_margin must be >= 1.0, got {eviction_margin}"
             )
+        if batch_cap < 1:
+            raise ValueError(f"batch_cap must be >= 1, got {batch_cap}")
         self.mod = mod
         self.platform = platform
         self.bucketer = bucketer
@@ -162,13 +184,28 @@ class SpecializationManager:
         self.eviction = eviction
         self.decay_half_life_us = decay_half_life_us
         self.eviction_margin = eviction_margin
+        # Batch granularity: with batch_cap > 1 every hot trigger
+        # compiles *two* variants — the member-wise static build and a
+        # batch-specialized build that runs batch_cap same-shape members
+        # as one call (when the shape admits the rewrite). Full buckets
+        # route to the batched variant; ragged tails fall back to the
+        # member variant (or dynamic).
+        self.batch_cap = batch_cap
         # Compiled artifacts are memoised across simulations (compilation
-        # is a pure function of module + shape + platform, so reusing them
-        # keeps replays bit-identical while skipping redundant work). The
-        # *modeled* compile cost is still charged every time a shape
-        # (re-)triggers — in the model, eviction dropped the binary.
-        self._executables: Dict[ExactKey, Executable] = {}
-        self._compile_cost: Dict[ExactKey, float] = {}
+        # is a pure function of module + shape + batch + platform, so
+        # reusing them keeps replays bit-identical while skipping
+        # redundant work). The *modeled* compile cost is still charged
+        # every time a shape (re-)triggers — in the model, eviction
+        # dropped the binary.
+        self._executables: Dict[VariantKey, Executable] = {}
+        self._compile_cost: Dict[VariantKey, float] = {}
+        # Shapes whose batched compile failed — a pure property of
+        # (module, shape), probed at the shape's first trigger and
+        # memoised. Batchability is SHAPE-dependent (a broadcast that is
+        # member-legal at one shape can have no stacked equivalent at
+        # another), so one shape's failure must not disable the tier for
+        # shapes that batch fine.
+        self._unbatchable: Set[ExactKey] = set()
         self.reset()
 
     # ----------------------------------------------------------------- replay
@@ -180,7 +217,7 @@ class SpecializationManager:
         self._score: Dict[ExactKey, float] = {}
         self._score_at: Dict[ExactKey, float] = {}
         self._last_hit_us: Dict[ExactKey, float] = {}
-        self._ready_at: Dict[ExactKey, float] = {}
+        self._ready_at: Dict[VariantKey, float] = {}
         self._resident: Set[ExactKey] = set()
         self._triggered: Set[ExactKey] = set()
         self._pending: List[_PendingCompile] = []
@@ -193,6 +230,11 @@ class SpecializationManager:
     @property
     def num_executables(self) -> int:
         """Distinct shapes ever compiled (the cross-simulation memo)."""
+        return len({key for key, _ in self._executables})
+
+    @property
+    def num_variants(self) -> int:
+        """Distinct (shape, batch) artifacts ever compiled."""
         return len(self._executables)
 
     @property
@@ -221,13 +263,31 @@ class SpecializationManager:
         age = now_us - self._score_at[key]
         return raw * 0.5 ** (age / self.decay_half_life_us)
 
-    def is_hot(self, key: ExactKey, now_us: float) -> bool:
-        """Is the static executable for this exact shape routable at
-        *now_us* (resident, compiled, and its lane has finished)?"""
+    def _variant_ready(self, key: ExactKey, batch: int, now_us: float) -> bool:
         if key not in self._resident:
             return False
-        ready = self._ready_at.get(key)
+        ready = self._ready_at.get((key, batch))
         return ready is not None and ready <= now_us
+
+    def is_hot(self, key: ExactKey, now_us: float) -> bool:
+        """Is the member-wise static executable for this exact shape
+        routable at *now_us* (resident, compiled, lane finished)?"""
+        return self._variant_ready(key, 1, now_us)
+
+    def is_hot_any(self, key: ExactKey, now_us: float) -> bool:
+        """Is *any* variant (member-wise or batched) routable at
+        *now_us*? The server gives such shapes their own exact bucket so
+        their batches form shape-uniform."""
+        return any(
+            self._variant_ready(key, b, now_us)
+            for b in self._variant_batches(key)
+        )
+
+    def is_batched_hot(self, key: ExactKey, now_us: float) -> bool:
+        """Is the batch-specialized executable routable at *now_us*?"""
+        return self.batch_cap > 1 and self._variant_ready(
+            key, self.batch_cap, now_us
+        )
 
     # ------------------------------------------------------------------- flow
     def observe(self, key: ExactKey, now_us: float) -> None:
@@ -254,13 +314,24 @@ class SpecializationManager:
             self._pump(now_us)
 
     def executable_for(self, key: ExactKey, at_us: float) -> Optional[Executable]:
-        """The static executable for a batch whose members all have exact
-        shape *key*, or None when the shape is not specialized (or its
-        compile has not finished by *at_us* — the caller falls back to
-        the dynamic tier)."""
+        """The member-wise static executable for a batch whose members all
+        have exact shape *key*, or None when the shape is not specialized
+        (or its compile has not finished by *at_us* — the caller falls
+        back to the dynamic tier)."""
         if not self.is_hot(key, at_us):
             return None
-        return self._executables.get(key)
+        return self._executables.get((key, 1))
+
+    def batched_executable_for(
+        self, key: ExactKey, at_us: float
+    ) -> Optional[Executable]:
+        """The batch-specialized executable (one call runs ``batch_cap``
+        members of exact shape *key*), or None when that variant is not
+        routable at *at_us*. The caller routes only full buckets here —
+        ragged tails take :meth:`executable_for` or the dynamic tier."""
+        if not self.is_batched_hot(key, at_us):
+            return None
+        return self._executables.get((key, self.batch_cap))
 
     def drain(self) -> None:
         """Run the pool to completion: bind every still-pending compile to
@@ -288,7 +359,10 @@ class SpecializationManager:
         window until they age past the half-life."""
         elapsed = max(self.decay_half_life_us, at_us - job.trigger_us)
         rate = (job.hits_by(at_us) + 1) / elapsed
-        return (-rate, job.trigger_us, job.key)
+        # Variants of one shape tie on rate and trigger; the member-wise
+        # build (batch 1) compiles first — it serves ragged tails too, so
+        # it is the more broadly useful artifact.
+        return (-rate, job.trigger_us, job.key, job.batch)
 
     def _pump(self, now_us: float) -> None:
         """Process every lane-free event up to *now_us*: bind the
@@ -307,17 +381,37 @@ class SpecializationManager:
             ready = start + job.compile_us
             self._lane_free_us[lane] = ready
             self.lane_busy_us[lane] += job.compile_us
-            self._ready_at[job.key] = ready
+            self._ready_at[(job.key, job.batch)] = ready
             self.events.append(
                 SpecializationEvent(
-                    job.key, job.trigger_us, start, ready, job.compile_us, lane
+                    job.key, job.trigger_us, start, ready, job.compile_us,
+                    lane, job.batch,
                 )
             )
 
+    def batch_tier_active_for(self, key: ExactKey) -> bool:
+        """Is the batched tier configured and not known-unbatchable for
+        this exact shape? The server aligns a hot bucket's cap to the
+        compiled batch size only while this holds — once the probe rules
+        the shape out, shrinking its member-tier buckets would cost
+        throughput for nothing."""
+        return self.batch_cap > 1 and key not in self._unbatchable
+
+    def _variant_batches(self, key: ExactKey) -> Tuple[int, ...]:
+        """Batch sizes compiled for this hot shape: the member-wise
+        build, plus the batch-cap build when the shape admits the batch
+        rewrite. Stable from the shape's first trigger onward (the
+        unbatchable probe settles atomically with the trigger)."""
+        if not self.batch_tier_active_for(key):
+            return (1,)
+        return (1, self.batch_cap)
+
     def _try_trigger(self, key: ExactKey, now_us: float) -> None:
-        """Acquire a cache slot and enqueue the compile; on a full cache,
-        evict the coldest resident (if strictly colder than the
-        challenger and not in flight) or leave the shape armed to retry."""
+        """Acquire a cache slot and enqueue the compile(s); on a full
+        cache, evict the coldest resident (if strictly colder than the
+        challenger and not in flight) or leave the shape armed to retry.
+        One slot covers every variant of the shape — the member-wise and
+        batched builds live and die together."""
         if len(self._resident) >= self.max_executables:
             if not self.eviction:
                 return
@@ -327,10 +421,14 @@ class SpecializationManager:
             self._evict(victim, now_us, by=key)
         self._resident.add(key)
         self._triggered.add(key)
-        self._ensure_compiled(key)
-        self._pending.append(
-            _PendingCompile(key, now_us, self._compile_cost[key], [])
-        )
+        for batch in self._variant_batches(key):
+            if not self._ensure_compiled(key, batch):
+                continue  # shape not batchable: member-wise only
+            self._pending.append(
+                _PendingCompile(
+                    key, now_us, self._compile_cost[(key, batch)], [], batch
+                )
+            )
 
     def _coldest_evictable(
         self, challenger: ExactKey, now_us: float
@@ -346,7 +444,11 @@ class SpecializationManager:
         candidates = [
             k
             for k in self._resident
-            if self._ready_at.get(k) is not None and self._ready_at[k] <= now_us
+            if all(
+                self._ready_at.get((k, b)) is not None
+                and self._ready_at[(k, b)] <= now_us
+                for b in self._variant_batches(k)
+            )
         ]
         if not candidates:
             return None
@@ -362,7 +464,12 @@ class SpecializationManager:
 
     def _evict(self, key: ExactKey, now_us: float, by: ExactKey) -> None:
         self._resident.discard(key)
-        self._ready_at.pop(key, None)
+        # Every variant the shape may ever have had loses routability
+        # with the slot — a re-trigger recompiles (and recharges) both.
+        # Popped unconditionally (not via _variant_batches) so no stale
+        # ready-time can survive under any probe ordering.
+        for batch in (1, self.batch_cap):
+            self._ready_at.pop((key, batch), None)
         # Re-arm: the evicted shape's hit count still sits past the
         # threshold, so its next observation retries the trigger.
         self._triggered.discard(key)
@@ -371,18 +478,37 @@ class SpecializationManager:
         )
 
     # ---------------------------------------------------------------- compile
-    def _ensure_compiled(self, key: ExactKey) -> None:
-        if key in self._executables:
-            return
+    def _ensure_compiled(self, key: ExactKey, batch: int = 1) -> bool:
+        """Materialize the (shape, batch) artifact; returns False when
+        the batched rewrite is unsupported for this shape (member-wise
+        builds always succeed). The probe result is memoised per shape —
+        batchability depends on the bound dims, not just the module."""
+        variant: VariantKey = (key, batch)
+        if variant in self._executables:
+            return True
+        if batch > 1 and key in self._unbatchable:
+            return False
         binding = dict(zip(self.bucketer.tokens, key))
-        exe, _ = nimble.specialize(
-            self.mod,
-            self.platform,
-            binding=binding,
-            kernel_cache=self.kernel_cache,
-            entry=self.entry,
-        )
-        self._executables[key] = exe
+        try:
+            exe, _ = nimble.specialize(
+                self.mod,
+                self.platform,
+                binding=binding,
+                kernel_cache=self.kernel_cache,
+                entry=self.entry,
+                batch=batch,
+            )
+        except NimbleError:
+            # Member-wise compiles must succeed — those errors propagate.
+            # A *batched* compile failing for any reason (unsupported
+            # structure, a rewrite gap surfacing as a type error) means
+            # this shape is served member-wise only; one exotic shape
+            # must never take down the whole simulation.
+            if batch <= 1:
+                raise
+            self._unbatchable.add(key)
+            return False
+        self._executables[variant] = exe
         if self.compile_us is not None:
             cost = float(self.compile_us)
         else:
@@ -391,4 +517,5 @@ class SpecializationManager:
                 + calibration.SPECIALIZE_PER_KERNEL_US[self.platform.name]
                 * len(exe.kernels)
             )
-        self._compile_cost[key] = cost
+        self._compile_cost[variant] = cost
+        return True

@@ -8,29 +8,40 @@ finish time, and ``VirtualClock.advance_to`` fast-forwards over idle gaps
 to the next dispatch.
 
 With tiered specialization enabled a worker additionally keeps one VM per
-specialized (static-shape) executable, all sharing this worker's context,
-so a batch routed to the static tier runs on the same clock/allocator and
-its latency lands in the same report. Specialized VMs pool their profile
-into ``specialized_profile`` — the report splits kernel/shape-func time
-by tier from it. The VM cache keys by specialization marker and is
-dropped on :meth:`reset`, so an executable evicted from the
-specialization manager's cache is not pinned alive by a stale VM across
-replays.
+specialized executable *variant* — keyed by (specialized shapes, batch
+granularity), so a member-wise build and a batch-specialized build of the
+same shape, or two batch caps of the same shape, never share a stale VM —
+all sharing this worker's context, so a batch routed to a static tier
+runs on the same clock/allocator and its latency lands in the same
+report. Member-wise specialized VMs pool their profile into
+``specialized_profile`` and batch-specialized VMs into
+``batched_profile`` — the report splits kernel/shape-func time by tier
+from them. The VM cache is dropped on :meth:`reset`, so an executable
+evicted from the specialization manager's cache is not pinned alive by a
+stale VM across replays.
 
 Batch members run back-to-back with ``sync=False`` and one device
 synchronization at the end, so on GPU-class platforms the host-side
 bytecode/shape-function/allocation work of request *i+1* overlaps the
 device queue of request *i* — the §6.3 overlap, amortized across a batch.
+A batch routed to the *batched* tier collapses further: the members'
+inputs stack along axis 0 into **one** VM call on the batch-specialized
+executable (one batched GEMM per member-wise GEMM site), and the outputs
+split back per member.
 """
 
 from __future__ import annotations
 
 from typing import Dict, List, Optional
 
+import numpy as np
+
+from repro.errors import VMError
 from repro.hardware.platforms import Platform
 from repro.runtime.context import ExecutionContext
 from repro.serve.batcher import Batch
 from repro.serve.request import Response
+from repro.tensor.ndarray import NDArray
 from repro.vm.executable import Executable
 from repro.vm.interpreter import VirtualMachine
 from repro.vm.profiler import VMProfile
@@ -50,6 +61,7 @@ class Worker:
         self.ctx = ExecutionContext(platform, numerics=numerics)
         self.vm = VirtualMachine(executable, self.ctx)
         self.specialized_profile = VMProfile()
+        self.batched_profile = VMProfile()
         self._specialized_vms: Dict[tuple, VirtualMachine] = {}
         self.busy_us = 0.0
         self.batches_run = 0
@@ -70,22 +82,74 @@ class Worker:
         self.ctx.allocator.stats.reset()
         self.vm.profile.reset()
         self.specialized_profile.reset()
+        self.batched_profile.reset()
         self._specialized_vms.clear()
         self.busy_us = 0.0
         self.batches_run = 0
 
     def _specialized_vm(self, executable: Executable) -> VirtualMachine:
-        """One VM per specialized executable, sharing this worker's
-        context and pooling their profile (per-tier accounting). Keyed by
-        the specialization marker — stable across executable-cache
-        eviction, unlike id()."""
-        key = executable.specialized_shapes
+        """One VM per specialized executable variant, sharing this
+        worker's context and pooling their profile by tier (per-tier
+        accounting). Keyed by the (specialization marker, batch
+        granularity) pair — stable across executable-cache eviction,
+        unlike id(), and never aliasing across batch-cap changes: a
+        member shape (4, I) batched 8× and a member shape (8, I) batched
+        4× stack to the same entry signature, so the marker alone would
+        hand one of them a stale VM."""
+        key = (executable.specialized_shapes, executable.specialized_batch)
         vm = self._specialized_vms.get(key)
         if vm is None or vm.exe is not executable:
             vm = VirtualMachine(executable, self.ctx)
-            vm.profile = self.specialized_profile
+            vm.profile = (
+                self.batched_profile
+                if executable.is_batch_specialized
+                else self.specialized_profile
+            )
             self._specialized_vms[key] = vm
         return vm
+
+    @staticmethod
+    def _payload_arrays(payload) -> tuple:
+        return payload if isinstance(payload, tuple) else (payload,)
+
+    @staticmethod
+    def _as_numpy(value) -> np.ndarray:
+        return value.numpy() if isinstance(value, NDArray) else np.asarray(value)
+
+    def _run_stacked(
+        self, vm: VirtualMachine, executable: Executable, batch: Batch
+    ) -> List:
+        """Execute a full bucket as ONE call on the batch-specialized
+        executable: stack every member's inputs along axis 0, run, split
+        the outputs back into per-member results (axis-0 chunks — the
+        exact inverse of the stacking, so member i's output is bit-equal
+        to what the member-wise tiers return)."""
+        cap = executable.specialized_batch or 1
+        if len(batch) != cap:
+            raise VMError(
+                f"batched tier: bucket of {len(batch)} routed to an "
+                f"executable compiled for batch {cap}"
+            )
+        members = [self._payload_arrays(r.payload) for r in batch.requests]
+        arity = len(members[0])
+        stacked = tuple(
+            np.concatenate([self._as_numpy(m[i]) for m in members], axis=0)
+            for i in range(arity)
+        )
+        out = vm.run(*stacked, entry=self.entry, sync=False)
+        return self._split_output(out, cap)
+
+    def _split_output(self, output, cap: int) -> List:
+        """Invert the axis-0 stacking, recursively through tuple results."""
+        if isinstance(output, tuple):
+            per_field = [self._split_output(f, cap) for f in output]
+            return [tuple(field[i] for field in per_field) for i in range(cap)]
+        if not isinstance(output, NDArray):
+            raise VMError(
+                f"batched tier: cannot split a {type(output).__name__} output"
+            )
+        parts = np.split(output.numpy(), cap, axis=0)
+        return [NDArray(p.copy(), output.device) for p in parts]
 
     def run_batch(
         self,
@@ -96,16 +160,20 @@ class Worker:
     ) -> List[Response]:
         """Execute every request of *batch*, completing them together.
 
-        ``executable`` selects the static tier (a specialized build run
-        on this worker's own context/clock)."""
+        ``executable`` selects a static tier (a specialized build run on
+        this worker's own context/clock): member-wise pipelining for
+        ``tier="specialized"``, one stacked call for ``tier="batched"``."""
         clock = self.ctx.clock
         clock.advance_to(start_us)
         vm = self.vm if executable is None else self._specialized_vm(executable)
         begin = clock.elapsed_us
-        outputs = []
-        for req in batch.requests:
-            args = req.payload if isinstance(req.payload, tuple) else (req.payload,)
-            outputs.append(vm.run(*args, entry=self.entry, sync=False))
+        if tier == "batched":
+            outputs = self._run_stacked(vm, executable, batch)
+        else:
+            outputs = []
+            for req in batch.requests:
+                args = self._payload_arrays(req.payload)
+                outputs.append(vm.run(*args, entry=self.entry, sync=False))
         clock.sync_all()
         finish = clock.elapsed_us
         self.busy_us += finish - begin

@@ -64,6 +64,7 @@ class CompilerOptions:
         schedule: Optional[Schedule] = None,
         tuning_trials: int = 96,
         specialized_shapes: Optional[tuple] = None,
+        specialized_batch: Optional[int] = None,
     ) -> None:
         self.tune = tune
         self.num_dispatch_kernels = num_dispatch_kernels
@@ -72,8 +73,13 @@ class CompilerOptions:
         self.tuning_trials = tuning_trials
         # Set by ``nimble.specialize``: the entry shapes this build was
         # statically specialized to (stamped onto the Executable so the
-        # serving tier and serialized artifacts can identify it).
+        # serving tier and serialized artifacts can identify it), plus the
+        # batch granularity when the build stacks that many members per
+        # call. ``specialized_shapes`` stays in *member* terms — the batch
+        # is a separate marker so (member shape, batch) variants never
+        # alias.
         self.specialized_shapes = specialized_shapes
+        self.specialized_batch = specialized_batch
 
 
 class _FnCtx:
@@ -133,6 +139,7 @@ class VMCompiler:
             constants=self._constants,
             kernels=self._kernels,
             specialized_shapes=self.options.specialized_shapes,
+            specialized_batch=self.options.specialized_batch,
         )
 
     # ------------------------------------------------------------- per function

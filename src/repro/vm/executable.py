@@ -25,8 +25,9 @@ from repro.tensor.ndarray import NDArray
 from repro.vm import instruction as ins
 
 MAGIC = b"NMBL"
-# v2 appended the specialization-marker section (tiered compilation).
-VERSION = 2
+# v2 appended the specialization-marker section (tiered compilation);
+# v3 appended the batch-granularity marker (batch-specialized tier).
+VERSION = 3
 
 
 @dataclass
@@ -48,11 +49,21 @@ class Executable:
     # For a statically specialized executable (``nimble.specialize``):
     # the concrete entry-parameter shapes it was compiled for, with None
     # marking dims/params left dynamic. None for a fully dynamic build.
+    # Shapes are in *member* terms even for a batch-specialized build;
+    # ``specialized_batch`` carries how many same-shape members one call
+    # stacks (None / 1 for member-wise builds), so (shape, batch)
+    # variants are distinguishable — a batch-cap change must never alias
+    # an old variant.
     specialized_shapes: Optional[tuple] = None
+    specialized_batch: Optional[int] = None
 
     @property
     def is_specialized(self) -> bool:
         return self.specialized_shapes is not None
+
+    @property
+    def is_batch_specialized(self) -> bool:
+        return self.specialized_batch is not None and self.specialized_batch > 1
 
     # ------------------------------------------------------------- statistics
     @property
@@ -76,6 +87,7 @@ class Executable:
         _write_bytes(out, pickle.dumps(self.kernels))
         _write_bytes(out, self.entry.encode())
         _write_bytes(out, pickle.dumps(self.specialized_shapes))
+        _write_varint(out, self.specialized_batch or 0)
         return out.getvalue()
 
     @staticmethod
@@ -84,7 +96,7 @@ class Executable:
         if buf.read(4) != MAGIC:
             raise SerializationError("bad magic: not a Nimble executable")
         (version,) = struct.unpack("<H", buf.read(2))
-        if version != VERSION:
+        if version not in (2, VERSION):
             raise SerializationError(f"unsupported executable version {version}")
         platform_name = _read_bytes(buf).decode()
         functions, func_index = _deserialize_bytecode(_read_bytes(buf))
@@ -92,9 +104,11 @@ class Executable:
         kernels = pickle.loads(_read_bytes(buf))
         entry = _read_bytes(buf).decode()
         specialized_shapes = pickle.loads(_read_bytes(buf))
+        # v2 artifacts predate the batched tier: member-wise by definition.
+        specialized_batch = _read_varint(buf) if version >= 3 else 0
         return Executable(
             platform_name, functions, func_index, constants, kernels, entry,
-            specialized_shapes,
+            specialized_shapes, specialized_batch or None,
         )
 
     # -- bytecode section -------------------------------------------------------

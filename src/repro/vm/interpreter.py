@@ -343,7 +343,10 @@ class VirtualMachine:
         if instr.kind == "host_scalar":
             self.profile.host_scalar_time_us += invocation.duration_us
         else:
-            self.profile.record_kernel(invocation.duration_us, invocation.impl)
+            self.profile.record_kernel(
+                invocation.duration_us, invocation.impl,
+                getattr(kernel, "name", "?"),
+            )
 
         # Lite numerics: large, data-independent compute kernels skip the
         # NumPy execution — output buffers already have the right shapes

@@ -28,6 +28,10 @@ class VMProfile:
     copy_time_us: float = 0.0
     dispatch_time_us: float = 0.0
     impl_counts: Counter = field(default_factory=Counter)
+    # Invocations per fused-kernel name ("fused_nn.batch_dense+..."):
+    # lets callers count GEMM launches per tier — the batched tier's
+    # acceptance check is one batched GEMM per member-wise GEMM site.
+    kernel_counts: Counter = field(default_factory=Counter)
 
     def record_run(self) -> None:
         self.runs += 1
@@ -36,10 +40,22 @@ class VMProfile:
         self.instruction_counts[opcode_name] += 1
         self.dispatch_time_us += dispatch_us
 
-    def record_kernel(self, duration_us: float, impl: str) -> None:
+    def record_kernel(self, duration_us: float, impl: str, name: str = "?") -> None:
         self.kernel_time_us += duration_us
         self.kernel_invocations += 1
         self.impl_counts[impl] += 1
+        self.kernel_counts[name] += 1
+
+    def gemm_invocations(self, ops=None) -> int:
+        """Kernel launches whose fused group contains a GEMM-class op
+        (defaults to the cost model's authoritative GEMM_OPS set)."""
+        if ops is None:
+            from repro.codegen.workload import GEMM_OPS as ops
+        return sum(
+            count
+            for name, count in self.kernel_counts.items()
+            if any(op in name for op in ops)
+        )
 
     def record_shape_func(self, duration_us: float) -> None:
         self.shape_func_time_us += duration_us
@@ -52,6 +68,7 @@ class VMProfile:
     def merge(self, other: "VMProfile") -> None:
         self.runs += other.runs
         self.instruction_counts.update(other.instruction_counts)
+        self.kernel_counts.update(other.kernel_counts)
         self.kernel_time_us += other.kernel_time_us
         self.kernel_invocations += other.kernel_invocations
         self.shape_func_time_us += other.shape_func_time_us
@@ -66,6 +83,7 @@ class VMProfile:
         self.runs = 0
         self.instruction_counts.clear()
         self.impl_counts.clear()
+        self.kernel_counts.clear()
         self.kernel_time_us = 0.0
         self.kernel_invocations = 0
         self.shape_func_time_us = 0.0

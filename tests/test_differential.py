@@ -1,0 +1,206 @@
+"""Cross-tier differential fuzzing.
+
+Three coexisting execution tiers must be *bit-identical* on the same
+input: the dynamic VM (shape functions + symbolic kernels), the
+per-member specialized executable (static recompilation of one exact
+shape), and the batch-specialized executable (a full bucket stacked into
+one call, one batched GEMM per member-wise GEMM site). Hypothesis drives
+random sequence lengths, batch sizes, and payloads through the LSTM and
+BERT entries; every discrepancy — numeric, shape, or a leaked buffer —
+is a routing bug the serving layer would silently ship.
+
+Executables are memoised per (model, shape, batch) across examples and
+share one KernelCache per model, so the fuzz budget is spent running
+tensors, not recompiling the same module.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import repro.nimble as nimble
+from repro.codegen.kernels import KernelCache
+from repro.hardware import intel_cpu
+from repro.models.bert import BertConfig, BertWeights, build_bert_module
+from repro.models.lstm import LSTMWeights, build_lstm_module
+from repro.runtime.context import ExecutionContext
+from repro.vm.interpreter import VirtualMachine
+
+MAX_LEN = 8
+BATCHES = (2, 3, 4)
+
+
+class _TierCache:
+    """Per-model executables + VMs, compiled once and reused across
+    examples. All tiers share one KernelCache — exactly the serving
+    layer's configuration."""
+
+    def __init__(self, mod, input_dim):
+        self.mod = mod
+        self.input_dim = input_dim
+        self.platform = intel_cpu()
+        self.kernel_cache = KernelCache()
+        self._vms = {}
+
+    def _vm(self, key, build):
+        found = self._vms.get(key)
+        if found is None:
+            exe = build()
+            ctx = ExecutionContext(self.platform, numerics="full")
+            found = VirtualMachine(exe, ctx)
+            self._vms[key] = found
+        return found
+
+    def dynamic(self) -> VirtualMachine:
+        return self._vm(
+            "dyn",
+            lambda: nimble.build(
+                self.mod, self.platform, kernel_cache=self.kernel_cache
+            )[0],
+        )
+
+    def member(self, length) -> VirtualMachine:
+        return self._vm(
+            ("member", length),
+            lambda: nimble.specialize(
+                self.mod,
+                self.platform,
+                shapes=[(length, self.input_dim)],
+                kernel_cache=self.kernel_cache,
+            )[0],
+        )
+
+    def batched(self, length, batch) -> VirtualMachine:
+        return self._vm(
+            ("batched", length, batch),
+            lambda: nimble.specialize(
+                self.mod,
+                self.platform,
+                shapes=[(length, self.input_dim)],
+                kernel_cache=self.kernel_cache,
+                batch=batch,
+            )[0],
+        )
+
+
+def _lstm_cache():
+    weights = LSTMWeights.create(input_size=4, hidden_size=8, seed=0)
+    return _TierCache(build_lstm_module(weights), 4)
+
+
+def _bert_cache():
+    config = BertConfig(hidden=16, num_layers=1, num_heads=2, ffn=32)
+    weights = BertWeights.create(config, seed=0)
+    return _TierCache(build_bert_module(weights), 16)
+
+
+_CACHES = {}
+
+
+def _cache(model) -> _TierCache:
+    if model not in _CACHES:
+        _CACHES[model] = {"lstm": _lstm_cache, "bert": _bert_cache}[model]()
+    return _CACHES[model]
+
+
+def _run_drained(vm: VirtualMachine, *inputs):
+    """One inference, then the allocator must be back to zero live bytes
+    — a tier that leaks buffers corrupts every later tier sharing the
+    worker's pool."""
+    out = vm.run(*inputs)
+    assert vm.ctx.allocator.live_bytes == 0, (
+        f"allocator holds {vm.ctx.allocator.live_bytes} live bytes after a run"
+    )
+    return out.numpy()
+
+
+def _differential_case(model: str, length: int, batch: int, seed: int):
+    cache = _cache(model)
+    rng = np.random.RandomState(seed)
+    members = [
+        (rng.randn(length, cache.input_dim) * 0.2).astype(np.float32)
+        for _ in range(batch)
+    ]
+
+    outs_dynamic = [_run_drained(cache.dynamic(), x) for x in members]
+    outs_member = [_run_drained(cache.member(length), x) for x in members]
+    stacked = _run_drained(
+        cache.batched(length, batch), np.concatenate(members, axis=0)
+    )
+    outs_batched = np.split(stacked, batch, axis=0)
+
+    for i, (d, m, b) in enumerate(zip(outs_dynamic, outs_member, outs_batched)):
+        assert d.shape == m.shape == b.shape, f"member {i}: shape drift"
+        assert np.array_equal(d, m), f"member {i}: member tier diverged"
+        assert np.array_equal(d, b), (
+            f"member {i}: batched tier diverged "
+            f"(max abs err {np.abs(d - b).max()})"
+        )
+
+
+class TestDifferential:
+    @given(
+        length=st.integers(1, MAX_LEN),
+        batch=st.sampled_from(BATCHES),
+        seed=st.integers(0, 2**16 - 1),
+    )
+    @settings(max_examples=100, deadline=None, derandomize=True)
+    def test_lstm_three_tiers_bit_identical(self, length, batch, seed):
+        _differential_case("lstm", length, batch, seed)
+
+    @given(
+        length=st.integers(1, MAX_LEN),
+        batch=st.sampled_from(BATCHES),
+        seed=st.integers(0, 2**16 - 1),
+    )
+    @settings(max_examples=100, deadline=None, derandomize=True)
+    def test_bert_three_tiers_bit_identical(self, length, batch, seed):
+        _differential_case("bert", length, batch, seed)
+
+    def test_batched_tier_counts_one_gemm_per_site(self):
+        """The whole point of the batched tier: a batch-of-B bucket pays
+        the GEMM launch count of ONE member run, not B of them."""
+        cache = _cache("bert")
+        length, batch = 5, 4
+        rng = np.random.RandomState(7)
+        members = [
+            (rng.randn(length, cache.input_dim) * 0.2).astype(np.float32)
+            for _ in range(batch)
+        ]
+        vm_m = cache.member(length)
+        vm_b = cache.batched(length, batch)
+        vm_m.profile.reset()
+        vm_b.profile.reset()
+        for x in members:
+            _run_drained(vm_m, x)
+        _run_drained(vm_b, np.concatenate(members, axis=0))
+        member_total = vm_m.profile.gemm_invocations()
+        batched_total = vm_b.profile.gemm_invocations()
+        assert batched_total > 0
+        assert member_total == batch * batched_total
+        assert vm_b.profile.runs == 1
+
+    def test_batched_output_splits_to_member_shapes(self):
+        """Axis-0 splitting must reproduce exactly the member output
+        shape for both models (LSTM returns (1, H) per member, BERT
+        (L, H))."""
+        for model, length, batch in (("lstm", 3, 2), ("bert", 6, 3)):
+            cache = _cache(model)
+            rng = np.random.RandomState(1)
+            members = [
+                (rng.randn(length, cache.input_dim) * 0.2).astype(np.float32)
+                for _ in range(batch)
+            ]
+            member_out = _run_drained(cache.member(length), members[0])
+            stacked = _run_drained(
+                cache.batched(length, batch), np.concatenate(members, axis=0)
+            )
+            parts = np.split(stacked, batch, axis=0)
+            assert all(p.shape == member_out.shape for p in parts)
+
+
+if __name__ == "__main__":
+    import sys
+
+    sys.exit(pytest.main([__file__, "-q"]))

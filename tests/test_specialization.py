@@ -10,7 +10,7 @@ from hypothesis import strategies as st
 import repro.nimble as nimble
 from repro.codegen.kernels import KernelCache, prim_signature
 from repro.core.typing import collect_shape_bindings, infer_types
-from repro.core.typing.bind import bind_any_dims
+from repro.core.typing.bind import batch_type, bind_any_dims
 from repro.errors import CompilerError, TypeInferenceError
 from repro.hardware import intel_cpu, nvidia_gpu
 from repro.ir import Any, Function, IRModule, TensorType, Var, const
@@ -23,14 +23,17 @@ from repro.models.tree_lstm import (
     tree_to_adt,
 )
 from repro.ops import api
-from repro.passes import SpecializeShapes
+from repro.passes import BatchSpecializeError, SpecializeBatch, SpecializeShapes
 from repro.runtime.context import ExecutionContext
 from repro.serve import (
+    Batcher,
     InferenceServer,
     Request,
     ServeConfig,
     ShapeBucketer,
     SpecializationManager,
+    Worker,
+    long_tailed_traffic,
     lstm_traffic,
 )
 from repro.vm.executable import Executable
@@ -803,3 +806,582 @@ class TestTieredServing:
         b = server.simulate(requests)
         assert a.latencies_us == b.latencies_us
         assert a.specialized_hits == b.specialized_hits
+
+
+# ---------------------------------------------------------------------------
+# Batch-granularity specialization: the SpecializeBatch pass, batched
+# executables, the (shape, batch)-variant cache, and the batched tier
+# ---------------------------------------------------------------------------
+
+
+class TestBatchType:
+    def test_stacks_leading_dim_and_shares_scalars(self):
+        ty = TupleType([TensorType((5, 8)), TensorType((), "int64")])
+        out = batch_type(ty, 4)
+        assert out.fields[0].shape == (20, 8)
+        assert out.fields[1] is ty.fields[1]  # rank-0: shared, untouched
+
+    def test_rejects_dynamic_leading_dim(self):
+        with pytest.raises(TypeInferenceError, match="dynamic leading dim"):
+            batch_type(TensorType((Any(), 8)), 2)
+
+
+class TestSpecializeBatchPass:
+    @staticmethod
+    def _golden(name):
+        import pathlib
+
+        path = pathlib.Path(__file__).parent / "golden" / f"{name}.txt"
+        return path.read_text()
+
+    @staticmethod
+    def _batched_module(family):
+        if family == "lstm_batch":
+            mod = build_lstm_module(
+                LSTMWeights.create(input_size=8, hidden_size=4, num_layers=1, seed=0)
+            )
+            return SpecializeBatch(2)(SpecializeShapes(shapes=[(6, 8)])(mod))
+        mod = build_bert_module(
+            BertWeights.create(
+                BertConfig(hidden=8, num_layers=1, num_heads=2, ffn=16), seed=0
+            )
+        )
+        return SpecializeBatch(3)(SpecializeShapes(shapes=[(5, 8)])(mod))
+
+    @pytest.mark.parametrize("family", ["lstm_batch", "bert_batch"])
+    def test_batched_module_matches_golden(self, family):
+        """The batch-rewritten module is stable text: static storage
+        sizes, no shape functions, stacked entry signature, one
+        nn.batch_dense per member-wise GEMM site."""
+        from repro.ir import pretty_module
+
+        text = pretty_module(self._batched_module(family)) + "\n"
+        assert text == self._golden(family)
+        assert "nn.batch_dense" in text
+        assert "vm.shape_of" not in text
+        assert "?" not in text  # every dim is static
+
+    @pytest.mark.parametrize("family", ["lstm_batch", "bert_batch"])
+    def test_batched_golden_signature_reparses(self, family):
+        from repro.ir import module_signature, parse_module_signature
+
+        mod = self._batched_module(family)
+        parsed = parse_module_signature(self._golden(family))
+        assert parsed == module_signature(mod)
+        assert "main" in parsed
+
+    def test_entry_signature_is_stacked(self):
+        mod = self._batched_module("lstm_batch")
+        typed = infer_types(mod)
+        # member (6, 8) stacked 2x; member state (1, 4) stacked to (2, 4).
+        assert typed["main"].params[0].checked_type == TensorType((12, 8), "float32")
+        assert typed["main"].body.checked_type == TensorType((2, 4), "float32")
+
+    def test_batch_one_is_identity(self):
+        mod = SpecializeShapes(shapes=[(6, 8)])(_dyn_mlp_module())
+        assert SpecializeBatch(1)(mod) is mod
+
+    def test_requires_static_entry(self):
+        with pytest.raises(BatchSpecializeError, match="fully static"):
+            SpecializeBatch(2)(_dyn_mlp_module())
+
+    def test_rejects_adt_entry(self):
+        mod = build_tree_lstm_module(TreeLSTMWeights.create(16, 8, seed=0))
+        with pytest.raises(BatchSpecializeError):
+            SpecializeBatch(2)(mod)
+
+    def test_rejects_unsupported_op(self):
+        x = Var("x", TensorType((Any(), 8), "float32"))
+        mod = IRModule.from_expr(Function([x], api.expand_dims(api.relu(x), 0)))
+        spec = SpecializeShapes(shapes=[(4, 8)])(mod)
+        with pytest.raises(BatchSpecializeError, match="expand_dims"):
+            SpecializeBatch(2)(spec)
+
+    def test_marker_and_save_load_round_trip(self):
+        """specialized_shapes stays in member terms; the batch lives in a
+        separate marker that survives serialization (v3)."""
+        mod = _dyn_mlp_module()
+        exe, _ = nimble.specialize(mod, intel_cpu(), shapes=[(8, 8)], batch=4)
+        assert exe.specialized_shapes == ((8, 8),)
+        assert exe.specialized_batch == 4
+        assert exe.is_batch_specialized
+        loaded = Executable.load(exe.save())
+        assert loaded.specialized_shapes == ((8, 8),)
+        assert loaded.specialized_batch == 4
+        x = np.random.RandomState(0).randn(32, 8).astype(np.float32)
+        ctx_a = ExecutionContext(intel_cpu(), numerics="full")
+        ctx_b = ExecutionContext(intel_cpu(), numerics="full")
+        out_a = VirtualMachine(exe, ctx_a).run(x)
+        out_b = VirtualMachine(loaded, ctx_b).run(x)
+        assert np.array_equal(out_a.numpy(), out_b.numpy())
+
+    def test_member_build_is_unmarked(self):
+        exe, _ = nimble.specialize(_dyn_mlp_module(), intel_cpu(), shapes=[(8, 8)])
+        assert exe.specialized_batch is None
+        assert not exe.is_batch_specialized
+        assert Executable.load(exe.save()).specialized_batch is None
+
+
+class TestWorkerBatchVariantVMs:
+    def test_vm_cache_keys_include_the_batch_variant(self):
+        """Regression: member (4, 8) batched 8x and member (8, 8) batched
+        4x stack to the SAME entry signature (32, 8), so a VM cache keyed
+        on specialized_shapes alone would reuse a stale VM across a
+        batch-cap change — splitting outputs at the wrong granularity."""
+        mod = _dyn_mlp_module()
+        cache = KernelCache()
+        dyn, _ = nimble.build(mod, intel_cpu(), kernel_cache=cache)
+        a, _ = nimble.specialize(
+            mod, intel_cpu(), shapes=[(4, 8)], kernel_cache=cache, batch=8
+        )
+        b, _ = nimble.specialize(
+            mod, intel_cpu(), shapes=[(8, 8)], kernel_cache=cache, batch=4
+        )
+        worker = Worker(0, dyn, intel_cpu())
+        vm_a = worker._specialized_vm(a)
+        vm_b = worker._specialized_vm(b)
+        assert vm_a is not vm_b
+        assert worker._specialized_vm(a) is vm_a  # stable across lookups
+        # Batched VMs pool into the batched profile, member VMs into the
+        # specialized profile.
+        member, _ = nimble.specialize(
+            mod, intel_cpu(), shapes=[(4, 8)], kernel_cache=cache
+        )
+        assert vm_a.profile is worker.batched_profile
+        assert worker._specialized_vm(member).profile is worker.specialized_profile
+
+
+class TestBatcherCaps:
+    @staticmethod
+    def _batcher(cap_fn, max_batch_size=8):
+        x = Var("x", TensorType((Any(), 8), "float32"))
+        typed = infer_types(IRModule.from_expr(Function([x], api.relu(x))))
+        bucketer = ShapeBucketer(typed["main"], granularity=8)
+        return Batcher(
+            bucketer, max_batch_size=max_batch_size, max_delay_us=1e6,
+            cap_fn=cap_fn,
+        )
+
+    @staticmethod
+    def _request(rid, rows):
+        return Request(
+            rid=rid, arrival_us=float(rid),
+            payload=np.zeros((rows, 8), np.float32),
+        )
+
+    def test_bucket_flushes_at_its_cap(self):
+        batcher = self._batcher(cap_fn=lambda key: 3)
+        batches = [
+            batcher.add(self._request(i, 5), float(i)) for i in range(7)
+        ]
+        formed = [b for b in batches if b is not None]
+        assert [len(b) for b in formed] == [3, 3]
+        assert batcher.pending == 1
+
+    def test_cap_clamps_to_max_batch_size(self):
+        batcher = self._batcher(cap_fn=lambda key: 99, max_batch_size=2)
+        assert batcher.bucket_cap((8,)) == 2
+
+    def test_nonpositive_cap_rejected(self):
+        batcher = self._batcher(cap_fn=lambda key: 0)
+        with pytest.raises(ValueError, match="cap"):
+            batcher.add(self._request(0, 5), 0.0)
+
+    def test_server_never_forms_hot_bucket_past_the_compiled_cap(self):
+        """End to end: with the batched tier on, every exact (hot) bucket
+        flushes at exactly the compiled batch size or smaller — a bucket
+        larger than the kernel compiled for it could never execute."""
+        weights = LSTMWeights.create(8, 16, seed=0)
+        mod = build_lstm_module(weights)
+        config = ServeConfig(
+            max_batch_size=8, max_delay_us=3000.0, num_workers=2,
+            specialize=True, specialize_threshold=2,
+            specialize_compile_us=300.0, specialize_batch=True,
+            specialize_batch_cap=3,
+        )
+        server = InferenceServer(mod, intel_cpu(), config)
+        requests = long_tailed_traffic(
+            72, input_size=8, mean_interarrival_us=150.0,
+            hot_lengths=(7,), hot_fraction=0.8, tail_min=3, tail_max=16,
+            seed=0,
+        )
+        report = server.simulate(requests)
+        assert report.batched_hits > 0
+        for r in report.responses:
+            if r.bucket_key and r.bucket_key[0] == -1:
+                assert r.batch_size <= 3
+            if r.tier == "batched":
+                assert r.batch_size == 3
+
+
+def _batched_lstm_server(lanes=1, cache=4, kernel_cache=None, **overrides):
+    weights = LSTMWeights.create(8, 16, seed=0)
+    mod = build_lstm_module(weights)
+    params = dict(
+        max_batch_size=4,
+        max_delay_us=1500.0,
+        num_workers=2,
+        specialize=True,
+        specialize_threshold=2,
+        specialize_max_executables=cache,
+        specialize_compile_us=500.0,
+        specialize_compile_lanes=lanes,
+        specialize_decay_half_life_us=3_000.0,
+        specialize_batch=True,
+    )
+    params.update(overrides)
+    return InferenceServer(
+        mod, intel_cpu(), ServeConfig(**params), kernel_cache=kernel_cache
+    )
+
+
+def _hot_heavy_trace(n=72, seed=0):
+    return long_tailed_traffic(
+        n, input_size=8, mean_interarrival_us=150.0,
+        hot_lengths=(7, 11), hot_fraction=0.8, tail_min=3, tail_max=16,
+        seed=seed,
+    )
+
+
+# Shared kernels across the batched-serving tests (same module everywhere).
+_BATCH_TEST_KERNELS = KernelCache()
+
+
+class TestBatchedManagerVariants:
+    def test_trigger_compiles_both_variants_deterministically(self):
+        mgr = _mlp_manager(threshold=1, batch_cap=4)
+        mgr.observe((16,), 0.0)
+        mgr.drain()
+        assert [(e.key, e.batch) for e in mgr.events] == [((16,), 1), ((16,), 4)]
+        # Member variant binds the lane first (it also serves ragged
+        # tails); both charged separately.
+        assert mgr.compile_us_spent == pytest.approx(200.0)
+        assert mgr.num_executables == 1   # one shape...
+        assert mgr.num_variants == 2      # ...two artifacts
+        ready = mgr.events[-1].ready_us
+        assert mgr.is_hot((16,), ready)
+        assert mgr.is_batched_hot((16,), ready)
+        member = mgr.executable_for((16,), ready)
+        batched = mgr.batched_executable_for((16,), ready)
+        assert member is not None and member.specialized_batch is None
+        assert batched is not None and batched.specialized_batch == 4
+
+    def test_member_routable_before_batched_lands(self):
+        mgr = _mlp_manager(threshold=1, batch_cap=4)
+        mgr.observe((16,), 0.0)
+        mgr.drain()
+        member_ready = mgr.events[0].ready_us
+        assert mgr.is_hot((16,), member_ready)
+        assert not mgr.is_batched_hot((16,), member_ready)
+        assert mgr.batched_executable_for((16,), member_ready) is None
+        assert mgr.executable_for((16,), member_ready) is not None
+
+    def test_variants_evict_together_and_rearm(self):
+        mgr = _mlp_manager(
+            threshold=1, max_executables=1, batch_cap=2,
+            decay_half_life_us=1000.0,
+        )
+        mgr.observe((8,), 0.0)
+        mgr.drain()
+        assert mgr.is_batched_hot((8,), 1e5)
+        for t in (5000.0, 5010.0, 5020.0):
+            mgr.observe((16,), t)  # hotter after A decays: evicts A
+        assert [e.key for e in mgr.evictions] == [(8,)]
+        assert not mgr.is_hot((8,), 1e9)
+        assert not mgr.is_batched_hot((8,), 1e9)
+        # Re-arm: A's next hit re-triggers BOTH variants (artifacts are
+        # memoised, compile cost recharged per variant).
+        mgr.observe((8,), 50_000.0)
+        mgr.drain()
+        a_events = [(e.key, e.batch) for e in mgr.events if e.key == (8,)]
+        assert a_events == [((8,), 1), ((8,), 2), ((8,), 1), ((8,), 2)]
+        assert mgr.num_variants == 4  # two shapes x two variants, memoised
+
+    def test_unbatchable_module_falls_back_member_wise(self):
+        x = Var("x", TensorType((Any(), 8), "float32"))
+        mod = IRModule.from_expr(Function([x], api.expand_dims(api.relu(x), 0)))
+        typed = infer_types(mod)
+        bucketer = ShapeBucketer(typed["main"], granularity=8)
+        mgr = SpecializationManager(
+            mod, intel_cpu(), bucketer, KernelCache(), threshold=1,
+            compile_us=100.0, batch_cap=4,
+        )
+        mgr.observe((16,), 0.0)
+        mgr.drain()
+        assert [(e.key, e.batch) for e in mgr.events] == [((16,), 1)]
+        assert mgr.is_hot((16,), 200.0)
+        assert not mgr.is_batched_hot((16,), 1e9)
+        # The probe is memoised: the next shape skips the batched attempt.
+        mgr.observe((24,), 1000.0)
+        mgr.drain()
+        assert [(e.key, e.batch) for e in mgr.events][-1] == ((24,), 1)
+
+
+class TestBatchedServing:
+    def test_full_hot_buckets_route_batched_as_one_vm_call(self):
+        server = _batched_lstm_server(kernel_cache=_BATCH_TEST_KERNELS)
+        report = server.simulate(_hot_heavy_trace())
+        assert report.batched_hits > 0
+        assert 0.0 < report.batched_hit_rate <= report.specialized_hit_rate
+        # One VM run per batched bucket — the whole point of the tier.
+        batched_batches = {
+            (r.worker_id, r.dispatch_us)
+            for r in report.responses
+            if r.tier == "batched"
+        }
+        assert report.profile_batched.runs == len(batched_batches)
+        assert all(
+            r.batch_size == server.config.batch_cap
+            for r in report.responses
+            if r.tier == "batched"
+        )
+        # Static tiers pay zero shape functions; the dynamic tier pays.
+        assert report.profile_batched.shape_func_time_us == 0.0
+        assert report.profile_specialized.shape_func_time_us == 0.0
+        assert report.profile_batched.gemm_invocations() > 0
+        tiers = {r.tier for r in report.responses}
+        assert "batched" in tiers and "dynamic" in tiers
+        text = report.format("batched")
+        assert "batched" in text
+
+    def test_outputs_identical_to_untiered_server(self):
+        """The batched tier changes kernel granularity and scheduling,
+        never numerics: every response is bit-identical with the plain
+        dynamic server's."""
+        weights = LSTMWeights.create(8, 16, seed=0)
+        mod = build_lstm_module(weights)
+        requests = _hot_heavy_trace(60, seed=3)
+        tiered = InferenceServer(
+            mod, intel_cpu(),
+            ServeConfig(max_batch_size=4, max_delay_us=1500.0, num_workers=2,
+                        numerics="full", specialize=True,
+                        specialize_threshold=2, specialize_compile_us=300.0,
+                        specialize_batch=True),
+        )
+        plain = InferenceServer(
+            mod, intel_cpu(),
+            ServeConfig(max_batch_size=4, max_delay_us=1500.0, num_workers=2,
+                        numerics="full"),
+        )
+        a = tiered.simulate(requests)
+        b = plain.simulate(requests)
+        assert a.batched_hits > 0
+        for ra, rb in zip(a.responses, b.responses):
+            assert ra.rid == rb.rid
+            assert np.array_equal(ra.output.numpy(), rb.output.numpy())
+
+    @pytest.mark.parametrize("lanes", [1, 2, 4])
+    def test_replay_identity_per_lane_count_with_batch_variants(self, lanes):
+        """Traces that trigger batch-specialized compiles (and evict
+        batch-variant executables) replay bit-identically at every lane
+        count — the variant queue, lane binding, eviction, and routing
+        are all pure functions of the trace."""
+        server = _batched_lstm_server(
+            lanes=lanes, cache=2, kernel_cache=_BATCH_TEST_KERNELS
+        )
+        requests = _hot_heavy_trace(96, seed=1)
+        a = server.simulate(requests)
+        b = server.simulate(requests)
+        assert a.batched_hits == b.batched_hits > 0
+        assert a.specialize_evictions == b.specialize_evictions > 0
+        assert any(e.batch > 1 for e in server.specializer.events)
+        assert a.latencies_us == b.latencies_us
+        assert [r.tier for r in a.responses] == [r.tier for r in b.responses]
+        assert [
+            (r.rid, r.worker_id, r.bucket_key, r.batch_size)
+            for r in a.responses
+        ] == [
+            (r.rid, r.worker_id, r.bucket_key, r.batch_size)
+            for r in b.responses
+        ]
+        assert a.specialize_queue_waits_us == b.specialize_queue_waits_us
+        assert a.specialize_lane_busy_us == b.specialize_lane_busy_us
+        assert len(a.specialize_lane_busy_us) == lanes
+
+    def test_batched_tier_off_keeps_member_routing(self):
+        """specialize_batch=False reproduces the PR 2/3 behaviour: no
+        batched responses, no batch-variant compiles."""
+        server = _batched_lstm_server(
+            kernel_cache=_BATCH_TEST_KERNELS, specialize_batch=False
+        )
+        report = server.simulate(_hot_heavy_trace())
+        assert report.batched_hits == 0
+        assert all(e.batch == 1 for e in server.specializer.events)
+        assert report.specialized_hit_rate > 0
+
+
+class TestBatchRewriteSafety:
+    """Fallback paths of the batch rewrite: anything it cannot express
+    must surface as BatchSpecializeError (so the serving layer degrades
+    member-wise) — never as silent wrong numerics, an ill-typed module,
+    or a simulation-killing exception."""
+
+    def test_rejects_rank0_entry_param(self):
+        """A rank-0 entry param carries per-member data with no axis to
+        stack along; treating it as shared would feed member 0's scalar
+        to every member."""
+        x = Var("x", TensorType((Any(), 8), "float32"))
+        s = Var("s", TensorType((), "float32"))
+        mod = IRModule.from_expr(Function([x, s], api.multiply(x, s)))
+        spec = SpecializeShapes(shapes=[(4, 8), ()])(mod)
+        with pytest.raises(BatchSpecializeError, match="rank-0"):
+            SpecializeBatch(2)(spec)
+
+    def test_refuses_broadcast_up_along_stacked_axis(self):
+        """A shared operand whose lead broadcasts the members *up*
+        (shared (4, 8) against member (1, 8)) has no stacked equivalent;
+        tiling it would emit an ill-typed op. It must refuse with
+        BatchSpecializeError, not leak a TypeInferenceError."""
+        x = Var("x", TensorType((Any(), 8), "float32"))
+        c = const(np.ones((4, 8), np.float32))
+        mod = IRModule.from_expr(Function([x], api.add(x, c)))
+        spec = SpecializeShapes(shapes=[(1, 8)])(mod)
+        with pytest.raises(BatchSpecializeError, match="stacked axis"):
+            SpecializeBatch(2)(spec)
+
+    def test_equal_lead_shared_operand_tiles_bit_identically(self):
+        """The legitimate tiling case — shared lead == member lead, no
+        axis-0 broadcast member-wise — still batches, bit-identically."""
+        x = Var("x", TensorType((Any(), 8), "float32"))
+        c = const(
+            (np.random.RandomState(3).randn(4, 8) * 0.1).astype(np.float32)
+        )
+        mod = IRModule.from_expr(Function([x], api.add(x, c)))
+        cache = KernelCache()
+        member, _ = nimble.specialize(
+            mod, intel_cpu(), shapes=[(4, 8)], kernel_cache=cache
+        )
+        batched, _ = nimble.specialize(
+            mod, intel_cpu(), shapes=[(4, 8)], kernel_cache=cache, batch=2
+        )
+        rng = np.random.RandomState(5)
+        xs = [rng.randn(4, 8).astype(np.float32) for _ in range(2)]
+        outs_m = [_run(member, v)[0].numpy() for v in xs]
+        stacked, _, _ = _run(batched, np.concatenate(xs, axis=0))
+        parts = np.split(stacked.numpy(), 2, axis=0)
+        for m, b in zip(outs_m, parts):
+            assert np.array_equal(m, b)
+
+    def test_manager_probe_absorbs_non_batch_rewrite_errors(self, monkeypatch):
+        """Any compile error from the *batched* variant — not just
+        BatchSpecializeError — marks the module unbatchable and keeps
+        serving member-wise; it must never abort the simulation."""
+        mgr = _mlp_manager(threshold=1, batch_cap=4)
+        real = nimble.specialize
+
+        def broken_batched(*args, **kwargs):
+            if kwargs.get("batch", 1) > 1:
+                raise TypeInferenceError("rewrite gap surfacing late")
+            return real(*args, **kwargs)
+
+        monkeypatch.setattr(nimble, "specialize", broken_batched)
+        mgr.observe((16,), 0.0)
+        mgr.drain()
+        assert [(e.key, e.batch) for e in mgr.events] == [((16,), 1)]
+        assert not mgr.batch_tier_active_for((16,))
+        assert mgr.is_hot((16,), 1e9)
+
+    def test_unbatchable_module_keeps_full_member_batches(self):
+        """Once the probe rules the module out, hot buckets must keep the
+        configured max batch size — capping them at the (unreachable)
+        compiled batch size would shrink member-tier batches for
+        nothing."""
+        x = Var("x", TensorType((Any(), 8), "float32"))
+        mod = IRModule.from_expr(Function([x], api.expand_dims(api.relu(x), 0)))
+        config = ServeConfig(
+            max_batch_size=4, max_delay_us=5000.0, num_workers=1,
+            specialize=True, specialize_threshold=2,
+            specialize_compile_us=100.0, specialize_batch=True,
+            specialize_batch_cap=2,
+        )
+        server = InferenceServer(mod, intel_cpu(), config)
+        rng = np.random.RandomState(0)
+        requests = [
+            Request(
+                rid=i, arrival_us=100.0 * (i + 1),
+                payload=rng.randn(7, 8).astype(np.float32),
+            )
+            for i in range(24)
+        ]
+        report = server.simulate(requests)
+        assert not server.specializer.batch_tier_active_for((7,))
+        assert report.batched_hits == 0
+        hot_sizes = {
+            r.batch_size
+            for r in report.responses
+            if r.bucket_key and r.bucket_key[0] == -1
+        }
+        assert max(hot_sizes) == 4  # full member batches, not the dead cap
+
+    def test_rejects_rank0_entry_output(self):
+        """A rank-0 output leaf compiles fine but has no axis for the
+        worker to split back into members — refuse at rewrite time."""
+        from repro.ir import Tuple as IRTuple
+
+        x = Var("x", TensorType((Any(), 8), "float32"))
+        scalar = const(np.float32(2.0))
+        mod = IRModule.from_expr(
+            Function([x], IRTuple([api.relu(x), api.exp(scalar)]))
+        )
+        spec = SpecializeShapes(shapes=[(4, 8)])(mod)
+        with pytest.raises(BatchSpecializeError, match="rank-0"):
+            SpecializeBatch(2)(spec)
+
+    def test_batchability_is_tracked_per_shape(self):
+        """A shape whose batched rewrite fails must not disable the tier
+        for shapes that batch fine — and eviction must leave no stale
+        batched ready-time behind for unbatchable shapes."""
+        x = Var("x", TensorType((Any(), 8), "float32"))
+        c = const(np.ones((4, 8), np.float32))
+        mod = IRModule.from_expr(Function([x], api.add(x, c)))
+        typed = infer_types(mod)
+        bucketer = ShapeBucketer(typed["main"], granularity=8)
+        mgr = SpecializationManager(
+            mod, intel_cpu(), bucketer, KernelCache(), threshold=1,
+            compile_us=100.0, batch_cap=2,
+        )
+        # (1,): member-legal broadcast-up, no stacked equivalent.
+        mgr.observe((1,), 0.0)
+        mgr.drain()
+        assert not mgr.batch_tier_active_for((1,))
+        # (4,): lead matches the constant — batches fine, even after the
+        # other shape's probe failed.
+        mgr.observe((4,), 1000.0)
+        mgr.drain()
+        assert mgr.batch_tier_active_for((4,))
+        batched_ready = [e for e in mgr.events if e.batch == 2]
+        assert [e.key for e in batched_ready] == [(4,)]
+        assert mgr.is_batched_hot((4,), batched_ready[0].ready_us)
+        assert not mgr.is_batched_hot((1,), 1e9)
+
+    def test_serveconfig_rejects_zero_batch_cap(self):
+        config = ServeConfig(
+            specialize=True, specialize_batch=True, specialize_batch_cap=0
+        )
+        with pytest.raises(ValueError, match="specialize_batch_cap"):
+            config.batch_cap
+
+    @pytest.mark.parametrize("index", [-1, -3, 0, 2])
+    def test_axis0_take_wraps_negative_indices_per_member(self, index):
+        """take's negative-index convention wraps within the *member*;
+        the batched offset-gather must normalize before adding member
+        offsets, or member i silently receives another member's row."""
+        x = Var("x", TensorType((Any(), 8), "float32"))
+        row = api.reshape(
+            api.take(x, const(np.int64(index)), axis=0), (1, 8)
+        )
+        mod = IRModule.from_expr(Function([x], api.relu(row)))
+        cache = KernelCache()
+        member, _ = nimble.specialize(
+            mod, intel_cpu(), shapes=[(3, 8)], kernel_cache=cache
+        )
+        batched, _ = nimble.specialize(
+            mod, intel_cpu(), shapes=[(3, 8)], kernel_cache=cache, batch=2
+        )
+        rng = np.random.RandomState(9)
+        xs = [rng.randn(3, 8).astype(np.float32) for _ in range(2)]
+        outs_m = [_run(member, v)[0].numpy() for v in xs]
+        stacked, _, _ = _run(batched, np.concatenate(xs, axis=0))
+        parts = np.split(stacked.numpy(), 2, axis=0)
+        for m, b in zip(outs_m, parts):
+            assert np.array_equal(m, b)
