@@ -16,6 +16,7 @@ Table 4 breakdown.
 from __future__ import annotations
 
 import functools
+import pickle
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -253,12 +254,64 @@ class ShapeFuncKernel:
         return base
 
 
+# Version tag of the kernel-cache export format. Entries are pickled
+# (like the executable's kernel section); bumping this invalidates every
+# persisted cache file instead of risking a misread.
+KERNEL_CACHE_FORMAT = 1
+
+
 class KernelCache:
-    """Structural-hash cache: identical fused groups compile once."""
+    """Structural-hash cache: identical fused groups compile once.
+
+    The cache also persists: :meth:`export_entries` serializes every
+    compiled kernel and shape function (tuned schedules included) to one
+    blob, and :meth:`import_entries` merges such a blob into a live
+    cache — the artifact store uses the pair so a restarted server's
+    *dynamic* build starts with the previous process's tuning work, not
+    just its specialized executables."""
 
     def __init__(self) -> None:
         self._kernels: Dict[tuple, KernelSet] = {}
         self._shape_funcs: Dict[tuple, ShapeFuncKernel] = {}
+
+    # ------------------------------------------------------------ persistence
+    def export_entries(self) -> bytes:
+        """Serialize the cache for the artifact store. Runtime counters
+        (``calls``, ``last_invocation``) travel along but are
+        meaningless across processes; identity lives in the keys
+        (structural hash + shape signature + platform)."""
+        return pickle.dumps(
+            (KERNEL_CACHE_FORMAT, self._kernels, self._shape_funcs)
+        )
+
+    def import_entries(self, blob: bytes) -> int:
+        """Merge an :meth:`export_entries` blob into this cache; returns
+        how many entries were added. Existing entries always win — a
+        live KernelSet may already be referenced by compiled executables,
+        and replacing it under them would fork the profile accounting."""
+        from repro.errors import SerializationError
+
+        try:
+            fmt, kernels, shape_funcs = pickle.loads(blob)
+        except Exception as err:
+            raise SerializationError(
+                f"kernel-cache blob does not deserialize: {err}"
+            ) from err
+        if fmt != KERNEL_CACHE_FORMAT:
+            raise SerializationError(
+                f"kernel-cache format {fmt} is not the supported "
+                f"{KERNEL_CACHE_FORMAT}"
+            )
+        added = 0
+        for key, kernel in kernels.items():
+            if key not in self._kernels:
+                self._kernels[key] = kernel
+                added += 1
+        for key, shape_func in shape_funcs.items():
+            if key not in self._shape_funcs:
+                self._shape_funcs[key] = shape_func
+                added += 1
+        return added
 
     def kernel(self, prim: Function, platform: Platform, spec: DeviceSpec, **kwargs) -> KernelSet:
         key = (structural_hash(prim), prim_signature(prim), platform.name)

@@ -85,3 +85,20 @@ SPECIALIZE_PER_KERNEL_US = {
     "nvidia": 5_000.0,
     "arm": 12_000.0,
 }
+
+# Modeled cost of *restoring* a specialized executable from the on-disk
+# artifact store instead of recompiling it: mmap/read the blob, decode
+# the bytecode, re-materialize kernels from their serialized schedules.
+# Order-of-magnitude from deserializing megabyte-class artifacts —
+# hundreds of microseconds, i.e. ~2 orders of magnitude under the
+# compile charge, which is the entire point of persisting.
+RESTORE_BASE_US = {
+    "intel": 300.0,
+    "nvidia": 350.0,
+    "arm": 900.0,
+}
+RESTORE_PER_KERNEL_US = {
+    "intel": 30.0,
+    "nvidia": 35.0,
+    "arm": 90.0,
+}

@@ -5,6 +5,7 @@ from repro.harness.experiments import (
     compile_pool_study,
     figure3_dispatch,
     memory_planning_study,
+    restart_study,
     serving_study,
     specialization_study,
     table1_lstm,
@@ -25,6 +26,7 @@ __all__ = [
     "serving_study",
     "specialization_study",
     "compile_pool_study",
+    "restart_study",
     "batch_specialization_study",
     "tuning_ablation",
     "format_table",

@@ -7,6 +7,7 @@ disambiguating suffixes when name hints collide.
 
 from __future__ import annotations
 
+import hashlib
 from typing import Dict, List
 
 import numpy as np
@@ -174,6 +175,38 @@ def module_signature(mod) -> Dict[str, str]:
         ret = repr(func.ret_type) if func.ret_type is not None else "?ty"
         out[gv.name_hint] = f"({params}) -> {ret}"
     return out
+
+
+def module_fingerprint(mod) -> str:
+    """A stable cross-process digest of a module's identity, used as the
+    module component of the artifact-store key (``vm.executable
+    .artifact_key``).
+
+    Hashes the full pretty-printed module — ADT definitions, function
+    signatures, bodies — **and every constant's raw bytes**. Weight
+    sensitivity is load-bearing, not incidental: a compiled executable
+    embeds the constants in its pool, so a retrained model (identical
+    architecture, new weights) must MISS the artifact store — a
+    fingerprint that ignored weights would warm-restore executables
+    that silently serve the old model's numerics from the specialized
+    tiers. Reprs and byte orders are process-stable (``Any`` dims print
+    as ``?``, never a token id), so two processes compiling the same
+    model agree on the fingerprint.
+    """
+    from repro.ir.visitor import ExprVisitor
+
+    digest = hashlib.sha256(pretty_module(mod).encode())
+
+    class _ConstantHasher(ExprVisitor):
+        def visit_constant(self, const: Constant) -> None:
+            arr = np.ascontiguousarray(const.data)
+            digest.update(str(arr.dtype).encode())
+            digest.update(arr.tobytes())
+
+    hasher = _ConstantHasher()
+    for func in mod.functions.values():
+        hasher.visit(func)
+    return digest.hexdigest()
 
 
 def _split_top_level(text: str) -> List[str]:

@@ -24,7 +24,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Dict, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.codegen.kernels import KernelCache
 from repro.core.device import DevicePlace, PlacementReport
@@ -32,6 +32,7 @@ from repro.core.memory import ManifestAlloc, MemoryPlan, MemoryPlanReport
 from repro.core.typing import InferType
 from repro.hardware.platforms import Platform, intel_cpu
 from repro.ir.module import IRModule
+from repro.ir.printer import module_fingerprint
 from repro.passes import (
     CommonSubexprElimination,
     DeadCodeElimination,
@@ -51,6 +52,8 @@ from repro.vm.interpreter import VirtualMachine  # re-export for convenience
 __all__ = [
     "build",
     "specialize",
+    "save_artifacts",
+    "load_artifacts",
     "BuildReport",
     "CompilerOptions",
     "VirtualMachine",
@@ -80,9 +83,14 @@ def build(
     options: Optional[CompilerOptions] = None,
     plan_memory: bool = True,
     kernel_cache: Optional[KernelCache] = None,
+    source_signature: Optional[str] = None,
 ) -> Tuple[Executable, BuildReport]:
     """Compile a module for *platform*. ``plan_memory=False`` disables the
-    §4.3 coalescing/kill pass (the memory-planning ablation)."""
+    §4.3 coalescing/kill pass (the memory-planning ablation).
+    ``source_signature`` overrides the artifact-store identity stamped on
+    the executable (fingerprinting hashes every constant's bytes, so
+    callers that already hold the right fingerprint — ``specialize``, the
+    serving manager — pass it instead of paying the hash again)."""
     platform = platform or intel_cpu()
     options = options or CompilerOptions()
 
@@ -114,6 +122,14 @@ def build(
 
     compiler = VMCompiler(platform, options, kernel_cache)
     exe = compiler.compile(lowered)
+    # Stamp the artifact-store identity: which module these bytes were
+    # compiled from. `specialize` passes the *dynamic* source module's
+    # fingerprint so all of one model's shape variants share a module
+    # identity in the store key.
+    exe.source_signature = (
+        source_signature if source_signature is not None
+        else module_fingerprint(mod)
+    )
 
     report = BuildReport(
         pass_timings={"InferType": infer_time, **pipeline.timings},
@@ -138,6 +154,7 @@ def specialize(
     kernel_cache: Optional[KernelCache] = None,
     entry: str = "main",
     batch: int = 1,
+    source_signature: Optional[str] = None,
 ) -> Tuple[Executable, BuildReport]:
     """Compile a static-shape executable for one concrete input shape.
 
@@ -176,7 +193,66 @@ def specialize(
         specialized_shapes=spec_pass.bound_shapes,
         specialized_batch=batch if batch > 1 else None,
     )
+    # The store key's module component must be the *dynamic* source
+    # module — the thing a restarted server still has in hand when it
+    # asks "do I already own a build for this shape?" — not the
+    # specialized module, which only exists after the compile the store
+    # is supposed to skip. Computed here (once) unless the caller
+    # already holds it.
+    if source_signature is None:
+        source_signature = module_fingerprint(mod)
     return build(
         specialized, platform, opts, plan_memory=plan_memory,
-        kernel_cache=kernel_cache,
+        kernel_cache=kernel_cache, source_signature=source_signature,
     )
+
+
+# ---------------------------------------------------------------------------
+# Artifact persistence (the on-disk store, `repro.store`)
+# ---------------------------------------------------------------------------
+
+
+def save_artifacts(
+    artifact_dir,
+    executables: Sequence[Executable],
+    kernel_cache: Optional[KernelCache] = None,
+) -> List[str]:
+    """Persist compiled *executables* (and optionally the shared
+    *kernel_cache*) to the versioned store at *artifact_dir*; returns
+    the content-hash key each executable was filed under.
+
+    The inverse of :func:`load_artifacts`. The serving layer does this
+    automatically (``ServeConfig(artifact_dir=...)``); the free
+    functions cover ahead-of-time deployment — compile a model's known
+    shapes once, ship the directory, start every replica warm.
+    """
+    from repro.store import ArtifactStore
+
+    store = ArtifactStore(artifact_dir)
+    keys = [store.put(exe) for exe in executables]
+    if kernel_cache is not None:
+        store.save_kernel_cache(kernel_cache)
+    return keys
+
+
+def load_artifacts(
+    artifact_dir,
+    kernel_cache: Optional[KernelCache] = None,
+) -> Dict[str, Executable]:
+    """Load every valid artifact in the store at *artifact_dir*, keyed
+    by content hash; corrupt or stale blobs are skipped (see
+    ``ArtifactStore.reject_log``), never raised. When *kernel_cache* is
+    given, the persisted kernel cache merges into it, so subsequent
+    ``build``/``specialize`` calls reuse the stored tuning work.
+    """
+    from repro.store import ArtifactStore
+
+    store = ArtifactStore(artifact_dir)
+    if kernel_cache is not None:
+        store.load_kernel_cache(kernel_cache)
+    out: Dict[str, Executable] = {}
+    for key in store.keys():
+        exe = store.get(key)
+        if exe is not None:
+            out[key] = exe
+    return out

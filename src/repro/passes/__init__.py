@@ -12,11 +12,13 @@ from repro.passes.specialize import (
     BatchSpecializeError,
     SpecializeBatch,
     SpecializeShapes,
+    bound_entry_shapes,
 )
 
 __all__ = [
     "BatchSpecializeError",
     "SpecializeBatch",
+    "bound_entry_shapes",
     "Pass",
     "Sequential",
     "function_pass",

@@ -139,19 +139,41 @@ class _Specializer:
         return pattern
 
 
+def _summarize_shape(ty: Optional[Type]):
+    if isinstance(ty, TensorType):
+        return tuple(None if isinstance(d, Any) else int(d) for d in ty.shape)
+    if isinstance(ty, TupleType):
+        return tuple(_summarize_shape(f) for f in ty.fields)
+    return None
+
+
 def _static_param_shapes(func: Function):
     """Per-param shape summary after binding: a tuple of dims (with None
     for still-dynamic dims) for tensor params, nested tuples for tuple
     params, None for ADT/function params."""
+    return tuple(_summarize_shape(p.type_annotation) for p in func.params)
 
-    def summarize(ty: Optional[Type]):
-        if isinstance(ty, TensorType):
-            return tuple(None if isinstance(d, Any) else int(d) for d in ty.shape)
-        if isinstance(ty, TupleType):
-            return tuple(summarize(f) for f in ty.fields)
-        return None
 
-    return tuple(summarize(p.type_annotation) for p in func.params)
+def bound_entry_shapes(func: Function, binding: Binding):
+    """The ``specialized_shapes`` marker :class:`SpecializeShapes` would
+    stamp for *binding*, computed without running the pass.
+
+    The artifact store keys executables by (module, platform, shape
+    binding, batch); the serving layer must derive that key *before*
+    deciding whether to compile at all — a store hit replaces the whole
+    compile — so this substitutes the binding into the entry's parameter
+    annotations only. It is kept in this module, next to
+    ``_static_param_shapes``, precisely so the two can never drift: a
+    key computed here must match the marker the compiled executable
+    carries."""
+    return tuple(
+        _summarize_shape(
+            bind_any_dims(p.type_annotation, binding)
+            if p.type_annotation is not None
+            else None
+        )
+        for p in func.params
+    )
 
 
 class SpecializeShapes(Pass):
@@ -684,12 +706,38 @@ class SpecializeBatch(Pass):
     parameter of member shape ``(d0, rest...)`` becomes
     ``(batch·d0, rest...)``, holding the axis-0 concatenation of the
     members. GEMMs compile to one ``nn.batch_dense`` / stacked
-    ``nn.batch_matmul`` per site — the batched-GEMM amortization — while
-    outputs stay bit-identical with member-wise execution (the batched
-    kernels' reference numerics run member slices). Raises
-    :class:`BatchSpecializeError` on modules it cannot batch (ADT/control
-    structures over member-dependent data, unsupported layout ops); the
-    serving layer treats that as "member-wise tiers only".
+    ``nn.batch_matmul`` per site — the batched-GEMM amortization.
+
+    **The bit-identity invariant.** The serving layer routes one request
+    stream across three tiers (dynamic / member-specialized /
+    batch-specialized) and promises the tier is unobservable in the
+    outputs, so the rewrite must be bit-exact, not merely numerically
+    close. Two rules enforce that:
+
+    1. *Member-sliced reference numerics.* BLAS GEMM is not row-stable
+       across M — stacking B members into one ``(B·L, K) @ (K, N)`` call
+       can flip last bits vs. B separate ``(L, K)`` calls — so
+       ``nn.batch_dense`` is **priced** as a single batched launch (that
+       is the whole throughput win) while its reference numerics slice
+       the stacked input back into members and run exactly the
+       member-wise computation (see ``ops/nn._batch_dense_compute``).
+       Bit-identity with the member tiers then holds by construction.
+    2. *No cross-member mixing.* Every rewritten op must map member i's
+       rows to member i's rows: row-wise ops apply to the stacked value
+       directly, layout ops that would mix members across the leading
+       axis are lifted over an explicit ``(batch, *member)`` reshape,
+       axis-0 gathers get per-member offset indices (with negative
+       indices normalized *within* the member before offsetting), and
+       scalars stay shared — all members of a batch-specialized bucket
+       have the same exact shape, so shape-derived control flow is
+       member-independent. Anything that cannot satisfy the rule raises
+       rather than approximates.
+
+    Raises :class:`BatchSpecializeError` on modules it cannot batch
+    (ADT/control structures over member-dependent data, unsupported
+    layout ops); the serving layer treats that as "member-wise tiers
+    only". ``tests/test_differential.py`` fuzzes the invariant: all
+    three tiers bitwise-equal over randomized shapes, batches, seeds.
     """
 
     name = "SpecializeBatch"

@@ -28,6 +28,13 @@ buckets cap at the compiled batch size, and a *full* bucket executes as
 one stacked VM call — one batched GEMM per layer instead of per member —
 while ragged tails fall back member-wise, then dynamic. Outputs stay
 bit-identical across all three tiers.
+
+``artifact_dir=...`` makes the tiers survive the process: specialized
+executables and the kernel cache persist to an on-disk
+:class:`~repro.store.ArtifactStore`, and a restarted server *restores*
+its hot-shape artifacts at a modeled deserialize cost instead of
+recompiling (``harness.restart_study`` / ``benchmarks/bench_restart.py``
+measure and assert the warm-start win).
 """
 
 from repro.serve.batcher import Batch, Batcher, ShapeBucketer

@@ -37,6 +37,13 @@ class ServeReport:
     specialize_evictions: int = 0
     # First trigger to last compile-ready: the window the pool was active.
     specialize_pool_span_us: float = 0.0
+    # Artifact-store split: how many variants were restored from disk
+    # vs compiled fresh, the deserialize charge restores cost, and how
+    # many store blobs failed validation and were skipped.
+    specialize_restored: int = 0
+    specialize_fresh_compiles: int = 0
+    specialize_restore_us: float = 0.0
+    store_rejects: int = 0
 
     # ----------------------------------------------------------------- counts
     @property
@@ -231,6 +238,13 @@ class ServeReport:
                         prof.shape_func_time_us,
                     ]
                 )
+            store_note = ""
+            if self.specialize_restored or self.store_rejects:
+                store_note = (
+                    f", {self.specialize_restored} restored from store "
+                    f"({self.specialize_restore_us:.0f} µs deserialize, "
+                    f"{self.store_rejects} reject(s))"
+                )
             sections.append(
                 format_table(
                     f"Tiers — specialized hit rate "
@@ -239,7 +253,8 @@ class ServeReport:
                     f"{self.num_specialized_executables} compiled / "
                     f"{self.num_resident_executables} resident static exe(s), "
                     f"compile {self.specialize_compile_us:.0f} µs, "
-                    f"{self.specialize_evictions} eviction(s)",
+                    f"{self.specialize_evictions} eviction(s)"
+                    f"{store_note}",
                     tier_rows,
                     ["tier", "requests", "p50 µs", "p99 µs", "shape-func µs"],
                 )
@@ -285,10 +300,16 @@ class ServeReport:
 
 
 def build_report(
-    responses: Sequence[Response], workers, specializer=None
+    responses: Sequence[Response],
+    workers,
+    specializer=None,
+    extra_store_rejects: int = 0,
 ) -> ServeReport:
     """Assemble a ServeReport from responses + the worker pool (and the
-    specialization manager, when tiering is enabled)."""
+    specialization manager, when tiering is enabled).
+    ``extra_store_rejects`` folds in store rejects the manager never
+    sees — the server's startup kernel-cache load — so the report's
+    counter covers the whole store surface."""
     profile_dynamic = VMProfile()
     profile_specialized = VMProfile()
     profile_batched = VMProfile()
@@ -329,4 +350,17 @@ def build_report(
             if specializer is not None and specializer.events
             else 0.0
         ),
+        specialize_restored=(
+            specializer.num_restored if specializer is not None else 0
+        ),
+        specialize_fresh_compiles=(
+            specializer.num_fresh_compiles if specializer is not None else 0
+        ),
+        specialize_restore_us=(
+            specializer.restore_us_spent if specializer is not None else 0.0
+        ),
+        store_rejects=(
+            specializer.store_rejects if specializer is not None else 0
+        )
+        + extra_store_rejects,
     )

@@ -24,6 +24,13 @@ shape-uniform. The specialized-executable cache evicts its coldest entry
 under a decayed-hit-score policy when a new shape goes hot past
 ``specialize_max_executables``; evicted (or momentarily blocked) shapes
 stay armed and recompile once a slot frees.
+
+With ``artifact_dir`` set the server is additionally backed by a
+persistent artifact store: the kernel cache warm-loads before the
+dynamic build, every specialized compile persists its executable, and
+hot triggers restore stored artifacts at the modeled deserialize cost
+instead of recompiling — so a restarted server reaches its specialized
+steady state for a fraction of the cold compile charge.
 """
 
 from __future__ import annotations
@@ -80,6 +87,17 @@ class ServeConfig:
     # bucket can never outgrow the kernel compiled for it.
     specialize_batch: bool = False
     specialize_batch_cap: Optional[int] = None
+    # Persistent artifact store: a directory where specialized
+    # executables and the kernel cache survive the process. At startup
+    # the kernel cache warm-loads from it and every hot trigger checks
+    # it before compiling — a hit installs the stored artifact at the
+    # modeled deserialize cost (`specialize_restore_us` overrides the
+    # RESTORE_*_US calibration), so a restarted server re-reaches its
+    # specialized steady state for <10% of the cold compile charge
+    # (`harness.restart_study`). None (default) keeps everything
+    # in-memory, exactly the pre-store behaviour.
+    artifact_dir: Optional[str] = None
+    specialize_restore_us: Optional[float] = None
 
     @property
     def batch_cap(self) -> int:
@@ -123,6 +141,21 @@ class InferenceServer:
         self.kernel_cache = (
             KernelCache() if kernel_cache is None else kernel_cache
         )
+        self.store = None
+        if self.config.artifact_dir is not None:
+            from repro.store import ArtifactStore
+
+            self.store = ArtifactStore(self.config.artifact_dir)
+            # Warm the kernel cache before the dynamic build below, so
+            # a restarted server reuses the previous process's compiled
+            # kernels and tuned schedules, not just its specialized
+            # executables. A rejected kernels.kc is recorded now and
+            # folded into every report's store_rejects — it must be as
+            # visible as a rejected executable blob.
+            self.store.load_kernel_cache(self.kernel_cache)
+        self._startup_store_rejects = (
+            self.store.rejects if self.store is not None else 0
+        )
         self.mod = mod
         self.exe, self.build_report = nimble.build(
             mod, self.platform, kernel_cache=self.kernel_cache
@@ -149,6 +182,8 @@ class InferenceServer:
                 decay_half_life_us=self.config.specialize_decay_half_life_us,
                 eviction_margin=self.config.specialize_eviction_margin,
                 batch_cap=self.config.batch_cap,
+                store=self.store,
+                restore_us=self.config.specialize_restore_us,
             )
         self.workers = [
             Worker(
@@ -211,7 +246,17 @@ class InferenceServer:
             # every still-pending compile to a lane so queue-wait and
             # lane-utilization stats cover the whole triggered set.
             self.specializer.drain()
-        return build_report(responses, self.workers, self.specializer)
+        if self.store is not None:
+            # Persist the kernel cache (executables persist at compile
+            # time, inside the manager) so the next process's dynamic
+            # build starts warm too.
+            self.store.save_kernel_cache(self.kernel_cache)
+        return build_report(
+            responses,
+            self.workers,
+            self.specializer,
+            extra_store_rejects=self._startup_store_rejects,
+        )
 
     def _bucket_key(self, payload, now_us: float):
         """Bucket key under tiered specialization: a hot shape (some

@@ -48,9 +48,42 @@ dropped the binary). A shape whose trigger is blocked (cache full,
 nothing colder) stays armed the same way and retries on every subsequent
 hit, so no hot shape is ever starved by a momentarily full cache.
 
+With an :class:`~repro.store.ArtifactStore` attached
+(``ServeConfig(artifact_dir=...)``), compiled artifacts additionally
+persist to disk, and a trigger checks the store **before** queuing a
+compile: a hit installs the persisted executable at a small modeled
+deserialize cost (``RESTORE_*_US``, ~2 orders of magnitude under the
+compile charge) instead of the full compile — so a restarted server
+re-reaches its specialized steady state almost immediately
+(``harness.restart_study`` measures this). Within one simulation the
+store also changes what eviction costs: an evicted-then-re-armed shape
+restores its persisted binary at the deserialize charge instead of
+recompiling from scratch.
+
 Compiled artifacts are memoised across simulations, but hit counts,
 scores, lane state, pending queues, and ready times reset per replay, so
-repeated simulations of one trace are bit-identical.
+repeated simulations of one trace are bit-identical. Replay identity
+holds with a store attached too: the set of warm-restorable keys is
+frozen when the manager is constructed (artifacts the manager itself
+persists mid-simulation never join it), so every replay sees the same
+store state no matter what earlier replays wrote.
+
+**The per-shape lifecycle** (state machine; states are per simulation,
+see also :meth:`observe`):
+
+- *cold* — hits accumulate, decayed score tracks heat.
+- *armed* — hits reached ``threshold`` but no cache slot yet (cache
+  full, nothing evictable). Stays armed; every later hit retries, so a
+  freed slot is always picked up and no hot shape starves.
+- *triggered* — slot acquired; one pending compile (or store restore)
+  per variant enqueued on the pool. Requests keep routing dynamic.
+- *resident+ready* — a variant's lane finished (``ready_at``): batches
+  of exactly this shape route to it.
+- *evicted* — lost the slot to a hotter challenger: ready times drop,
+  ``_triggered`` clears, and the shape **re-arms** (its hit count still
+  sits past the threshold), so its next observation retries the
+  trigger; re-acquiring a slot recharges the compile (or, with a
+  store, the cheaper restore — the binary survived on disk).
 """
 
 from __future__ import annotations
@@ -66,8 +99,11 @@ from repro.errors import NimbleError
 from repro.hardware import calibration
 from repro.hardware.platforms import Platform
 from repro.ir.module import IRModule
+from repro.ir.printer import module_fingerprint
+from repro.passes import bound_entry_shapes
 from repro.serve.batcher import ShapeBucketer
-from repro.vm.executable import Executable
+from repro.store import ArtifactStore
+from repro.vm.executable import Executable, artifact_key
 
 ExactKey = Tuple[int, ...]
 # A compiled artifact is one (exact shape, batch) variant: batch 1 is the
@@ -82,7 +118,9 @@ class SpecializationEvent:
     ``trigger_us`` is when the shape crossed the threshold and entered the
     pending queue, ``start_us`` when a lane picked it up, ``ready_us``
     when the executable became routable. ``batch`` identifies the variant
-    (1 = member-wise static, >1 = batch-specialized)."""
+    (1 = member-wise static, >1 = batch-specialized). ``restored`` marks
+    a store restore: the lane deserialized a persisted artifact instead
+    of compiling, and ``compile_us`` is the modeled deserialize charge."""
 
     key: ExactKey
     trigger_us: float
@@ -91,6 +129,7 @@ class SpecializationEvent:
     compile_us: float
     lane: int
     batch: int = 1
+    restored: bool = False
 
     @property
     def queue_us(self) -> float:
@@ -120,6 +159,7 @@ class _PendingCompile:
     compile_us: float
     hit_times_us: List[float]
     batch: int = 1
+    restored: bool = False
 
     def hits_by(self, at_us: float) -> int:
         return sum(1 for t in self.hit_times_us if t <= at_us)
@@ -140,6 +180,15 @@ class SpecializationManager:
     overrides the modeled compile cost; by default it is derived from the
     calibration constants and the number of kernels in the specialized
     executable.
+
+    ``store`` attaches a persistent :class:`~repro.store.ArtifactStore`:
+    compiled variants are filed under their content hash, and a trigger
+    whose artifact already exists (from a previous process, or persisted
+    earlier in this simulation and then evicted) is *restored* on a lane
+    at ``restore_us`` (default: the ``RESTORE_*_US`` calibration) instead
+    of paying the compile charge. Store blobs that fail validation are
+    skipped and counted (``store_rejects``) — the shape falls back to a
+    fresh compile, exactly as if the store had missed.
     """
 
     def __init__(
@@ -157,6 +206,8 @@ class SpecializationManager:
         decay_half_life_us: float = 100_000.0,
         eviction_margin: float = 2.0,
         batch_cap: int = 1,
+        store: Optional[ArtifactStore] = None,
+        restore_us: Optional[float] = None,
     ) -> None:
         if threshold < 1:
             raise ValueError(f"specialization threshold must be >= 1, got {threshold}")
@@ -191,12 +242,33 @@ class SpecializationManager:
         # route to the batched variant; ragged tails fall back to the
         # member variant (or dynamic).
         self.batch_cap = batch_cap
+        self.store = store
+        self.restore_us = restore_us
+        # The module component of every store key. Computed once — it
+        # fingerprints the *dynamic* source module, which all of this
+        # manager's shape variants share.
+        self._fingerprint = module_fingerprint(mod)
+        # Replay identity with a store: the warm-restorable key set is
+        # FROZEN at construction. Artifacts this manager persists
+        # mid-simulation never join it, so a replay of the same trace
+        # makes exactly the same compile-vs-restore decisions as the
+        # first run did, no matter what the first run wrote to disk.
+        self._store_keys_at_init = (
+            frozenset(store.keys()) if store is not None else frozenset()
+        )
+        # Keys whose blob failed validation once: re-attempting would
+        # re-read a file this process may since have overwritten with a
+        # good artifact, so the rejection is memoised (and replayed —
+        # see _plan_artifact) to keep every simulation identical.
+        self._rejected_keys: Set[str] = set()
+        self._store_key_memo: Dict[VariantKey, str] = {}
         # Compiled artifacts are memoised across simulations (compilation
         # is a pure function of module + shape + batch + platform, so
         # reusing them keeps replays bit-identical while skipping
         # redundant work). The *modeled* compile cost is still charged
         # every time a shape (re-)triggers — in the model, eviction
-        # dropped the binary.
+        # dropped the binary (unless a store holds it: then re-triggers
+        # pay the restore charge instead).
         self._executables: Dict[VariantKey, Executable] = {}
         self._compile_cost: Dict[VariantKey, float] = {}
         # Shapes whose batched compile failed — a pure property of
@@ -225,6 +297,17 @@ class SpecializationManager:
         self.lane_busy_us: List[float] = [0.0] * self.compile_lanes
         self.events: List[SpecializationEvent] = []
         self.evictions: List[EvictionEvent] = []
+        # Variants whose binary this simulation has persisted to the
+        # store: an eviction no longer destroys them, so a re-trigger
+        # restores at deserialize cost. Per-simulation (and only ever
+        # populated with a store attached) so replays stay independent.
+        self._persisted: Set[VariantKey] = set()
+        # Store blobs this simulation refused (corrupt / stale /
+        # mismatched). The count replays deterministically: a key
+        # rejected in an earlier simulation re-counts at the same
+        # trigger without re-reading the (possibly since-overwritten)
+        # file.
+        self.store_rejects: int = 0
 
     # ------------------------------------------------------------------ stats
     @property
@@ -244,8 +327,24 @@ class SpecializationManager:
 
     @property
     def compile_us_spent(self) -> float:
-        """Total modeled compile time executed in this simulation."""
+        """Total modeled lane time charged in this simulation — full
+        compiles plus (with a store) restore charges."""
         return sum(e.compile_us for e in self.events)
+
+    @property
+    def num_restored(self) -> int:
+        """Variants installed from the artifact store this simulation."""
+        return sum(1 for e in self.events if e.restored)
+
+    @property
+    def num_fresh_compiles(self) -> int:
+        """Variants compiled from scratch this simulation."""
+        return sum(1 for e in self.events if not e.restored)
+
+    @property
+    def restore_us_spent(self) -> float:
+        """Modeled deserialize time charged for store restores."""
+        return sum(e.compile_us for e in self.events if e.restored)
 
     @property
     def queue_waits_us(self) -> List[float]:
@@ -385,7 +484,7 @@ class SpecializationManager:
             self.events.append(
                 SpecializationEvent(
                     job.key, job.trigger_us, start, ready, job.compile_us,
-                    lane, job.batch,
+                    lane, job.batch, job.restored,
                 )
             )
 
@@ -407,11 +506,11 @@ class SpecializationManager:
         return (1, self.batch_cap)
 
     def _try_trigger(self, key: ExactKey, now_us: float) -> None:
-        """Acquire a cache slot and enqueue the compile(s); on a full
-        cache, evict the coldest resident (if strictly colder than the
-        challenger and not in flight) or leave the shape armed to retry.
-        One slot covers every variant of the shape — the member-wise and
-        batched builds live and die together."""
+        """Acquire a cache slot and enqueue the compile(s)/restore(s);
+        on a full cache, evict the coldest resident (if strictly colder
+        than the challenger and not in flight) or leave the shape armed
+        to retry. One slot covers every variant of the shape — the
+        member-wise and batched builds live and die together."""
         if len(self._resident) >= self.max_executables:
             if not self.eviction:
                 return
@@ -422,12 +521,12 @@ class SpecializationManager:
         self._resident.add(key)
         self._triggered.add(key)
         for batch in self._variant_batches(key):
-            if not self._ensure_compiled(key, batch):
+            plan = self._plan_artifact(key, batch)
+            if plan is None:
                 continue  # shape not batchable: member-wise only
+            cost, restored = plan
             self._pending.append(
-                _PendingCompile(
-                    key, now_us, self._compile_cost[(key, batch)], [], batch
-                )
+                _PendingCompile(key, now_us, cost, [], batch, restored)
             )
 
     def _coldest_evictable(
@@ -478,6 +577,85 @@ class SpecializationManager:
         )
 
     # ---------------------------------------------------------------- compile
+    def _store_key_for(self, key: ExactKey, batch: int) -> str:
+        """The artifact-store key of one (shape, batch) variant, derived
+        *without* compiling: ``bound_entry_shapes`` computes the exact
+        ``specialized_shapes`` marker the compiled executable would
+        carry, so the key matches ``Executable.content_hash`` of the
+        artifact a previous process filed."""
+        variant: VariantKey = (key, batch)
+        skey = self._store_key_memo.get(variant)
+        if skey is None:
+            binding = dict(zip(self.bucketer.tokens, key))
+            shapes = bound_entry_shapes(self.mod[self.entry], binding)
+            skey = artifact_key(
+                self._fingerprint,
+                self.platform.name,
+                shapes,
+                batch if batch > 1 else None,
+            )
+            self._store_key_memo[variant] = skey
+        return skey
+
+    def _restore_cost_of(self, exe: Executable) -> float:
+        if self.restore_us is not None:
+            return float(self.restore_us)
+        return (
+            calibration.RESTORE_BASE_US[self.platform.name]
+            + calibration.RESTORE_PER_KERNEL_US[self.platform.name]
+            * len(exe.kernels)
+        )
+
+    def _plan_artifact(
+        self, key: ExactKey, batch: int
+    ) -> Optional[Tuple[float, bool]]:
+        """Decide how a triggered variant gets its executable: returns
+        ``(lane charge, restored)``, or ``None`` when the variant does
+        not exist (the batched rewrite refused this shape).
+
+        Restore sources, in order:
+
+        1. *Persisted this simulation* — the variant compiled earlier in
+           this sim, was written to the store, and then lost its cache
+           slot: the binary survived eviction, so the re-trigger pays
+           the deserialize charge, not a recompile.
+        2. *Warm start* — the key existed in the store when this manager
+           was constructed (a previous process compiled it): load,
+           validate, install. Validation failures are counted in
+           ``store_rejects`` and fall through to a fresh compile; the
+           rejection is memoised so replays re-count it at the same
+           trigger instead of re-reading a file this process may since
+           have overwritten.
+        3. *Fresh compile* — full compile charge; with a store attached
+           the artifact is persisted immediately, arming source 1.
+        """
+        variant: VariantKey = (key, batch)
+        if variant in self._persisted:
+            return self._restore_cost_of(self._executables[variant]), True
+        if self.store is not None:
+            skey = self._store_key_for(key, batch)
+            if skey in self._store_keys_at_init:
+                if skey in self._rejected_keys:
+                    self.store_rejects += 1
+                else:
+                    exe = self._executables.get(variant)
+                    if exe is None:
+                        exe = self.store.get(
+                            skey, expected_signature=self._fingerprint
+                        )
+                    if exe is None:
+                        self._rejected_keys.add(skey)
+                        self.store_rejects += 1
+                    else:
+                        self._executables[variant] = exe
+                        return self._restore_cost_of(exe), True
+        if not self._ensure_compiled(key, batch):
+            return None
+        if self.store is not None:
+            self.store.put(self._executables[variant])
+            self._persisted.add(variant)
+        return self._compile_cost[variant], False
+
     def _ensure_compiled(self, key: ExactKey, batch: int = 1) -> bool:
         """Materialize the (shape, batch) artifact; returns False when
         the batched rewrite is unsupported for this shape (member-wise
@@ -497,6 +675,7 @@ class SpecializationManager:
                 kernel_cache=self.kernel_cache,
                 entry=self.entry,
                 batch=batch,
+                source_signature=self._fingerprint,
             )
         except NimbleError:
             # Member-wise compiles must succeed — those errors propagate.

@@ -1,0 +1,196 @@
+"""The versioned artifact store: content-addressed executables + the
+persisted kernel cache.
+
+Directory layout (specified in ``docs/serialization.md``)::
+
+    <artifact_dir>/
+        STORE_FORMAT            # one line: the store-format version
+        artifacts/<key>.nmbl    # Executable.save() blobs, content-addressed
+        kernels.kc              # KernelCache.export_entries() blob
+
+``<key>`` is :func:`repro.vm.executable.artifact_key` — a sha256 over
+(source-module fingerprint, platform, shape binding, batch marker,
+serialization version). Content addressing makes staleness structural:
+a serialization-format bump changes every key, so old blobs are never
+looked up; a model or platform change changes the fingerprint
+component, so a store can safely hold artifacts for many modules and
+platforms side by side.
+
+Writes are atomic (temp file + ``os.replace``), so a killed server
+never leaves a half-written artifact where a restarted one will look.
+Reads are *paranoid*: a blob that is truncated, version-bumped,
+hash-mismatched, or compiled from a different module is skipped, its
+rejection recorded in :attr:`ArtifactStore.rejects`, and the caller
+falls back to compiling — the store can lose data, but it must never
+serve wrong code.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+from repro.codegen.kernels import KernelCache
+from repro.errors import SerializationError
+from repro.vm.executable import Executable
+
+# Version of the directory layout itself (not of the blobs inside it —
+# executables carry their own serialization version). A store written
+# under a different format is refused at open, before any blob is read.
+STORE_FORMAT = 1
+
+_ARTIFACT_SUFFIX = ".nmbl"
+
+
+class ArtifactStore:
+    """A content-addressed, versioned directory of compiled artifacts.
+
+    ``put`` files an executable under its content hash; ``get`` loads
+    one back, returning ``None`` (and counting a reject) for anything
+    that fails validation. One store instance may serve many modules and
+    platforms — keys collide only when every identity component matches.
+    """
+
+    def __init__(self, root) -> None:
+        self.root = Path(root)
+        self.artifacts_dir = self.root / "artifacts"
+        self.artifacts_dir.mkdir(parents=True, exist_ok=True)
+        self._format_file = self.root / "STORE_FORMAT"
+        if self._format_file.exists():
+            try:
+                found = int(self._format_file.read_text().strip())
+            except ValueError:
+                raise SerializationError(
+                    f"artifact store at {self.root}: unreadable STORE_FORMAT"
+                )
+            if found != STORE_FORMAT:
+                raise SerializationError(
+                    f"artifact store at {self.root} uses format {found}, "
+                    f"this build reads format {STORE_FORMAT}"
+                )
+        else:
+            self._atomic_write(self._format_file, f"{STORE_FORMAT}\n".encode())
+        # Rejected loads this process: (key, reason) pairs. A reject is
+        # an expected, recoverable event (the caller recompiles), but it
+        # must be *visible* — silent fallback would mask a corrupted
+        # volume until someone wonders why restarts stopped being warm.
+        self.reject_log: List[Tuple[str, str]] = []
+
+    # ------------------------------------------------------------------ stats
+    @property
+    def rejects(self) -> int:
+        """How many artifact loads this process refused (corrupt,
+        truncated, stale-version, or signature-mismatched blobs)."""
+        return len(self.reject_log)
+
+    def keys(self) -> List[str]:
+        """Every artifact key currently on disk, sorted (deterministic
+        iteration for replay-stable consumers)."""
+        return sorted(
+            p.name[: -len(_ARTIFACT_SUFFIX)]
+            for p in self.artifacts_dir.glob(f"*{_ARTIFACT_SUFFIX}")
+        )
+
+    def contains(self, key: str) -> bool:
+        return self._artifact_path(key).exists()
+
+    def __len__(self) -> int:
+        return len(self.keys())
+
+    # ------------------------------------------------------------- executables
+    def put(self, exe: Executable) -> str:
+        """File *exe* under its content hash; returns the key. Writing
+        is atomic and idempotent — re-putting an identical artifact
+        rewrites the same bytes at the same path."""
+        key = exe.content_hash()
+        self._atomic_write(self._artifact_path(key), exe.save())
+        return key
+
+    def get(
+        self, key: str, expected_signature: Optional[str] = None
+    ) -> Optional[Executable]:
+        """Load the artifact filed under *key*, or ``None``.
+
+        ``None`` covers both a plain miss and every flavor of bad blob —
+        truncated file, stale serialization version, content-hash
+        mismatch, or (when *expected_signature* is given) an artifact
+        compiled from a different module. Bad blobs are recorded in
+        :attr:`reject_log`; they are never raised to the caller, whose
+        correct response is always the same: compile fresh.
+        """
+        path = self._artifact_path(key)
+        try:
+            blob = path.read_bytes()
+        except FileNotFoundError:
+            return None  # plain miss: nothing was ever stored here
+        except OSError as err:
+            # The file exists but cannot be read (permissions, I/O error
+            # on a degraded volume): that is a failed load, not a miss —
+            # it must show up in the reject log, or a broken volume
+            # would silently stop restarts being warm.
+            self.reject_log.append((key, f"unreadable artifact: {err}"))
+            return None
+        try:
+            exe = Executable.load(blob, expected_signature=expected_signature)
+        except SerializationError as err:
+            self.reject_log.append((key, str(err)))
+            return None
+        # The blob deserialized, but is it the artifact this key names?
+        # A file renamed/copied to the wrong path would otherwise serve
+        # a different (module, platform, shape, batch) variant.
+        if exe.content_hash() != key:
+            self.reject_log.append(
+                (key, f"artifact hashes to {exe.content_hash()}, filed as {key}")
+            )
+            return None
+        return exe
+
+    # ------------------------------------------------------------ kernel cache
+    @property
+    def kernel_cache_path(self) -> Path:
+        return self.root / "kernels.kc"
+
+    def save_kernel_cache(self, cache: KernelCache) -> None:
+        """Persist the kernel cache (entries for every platform live in
+        one blob — the cache keys already carry the platform name)."""
+        self._atomic_write(self.kernel_cache_path, cache.export_entries())
+
+    def load_kernel_cache(self, cache: KernelCache) -> int:
+        """Merge the persisted kernel cache into *cache*; returns how
+        many entries were added (0 on a missing or rejected blob — the
+        caller's build simply compiles its kernels fresh)."""
+        try:
+            blob = self.kernel_cache_path.read_bytes()
+        except FileNotFoundError:
+            return 0  # no cache was ever persisted: a plain miss
+        except OSError as err:
+            # Existing but unreadable: a failed load, visible like any
+            # rejected executable blob.
+            self.reject_log.append(
+                ("kernels.kc", f"unreadable kernel cache: {err}")
+            )
+            return 0
+        try:
+            return cache.import_entries(blob)
+        except SerializationError as err:
+            self.reject_log.append(("kernels.kc", str(err)))
+            return 0
+
+    # -------------------------------------------------------------- internals
+    def _artifact_path(self, key: str) -> Path:
+        return self.artifacts_dir / f"{key}{_ARTIFACT_SUFFIX}"
+
+    def _atomic_write(self, path: Path, data: bytes) -> None:
+        fd, tmp = tempfile.mkstemp(dir=str(path.parent), prefix=".tmp-")
+        try:
+            with os.fdopen(fd, "wb") as out:
+                out.write(data)
+            os.replace(tmp, str(path))
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise

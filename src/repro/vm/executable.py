@@ -5,11 +5,21 @@ Bytecode and constants serialize to a compact custom binary format
 (magic + sections, varint-encoded instructions); kernels — which in the
 real system are machine code — serialize as a pickled section carrying
 their fused-function IR and schedules, from which they are re-materialized
-at load time. ``save``/``load`` round-trip is exercised by property tests.
+at load time. ``save``/``load`` round-trip is exercised by property tests
+and by checked-in golden blobs (``tests/golden/executable_v{2,3}.bin``);
+the byte-level format and its version history are specified in
+``docs/serialization.md``.
+
+v4 blobs additionally carry the artifact-store metadata: the source
+module's :func:`repro.ir.printer.module_fingerprint` and a content hash
+over (fingerprint, platform, shape binding, batch marker, serialization
+version) — the key the on-disk :class:`repro.store.ArtifactStore` files
+the blob under, verified again at load time.
 """
 
 from __future__ import annotations
 
+import hashlib
 import io
 import pickle
 import struct
@@ -26,8 +36,42 @@ from repro.vm import instruction as ins
 
 MAGIC = b"NMBL"
 # v2 appended the specialization-marker section (tiered compilation);
-# v3 appended the batch-granularity marker (batch-specialized tier).
-VERSION = 3
+# v3 appended the batch-granularity marker (batch-specialized tier);
+# v4 appended the store-metadata section (source-module fingerprint +
+# content hash) for the persistent artifact store.
+VERSION = 4
+# Oldest version the loader still accepts. v1 blobs predate the
+# specialization marker and cannot express what the serving tiers need;
+# they are rejected as stale.
+MIN_VERSION = 2
+
+
+def artifact_key(
+    source_signature: Optional[str],
+    platform_name: str,
+    specialized_shapes: Optional[tuple],
+    specialized_batch: Optional[int],
+    version: Optional[int] = None,
+) -> str:
+    """The content hash a compiled artifact is stored and validated under.
+
+    Stable across processes: every ingredient reprs deterministically
+    (``Any`` dims print as ``?``, shapes are int tuples) and the
+    serialization VERSION is folded in, so a format bump changes every
+    key and old blobs are never even looked up — staleness falls out of
+    the keying instead of needing a migration. ``specialized_batch`` is
+    normalized (None and 1 both mean member-wise) so callers cannot
+    create aliasing keys for the same artifact.
+    """
+    batch = int(specialized_batch or 0)
+    if batch == 1:
+        batch = 0
+    if version is None:
+        version = VERSION
+    payload = repr(
+        (source_signature or "", platform_name, specialized_shapes, batch, version)
+    )
+    return hashlib.sha256(payload.encode()).hexdigest()
 
 
 @dataclass
@@ -56,10 +100,32 @@ class Executable:
     # an old variant.
     specialized_shapes: Optional[tuple] = None
     specialized_batch: Optional[int] = None
+    # Fingerprint of the *source* module this executable was compiled
+    # from (``module_fingerprint`` of the dynamic module, before any
+    # specialization pass) — the module-identity component of the
+    # artifact-store key. None for executables built outside the public
+    # API (hand-assembled tests, pre-v4 blobs).
+    source_signature: Optional[str] = None
 
     @property
     def is_specialized(self) -> bool:
         return self.specialized_shapes is not None
+
+    def content_hash(self, version: Optional[int] = None) -> str:
+        """The artifact-store key for this executable: a stable hash of
+        (source-module fingerprint, platform, shape binding, batch
+        marker, serialization version). Recomputed and verified at v4
+        load time — against the *blob's own* version, so a valid v4 blob
+        still verifies under a future loader — so a blob whose identity
+        metadata was tampered with, or that was filed under the wrong
+        key, is rejected instead of silently served."""
+        return artifact_key(
+            self.source_signature,
+            self.platform_name,
+            self.specialized_shapes,
+            self.specialized_batch,
+            version,
+        )
 
     @property
     def is_batch_specialized(self) -> bool:
@@ -88,28 +154,79 @@ class Executable:
         _write_bytes(out, self.entry.encode())
         _write_bytes(out, pickle.dumps(self.specialized_shapes))
         _write_varint(out, self.specialized_batch or 0)
+        # v4 store-metadata section: fingerprint, then the content hash
+        # computed over everything identity-bearing above it.
+        _write_bytes(out, (self.source_signature or "").encode())
+        _write_bytes(out, self.content_hash().encode())
         return out.getvalue()
 
     @staticmethod
-    def load(blob: bytes) -> "Executable":
+    def load(
+        blob: bytes, expected_signature: Optional[str] = None
+    ) -> "Executable":
+        """Deserialize a ``save()`` blob.
+
+        Versions back to ``MIN_VERSION`` load (v2 predates the batch
+        marker, v3 the store metadata — missing sections default);
+        anything older or newer is rejected as stale rather than
+        misread. v4 blobs re-verify their embedded content hash, and
+        ``expected_signature`` (the artifact store passes the fingerprint
+        of the module it is restoring for) rejects a blob compiled from a
+        *different* module that happens to be filed at the right path.
+        """
         buf = io.BytesIO(blob)
         if buf.read(4) != MAGIC:
             raise SerializationError("bad magic: not a Nimble executable")
         (version,) = struct.unpack("<H", buf.read(2))
-        if version not in (2, VERSION):
-            raise SerializationError(f"unsupported executable version {version}")
-        platform_name = _read_bytes(buf).decode()
-        functions, func_index = _deserialize_bytecode(_read_bytes(buf))
-        constants = _deserialize_constants(_read_bytes(buf))
-        kernels = pickle.loads(_read_bytes(buf))
-        entry = _read_bytes(buf).decode()
-        specialized_shapes = pickle.loads(_read_bytes(buf))
-        # v2 artifacts predate the batched tier: member-wise by definition.
-        specialized_batch = _read_varint(buf) if version >= 3 else 0
-        return Executable(
+        if not MIN_VERSION <= version <= VERSION:
+            raise SerializationError(
+                f"unsupported executable version {version} "
+                f"(supported: {MIN_VERSION}..{VERSION})"
+            )
+        try:
+            platform_name = _read_bytes(buf).decode()
+            functions, func_index = _deserialize_bytecode(_read_bytes(buf))
+            constants = _deserialize_constants(_read_bytes(buf))
+            kernels = pickle.loads(_read_bytes(buf))
+            entry = _read_bytes(buf).decode()
+            specialized_shapes = pickle.loads(_read_bytes(buf))
+            # v2 artifacts predate the batched tier: member-wise by
+            # definition.
+            specialized_batch = _read_varint(buf) if version >= 3 else 0
+            source_signature = None
+            stored_hash = None
+            if version >= 4:
+                source_signature = _read_bytes(buf).decode() or None
+                stored_hash = _read_bytes(buf).decode()
+        except SerializationError:
+            raise
+        except Exception as err:
+            # Corruption inside a section surfaces as whatever the
+            # decoder tripped over (unicode, pickle, struct, numpy
+            # reshape, ...). Callers — the artifact store above all —
+            # must be able to treat "bad blob" as ONE exception type:
+            # anything else would turn a corrupt file into a crash.
+            raise SerializationError(
+                f"corrupt executable blob: {type(err).__name__}: {err}"
+            ) from err
+        exe = Executable(
             platform_name, functions, func_index, constants, kernels, entry,
-            specialized_shapes, specialized_batch or None,
+            specialized_shapes, specialized_batch or None, source_signature,
         )
+        if stored_hash is not None and stored_hash != exe.content_hash(version):
+            raise SerializationError(
+                "content hash mismatch: blob metadata does not hash to its "
+                "recorded artifact key (corrupt or tampered artifact)"
+            )
+        if (
+            expected_signature is not None
+            and exe.source_signature != expected_signature
+        ):
+            raise SerializationError(
+                f"source-signature mismatch: expected {expected_signature!r}, "
+                f"blob was compiled from {exe.source_signature!r}"
+            )
+        return exe
 
     # -- bytecode section -------------------------------------------------------
     def _serialize_bytecode(self) -> bytes:

@@ -1,0 +1,77 @@
+"""Golden-blob serialization tests: checked-in v2 and v3 executables
+must keep loading as the format evolves (the backward-compat contract
+specified in docs/serialization.md), and the current writer must emit
+the documented v4 layout.
+
+The golden blobs were written by the historical serializers (v2: PR 2's
+specialization marker; v3: PR 4's batch marker) and hold a minimal
+runnable program — ``main()`` returning a 2x3 float32 constant — with
+no pickled kernel classes, so they stay loadable no matter how the
+kernel objects evolve."""
+
+import struct
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.errors import SerializationError
+from repro.vm import instruction as ins
+from repro.vm.executable import MAGIC, MIN_VERSION, VERSION, Executable
+from repro.vm.interpreter import VirtualMachine
+
+GOLDEN = Path(__file__).parent / "golden"
+
+EXPECTED_CONST = np.arange(6, dtype=np.float32).reshape(2, 3)
+
+
+def _load_golden(name: str) -> Executable:
+    return Executable.load((GOLDEN / name).read_bytes())
+
+
+class TestGoldenBlobs:
+    def test_v2_blob_loads_and_runs(self):
+        exe = _load_golden("executable_v2.bin")
+        assert exe.platform_name == "intel"
+        assert exe.specialized_shapes == ((4, 8),)
+        # v2 predates the batch marker: member-wise by definition.
+        assert exe.specialized_batch is None
+        # v2/v3 predate the store-metadata section.
+        assert exe.source_signature is None
+        assert exe.functions[0].instructions == [
+            ins.LoadConst(0, 0), ins.Ret(0),
+        ]
+        out = VirtualMachine(exe).run()
+        assert np.array_equal(out.numpy(), EXPECTED_CONST)
+
+    def test_v3_blob_loads_and_runs(self):
+        exe = _load_golden("executable_v3.bin")
+        assert exe.specialized_shapes == ((4, 8),)
+        assert exe.specialized_batch == 2
+        assert exe.source_signature is None
+        out = VirtualMachine(exe).run()
+        assert np.array_equal(out.numpy(), EXPECTED_CONST)
+
+    def test_golden_blobs_declare_their_versions(self):
+        for name, version in (("executable_v2.bin", 2), ("executable_v3.bin", 3)):
+            blob = (GOLDEN / name).read_bytes()
+            assert blob[:4] == MAGIC
+            assert struct.unpack("<H", blob[4:6]) == (version,)
+
+    def test_resave_upgrades_to_current_version(self):
+        """Loading an old blob and saving it re-emits the current
+        format — including the content hash, which the re-load
+        verifies."""
+        exe = _load_golden("executable_v2.bin")
+        blob = exe.save()
+        assert struct.unpack("<H", blob[4:6]) == (VERSION,)
+        again = Executable.load(blob)
+        assert again.specialized_shapes == exe.specialized_shapes
+        assert again.content_hash() == exe.content_hash()
+
+    def test_stale_and_future_versions_rejected(self):
+        blob = bytearray((GOLDEN / "executable_v3.bin").read_bytes())
+        for bad in (MIN_VERSION - 1, VERSION + 1):
+            blob[4:6] = struct.pack("<H", bad)
+            with pytest.raises(SerializationError, match="version"):
+                Executable.load(bytes(blob))

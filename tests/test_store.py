@@ -1,0 +1,395 @@
+"""The persistent artifact store (`repro.store`): content-addressed
+executable persistence, kernel-cache export/import, corruption handling
+(skip-and-count, never crash, never silently load), the serving layer's
+restore path, and the public nimble.save_artifacts/load_artifacts API."""
+
+import struct
+
+import numpy as np
+import pytest
+
+import repro.nimble as nimble
+from repro.codegen.kernels import KERNEL_CACHE_FORMAT, KernelCache
+from repro.errors import SerializationError
+from repro.hardware import intel_cpu
+from repro.ir import Any, Function, IRModule, TensorType, Var, const
+from repro.ir.printer import module_fingerprint
+from repro.ops import api
+from repro.passes import bound_entry_shapes
+from repro.serve import InferenceServer, ServeConfig, long_tailed_traffic
+from repro.store import STORE_FORMAT, ArtifactStore
+from repro.vm.executable import Executable, artifact_key
+
+
+def _dyn_mlp_module(dim=8, seed=0):
+    w = const(
+        (np.random.RandomState(seed).randn(dim, dim) * 0.1).astype(np.float32)
+    )
+    x = Var("x", TensorType((Any(), dim), "float32"))
+    return IRModule.from_expr(Function([x], api.relu(api.dense(x, w))))
+
+
+def _specialized(mod, rows=4, dim=8, cache=None, batch=1):
+    exe, _ = nimble.specialize(
+        mod, intel_cpu(), shapes=[(rows, dim)],
+        kernel_cache=cache if cache is not None else KernelCache(),
+        batch=batch,
+    )
+    return exe
+
+
+# ---------------------------------------------------------------------------
+# Content hashing / store keys
+# ---------------------------------------------------------------------------
+
+
+class TestArtifactKey:
+    def test_content_hash_is_stable_and_identity_sensitive(self):
+        mod = _dyn_mlp_module()
+        exe = _specialized(mod)
+        again = _specialized(mod)
+        assert exe.content_hash() == again.content_hash()
+        other_shape = _specialized(mod, rows=6)
+        assert exe.content_hash() != other_shape.content_hash()
+        other_model = _specialized(_dyn_mlp_module(dim=16), dim=16)
+        assert exe.content_hash() != other_model.content_hash()
+
+    def test_batch_marker_distinguishes_variants_but_one_is_memberwise(self):
+        sig = "s"
+        member = artifact_key(sig, "intel", ((4, 8),), None)
+        assert artifact_key(sig, "intel", ((4, 8),), 1) == member
+        assert artifact_key(sig, "intel", ((4, 8),), 2) != member
+
+    def test_manager_side_key_matches_compiled_artifact(self):
+        """The serving layer computes the store key *before* compiling
+        (bound_entry_shapes); it must match the content hash the
+        compiled executable files itself under, or warm restarts would
+        never hit."""
+        from repro.core.typing import infer_types
+        from repro.serve import ShapeBucketer
+
+        mod = _dyn_mlp_module()
+        typed = infer_types(mod)
+        bucketer = ShapeBucketer(typed["main"])
+        exe = _specialized(mod, rows=12)
+        binding = dict(zip(bucketer.tokens, (12,)))
+        predicted = artifact_key(
+            module_fingerprint(mod),
+            "intel",
+            bound_entry_shapes(mod["main"], binding),
+            None,
+        )
+        assert predicted == exe.content_hash()
+
+    def test_fingerprint_is_weight_sensitive(self):
+        """Executables embed their constants, so a retrained model (same
+        architecture, new weights) must get a new fingerprint — a
+        weight-blind key would warm-restore artifacts that serve the
+        OLD model's numerics from the specialized tiers."""
+        base = module_fingerprint(_dyn_mlp_module(seed=0))
+        assert base == module_fingerprint(_dyn_mlp_module(seed=0))
+        assert base != module_fingerprint(_dyn_mlp_module(seed=1))
+        assert base != module_fingerprint(_dyn_mlp_module(dim=16))
+
+    def test_retrained_weights_miss_the_store(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        store.put(_specialized(_dyn_mlp_module(seed=0)))
+        retrained = _specialized(_dyn_mlp_module(seed=1))
+        assert not store.contains(retrained.content_hash())
+        assert store.get(retrained.content_hash()) is None
+        assert store.rejects == 0  # a clean miss, not a reject
+
+
+# ---------------------------------------------------------------------------
+# Store round-trip + validation
+# ---------------------------------------------------------------------------
+
+
+class TestArtifactStore:
+    def test_put_get_roundtrip_runs(self, tmp_path):
+        mod = _dyn_mlp_module()
+        exe = _specialized(mod)
+        store = ArtifactStore(tmp_path / "store")
+        key = store.put(exe)
+        assert store.contains(key) and store.keys() == [key]
+        loaded = store.get(key, expected_signature=module_fingerprint(mod))
+        assert loaded is not None
+        assert loaded.specialized_shapes == exe.specialized_shapes
+        x = np.random.rand(4, 8).astype(np.float32)
+        out = nimble.VirtualMachine(loaded).run(x)
+        ref = nimble.VirtualMachine(exe).run(x)
+        assert np.array_equal(out.numpy(), ref.numpy())
+
+    def test_miss_returns_none_without_reject(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        assert store.get("0" * 64) is None
+        assert store.rejects == 0
+
+    def test_truncated_artifact_skipped_and_counted(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        key = store.put(_specialized(_dyn_mlp_module()))
+        path = store._artifact_path(key)
+        path.write_bytes(path.read_bytes()[: 40])
+        assert store.get(key) is None
+        assert store.rejects == 1 and store.reject_log[0][0] == key
+
+    def test_version_bumped_artifact_skipped_and_counted(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        key = store.put(_specialized(_dyn_mlp_module()))
+        path = store._artifact_path(key)
+        blob = bytearray(path.read_bytes())
+        blob[4:6] = struct.pack("<H", 99)
+        path.write_bytes(bytes(blob))
+        assert store.get(key) is None
+        assert store.rejects == 1
+        assert "version" in store.reject_log[0][1]
+
+    def test_artifact_filed_under_wrong_key_skipped(self, tmp_path):
+        """A valid blob copied to another artifact's path must not be
+        served as that artifact."""
+        store = ArtifactStore(tmp_path)
+        key = store.put(_specialized(_dyn_mlp_module()))
+        wrong = "f" * 64
+        store._artifact_path(wrong).write_bytes(
+            store._artifact_path(key).read_bytes()
+        )
+        assert store.get(wrong) is None
+        assert store.rejects == 1
+
+    def test_signature_mismatch_skipped(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        key = store.put(_specialized(_dyn_mlp_module()))
+        assert store.get(key, expected_signature="not-this-module") is None
+        assert store.rejects == 1
+        assert "signature" in store.reject_log[0][1]
+
+    def test_store_format_mismatch_refused_at_open(self, tmp_path):
+        ArtifactStore(tmp_path)
+        (tmp_path / "STORE_FORMAT").write_text(f"{STORE_FORMAT + 1}\n")
+        with pytest.raises(SerializationError, match="format"):
+            ArtifactStore(tmp_path)
+
+    def test_tampered_blob_rejected_by_loader_directly(self):
+        exe = _specialized(_dyn_mlp_module())
+        blob = bytearray(exe.save())
+        # Flip a byte inside the platform-name section: the embedded
+        # content hash no longer matches the recomputed one.
+        blob[7] ^= 0xFF
+        with pytest.raises(SerializationError):
+            Executable.load(bytes(blob))
+
+
+# ---------------------------------------------------------------------------
+# Kernel-cache persistence
+# ---------------------------------------------------------------------------
+
+
+class TestKernelCachePersistence:
+    def test_export_import_roundtrip(self, tmp_path):
+        cache = KernelCache()
+        _specialized(_dyn_mlp_module(), cache=cache)
+        assert len(cache) > 0
+        store = ArtifactStore(tmp_path)
+        store.save_kernel_cache(cache)
+        fresh = KernelCache()
+        added = store.load_kernel_cache(fresh)
+        assert added >= len(cache)
+        assert len(fresh) == len(cache)
+
+    def test_import_keeps_existing_entries(self):
+        cache = KernelCache()
+        _specialized(_dyn_mlp_module(), cache=cache)
+        blob = cache.export_entries()
+        live = dict(cache._kernels)
+        assert cache.import_entries(blob) == 0
+        assert all(cache._kernels[k] is v for k, v in live.items())
+
+    def test_bad_blob_rejected(self, tmp_path):
+        with pytest.raises(SerializationError):
+            KernelCache().import_entries(b"not a cache")
+        import pickle
+
+        with pytest.raises(SerializationError, match="format"):
+            KernelCache().import_entries(
+                pickle.dumps((KERNEL_CACHE_FORMAT + 1, {}, {}))
+            )
+        store = ArtifactStore(tmp_path)
+        store.kernel_cache_path.write_bytes(b"garbage")
+        assert store.load_kernel_cache(KernelCache()) == 0
+        assert store.rejects == 1
+
+
+# ---------------------------------------------------------------------------
+# Public API
+# ---------------------------------------------------------------------------
+
+
+class TestNimbleArtifactAPI:
+    def test_save_load_artifacts(self, tmp_path):
+        mod = _dyn_mlp_module()
+        cache = KernelCache()
+        exes = [_specialized(mod, rows=r, cache=cache) for r in (4, 9)]
+        keys = nimble.save_artifacts(tmp_path, exes, kernel_cache=cache)
+        assert sorted(keys) == ArtifactStore(tmp_path).keys()
+        fresh_cache = KernelCache()
+        loaded = nimble.load_artifacts(tmp_path, kernel_cache=fresh_cache)
+        assert set(loaded) == set(keys)
+        assert len(fresh_cache) == len(cache)
+        shapes = {exe.specialized_shapes for exe in loaded.values()}
+        assert shapes == {((4, 8),), ((9, 8),)}
+
+    def test_load_artifacts_skips_corrupt(self, tmp_path):
+        mod = _dyn_mlp_module()
+        keys = nimble.save_artifacts(
+            tmp_path, [_specialized(mod, rows=r) for r in (4, 9)]
+        )
+        store = ArtifactStore(tmp_path)
+        path = store._artifact_path(sorted(keys)[0])
+        path.write_bytes(path.read_bytes()[:25])
+        loaded = nimble.load_artifacts(tmp_path)
+        assert set(loaded) == {sorted(keys)[1]}
+
+
+# ---------------------------------------------------------------------------
+# Serving integration: warm restarts, eviction restores, corruption
+# ---------------------------------------------------------------------------
+
+
+def _serve_setup(tmp_path, **overrides):
+    from repro.models.lstm import LSTMWeights, build_lstm_module
+
+    weights = LSTMWeights.create(16, 16, num_layers=1, seed=0)
+    mod = build_lstm_module(weights)
+    requests = long_tailed_traffic(
+        160, input_size=16, mean_interarrival_us=400.0,
+        hot_lengths=(7, 12, 19), hot_fraction=0.85, seed=0,
+    )
+    params = dict(
+        max_batch_size=4,
+        max_delay_us=1500.0,
+        num_workers=2,
+        specialize=True,
+        specialize_threshold=4,
+        specialize_max_executables=8,
+        specialize_compile_us=6000.0,
+        artifact_dir=str(tmp_path / "store"),
+    )
+    params.update(overrides)
+    return mod, requests, ServeConfig(**params)
+
+
+class TestServeRestore:
+    def test_warm_restart_restores_everything(self, tmp_path):
+        mod, requests, config = _serve_setup(tmp_path)
+        cold = InferenceServer(mod, intel_cpu(), config).simulate(requests)
+        assert cold.specialize_fresh_compiles > 0
+        assert cold.specialize_restored == 0
+        warm_server = InferenceServer(mod, intel_cpu(), config)
+        warm = warm_server.simulate(requests)
+        assert warm.specialize_fresh_compiles == 0
+        assert warm.specialize_restored == cold.specialize_fresh_compiles
+        assert warm.specialize_compile_us < 0.1 * cold.specialize_compile_us
+        assert warm.specialized_hit_rate >= cold.specialized_hit_rate
+        for a, b in zip(cold.responses, warm.responses):
+            assert np.array_equal(a.output.numpy(), b.output.numpy())
+        # Replays of the warm server are bit-identical: the restorable
+        # key set was frozen at construction.
+        replay = warm_server.simulate(requests)
+        assert replay.latencies_us == warm.latencies_us
+        assert replay.specialize_restored == warm.specialize_restored
+        assert replay.specialize_compile_us == warm.specialize_compile_us
+
+    def test_cold_server_replay_is_identical_despite_own_writes(self, tmp_path):
+        """The first simulation populates the store; the second must
+        still compile (not restore) so replays stay bit-identical."""
+        mod, requests, config = _serve_setup(tmp_path)
+        server = InferenceServer(mod, intel_cpu(), config)
+        first = server.simulate(requests)
+        second = server.simulate(requests)
+        assert second.specialize_restored == first.specialize_restored == 0
+        assert second.specialize_compile_us == first.specialize_compile_us
+        assert second.latencies_us == first.latencies_us
+
+    def test_evicted_shape_restores_instead_of_recompiling(self, tmp_path):
+        """PR-3 follow-on: with a store, an evicted-then-re-armed shape
+        pays the deserialize charge, not a second full compile. The
+        traffic's last phase revisits the first phase's hot shape, so
+        its (evicted) artifact re-triggers after being persisted."""
+        mod, requests, config = _serve_setup(
+            tmp_path,
+            specialize_max_executables=1,
+            specialize_decay_half_life_us=4_000.0,
+        )
+        requests = long_tailed_traffic(
+            160, input_size=16, mean_interarrival_us=400.0,
+            hot_lengths=(7, 12, 7), hot_fraction=0.85, seed=0,
+        )
+        report = InferenceServer(mod, intel_cpu(), config).simulate(requests)
+        assert report.specialize_evictions > 0
+        # Some re-arms restored the persisted binary at restore cost.
+        assert report.specialize_restored > 0
+        assert (
+            report.specialize_restore_us
+            < report.specialize_restored * config.specialize_compile_us
+        )
+
+    def test_corrupt_store_falls_back_to_compile(self, tmp_path):
+        """The corruption contract: a truncated artifact is skipped with
+        a recorded store_rejects count and the server compiles fresh —
+        no crash, no silent load, outputs unchanged."""
+        mod, requests, config = _serve_setup(tmp_path)
+        cold = InferenceServer(mod, intel_cpu(), config).simulate(requests)
+        store = ArtifactStore(config.artifact_dir)
+        victim = store._artifact_path(store.keys()[0])
+        victim.write_bytes(victim.read_bytes()[: 50])
+        warm_server = InferenceServer(mod, intel_cpu(), config)
+        warm = warm_server.simulate(requests)
+        assert warm.store_rejects == 1
+        assert warm.specialize_fresh_compiles == 1
+        assert warm.specialize_restored == cold.specialize_fresh_compiles - 1
+        for a, b in zip(cold.responses, warm.responses):
+            assert np.array_equal(a.output.numpy(), b.output.numpy())
+        # The reject replays deterministically even though the fallback
+        # compile overwrote the corrupt blob with a good one.
+        replay = warm_server.simulate(requests)
+        assert replay.store_rejects == warm.store_rejects
+        assert replay.specialize_compile_us == warm.specialize_compile_us
+        assert replay.latencies_us == warm.latencies_us
+
+    def test_version_bumped_artifact_in_store_falls_back(self, tmp_path):
+        mod, requests, config = _serve_setup(tmp_path)
+        InferenceServer(mod, intel_cpu(), config).simulate(requests)
+        store = ArtifactStore(config.artifact_dir)
+        for key in store.keys():
+            path = store._artifact_path(key)
+            blob = bytearray(path.read_bytes())
+            blob[4:6] = struct.pack("<H", 99)
+            path.write_bytes(bytes(blob))
+        warm = InferenceServer(mod, intel_cpu(), config).simulate(requests)
+        assert warm.store_rejects > 0
+        assert warm.specialize_restored == 0
+        assert warm.specialize_fresh_compiles > 0
+
+    def test_kernel_cache_warm_loads(self, tmp_path):
+        mod, requests, config = _serve_setup(tmp_path)
+        InferenceServer(mod, intel_cpu(), config).simulate(requests)
+        store = ArtifactStore(config.artifact_dir)
+        probe = KernelCache()
+        assert store.load_kernel_cache(probe) > 0
+        warm_server = InferenceServer(mod, intel_cpu(), config)
+        assert len(warm_server.kernel_cache) >= len(probe)
+
+    def test_corrupt_kernel_cache_visible_in_report(self, tmp_path):
+        """A rejected kernels.kc must surface in ServeReport.store_rejects
+        — the kernel-cache half of warm restart failing silently would
+        read as 'store healthy' while every kernel recompiles cold."""
+        mod, requests, config = _serve_setup(tmp_path)
+        InferenceServer(mod, intel_cpu(), config).simulate(requests)
+        ArtifactStore(config.artifact_dir).kernel_cache_path.write_bytes(
+            b"garbage"
+        )
+        warm = InferenceServer(mod, intel_cpu(), config).simulate(requests)
+        # 1 kernel-cache reject on top of zero executable rejects; the
+        # executables themselves still restore fine.
+        assert warm.store_rejects == 1
+        assert warm.specialize_restored > 0
