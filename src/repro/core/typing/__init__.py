@@ -3,7 +3,12 @@
 from repro.core.typing.unify import check_subtype, join_types, unify_types
 from repro.core.typing.infer import InferType, infer_expr_type, infer_types
 from repro.core.typing.subshape import any_dim_groups, shared_any_dims
-from repro.core.typing.bind import bind_any_dims, collect_shape_bindings
+from repro.core.typing.bind import (
+    bind_any_dims,
+    collect_any_tokens,
+    collect_shape_bindings,
+    translate_binding,
+)
 
 __all__ = [
     "check_subtype",
@@ -15,5 +20,7 @@ __all__ = [
     "any_dim_groups",
     "shared_any_dims",
     "bind_any_dims",
+    "collect_any_tokens",
     "collect_shape_bindings",
+    "translate_binding",
 ]

@@ -8,17 +8,22 @@ substituted module propagates the now-static dims through every operator,
 so downstream passes (manifest allocation, memory planning) see static
 extents and emit none of the dynamic-shape machinery.
 
-Two helpers live here:
+Helpers living here:
 
 * :func:`collect_shape_bindings` — walk a parameter annotation against a
   concrete shape spec, producing the ``{token: value}`` binding (and
   validating rank/static-dim agreement);
-* :func:`bind_any_dims` — apply a binding to a type, recursively.
+* :func:`bind_any_dims` — apply a binding to a type, recursively;
+* :func:`collect_any_tokens` / :func:`translate_binding` — carry a
+  binding between two structurally identical functions whose ``Any``
+  tokens differ (a staged-compilation prefix restored from the artifact
+  store was pickled in another process, so its token integers come from
+  that process's counter).
 """
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from repro.errors import TypeInferenceError
 from repro.ir.types import Any, FuncType, TensorType, TupleType, Type, TypeCall
@@ -104,6 +109,67 @@ def batch_type(ty: Type, batch: int, what: str = "batch specialization") -> Type
     if isinstance(ty, TupleType):
         return TupleType([batch_type(f, batch, what) for f in ty.fields])
     raise TypeInferenceError(f"{what}: cannot stack a batch dim into {ty!r}")
+
+
+def collect_any_tokens(ty: Optional[Type], out: Optional[List[int]] = None) -> List[int]:
+    """Every ``Any`` token in *ty*, in first-occurrence (depth-first)
+    order, each token once. The order is structural, so two types that
+    print identically yield positionally corresponding token lists even
+    when the token integers themselves differ."""
+    out = out if out is not None else []
+    if isinstance(ty, TensorType):
+        for dim in ty.shape:
+            if isinstance(dim, Any) and dim.token not in out:
+                out.append(dim.token)
+        return out
+    if isinstance(ty, TupleType):
+        for field in ty.fields:
+            collect_any_tokens(field, out)
+        return out
+    if isinstance(ty, FuncType):
+        for arg in ty.arg_types:
+            collect_any_tokens(arg, out)
+        collect_any_tokens(ty.ret_type, out)
+        return out
+    if isinstance(ty, TypeCall):
+        for arg in ty.args:
+            collect_any_tokens(arg, out)
+        return out
+    return out
+
+
+def translate_binding(src_func, dst_func, binding: Binding) -> Binding:
+    """Re-express *binding* (token space of *src_func*'s parameter
+    annotations) in the token space of the structurally identical
+    *dst_func*.
+
+    A staged-compilation prefix restored from the artifact store carries
+    ``Any`` tokens allocated by the process that pickled it; a binding
+    derived from the live dynamic module (the serving bucketer's token
+    list) would silently bind nothing against it. Tokens correspond
+    positionally — both functions' annotations are the same types,
+    printed identically — so the translation is a zip of the two
+    first-occurrence token orders. Rejects structural drift loudly.
+    """
+    src_tokens: List[int] = []
+    dst_tokens: List[int] = []
+    for p in src_func.params:
+        collect_any_tokens(p.type_annotation, src_tokens)
+    for p in dst_func.params:
+        collect_any_tokens(p.type_annotation, dst_tokens)
+    if len(src_tokens) != len(dst_tokens):
+        raise TypeInferenceError(
+            f"binding translation: source entry has {len(src_tokens)} Any "
+            f"token(s) but the target entry has {len(dst_tokens)} — the "
+            f"functions are not structurally identical"
+        )
+    mapping = dict(zip(src_tokens, dst_tokens))
+    out: Binding = {}
+    for token, value in binding.items():
+        mapped = mapping.get(token)
+        if mapped is not None:
+            out[mapped] = value
+    return out
 
 
 def bind_any_dims(ty: Type, binding: Binding) -> Type:

@@ -44,6 +44,7 @@ from repro.ir.types import (
     Type,
     TypeCall,
     TypeVar,
+    has_any_dim,
 )
 from repro.core.typing.unify import check_subtype, join_types, unify_types
 from repro.ops.registry import get_op_def
@@ -153,7 +154,19 @@ class _Inferencer:
             var = node.var
             if var.type_annotation is not None:
                 check_subtype(value_ty, var.type_annotation, f"let %{var.name_hint}")
-                var.checked_type = var.type_annotation
+                # The annotation is the declared interface, but when it
+                # still carries Any dims and the value's inferred type is
+                # fully static, the value type is the strictly more
+                # precise (and sub-shaping-compatible) of the two. Keeping
+                # it is what lets residual inference after shape binding
+                # staticize a chain whose annotations were written against
+                # the dynamic module — an Any-annotated let would
+                # otherwise pin its binding dynamic forever and drag shape
+                # functions back into a fully bound module.
+                if has_any_dim(var.type_annotation) and not has_any_dim(value_ty):
+                    var.checked_type = value_ty
+                else:
+                    var.checked_type = var.type_annotation
             else:
                 var.checked_type = value_ty
             self._memo[id(var)] = var.checked_type

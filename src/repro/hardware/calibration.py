@@ -86,6 +86,38 @@ SPECIALIZE_PER_KERNEL_US = {
     "arm": 12_000.0,
 }
 
+# Staged-specialization split of the same charge (docs/serving.md). The
+# shape-independent *prefix* (normalization, CSE/DCE, lambda lifting,
+# dynamic type inference) runs once per (module, platform); only the
+# *suffix* (shape binding, residual inference, fusion, allocation,
+# codegen) repeats per variant. The split is 60/40: normalization walks
+# the whole module and dominates, while the suffix starts from an
+# already-normalized IR. Prefix + suffix equal the monolithic constants
+# above exactly, so a single-variant staged compile costs the same as a
+# monolithic one — staging only wins when the prefix amortizes over
+# multiple variants.
+SPECIALIZE_PREFIX_FRACTION = 0.6
+SPECIALIZE_PREFIX_BASE_US = {
+    "intel": 12_000.0,
+    "nvidia": 15_000.0,
+    "arm": 36_000.0,
+}
+SPECIALIZE_PREFIX_PER_KERNEL_US = {
+    "intel": 2_400.0,
+    "nvidia": 3_000.0,
+    "arm": 7_200.0,
+}
+SPECIALIZE_SUFFIX_BASE_US = {
+    "intel": 8_000.0,
+    "nvidia": 10_000.0,
+    "arm": 24_000.0,
+}
+SPECIALIZE_SUFFIX_PER_KERNEL_US = {
+    "intel": 1_600.0,
+    "nvidia": 2_000.0,
+    "arm": 4_800.0,
+}
+
 # Modeled cost of *restoring* a specialized executable from the on-disk
 # artifact store instead of recompiling it: mmap/read the blob, decode
 # the bytecode, re-materialize kernels from their serialized schedules.

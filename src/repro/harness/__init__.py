@@ -3,6 +3,7 @@
 from repro.harness.experiments import (
     batch_specialization_study,
     compile_pool_study,
+    staged_compile_study,
     figure3_dispatch,
     memory_planning_study,
     restart_study,
@@ -26,6 +27,7 @@ __all__ = [
     "serving_study",
     "specialization_study",
     "compile_pool_study",
+    "staged_compile_study",
     "restart_study",
     "batch_specialization_study",
     "tuning_ablation",

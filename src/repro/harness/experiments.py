@@ -692,6 +692,119 @@ def compile_pool_study(
 
 
 # ---------------------------------------------------------------------------
+# Staged-compilation study: monolithic vs prefix+suffix charging
+# ---------------------------------------------------------------------------
+
+
+def staged_compile_study(
+    platform_name: str = "intel",
+    num_requests: int = 192,
+    mean_interarrival_us: float = 300.0,
+    threshold: int = 3,
+    cache_size: int = 4,
+    compile_lanes: int = 1,
+    decay_half_life_us: float = 6_000.0,
+    input_size: int = 16,
+    hidden_size: int = 16,
+    max_batch_size: int = 4,
+    max_delay_us: float = 1500.0,
+    num_workers: int = 2,
+    seed: int = 0,
+) -> Dict[str, Dict[str, float]]:
+    """Monolithic vs staged specialization on the long-tailed shape mix,
+    identical traces and knobs, lanes held at *compile_lanes* (default 1
+    — the narrowest pool, where per-variant charge directly becomes
+    queue wait).
+
+    Per mode: total/amortized compile charge, the prefix/suffix split,
+    queue-wait mean/p99, hit rate, and a replay-determinism flag. The
+    summary reports the amortized per-variant charge ratio
+    (staged / monolithic — below 1 once the prefix amortizes over a
+    second variant) and the marginal charge of the 2nd+ variants as a
+    fraction of the monolithic per-variant charge (the ≤ 0.5 headline:
+    a warm-prefix variant pays only the suffix share of the model).
+    """
+    from repro.serve import InferenceServer, ServeConfig, long_tailed_traffic
+
+    platform = platform_by_name(platform_name)
+    weights = LSTMWeights.create(input_size, hidden_size, num_layers=1, seed=seed)
+    mod = build_lstm_module(weights)
+    requests = long_tailed_traffic(
+        num_requests,
+        input_size=input_size,
+        mean_interarrival_us=mean_interarrival_us,
+        seed=seed,
+    )
+    shared_cache = KernelCache()
+
+    def run(staged: bool) -> Dict[str, float]:
+        config = ServeConfig(
+            max_batch_size=max_batch_size,
+            max_delay_us=max_delay_us,
+            num_workers=num_workers,
+            specialize=True,
+            specialize_threshold=threshold,
+            specialize_max_executables=cache_size,
+            specialize_compile_lanes=compile_lanes,
+            specialize_decay_half_life_us=decay_half_life_us,
+            specialize_staged=staged,
+        )
+        server = InferenceServer(mod, platform, config, kernel_cache=shared_cache)
+        report = server.simulate(requests)
+        replay = server.simulate(requests)
+        deterministic = (
+            report.latencies_us == replay.latencies_us
+            and report.specialized_hits == replay.specialized_hits
+            and report.specialize_queue_waits_us == replay.specialize_queue_waits_us
+            and report.specialize_compile_us == replay.specialize_compile_us
+        )
+        fresh = max(1.0, float(report.specialize_fresh_compiles))
+        return {
+            "specialized_hit_rate": report.specialized_hit_rate,
+            "fresh_compiles": float(report.specialize_fresh_compiles),
+            "compile_us": report.specialize_compile_us,
+            "prefix_us": report.specialize_prefix_us,
+            "suffix_us": report.specialize_suffix_us,
+            "amortized_per_variant_us": report.specialize_compile_us / fresh,
+            "mean_queue_wait_us": report.mean_compile_queue_wait_us,
+            "p99_queue_wait_us": report.compile_queue_wait_percentile_us(99.0),
+            "p50_us": report.p50_us,
+            "p99_us": report.p99_us,
+            "deterministic": float(deterministic),
+        }
+
+    mono = run(False)
+    staged = run(True)
+    mono_per_variant = mono["amortized_per_variant_us"]
+    # Marginal charge of a variant under a warm prefix: every staged
+    # variant pays the same suffix, so it is the non-prefix lane time
+    # per fresh compile.
+    marginal = (staged["compile_us"] - staged["prefix_us"]) / max(
+        1.0, staged["fresh_compiles"]
+    )
+    results = {
+        "monolithic": mono,
+        "staged": staged,
+        "summary": {
+            "amortized_ratio": (
+                staged["amortized_per_variant_us"] / mono_per_variant
+                if mono_per_variant
+                else 0.0
+            ),
+            "warm_prefix_marginal_ratio": (
+                marginal / mono_per_variant if mono_per_variant else 0.0
+            ),
+            "queue_wait_p99_mono_us": mono["p99_queue_wait_us"],
+            "queue_wait_p99_staged_us": staged["p99_queue_wait_us"],
+            "deterministic": float(
+                mono["deterministic"] == 1.0 and staged["deterministic"] == 1.0
+            ),
+        },
+    }
+    return results
+
+
+# ---------------------------------------------------------------------------
 # Batch-granularity specialization study
 # ---------------------------------------------------------------------------
 

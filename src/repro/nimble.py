@@ -18,10 +18,28 @@ and re-runs the identical pass sequence, so shape functions disappear,
 allocations get compile-time sizes, and kernels compile without residue
 dispatch — while sharing the dynamic build's :class:`KernelCache` so
 common (already-static) kernels compile once.
+
+Specialization is *staged*: the shape-independent front of the pipeline
+— type inference over the dynamic module, constant folding,
+simplification, ANF conversion, CSE, DCE, and lambda lifting — depends
+only on (module, platform), never on which shape gets bound, so
+:func:`build_prefix` runs it once and packages the result as a
+:class:`SpecializationPrefix`. ``specialize(prefix=...)`` then runs only
+the *suffix* per variant: substitute the binding, finish residual type
+inference, and re-run fusion, manifest allocation, placement, planning,
+and codegen. Member and batched variants of the same shape share one
+prefix. :func:`compile_prefix` adds the caching: in-process per
+(fingerprint, platform), and persistently in the ``repro.store``
+artifact store, so even a restarted server skips the prefix work.
 """
 
 from __future__ import annotations
 
+import contextlib
+import hashlib
+import pickle
+import struct
+import sys
 import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
@@ -29,7 +47,8 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from repro.codegen.kernels import KernelCache
 from repro.core.device import DevicePlace, PlacementReport
 from repro.core.memory import ManifestAlloc, MemoryPlan, MemoryPlanReport
-from repro.core.typing import InferType
+from repro.core.typing import InferType, translate_binding
+from repro.errors import CompilerError, SerializationError
 from repro.hardware.platforms import Platform, intel_cpu
 from repro.ir.module import IRModule
 from repro.ir.printer import module_fingerprint
@@ -51,11 +70,16 @@ from repro.vm.interpreter import VirtualMachine  # re-export for convenience
 
 __all__ = [
     "build",
+    "build_prefix",
+    "compile_prefix",
+    "clear_prefix_cache",
+    "prefix_store_key",
     "specialize",
     "save_artifacts",
     "load_artifacts",
     "BuildReport",
     "CompilerOptions",
+    "SpecializationPrefix",
     "VirtualMachine",
 ]
 
@@ -75,6 +99,53 @@ class BuildReport:
     # types (e.g. the serving layer's shape bucketer) reuse this instead
     # of re-running inference.
     typed_module: Optional[IRModule] = None
+
+
+def _lower_and_compile(
+    typed: IRModule,
+    platform: Platform,
+    options: CompilerOptions,
+    plan_memory: bool,
+    kernel_cache: Optional[KernelCache],
+    source_signature: str,
+    passes: List,
+    pre_timings: Dict[str, float],
+) -> Tuple[Executable, BuildReport]:
+    """The shared back half of every compile: run *passes* (then
+    placement and planning) over the already type-checked *typed*, emit
+    VM bytecode + kernels, and stamp the artifact-store identity."""
+    passes = list(passes)
+    # Placement must precede planning: the coalescer may only multiplex
+    # tensors that live on the same device, and output buffers must be
+    # allocated directly on their kernel's device (never copy-patched).
+    device_pass = DevicePlace(platform.host, platform.compute)
+    passes.append(device_pass)
+    memory_pass = MemoryPlan() if plan_memory else None
+    if memory_pass is not None:
+        passes.append(memory_pass)
+
+    pipeline = Sequential(passes)
+    lowered = pipeline.run(typed)
+
+    compiler = VMCompiler(platform, options, kernel_cache)
+    exe = compiler.compile(lowered)
+    # Stamp the artifact-store identity: which module these bytes were
+    # compiled from. `specialize` passes the *dynamic* source module's
+    # fingerprint so all of one model's shape variants share a module
+    # identity in the store key.
+    exe.source_signature = source_signature
+
+    report = BuildReport(
+        pass_timings={**pre_timings, **pipeline.timings},
+        memory=memory_pass.report if memory_pass is not None else None,
+        placement=device_pass.report,
+        num_kernels=len(exe.kernels),
+        num_instructions=exe.num_instructions,
+        bytecode_bytes=exe.bytecode_size_bytes(),
+        kernel_code_bytes=exe.kernel_code_size_bytes(),
+        typed_module=typed,
+    )
+    return exe, report
 
 
 def build(
@@ -108,40 +179,240 @@ def build(
         FuseOps(),
         ManifestAlloc(),
     ]
-    # Placement must precede planning: the coalescer may only multiplex
-    # tensors that live on the same device, and output buffers must be
-    # allocated directly on their kernel's device (never copy-patched).
-    device_pass = DevicePlace(platform.host, platform.compute)
-    passes.append(device_pass)
-    memory_pass = MemoryPlan() if plan_memory else None
-    if memory_pass is not None:
-        passes.append(memory_pass)
-
-    pipeline = Sequential(passes)
-    lowered = pipeline.run(typed)
-
-    compiler = VMCompiler(platform, options, kernel_cache)
-    exe = compiler.compile(lowered)
-    # Stamp the artifact-store identity: which module these bytes were
-    # compiled from. `specialize` passes the *dynamic* source module's
-    # fingerprint so all of one model's shape variants share a module
-    # identity in the store key.
-    exe.source_signature = (
+    signature = (
         source_signature if source_signature is not None
         else module_fingerprint(mod)
     )
-
-    report = BuildReport(
-        pass_timings={"InferType": infer_time, **pipeline.timings},
-        memory=memory_pass.report if memory_pass is not None else None,
-        placement=device_pass.report,
-        num_kernels=len(exe.kernels),
-        num_instructions=exe.num_instructions,
-        bytecode_bytes=exe.bytecode_size_bytes(),
-        kernel_code_bytes=exe.kernel_code_size_bytes(),
-        typed_module=typed,
+    return _lower_and_compile(
+        typed, platform, options, plan_memory, kernel_cache, signature,
+        passes, {"InferType": infer_time},
     )
-    return exe, report
+
+
+# ---------------------------------------------------------------------------
+# Staged specialization: the shape-independent prefix
+# ---------------------------------------------------------------------------
+
+# Serialization version of prefix blobs. Bumping it changes every prefix
+# store key (the version is a key component), so stale blobs are never
+# even looked up — the same structural-staleness scheme executables use.
+PREFIX_VERSION = 1
+_PREFIX_MAGIC = b"NMBP"
+
+
+def prefix_store_key(source_signature: str, platform_name: str) -> str:
+    """The artifact-store key of one module's specialization prefix:
+    content-addressed over (module fingerprint, platform, blob format),
+    mirroring :func:`repro.vm.executable.artifact_key` for executables."""
+    identity = repr(("nimble-prefix", source_signature, platform_name, PREFIX_VERSION))
+    return hashlib.sha256(identity.encode("utf-8")).hexdigest()
+
+
+@contextlib.contextmanager
+def _deep_recursion(limit: int = 20_000):
+    """Pickling an ANF module recurses once per Let link; a long chain
+    overruns the default interpreter limit long before it troubles
+    memory. Raised temporarily, never lowered."""
+    old = sys.getrecursionlimit()
+    sys.setrecursionlimit(max(old, limit))
+    try:
+        yield
+    finally:
+        sys.setrecursionlimit(old)
+
+
+@dataclass
+class SpecializationPrefix:
+    """The shape-independent front of the specialization pipeline, run
+    once per (module fingerprint, platform) and shared by every shape
+    variant — member-wise and batched alike.
+
+    ``module`` is the dynamic module after type inference, constant
+    folding, simplification, ANF conversion, CSE, DCE, and lambda
+    lifting: everything that does not depend on which ``Any`` tokens get
+    bound. Fusion is deliberately *not* in the prefix — fused primitive
+    parameters carry checked-type annotations with fresh ``Any`` tokens
+    a later binding could never reach, and the batch rewrite needs a
+    pre-fusion module — so fusion runs in the per-variant suffix, after
+    binding, where it sees static extents.
+
+    ``save``/``load`` round-trip the prefix through the artifact store
+    (magic + version + content digest + pickled module); loads are
+    paranoid like executable loads — truncation, version skew, digest
+    mismatch, and fingerprint mismatch all raise
+    :class:`SerializationError`, which store callers turn into a counted
+    skip, never a wrong compile."""
+
+    module: IRModule
+    source_signature: str
+    platform_name: str
+    entry: str = "main"
+    pass_timings: Dict[str, float] = field(default_factory=dict)
+
+    def store_key(self) -> str:
+        return prefix_store_key(self.source_signature, self.platform_name)
+
+    def save(self) -> bytes:
+        with _deep_recursion():
+            payload = pickle.dumps(
+                (self.source_signature, self.platform_name, self.entry, self.module),
+                protocol=4,
+            )
+        digest = hashlib.sha256(payload).digest()
+        return (
+            _PREFIX_MAGIC
+            + struct.pack("<I", PREFIX_VERSION)
+            + digest
+            + payload
+        )
+
+    @staticmethod
+    def load(
+        blob: bytes, expected_signature: Optional[str] = None
+    ) -> "SpecializationPrefix":
+        header = len(_PREFIX_MAGIC) + 4 + 32
+        if len(blob) < header:
+            raise SerializationError(
+                f"prefix blob truncated: {len(blob)} bytes"
+            )
+        if blob[: len(_PREFIX_MAGIC)] != _PREFIX_MAGIC:
+            raise SerializationError("prefix blob has a bad magic number")
+        (version,) = struct.unpack(
+            "<I", blob[len(_PREFIX_MAGIC): len(_PREFIX_MAGIC) + 4]
+        )
+        if version != PREFIX_VERSION:
+            raise SerializationError(
+                f"prefix blob is version {version}, this build reads "
+                f"version {PREFIX_VERSION}"
+            )
+        digest = blob[len(_PREFIX_MAGIC) + 4: header]
+        payload = blob[header:]
+        if hashlib.sha256(payload).digest() != digest:
+            raise SerializationError("prefix blob content digest mismatch")
+        try:
+            with _deep_recursion():
+                signature, platform_name, entry, module = pickle.loads(payload)
+        except SerializationError:
+            raise
+        except Exception as err:  # corrupt pickles raise all sorts
+            raise SerializationError(
+                f"prefix blob failed to deserialize: {err}"
+            )
+        if not isinstance(module, IRModule):
+            raise SerializationError(
+                f"prefix blob holds a {type(module).__name__}, not a module"
+            )
+        if expected_signature is not None and signature != expected_signature:
+            raise SerializationError(
+                f"prefix was built from module {signature[:12]}…, "
+                f"expected {expected_signature[:12]}…"
+            )
+        return SpecializationPrefix(
+            module=module,
+            source_signature=signature,
+            platform_name=platform_name,
+            entry=entry,
+        )
+
+
+def build_prefix(
+    mod: IRModule,
+    platform: Optional[Platform] = None,
+    source_signature: Optional[str] = None,
+    entry: str = "main",
+) -> SpecializationPrefix:
+    """Run the shape-independent prefix of the specialization pipeline
+    over the *dynamic* module: inference with ``Any`` dims, then every
+    normalization pass whose output a shape binding cannot change.
+    The result feeds ``specialize(prefix=...)`` for each variant."""
+    platform = platform or intel_cpu()
+    signature = (
+        source_signature if source_signature is not None
+        else module_fingerprint(mod)
+    )
+    infer_start = time.perf_counter()
+    typed = InferType()(mod)
+    infer_time = time.perf_counter() - infer_start
+    pipeline = Sequential(
+        [
+            FoldConstant(),
+            SimplifyExpressions(),
+            ToANF(),
+            CommonSubexprElimination(),
+            DeadCodeElimination(),
+            LambdaLift(),
+        ]
+    )
+    normalized = pipeline.run(typed)
+    if entry not in normalized:
+        raise CompilerError(f"module has no entry function {entry!r}")
+    return SpecializationPrefix(
+        module=normalized,
+        source_signature=signature,
+        platform_name=platform.name,
+        entry=entry,
+        pass_timings={"InferType": infer_time, **pipeline.timings},
+    )
+
+
+# The in-process prefix cache, keyed (module fingerprint, platform name).
+# Entries are inserted only after a prefix builds *completely* — an
+# exception mid-construction leaves no partial entry to poison later
+# callers (see compile_prefix).
+_PREFIX_CACHE: Dict[Tuple[str, str], SpecializationPrefix] = {}
+
+
+def clear_prefix_cache() -> None:
+    """Drop every in-process cached prefix (test isolation hook)."""
+    _PREFIX_CACHE.clear()
+
+
+def compile_prefix(
+    mod: IRModule,
+    platform: Optional[Platform] = None,
+    source_signature: Optional[str] = None,
+    entry: str = "main",
+    store=None,
+    use_cache: bool = True,
+) -> Tuple[SpecializationPrefix, str]:
+    """Obtain the specialization prefix for (mod, platform), cheapest
+    source first; returns ``(prefix, origin)`` with origin one of
+    ``"memory"`` (in-process cache), ``"store"`` (validated artifact-
+    store blob), or ``"built"`` (computed now).
+
+    Cache-poisoning safety: the in-process cache and the store are
+    written strictly *after* a complete, successful build — a pass that
+    raises mid-prefix leaves both untouched, so the next call rebuilds
+    from scratch instead of reusing a partial result. Store blobs that
+    fail validation are skipped (the store counts the reject in its
+    ``reject_log``) and the prefix is rebuilt — never trusted."""
+    platform = platform or intel_cpu()
+    signature = (
+        source_signature if source_signature is not None
+        else module_fingerprint(mod)
+    )
+    key = (signature, platform.name)
+    if use_cache:
+        found = _PREFIX_CACHE.get(key)
+        if found is not None:
+            return found, "memory"
+    if store is not None:
+        found = store.get_prefix(
+            prefix_store_key(signature, platform.name),
+            expected_signature=signature,
+        )
+        if found is not None:
+            if use_cache:
+                _PREFIX_CACHE[key] = found
+            return found, "store"
+    prefix = build_prefix(
+        mod, platform, source_signature=signature, entry=entry
+    )
+    if use_cache:
+        _PREFIX_CACHE[key] = prefix
+    if store is not None:
+        store.put_prefix(prefix)
+    return prefix, "built"
 
 
 def specialize(
@@ -155,6 +426,7 @@ def specialize(
     entry: str = "main",
     batch: int = 1,
     source_signature: Optional[str] = None,
+    prefix: Optional[SpecializationPrefix] = None,
 ) -> Tuple[Executable, BuildReport]:
     """Compile a static-shape executable for one concrete input shape.
 
@@ -178,21 +450,17 @@ def specialize(
     ``specialized_batch``. Raises
     :class:`repro.passes.BatchSpecializeError` on modules that cannot be
     batch-rewritten (e.g. ADT entries).
+
+    With ``prefix`` (a :class:`SpecializationPrefix` for this module and
+    platform), only the shape-binding *suffix* runs: the binding is
+    substituted into the already normalized prefix module, residual type
+    inference finishes the staticization, and just fusion, manifest
+    allocation, placement, planning, and codegen execute per variant.
+    Outputs are bit-identical to the monolithic path and the executable
+    carries the same artifact key (``tests/test_differential.py`` fuzzes
+    both claims); only the per-variant compile work shrinks.
     """
-    spec_pass = SpecializeShapes(shapes=shapes, binding=binding, entry=entry)
-    specialized = spec_pass(mod)
-    if batch > 1:
-        specialized = SpecializeBatch(batch, entry=entry)(specialized)
-    base = options or CompilerOptions()
-    opts = CompilerOptions(
-        tune=base.tune,
-        num_dispatch_kernels=base.num_dispatch_kernels,
-        allow_library=base.allow_library,
-        schedule=base.schedule,
-        tuning_trials=base.tuning_trials,
-        specialized_shapes=spec_pass.bound_shapes,
-        specialized_batch=batch if batch > 1 else None,
-    )
+    platform = platform or intel_cpu()
     # The store key's module component must be the *dynamic* source
     # module — the thing a restarted server still has in hand when it
     # asks "do I already own a build for this shape?" — not the
@@ -201,9 +469,97 @@ def specialize(
     # already holds it.
     if source_signature is None:
         source_signature = module_fingerprint(mod)
+    if prefix is not None:
+        return _specialize_from_prefix(
+            mod, prefix, platform, shapes, binding, options, plan_memory,
+            kernel_cache, entry, batch, source_signature,
+        )
+    spec_pass = SpecializeShapes(shapes=shapes, binding=binding, entry=entry)
+    specialized = spec_pass(mod)
+    if batch > 1:
+        specialized = SpecializeBatch(batch, entry=entry)(specialized)
+    opts = _variant_options(options, spec_pass.bound_shapes, batch)
     return build(
         specialized, platform, opts, plan_memory=plan_memory,
         kernel_cache=kernel_cache, source_signature=source_signature,
+    )
+
+
+def _variant_options(
+    base: Optional[CompilerOptions], bound_shapes, batch: int
+) -> CompilerOptions:
+    base = base or CompilerOptions()
+    return CompilerOptions(
+        tune=base.tune,
+        num_dispatch_kernels=base.num_dispatch_kernels,
+        allow_library=base.allow_library,
+        schedule=base.schedule,
+        tuning_trials=base.tuning_trials,
+        specialized_shapes=bound_shapes,
+        specialized_batch=batch if batch > 1 else None,
+    )
+
+
+def _specialize_from_prefix(
+    mod: IRModule,
+    prefix: SpecializationPrefix,
+    platform: Platform,
+    shapes,
+    binding,
+    options: Optional[CompilerOptions],
+    plan_memory: bool,
+    kernel_cache: Optional[KernelCache],
+    entry: str,
+    batch: int,
+    source_signature: str,
+) -> Tuple[Executable, BuildReport]:
+    """The shape-binding suffix: everything ``specialize`` must redo per
+    variant once the shape-independent prefix exists."""
+    if prefix.source_signature != source_signature:
+        raise CompilerError(
+            f"specialization prefix was built from module "
+            f"{prefix.source_signature[:12]}…, not {source_signature[:12]}…"
+        )
+    if prefix.platform_name != platform.name:
+        raise CompilerError(
+            f"specialization prefix was built for platform "
+            f"{prefix.platform_name!r}, not {platform.name!r}"
+        )
+    if entry not in prefix.module or entry not in mod:
+        raise CompilerError(f"module has no entry function {entry!r}")
+    if binding:
+        # The binding is expressed in the *source* module's Any-token
+        # space. In-process the prefix shares those token objects, but a
+        # store-restored prefix was pickled under another process's
+        # token counter — translate positionally (entry annotations are
+        # structurally identical) so the substitution lands either way.
+        binding = translate_binding(mod[entry], prefix.module[entry], binding)
+    spec_pass = SpecializeShapes(shapes=shapes, binding=binding, entry=entry)
+    specialized = spec_pass(prefix.module)
+    if batch > 1:
+        specialized = SpecializeBatch(batch, entry=entry)(specialized)
+
+    infer_start = time.perf_counter()
+    typed = InferType()(specialized)
+    infer_time = time.perf_counter() - infer_start
+    # The prefix module is already in strict ANF and the shape
+    # substitution preserves that structure, so the member-wise suffix
+    # goes straight to fusion. The batch rewrite, however, emits nested
+    # calls (lifted reshapes, offset-index chains), so its suffix
+    # re-normalizes first — exactly what the monolithic path's full
+    # pipeline did after SpecializeBatch.
+    passes: List = []
+    if batch > 1:
+        passes += [
+            ToANF(),
+            CommonSubexprElimination(),
+            DeadCodeElimination(),
+        ]
+    passes += [FuseOps(), ManifestAlloc()]
+    opts = _variant_options(options, spec_pass.bound_shapes, batch)
+    return _lower_and_compile(
+        typed, platform, opts, plan_memory, kernel_cache, source_signature,
+        passes, {"InferType": infer_time},
     )
 
 

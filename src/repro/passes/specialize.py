@@ -202,6 +202,11 @@ class SpecializeShapes(Pass):
         self.bound_shapes = None
 
     def run(self, mod: IRModule) -> IRModule:
+        # Reset on entry, not just set on success: ``bound_shapes`` is
+        # how callers read the pass result, and a reused instance whose
+        # second run raises mid-way must not report the *previous*
+        # module's shapes as if they belonged to this one.
+        self.bound_shapes = None
         if self.entry not in mod:
             raise CompilerError(f"module has no entry function {self.entry!r}")
         entry_fn = mod[self.entry]
@@ -753,6 +758,10 @@ class SpecializeBatch(Pass):
         from repro.core.typing import infer_types
         from repro.errors import TypeInferenceError
 
+        # Same stale-state hazard as SpecializeShapes.bound_shapes: a
+        # reused instance that raises mid-run (batch rewrites refuse
+        # plenty of modules) must not keep the previous run's result.
+        self.batched_shapes = None
         if self.entry not in mod:
             raise CompilerError(f"module has no entry function {self.entry!r}")
         if self.batch == 1:

@@ -44,6 +44,13 @@ class ServeReport:
     specialize_fresh_compiles: int = 0
     specialize_restore_us: float = 0.0
     store_rejects: int = 0
+    # Staged-compilation split of specialize_compile_us: the
+    # once-per-simulation shape-independent prefix charge vs the
+    # per-variant compile lane time. Under the monolithic pipeline
+    # (specialize_staged=False) the prefix is zero and the suffix
+    # equals the full fresh-compile charge.
+    specialize_prefix_us: float = 0.0
+    specialize_suffix_us: float = 0.0
 
     # ----------------------------------------------------------------- counts
     @property
@@ -238,6 +245,12 @@ class ServeReport:
                         prof.shape_func_time_us,
                     ]
                 )
+            staged_note = ""
+            if self.specialize_prefix_us:
+                staged_note = (
+                    f" (prefix {self.specialize_prefix_us:.0f} µs + "
+                    f"suffix {self.specialize_suffix_us:.0f} µs)"
+                )
             store_note = ""
             if self.specialize_restored or self.store_rejects:
                 store_note = (
@@ -252,7 +265,8 @@ class ServeReport:
                     f"(batched {100.0 * self.batched_hit_rate:.1f}%), "
                     f"{self.num_specialized_executables} compiled / "
                     f"{self.num_resident_executables} resident static exe(s), "
-                    f"compile {self.specialize_compile_us:.0f} µs, "
+                    f"compile {self.specialize_compile_us:.0f} µs"
+                    f"{staged_note}, "
                     f"{self.specialize_evictions} eviction(s)"
                     f"{store_note}",
                     tier_rows,
@@ -363,4 +377,10 @@ def build_report(
             specializer.store_rejects if specializer is not None else 0
         )
         + extra_store_rejects,
+        specialize_prefix_us=(
+            specializer.prefix_us_spent if specializer is not None else 0.0
+        ),
+        specialize_suffix_us=(
+            specializer.suffix_us_spent if specializer is not None else 0.0
+        ),
     )

@@ -98,6 +98,14 @@ class ServeConfig:
     # in-memory, exactly the pre-store behaviour.
     artifact_dir: Optional[str] = None
     specialize_restore_us: Optional[float] = None
+    # Staged specialization: compile hot-shape variants through a shared
+    # shape-independent prefix and split the modeled lane charge — the
+    # prefix is charged once per simulation, each variant pays only the
+    # shape-binding suffix (see docs/serving.md). With an artifact store
+    # the prefix blob persists too, so a restart restores it at the
+    # deserialize charge. Off by default: the monolithic charge model is
+    # unchanged.
+    specialize_staged: bool = False
 
     @property
     def batch_cap(self) -> int:
@@ -184,6 +192,7 @@ class InferenceServer:
                 batch_cap=self.config.batch_cap,
                 store=self.store,
                 restore_us=self.config.specialize_restore_us,
+                staged=self.config.specialize_staged,
             )
         self.workers = [
             Worker(

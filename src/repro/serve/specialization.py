@@ -60,6 +60,23 @@ store also changes what eviction costs: an evicted-then-re-armed shape
 restores its persisted binary at the deserialize charge instead of
 recompiling from scratch.
 
+With ``staged=True`` the manager compiles through the **staged
+pipeline** (``nimble.compile_prefix`` + ``nimble.specialize(prefix=...)``)
+and splits the modeled lane charge accordingly: the shape-independent
+*prefix* (normalization, CSE/DCE, lambda lifting, dynamic type
+inference) is charged **once per simulation**, folded into the first
+fresh compile's lane time (``SpecializationEvent.prefix_us``); every
+variant then pays only the *suffix* charge (shape binding, residual
+inference, fusion, allocation, codegen —
+``SPECIALIZE_SUFFIX_*_US``, or ``compile_us × (1 −
+SPECIALIZE_PREFIX_FRACTION)`` under an override). With a store
+attached the prefix blob persists too (``.nmblp``): a manager whose
+prefix already sat in the store at construction pays only the
+``RESTORE_BASE_US`` deserialize charge for it. Simulations that never
+compile fresh (fully warm restarts) never charge a prefix at all.
+Outputs stay bit-identical to the monolithic path — only the charge
+accounting and the compile-path plumbing change.
+
 Compiled artifacts are memoised across simulations, but hit counts,
 scores, lane state, pending queues, and ready times reset per replay, so
 repeated simulations of one trace are bit-identical. Replay identity
@@ -120,7 +137,13 @@ class SpecializationEvent:
     when the executable became routable. ``batch`` identifies the variant
     (1 = member-wise static, >1 = batch-specialized). ``restored`` marks
     a store restore: the lane deserialized a persisted artifact instead
-    of compiling, and ``compile_us`` is the modeled deserialize charge."""
+    of compiling, and ``compile_us`` is the modeled deserialize charge.
+
+    ``prefix_us`` (staged mode only) is the part of ``compile_us``
+    attributable to the once-per-simulation shape-independent prefix,
+    folded into the first fresh compile; ``compile_us`` stays the
+    *total* lane charge, so ``sum(e.compile_us)`` always equals total
+    lane busy time regardless of mode."""
 
     key: ExactKey
     trigger_us: float
@@ -130,6 +153,7 @@ class SpecializationEvent:
     lane: int
     batch: int = 1
     restored: bool = False
+    prefix_us: float = 0.0
 
     @property
     def queue_us(self) -> float:
@@ -160,6 +184,7 @@ class _PendingCompile:
     hit_times_us: List[float]
     batch: int = 1
     restored: bool = False
+    prefix_us: float = 0.0
 
     def hits_by(self, at_us: float) -> int:
         return sum(1 for t in self.hit_times_us if t <= at_us)
@@ -189,6 +214,14 @@ class SpecializationManager:
     of paying the compile charge. Store blobs that fail validation are
     skipped and counted (``store_rejects``) — the shape falls back to a
     fresh compile, exactly as if the store had missed.
+
+    ``staged=True`` switches to the staged compile pipeline: variants
+    compile through a shared shape-independent prefix
+    (``nimble.compile_prefix``), the prefix is charged once per
+    simulation (folded into the first fresh compile's lane time), and
+    each variant pays only the suffix share of the compile model — see
+    the module docstring. Off by default: monolithic charges stay
+    exactly as before.
     """
 
     def __init__(
@@ -208,6 +241,7 @@ class SpecializationManager:
         batch_cap: int = 1,
         store: Optional[ArtifactStore] = None,
         restore_us: Optional[float] = None,
+        staged: bool = False,
     ) -> None:
         if threshold < 1:
             raise ValueError(f"specialization threshold must be >= 1, got {threshold}")
@@ -244,6 +278,13 @@ class SpecializationManager:
         self.batch_cap = batch_cap
         self.store = store
         self.restore_us = restore_us
+        # Staged specialization: compile through the shape-independent
+        # prefix + shape-binding suffix, and split the modeled charge —
+        # the prefix is paid once per simulation (folded into the first
+        # fresh compile's lane time), every variant pays only the
+        # suffix. Opt-in: the default keeps the monolithic charge model
+        # (and its exact totals) unchanged.
+        self.staged = staged
         # The module component of every store key. Computed once — it
         # fingerprints the *dynamic* source module, which all of this
         # manager's shape variants share.
@@ -262,6 +303,25 @@ class SpecializationManager:
         # see _plan_artifact) to keep every simulation identical.
         self._rejected_keys: Set[str] = set()
         self._store_key_memo: Dict[VariantKey, str] = {}
+        # Staged-mode prefix state (cross-simulation, like _executables):
+        # the prefix itself is a pure function of (module, platform), so
+        # it is materialized once and reused by every replay. Whether it
+        # was restorable from the store is frozen at construction —
+        # a prefix this manager persists mid-run must not turn later
+        # replays warm (same rule as _store_keys_at_init).
+        self._prefix: Optional[nimble.SpecializationPrefix] = None
+        self._prefix_key = (
+            nimble.prefix_store_key(self._fingerprint, platform.name)
+            if staged
+            else None
+        )
+        self._prefix_in_store_at_init = (
+            staged
+            and store is not None
+            and store.contains_prefix(self._prefix_key)
+        )
+        self._prefix_restored = False
+        self._prefix_rejected = False
         # Compiled artifacts are memoised across simulations (compilation
         # is a pure function of module + shape + batch + platform, so
         # reusing them keeps replays bit-identical while skipping
@@ -308,6 +368,11 @@ class SpecializationManager:
         # trigger without re-reading the (possibly since-overwritten)
         # file.
         self.store_rejects: int = 0
+        # Staged mode: has this simulation paid the once-per-module
+        # prefix charge yet? Reset per replay — the model assumes a
+        # restart re-stages the pipeline, exactly like it assumes
+        # eviction dropped a binary.
+        self._prefix_charged = False
 
     # ------------------------------------------------------------------ stats
     @property
@@ -345,6 +410,22 @@ class SpecializationManager:
     def restore_us_spent(self) -> float:
         """Modeled deserialize time charged for store restores."""
         return sum(e.compile_us for e in self.events if e.restored)
+
+    @property
+    def prefix_us_spent(self) -> float:
+        """Lane time charged for the shape-independent prefix this
+        simulation (0 in monolithic mode, and in staged simulations
+        that never compiled fresh)."""
+        return sum(e.prefix_us for e in self.events)
+
+    @property
+    def suffix_us_spent(self) -> float:
+        """Lane time charged for per-variant compilation work: in
+        staged mode the shape-binding suffixes, in monolithic mode the
+        full compiles. Excludes store restores."""
+        return sum(
+            e.compile_us - e.prefix_us for e in self.events if not e.restored
+        )
 
     @property
     def queue_waits_us(self) -> List[float]:
@@ -484,7 +565,7 @@ class SpecializationManager:
             self.events.append(
                 SpecializationEvent(
                     job.key, job.trigger_us, start, ready, job.compile_us,
-                    lane, job.batch, job.restored,
+                    lane, job.batch, job.restored, job.prefix_us,
                 )
             )
 
@@ -524,9 +605,9 @@ class SpecializationManager:
             plan = self._plan_artifact(key, batch)
             if plan is None:
                 continue  # shape not batchable: member-wise only
-            cost, restored = plan
+            cost, restored, prefix_us = plan
             self._pending.append(
-                _PendingCompile(key, now_us, cost, [], batch, restored)
+                _PendingCompile(key, now_us, cost, [], batch, restored, prefix_us)
             )
 
     def _coldest_evictable(
@@ -606,12 +687,68 @@ class SpecializationManager:
             * len(exe.kernels)
         )
 
+    def _obtain_prefix(self) -> None:
+        """Materialize the shape-independent prefix (staged mode). Like
+        ``_executables`` this memo is cross-simulation — the prefix is a
+        pure function of (module, platform). The store is consulted only
+        when the prefix blob existed at construction (replay identity);
+        a blob that fails validation is memoised as rejected (never
+        re-read) and the prefix is rebuilt from source — and re-persisted,
+        healing the bad blob for the next process."""
+        if self._prefix is not None:
+            return
+        if self._prefix_in_store_at_init and not self._prefix_rejected:
+            found = self.store.get_prefix(
+                self._prefix_key, expected_signature=self._fingerprint
+            )
+            if found is not None:
+                self._prefix = found
+                self._prefix_restored = True
+                return
+            self._prefix_rejected = True
+        prefix, _ = nimble.compile_prefix(
+            self.mod,
+            self.platform,
+            source_signature=self._fingerprint,
+            entry=self.entry,
+        )
+        self._prefix = prefix
+        if self.store is not None:
+            self.store.put_prefix(prefix)
+
+    def _prefix_lane_charge(self, kernels: int) -> float:
+        """The once-per-simulation lane charge for staging the prefix.
+
+        A store-restored prefix pays only the base deserialize charge
+        (``restore_us`` override, else ``RESTORE_BASE_US`` — an IR blob
+        has no kernels to re-materialize). A fresh build pays the
+        prefix-side split of the compile model: ``compile_us ×
+        SPECIALIZE_PREFIX_FRACTION`` under an override, else the
+        ``SPECIALIZE_PREFIX_*_US`` calibration sized by *kernels* (the
+        first-compiled variant's kernel count — the prefix walks the
+        whole module, and any variant's count is the same module-size
+        proxy the monolithic model uses)."""
+        if self._prefix_restored:
+            if self.restore_us is not None:
+                return float(self.restore_us)
+            return calibration.RESTORE_BASE_US[self.platform.name]
+        if self.compile_us is not None:
+            return float(self.compile_us) * calibration.SPECIALIZE_PREFIX_FRACTION
+        return (
+            calibration.SPECIALIZE_PREFIX_BASE_US[self.platform.name]
+            + calibration.SPECIALIZE_PREFIX_PER_KERNEL_US[self.platform.name]
+            * kernels
+        )
+
     def _plan_artifact(
         self, key: ExactKey, batch: int
-    ) -> Optional[Tuple[float, bool]]:
+    ) -> Optional[Tuple[float, bool, float]]:
         """Decide how a triggered variant gets its executable: returns
-        ``(lane charge, restored)``, or ``None`` when the variant does
-        not exist (the batched rewrite refused this shape).
+        ``(lane charge, restored, prefix component)``, or ``None`` when
+        the variant does not exist (the batched rewrite refused this
+        shape). In staged mode the first fresh compile of a simulation
+        additionally carries the once-per-module prefix charge (the
+        prefix component; included in the lane charge).
 
         Restore sources, in order:
 
@@ -631,7 +768,7 @@ class SpecializationManager:
         """
         variant: VariantKey = (key, batch)
         if variant in self._persisted:
-            return self._restore_cost_of(self._executables[variant]), True
+            return self._restore_cost_of(self._executables[variant]), True, 0.0
         if self.store is not None:
             skey = self._store_key_for(key, batch)
             if skey in self._store_keys_at_init:
@@ -648,13 +785,26 @@ class SpecializationManager:
                         self.store_rejects += 1
                     else:
                         self._executables[variant] = exe
-                        return self._restore_cost_of(exe), True
+                        return self._restore_cost_of(exe), True, 0.0
         if not self._ensure_compiled(key, batch):
             return None
         if self.store is not None:
             self.store.put(self._executables[variant])
             self._persisted.add(variant)
-        return self._compile_cost[variant], False
+        prefix_us = 0.0
+        if self.staged and not self._prefix_charged:
+            # First fresh compile of this simulation: fold the
+            # once-per-module prefix charge into its lane time. (A
+            # rejected prefix blob re-counts here each replay, at the
+            # same trigger, without re-reading the file — same
+            # determinism rule as _rejected_keys above.)
+            self._prefix_charged = True
+            if self._prefix_rejected:
+                self.store_rejects += 1
+            prefix_us = self._prefix_lane_charge(
+                len(self._executables[variant].kernels)
+            )
+        return self._compile_cost[variant] + prefix_us, False, prefix_us
 
     def _ensure_compiled(self, key: ExactKey, batch: int = 1) -> bool:
         """Materialize the (shape, batch) artifact; returns False when
@@ -667,6 +817,8 @@ class SpecializationManager:
         if batch > 1 and key in self._unbatchable:
             return False
         binding = dict(zip(self.bucketer.tokens, key))
+        if self.staged:
+            self._obtain_prefix()
         try:
             exe, _ = nimble.specialize(
                 self.mod,
@@ -676,6 +828,7 @@ class SpecializationManager:
                 entry=self.entry,
                 batch=batch,
                 source_signature=self._fingerprint,
+                prefix=self._prefix if self.staged else None,
             )
         except NimbleError:
             # Member-wise compiles must succeed — those errors propagate.
@@ -690,6 +843,16 @@ class SpecializationManager:
         self._executables[variant] = exe
         if self.compile_us is not None:
             cost = float(self.compile_us)
+            if self.staged:
+                # The override names the *monolithic* per-variant cost;
+                # staged variants pay only the suffix share of it.
+                cost *= 1.0 - calibration.SPECIALIZE_PREFIX_FRACTION
+        elif self.staged:
+            cost = (
+                calibration.SPECIALIZE_SUFFIX_BASE_US[self.platform.name]
+                + calibration.SPECIALIZE_SUFFIX_PER_KERNEL_US[self.platform.name]
+                * len(exe.kernels)
+            )
         else:
             cost = (
                 calibration.SPECIALIZE_BASE_US[self.platform.name]

@@ -6,6 +6,7 @@ Directory layout (specified in ``docs/serialization.md``)::
     <artifact_dir>/
         STORE_FORMAT            # one line: the store-format version
         artifacts/<key>.nmbl    # Executable.save() blobs, content-addressed
+        artifacts/<key>.nmblp   # SpecializationPrefix.save() blobs
         kernels.kc              # KernelCache.export_entries() blob
 
 ``<key>`` is :func:`repro.vm.executable.artifact_key` — a sha256 over
@@ -42,6 +43,7 @@ from repro.vm.executable import Executable
 STORE_FORMAT = 1
 
 _ARTIFACT_SUFFIX = ".nmbl"
+_PREFIX_SUFFIX = ".nmblp"
 
 
 class ArtifactStore:
@@ -147,6 +149,64 @@ class ArtifactStore:
             return None
         return exe
 
+    # ----------------------------------------------------------------- prefixes
+    def prefix_keys(self) -> List[str]:
+        """Every specialization-prefix key currently on disk, sorted."""
+        return sorted(
+            p.name[: -len(_PREFIX_SUFFIX)]
+            for p in self.artifacts_dir.glob(f"*{_PREFIX_SUFFIX}")
+        )
+
+    def contains_prefix(self, key: str) -> bool:
+        return self._prefix_path(key).exists()
+
+    def put_prefix(self, prefix) -> str:
+        """File a :class:`repro.nimble.SpecializationPrefix` under its
+        store key; returns the key. Atomic and idempotent, like
+        :meth:`put`."""
+        key = prefix.store_key()
+        self._atomic_write(self._prefix_path(key), prefix.save())
+        return key
+
+    def get_prefix(self, key: str, expected_signature: Optional[str] = None):
+        """Load the specialization prefix filed under *key*, or ``None``.
+
+        Same contract as :meth:`get`: a plain miss returns ``None``
+        silently; every flavor of bad blob (truncated, stale version,
+        digest mismatch, wrong source module, key/path mismatch) also
+        returns ``None`` but lands in :attr:`reject_log`. The caller's
+        fallback is always the same: rebuild the prefix from source.
+        """
+        # Imported lazily: repro.nimble imports this module at top level,
+        # so the reverse import must wait until call time.
+        from repro.nimble import SpecializationPrefix, prefix_store_key
+
+        path = self._prefix_path(key)
+        try:
+            blob = path.read_bytes()
+        except FileNotFoundError:
+            return None  # plain miss: nothing was ever stored here
+        except OSError as err:
+            self.reject_log.append((key, f"unreadable prefix: {err}"))
+            return None
+        try:
+            prefix = SpecializationPrefix.load(
+                blob, expected_signature=expected_signature
+            )
+        except SerializationError as err:
+            self.reject_log.append((key, str(err)))
+            return None
+        # The blob deserialized, but is it the prefix this key names? A
+        # file renamed to the wrong path would otherwise hand back a
+        # prefix for a different (module, platform).
+        recomputed = prefix_store_key(prefix.source_signature, prefix.platform_name)
+        if recomputed != key:
+            self.reject_log.append(
+                (key, f"prefix keys to {recomputed}, filed as {key}")
+            )
+            return None
+        return prefix
+
     # ------------------------------------------------------------ kernel cache
     @property
     def kernel_cache_path(self) -> Path:
@@ -181,6 +241,9 @@ class ArtifactStore:
     # -------------------------------------------------------------- internals
     def _artifact_path(self, key: str) -> Path:
         return self.artifacts_dir / f"{key}{_ARTIFACT_SUFFIX}"
+
+    def _prefix_path(self, key: str) -> Path:
+        return self.artifacts_dir / f"{key}{_PREFIX_SUFFIX}"
 
     def _atomic_write(self, path: Path, data: bytes) -> None:
         fd, tmp = tempfile.mkstemp(dir=str(path.parent), prefix=".tmp-")

@@ -12,6 +12,13 @@ is a routing bug the serving layer would silently ship.
 Executables are memoised per (model, shape, batch) across examples and
 share one KernelCache per model, so the fuzz budget is spent running
 tensors, not recompiling the same module.
+
+The staged property extends the matrix: for every sampled binding, the
+prefix+suffix compile (``nimble.specialize(prefix=...)``, member and
+batched variants sharing one ``build_prefix`` result) must produce the
+same ``Executable`` artifact key AND bitwise-identical outputs as the
+monolithic compile — staging is an implementation detail, never an
+observable one.
 """
 
 import numpy as np
@@ -42,6 +49,7 @@ class _TierCache:
         self.platform = intel_cpu()
         self.kernel_cache = KernelCache()
         self._vms = {}
+        self._prefix = None
 
     def _vm(self, key, build):
         found = self._vms.get(key)
@@ -51,6 +59,18 @@ class _TierCache:
             found = VirtualMachine(exe, ctx)
             self._vms[key] = found
         return found
+
+    def exe(self, key):
+        return self._vms[key].exe
+
+    def prefix(self):
+        """One shape-independent prefix per model — member and batched
+        staged variants of every length share it."""
+        if self._prefix is None:
+            self._prefix, _ = nimble.compile_prefix(
+                self.mod, self.platform, use_cache=False
+            )
+        return self._prefix
 
     def dynamic(self) -> VirtualMachine:
         return self._vm(
@@ -80,6 +100,31 @@ class _TierCache:
                 shapes=[(length, self.input_dim)],
                 kernel_cache=self.kernel_cache,
                 batch=batch,
+            )[0],
+        )
+
+    def member_staged(self, length) -> VirtualMachine:
+        return self._vm(
+            ("member_staged", length),
+            lambda: nimble.specialize(
+                self.mod,
+                self.platform,
+                shapes=[(length, self.input_dim)],
+                kernel_cache=self.kernel_cache,
+                prefix=self.prefix(),
+            )[0],
+        )
+
+    def batched_staged(self, length, batch) -> VirtualMachine:
+        return self._vm(
+            ("batched_staged", length, batch),
+            lambda: nimble.specialize(
+                self.mod,
+                self.platform,
+                shapes=[(length, self.input_dim)],
+                kernel_cache=self.kernel_cache,
+                batch=batch,
+                prefix=self.prefix(),
             )[0],
         )
 
@@ -139,6 +184,39 @@ def _differential_case(model: str, length: int, batch: int, seed: int):
         )
 
 
+def _staged_case(model: str, length: int, batch: int, seed: int):
+    """Staged (prefix+suffix) vs monolithic: identical artifact keys and
+    bitwise-identical outputs, member and batched variants."""
+    cache = _cache(model)
+    rng = np.random.RandomState(seed)
+    members = [
+        (rng.randn(length, cache.input_dim) * 0.2).astype(np.float32)
+        for _ in range(batch)
+    ]
+
+    vm_mono = cache.member(length)
+    vm_staged = cache.member_staged(length)
+    assert (
+        cache.exe(("member", length)).content_hash()
+        == cache.exe(("member_staged", length)).content_hash()
+    ), f"member artifact key drift at length {length}"
+    for i, x in enumerate(members):
+        assert np.array_equal(
+            _run_drained(vm_mono, x), _run_drained(vm_staged, x)
+        ), f"member {i}: staged member tier diverged"
+
+    stacked_in = np.concatenate(members, axis=0)
+    vm_bmono = cache.batched(length, batch)
+    vm_bstaged = cache.batched_staged(length, batch)
+    assert (
+        cache.exe(("batched", length, batch)).content_hash()
+        == cache.exe(("batched_staged", length, batch)).content_hash()
+    ), f"batched artifact key drift at (length={length}, batch={batch})"
+    assert np.array_equal(
+        _run_drained(vm_bmono, stacked_in), _run_drained(vm_bstaged, stacked_in)
+    ), "staged batched tier diverged"
+
+
 class TestDifferential:
     @given(
         length=st.integers(1, MAX_LEN),
@@ -157,6 +235,24 @@ class TestDifferential:
     @settings(max_examples=100, deadline=None, derandomize=True)
     def test_bert_three_tiers_bit_identical(self, length, batch, seed):
         _differential_case("bert", length, batch, seed)
+
+    @given(
+        length=st.integers(1, MAX_LEN),
+        batch=st.sampled_from(BATCHES),
+        seed=st.integers(0, 2**16 - 1),
+    )
+    @settings(max_examples=50, deadline=None, derandomize=True)
+    def test_lstm_staged_equals_monolithic(self, length, batch, seed):
+        _staged_case("lstm", length, batch, seed)
+
+    @given(
+        length=st.integers(1, MAX_LEN),
+        batch=st.sampled_from(BATCHES),
+        seed=st.integers(0, 2**16 - 1),
+    )
+    @settings(max_examples=50, deadline=None, derandomize=True)
+    def test_bert_staged_equals_monolithic(self, length, batch, seed):
+        _staged_case("bert", length, batch, seed)
 
     def test_batched_tier_counts_one_gemm_per_site(self):
         """The whole point of the batched tier: a batch-of-B bucket pays

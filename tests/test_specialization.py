@@ -15,6 +15,7 @@ from repro.errors import CompilerError, TypeInferenceError
 from repro.hardware import intel_cpu, nvidia_gpu
 from repro.ir import Any, Function, IRModule, TensorType, Var, const
 from repro.ir.types import TupleType, has_any_dim
+from repro.ir.printer import module_fingerprint
 from repro.models.bert import BertConfig, BertWeights, build_bert_module
 from repro.models.lstm import LSTMWeights, build_lstm_module, lstm_reference
 from repro.models.tree_lstm import (
@@ -25,6 +26,7 @@ from repro.models.tree_lstm import (
 from repro.ops import api
 from repro.passes import BatchSpecializeError, SpecializeBatch, SpecializeShapes
 from repro.runtime.context import ExecutionContext
+from repro.store import ArtifactStore
 from repro.serve import (
     Batcher,
     InferenceServer,
@@ -1385,3 +1387,387 @@ class TestBatchRewriteSafety:
         parts = np.split(stacked.numpy(), 2, axis=0)
         for m, b in zip(outs_m, parts):
             assert np.array_equal(m, b)
+
+
+# ---------------------------------------------------------------------------
+# Staged specialization: the shape-independent prefix + shape-binding suffix
+# ---------------------------------------------------------------------------
+
+
+@pytest.fixture(autouse=False)
+def fresh_prefix_cache():
+    nimble.clear_prefix_cache()
+    yield
+    nimble.clear_prefix_cache()
+
+
+class TestStagedCompile:
+    """nimble.build_prefix / compile_prefix / specialize(prefix=...):
+    staged compiles must be indistinguishable from monolithic ones —
+    same artifact key, bitwise-identical outputs."""
+
+    def _lstm(self):
+        return build_lstm_module(LSTMWeights.create(8, 16, seed=0))
+
+    def test_prefix_suffix_matches_monolithic_key_and_output(
+        self, fresh_prefix_cache
+    ):
+        mod = self._lstm()
+        cache = KernelCache()
+        mono, _ = nimble.specialize(
+            mod, intel_cpu(), shapes=[(10, 8)], kernel_cache=cache
+        )
+        prefix, origin = nimble.compile_prefix(mod, intel_cpu())
+        assert origin == "built"
+        staged, _ = nimble.specialize(
+            mod, intel_cpu(), shapes=[(10, 8)], kernel_cache=cache,
+            prefix=prefix,
+        )
+        assert staged.content_hash() == mono.content_hash()
+        assert staged.specialized_shapes == mono.specialized_shapes
+        x = np.random.RandomState(1).randn(10, 8).astype(np.float32)
+        out_m, _, _ = _run(mono, x)
+        out_s, _, _ = _run(staged, x)
+        assert np.array_equal(out_m.numpy(), out_s.numpy())
+
+    def test_member_and_batched_variants_share_one_prefix(
+        self, fresh_prefix_cache
+    ):
+        mod = self._lstm()
+        cache = KernelCache()
+        prefix, _ = nimble.compile_prefix(mod, intel_cpu())
+        for batch in (1, 3):
+            mono, _ = nimble.specialize(
+                mod, intel_cpu(), shapes=[(6, 8)], kernel_cache=cache,
+                batch=batch,
+            )
+            staged, _ = nimble.specialize(
+                mod, intel_cpu(), shapes=[(6, 8)], kernel_cache=cache,
+                batch=batch, prefix=prefix,
+            )
+            assert staged.content_hash() == mono.content_hash()
+
+    def test_pickled_prefix_round_trip_produces_same_key(
+        self, fresh_prefix_cache
+    ):
+        """A prefix that went through save()/load() — another process's
+        prefix, token ints and all — must compile to the same artifact."""
+        mod = self._lstm()
+        cache = KernelCache()
+        prefix, _ = nimble.compile_prefix(mod, intel_cpu())
+        loaded = nimble.SpecializationPrefix.load(prefix.save())
+        assert loaded.store_key() == prefix.store_key()
+        mono, _ = nimble.specialize(
+            mod, intel_cpu(), shapes=[(7, 8)], kernel_cache=cache
+        )
+        staged, _ = nimble.specialize(
+            mod, intel_cpu(), shapes=[(7, 8)], kernel_cache=cache,
+            prefix=loaded,
+        )
+        assert staged.content_hash() == mono.content_hash()
+        x = np.random.RandomState(2).randn(7, 8).astype(np.float32)
+        assert np.array_equal(
+            _run(mono, x)[0].numpy(), _run(staged, x)[0].numpy()
+        )
+
+    def test_prefix_for_wrong_module_or_platform_rejected(
+        self, fresh_prefix_cache
+    ):
+        mod = self._lstm()
+        other = build_lstm_module(LSTMWeights.create(8, 16, seed=1))
+        prefix, _ = nimble.compile_prefix(mod, intel_cpu())
+        with pytest.raises(CompilerError, match="built from module"):
+            nimble.specialize(other, intel_cpu(), shapes=[(5, 8)], prefix=prefix)
+        with pytest.raises(CompilerError, match="platform"):
+            nimble.specialize(mod, nvidia_gpu(), shapes=[(5, 8)], prefix=prefix)
+
+    def test_compile_prefix_origin_ladder(self, fresh_prefix_cache, tmp_path):
+        """built -> memory (same process) -> store (fresh process sim)."""
+        mod = self._lstm()
+        store = ArtifactStore(tmp_path)
+        _, origin = nimble.compile_prefix(mod, intel_cpu(), store=store)
+        assert origin == "built"
+        assert store.prefix_keys()  # persisted on build
+        _, origin = nimble.compile_prefix(mod, intel_cpu(), store=store)
+        assert origin == "memory"
+        nimble.clear_prefix_cache()  # "restart" the process
+        _, origin = nimble.compile_prefix(mod, intel_cpu(), store=store)
+        assert origin == "store"
+
+    def test_failed_prefix_build_poisons_no_cache(
+        self, fresh_prefix_cache, tmp_path, monkeypatch
+    ):
+        """Satellite: an exception mid-prefix-construction must leave
+        both the in-process cache and the store untouched — the next
+        call rebuilds from scratch instead of reusing a partial result."""
+        mod = self._lstm()
+        store = ArtifactStore(tmp_path)
+
+        class Boom(RuntimeError):
+            pass
+
+        class ExplodingLift:
+            name = "LambdaLift"
+
+            def __call__(self, m):
+                raise Boom("mid-prefix fault")
+
+            def run(self, m):
+                raise Boom("mid-prefix fault")
+
+        monkeypatch.setattr(nimble, "LambdaLift", ExplodingLift)
+        with pytest.raises(Boom):
+            nimble.compile_prefix(mod, intel_cpu(), store=store)
+        monkeypatch.undo()
+        assert store.prefix_keys() == []  # nothing half-written
+        # The in-process cache must also be empty: the retry rebuilds.
+        prefix, origin = nimble.compile_prefix(mod, intel_cpu(), store=store)
+        assert origin == "built"
+        # And the rebuilt prefix actually works.
+        staged, _ = nimble.specialize(
+            mod, intel_cpu(), shapes=[(4, 8)], prefix=prefix
+        )
+        assert staged.specialized_shapes == ((4, 8),)
+
+    def test_corrupt_stored_prefix_rejected_and_rebuilt(
+        self, fresh_prefix_cache, tmp_path
+    ):
+        mod = self._lstm()
+        store = ArtifactStore(tmp_path)
+        prefix, _ = nimble.compile_prefix(mod, intel_cpu(), store=store)
+        (key,) = store.prefix_keys()
+        path = store._prefix_path(key)
+        path.write_bytes(path.read_bytes()[:-7])
+        nimble.clear_prefix_cache()
+        rebuilt, origin = nimble.compile_prefix(mod, intel_cpu(), store=store)
+        assert origin == "built"
+        assert store.rejects >= 1
+        assert rebuilt.store_key() == prefix.store_key()
+
+
+class TestSpecializeShapesReuse:
+    def test_raising_run_clears_stale_bound_shapes(self):
+        """Satellite regression: a reused SpecializeShapes instance whose
+        second run raises must not keep reporting the previous module's
+        bound_shapes through the side channel."""
+        p = SpecializeShapes(shapes=[(12, 8)])
+        p(_dyn_mlp_module())
+        assert p.bound_shapes == ((12, 8),)
+        with pytest.raises(CompilerError, match="no entry"):
+            p(IRModule())  # no main: raises after reset, before rebinding
+        assert p.bound_shapes is None
+
+    def test_batch_run_clears_stale_batched_shapes(self):
+        p = SpecializeBatch(batch=2)
+        mod = SpecializeShapes(shapes=[(4, 8)])(_dyn_mlp_module())
+        p(infer_types(mod))
+        assert p.batched_shapes is not None
+        with pytest.raises(CompilerError, match="no entry"):
+            p(IRModule())
+        assert p.batched_shapes is None
+
+
+class TestTupleEntryKeyAgreement:
+    """Satellite: bound_entry_shapes (the store-key path, computed
+    without compiling) must agree with the marker the compiled
+    executable carries, including on tuple-typed entry params."""
+
+    def _tuple_mod(self):
+        from repro.ir import TupleGetItem
+
+        a = Any()
+        t = Var(
+            "t",
+            TupleType(
+                [TensorType((a, 8), "float32"), TensorType((a, 8), "float32")]
+            ),
+        )
+        body = api.relu(api.add(TupleGetItem(t, 0), TupleGetItem(t, 1)))
+        return IRModule.from_expr(Function([t], body))
+
+    def test_marker_and_store_key_agree_on_tuple_params(self):
+        from repro.core.typing import collect_shape_bindings
+        from repro.passes import bound_entry_shapes
+        from repro.vm.executable import artifact_key
+
+        mod = self._tuple_mod()
+        spec = ((6, 8), (6, 8))
+        binding = {}
+        collect_shape_bindings(
+            mod["main"].params[0].type_annotation, spec, binding, what="t"
+        )
+        predicted = bound_entry_shapes(mod["main"], binding)
+        exe, _ = nimble.specialize(mod, intel_cpu(), shapes=[spec])
+        assert exe.specialized_shapes == predicted
+        fp = module_fingerprint(mod)
+        assert artifact_key(fp, "intel", predicted, None) == artifact_key(
+            fp, "intel", exe.specialized_shapes, None
+        )
+
+    def test_partial_binding_keeps_unbound_dims_dynamic_in_both(self):
+        from repro.passes import bound_entry_shapes
+
+        mod = self._tuple_mod()
+        # Empty binding: everything stays dynamic; both paths must agree
+        # the marker is all-None dims, not crash or drift.
+        predicted = bound_entry_shapes(mod["main"], {})
+        assert predicted == (((None, 8), (None, 8)),)
+
+
+class TestStagedManager:
+    def _manager(self, threshold=2, **kwargs):
+        return _mlp_manager(threshold=threshold, **kwargs)
+
+    def test_prefix_charged_once_then_suffix_only(self):
+        nimble.clear_prefix_cache()
+        mgr = self._manager(staged=True)  # compile_us=100 override
+        mgr.observe((16,), 0.0)
+        mgr.observe((16,), 10.0)
+        mgr.observe((24,), 20.0)
+        mgr.observe((24,), 30.0)
+        mgr.drain()
+        events = mgr.events
+        assert len(events) == 2
+        # First fresh compile carries prefix (60%) + suffix (40%) of the
+        # 100 µs override; the second pays the suffix share only.
+        assert events[0].prefix_us == pytest.approx(60.0)
+        assert events[0].compile_us == pytest.approx(100.0)
+        assert events[1].prefix_us == 0.0
+        assert events[1].compile_us == pytest.approx(40.0)
+        assert mgr.prefix_us_spent == pytest.approx(60.0)
+        assert mgr.suffix_us_spent == pytest.approx(80.0)
+        assert mgr.compile_us_spent == pytest.approx(140.0)
+        # Lane-busy invariant holds with the split.
+        assert sum(mgr.lane_busy_us) == pytest.approx(mgr.compile_us_spent)
+
+    def test_monolithic_default_is_unchanged(self):
+        mgr = self._manager(staged=False)
+        mgr.observe((16,), 0.0)
+        mgr.observe((16,), 10.0)
+        mgr.drain()
+        (event,) = mgr.events
+        assert event.prefix_us == 0.0
+        assert event.compile_us == pytest.approx(100.0)
+        assert mgr.prefix_us_spent == 0.0
+        assert mgr.suffix_us_spent == pytest.approx(100.0)
+
+    def test_staged_replay_is_bit_identical(self):
+        nimble.clear_prefix_cache()
+        mgr = self._manager(staged=True)
+
+        def run():
+            mgr.reset()
+            for t, key in enumerate(((16,), (16,), (24,), (24,), (32,), (32,))):
+                mgr.observe(key, float(t * 10))
+            mgr.drain()
+            return (
+                [(e.key, e.compile_us, e.prefix_us, e.lane) for e in mgr.events],
+                mgr.compile_us_spent,
+            )
+
+        first = run()
+        second = run()
+        assert first == second
+        # The prefix recharges each simulation (the model restarts), but
+        # only once per simulation.
+        assert sum(1 for e in mgr.events if e.prefix_us > 0) == 1
+
+    def test_calibration_split_sums_to_monolithic(self):
+        """Without a compile_us override, prefix + suffix constants must
+        reproduce the monolithic charge exactly — a single-variant
+        staged sim costs the same as a monolithic one."""
+        from repro.hardware import calibration
+
+        nimble.clear_prefix_cache()
+        mono = _mlp_manager(threshold=2)
+        mono.compile_us = None
+        mono.observe((16,), 0.0)
+        mono.observe((16,), 10.0)
+        mono.drain()
+        staged = _mlp_manager(threshold=2, staged=True)
+        staged.compile_us = None
+        staged.observe((16,), 0.0)
+        staged.observe((16,), 10.0)
+        staged.drain()
+        assert staged.compile_us_spent == pytest.approx(mono.compile_us_spent)
+        assert staged.prefix_us_spent > 0
+        for name in ("intel", "nvidia", "arm"):
+            assert (
+                calibration.SPECIALIZE_PREFIX_BASE_US[name]
+                + calibration.SPECIALIZE_SUFFIX_BASE_US[name]
+            ) == pytest.approx(calibration.SPECIALIZE_BASE_US[name])
+            assert (
+                calibration.SPECIALIZE_PREFIX_PER_KERNEL_US[name]
+                + calibration.SPECIALIZE_SUFFIX_PER_KERNEL_US[name]
+            ) == pytest.approx(calibration.SPECIALIZE_PER_KERNEL_US[name])
+
+    def test_warm_restart_restores_prefix_from_store(self, tmp_path):
+        nimble.clear_prefix_cache()
+        store = ArtifactStore(tmp_path)
+        cache = KernelCache()
+        first = _mlp_manager(
+            threshold=2, kernel_cache=cache, staged=True, store=store,
+            restore_us=5.0,
+        )
+        first.observe((16,), 0.0)
+        first.observe((16,), 10.0)
+        first.drain()
+        assert first.prefix_us_spent == pytest.approx(60.0)
+        assert store.prefix_keys()  # prefix persisted alongside artifacts
+        # "Restart": a new manager over the same store. The old shape
+        # restores wholesale (no prefix needed); a NEW shape compiles
+        # fresh but pays only the prefix *restore* charge.
+        nimble.clear_prefix_cache()
+        second = _mlp_manager(
+            threshold=2, kernel_cache=cache, staged=True, store=store,
+            restore_us=5.0,
+        )
+        second.observe((16,), 0.0)
+        second.observe((16,), 10.0)
+        second.observe((24,), 20.0)
+        second.observe((24,), 30.0)
+        second.drain()
+        restored = [e for e in second.events if e.restored]
+        fresh = [e for e in second.events if not e.restored]
+        assert [e.key for e in restored] == [(16,)]
+        assert [e.key for e in fresh] == [(24,)]
+        assert restored[0].prefix_us == 0.0
+        # Fresh compile under a store-warm prefix: restore charge (5)
+        # plus the suffix share (40) — not the full 60 µs prefix build.
+        assert fresh[0].prefix_us == pytest.approx(5.0)
+        assert fresh[0].compile_us == pytest.approx(45.0)
+
+    def test_corrupt_prefix_blob_rejected_rebuilt_and_replayed(self, tmp_path):
+        nimble.clear_prefix_cache()
+        store = ArtifactStore(tmp_path)
+        cache = KernelCache()
+        first = _mlp_manager(
+            threshold=2, kernel_cache=cache, staged=True, store=store
+        )
+        first.observe((16,), 0.0)
+        first.observe((16,), 10.0)
+        first.drain()
+        (pkey,) = store.prefix_keys()
+        path = store._prefix_path(pkey)
+        path.write_bytes(path.read_bytes()[:-9])
+        nimble.clear_prefix_cache()
+        second = _mlp_manager(
+            threshold=2, kernel_cache=cache, staged=True, store=store
+        )
+
+        def run():
+            second.reset()
+            second.observe((24,), 0.0)
+            second.observe((24,), 10.0)
+            second.drain()
+            return second.store_rejects, second.prefix_us_spent
+
+        rejects1, prefix_us1 = run()
+        assert rejects1 >= 1  # the bad blob is visible, not silent
+        assert prefix_us1 == pytest.approx(60.0)  # full rebuild charge
+        # Replays re-count the reject without re-reading the (healed)
+        # file — bit-identical accounting.
+        assert run() == (rejects1, prefix_us1)
+        # And the rebuild healed the store for the *next* process.
+        nimble.clear_prefix_cache()
+        assert store.get_prefix(pkey) is not None

@@ -393,3 +393,76 @@ class TestServeRestore:
         # executables themselves still restore fine.
         assert warm.store_rejects == 1
         assert warm.specialize_restored > 0
+
+
+# ---------------------------------------------------------------------------
+# Specialization-prefix persistence
+# ---------------------------------------------------------------------------
+
+
+class TestPrefixStore:
+    def _prefix(self, mod):
+        nimble.clear_prefix_cache()
+        prefix, _ = nimble.compile_prefix(mod, intel_cpu())
+        nimble.clear_prefix_cache()
+        return prefix
+
+    def test_put_get_roundtrip(self, tmp_path):
+        mod = _dyn_mlp_module()
+        prefix = self._prefix(mod)
+        store = ArtifactStore(tmp_path)
+        key = store.put_prefix(prefix)
+        assert key == prefix.store_key()
+        assert store.contains_prefix(key)
+        assert store.prefix_keys() == [key]
+        loaded = store.get_prefix(
+            key, expected_signature=module_fingerprint(mod)
+        )
+        assert loaded is not None
+        assert loaded.store_key() == key
+        # The loaded prefix compiles to the same artifact as monolithic.
+        cache = KernelCache()
+        mono = _specialized(mod, cache=cache)
+        staged, _ = nimble.specialize(
+            mod, intel_cpu(), shapes=[(4, 8)], kernel_cache=cache,
+            prefix=loaded,
+        )
+        assert staged.content_hash() == mono.content_hash()
+
+    def test_prefix_blobs_never_alias_executable_keys(self, tmp_path):
+        """.nmblp files must not leak into keys() (which a manager
+        freezes at init to decide warm restores), nor vice versa."""
+        mod = _dyn_mlp_module()
+        store = ArtifactStore(tmp_path)
+        store.put_prefix(self._prefix(mod))
+        store.put(_specialized(mod))
+        assert len(store.keys()) == 1
+        assert len(store.prefix_keys()) == 1
+        assert set(store.keys()).isdisjoint(store.prefix_keys())
+
+    def test_prefix_miss_is_silent(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        assert store.get_prefix("0" * 64) is None
+        assert store.rejects == 0
+
+    def test_truncated_prefix_skipped_and_counted(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        key = store.put_prefix(self._prefix(_dyn_mlp_module()))
+        path = store._prefix_path(key)
+        path.write_bytes(path.read_bytes()[:30])
+        assert store.get_prefix(key) is None
+        assert store.rejects == 1 and store.reject_log[0][0] == key
+
+    def test_signature_mismatch_skipped(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        key = store.put_prefix(self._prefix(_dyn_mlp_module()))
+        assert store.get_prefix(key, expected_signature="f" * 64) is None
+        assert store.rejects == 1
+
+    def test_prefix_filed_under_wrong_key_skipped(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        key = store.put_prefix(self._prefix(_dyn_mlp_module()))
+        wrong = "0" * len(key)
+        store._prefix_path(key).rename(store._prefix_path(wrong))
+        assert store.get_prefix(wrong) is None
+        assert store.rejects == 1
