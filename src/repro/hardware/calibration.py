@@ -134,3 +134,27 @@ RESTORE_PER_KERNEL_US = {
     "nvidia": 35.0,
     "arm": 90.0,
 }
+
+# Multi-stream scheduling: calibrated costs of the cross-stream sync
+# primitives the AOT scheduler emits (see docs/scheduling.md). Host-side
+# cudaEventRecord / cudaStreamWaitEvent are driver calls in the same
+# class as a kernel enqueue (~1 µs on the T4's host); the device-side
+# propagation of a wait that actually stalls a stream costs about the
+# same again. CPU platforms run kernels synchronously, so streams never
+# engage there — the constants exist for every platform because the
+# interpreter reads them unconditionally.
+STREAM_EVENT_RECORD_US = {
+    "intel": 0.4,
+    "nvidia": 1.0,
+    "arm": 1.2,
+}
+STREAM_WAIT_EVENT_US = {
+    "intel": 0.4,
+    "nvidia": 1.0,
+    "arm": 1.2,
+}
+STREAM_EVENT_SYNC_US = {
+    "intel": 0.0,
+    "nvidia": 1.5,
+    "arm": 0.0,
+}

@@ -65,6 +65,9 @@ _T4 = DeviceSpec(
     launch_overhead_us=5.0,
     host_launch_us=1.2,
     is_gpu=True,
+    # The T4 exposes plenty of hardware queues; 8 is the point past which
+    # the scheduler finds no more independent chains in our models.
+    max_streams=8,
     sat_flops=1.2e7,
     copy_bw_gbps=6.0,
     copy_latency_us=6.0,
@@ -129,6 +132,20 @@ class Platform:
     @property
     def vm_instruction_us(self) -> float:
         return calibration.VM_INSTRUCTION_US[self.name]
+
+    @property
+    def max_streams(self) -> int:
+        """How many device streams the AOT scheduler may use on this
+        platform: the compute device's stream count (1 on synchronous
+        CPU platforms — nothing to overlap)."""
+        return self.compute_spec.max_streams
+
+    def effective_streams(self, requested: int) -> int:
+        """Clamp a requested stream count to what the hardware exposes.
+        The clamped value is what gets compiled into executables (and
+        their artifact keys): asking a CPU platform for 4 streams IS the
+        single-stream build, not a distinct artifact."""
+        return max(1, min(int(requested or 1), self.max_streams))
 
     @property
     def heterogeneous(self) -> bool:

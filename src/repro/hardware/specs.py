@@ -47,6 +47,11 @@ class DeviceSpec:
     is_gpu: bool = False
     # GPU saturation scale: util = flops / (flops + sat_flops).
     sat_flops: float = 0.0
+    # How many concurrent in-order kernel streams the device exposes to
+    # the AOT scheduler (CUDA-stream style). Synchronous CPU devices have
+    # exactly one lane — kernel time is host time there, so extra streams
+    # could never overlap anything.
+    max_streams: int = 1
     # Host<->device copy characteristics (PCIe-class for GPUs).
     copy_bw_gbps: float = 0.0
     copy_latency_us: float = 0.0

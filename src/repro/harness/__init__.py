@@ -9,6 +9,7 @@ from repro.harness.experiments import (
     restart_study,
     serving_study,
     specialization_study,
+    stream_study,
     table1_lstm,
     table2_tree_lstm,
     table3_bert,
@@ -30,6 +31,7 @@ __all__ = [
     "staged_compile_study",
     "restart_study",
     "batch_specialization_study",
+    "stream_study",
     "tuning_ablation",
     "format_table",
     "percentile",

@@ -497,6 +497,7 @@ def _variant_options(
         tuning_trials=base.tuning_trials,
         specialized_shapes=bound_shapes,
         specialized_batch=batch if batch > 1 else None,
+        device_streams=base.device_streams,
     )
 
 

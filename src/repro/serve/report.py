@@ -51,6 +51,10 @@ class ServeReport:
     # equals the full fresh-compile charge.
     specialize_prefix_us: float = 0.0
     specialize_suffix_us: float = 0.0
+    # Device streams the executables were scheduled for (after platform
+    # clamping). 1 means single-stream builds — the stream section of
+    # the report collapses to a single row and no sync events exist.
+    device_streams: int = 1
 
     # ----------------------------------------------------------------- counts
     @property
@@ -163,6 +167,36 @@ class ServeReport:
         merged.merge(self.profile_specialized)
         merged.merge(self.profile_batched)
         return merged
+
+    # ---------------------------------------------------------------- streams
+    @property
+    def stream_busy_us(self) -> Dict[int, float]:
+        """Fleet-wide device-kernel time per stream, all tiers merged."""
+        merged = self.profile
+        return {s: merged.stream_kernel_us[s] for s in sorted(merged.stream_kernel_us)}
+
+    @property
+    def stream_utilization(self) -> Dict[int, float]:
+        """Each stream's share of total device-kernel time (sums to 1
+        when any kernel ran). A perfectly balanced N-stream schedule
+        shows 1/N per stream."""
+        busy = self.stream_busy_us
+        total = sum(busy.values())
+        if total <= 0:
+            return {s: 0.0 for s in busy}
+        return {s: b / total for s, b in busy.items()}
+
+    @property
+    def sync_events(self) -> int:
+        return self.profile.sync_events
+
+    @property
+    def sync_waits(self) -> int:
+        return self.profile.sync_waits
+
+    @property
+    def sync_stall_us(self) -> float:
+        return self.profile.sync_stall_us
 
     # ----------------------------------------------------------------- timing
     @property
@@ -293,6 +327,27 @@ class ServeReport:
                         ["lane", "busy µs", "util %"],
                     )
                 )
+        if self.device_streams > 1:
+            merged = self.profile
+            stream_rows = [
+                [
+                    s,
+                    busy,
+                    float(merged.stream_kernel_invocations[s]),
+                    100.0 * self.stream_utilization[s],
+                ]
+                for s, busy in self.stream_busy_us.items()
+            ]
+            sections.append(
+                format_table(
+                    f"Streams ({self.device_streams}) — "
+                    f"{self.sync_events} event(s), "
+                    f"{self.sync_waits} wait(s), "
+                    f"stall {self.sync_stall_us:.0f} µs",
+                    stream_rows,
+                    ["stream", "busy µs", "kernels", "share %"],
+                )
+            )
         hist_rows = [
             [size, count] for size, count in self.batch_histogram.items()
         ]
@@ -318,6 +373,7 @@ def build_report(
     workers,
     specializer=None,
     extra_store_rejects: int = 0,
+    device_streams: int = 1,
 ) -> ServeReport:
     """Assemble a ServeReport from responses + the worker pool (and the
     specialization manager, when tiering is enabled).
@@ -383,4 +439,5 @@ def build_report(
         specialize_suffix_us=(
             specializer.suffix_us_spent if specializer is not None else 0.0
         ),
+        device_streams=max(1, int(device_streams)),
     )

@@ -98,6 +98,14 @@ class ServeConfig:
     # in-memory, exactly the pre-store behaviour.
     artifact_dir: Optional[str] = None
     specialize_restore_us: Optional[float] = None
+    # Multi-stream scheduling: compile every executable (dynamic and
+    # specialized) with this many device streams (repro.vm.schedule).
+    # Clamped to the platform at compile time — CPU platforms always run
+    # single-stream, bit-identically to device_streams=1 — and workers
+    # rotate the static schedule across batch members so independent
+    # members overlap on different streams. 1 (default) is the exact
+    # pre-streams behaviour.
+    device_streams: int = 1
     # Staged specialization: compile hot-shape variants through a shared
     # shape-independent prefix and split the modeled lane charge — the
     # prefix is charged once per simulation, each variant pays only the
@@ -166,7 +174,12 @@ class InferenceServer:
         )
         self.mod = mod
         self.exe, self.build_report = nimble.build(
-            mod, self.platform, kernel_cache=self.kernel_cache
+            mod,
+            self.platform,
+            options=nimble.CompilerOptions(
+                device_streams=self.config.device_streams
+            ),
+            kernel_cache=self.kernel_cache,
         )
         typed = self.build_report.typed_module
         if self.config.entry not in typed:
@@ -193,6 +206,7 @@ class InferenceServer:
                 store=self.store,
                 restore_us=self.config.specialize_restore_us,
                 staged=self.config.specialize_staged,
+                device_streams=self.config.device_streams,
             )
         self.workers = [
             Worker(
@@ -265,6 +279,7 @@ class InferenceServer:
             self.workers,
             self.specializer,
             extra_store_rejects=self._startup_store_rejects,
+            device_streams=self.exe.device_streams,
         )
 
     def _bucket_key(self, payload, now_us: float):

@@ -242,6 +242,7 @@ class SpecializationManager:
         store: Optional[ArtifactStore] = None,
         restore_us: Optional[float] = None,
         staged: bool = False,
+        device_streams: int = 1,
     ) -> None:
         if threshold < 1:
             raise ValueError(f"specialization threshold must be >= 1, got {threshold}")
@@ -278,6 +279,13 @@ class SpecializationManager:
         self.batch_cap = batch_cap
         self.store = store
         self.restore_us = restore_us
+        # Multi-stream scheduling: every specialized variant compiles
+        # with this stream count, and it is a store-key component (v5+),
+        # so single- and multi-stream builds of one shape never alias in
+        # the artifact store. Clamped to the hardware once, here — the
+        # clamped value is what the compiler would stamp anyway, and
+        # using it for keys too keeps key and artifact in agreement.
+        self.device_streams = platform.effective_streams(device_streams)
         # Staged specialization: compile through the shape-independent
         # prefix + shape-binding suffix, and split the modeled charge —
         # the prefix is paid once per simulation (folded into the first
@@ -674,6 +682,7 @@ class SpecializationManager:
                 self.platform.name,
                 shapes,
                 batch if batch > 1 else None,
+                device_streams=self.device_streams,
             )
             self._store_key_memo[variant] = skey
         return skey
@@ -824,6 +833,9 @@ class SpecializationManager:
                 self.mod,
                 self.platform,
                 binding=binding,
+                options=nimble.CompilerOptions(
+                    device_streams=self.device_streams
+                ),
                 kernel_cache=self.kernel_cache,
                 entry=self.entry,
                 batch=batch,

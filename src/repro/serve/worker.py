@@ -170,10 +170,23 @@ class Worker:
         if tier == "batched":
             outputs = self._run_stacked(vm, executable, batch)
         else:
+            # Member pipeline: successive members rotate the executable's
+            # static stream assignment, so member i+1's device kernels
+            # land on different streams than member i's and their device
+            # time overlaps (the host still dispatches sequentially). On
+            # single-stream builds the offset is identically 0.
+            streams = max(1, vm.exe.device_streams)
             outputs = []
-            for req in batch.requests:
+            for i, req in enumerate(batch.requests):
                 args = self._payload_arrays(req.payload)
-                outputs.append(vm.run(*args, entry=self.entry, sync=False))
+                outputs.append(
+                    vm.run(
+                        *args,
+                        entry=self.entry,
+                        sync=False,
+                        stream_offset=i % streams,
+                    )
+                )
         clock.sync_all()
         finish = clock.elapsed_us
         self.busy_us += finish - begin

@@ -65,12 +65,18 @@ class CompilerOptions:
         tuning_trials: int = 96,
         specialized_shapes: Optional[tuple] = None,
         specialized_batch: Optional[int] = None,
+        device_streams: int = 1,
     ) -> None:
         self.tune = tune
         self.num_dispatch_kernels = num_dispatch_kernels
         self.allow_library = allow_library
         self.schedule = schedule
         self.tuning_trials = tuning_trials
+        # How many device streams to schedule kernels onto ahead of time
+        # (repro.vm.schedule). Clamped to the platform's stream count at
+        # compile time; 1 (or any CPU platform) means the scheduling pass
+        # never runs and the bytecode is exactly the single-lane build.
+        self.device_streams = device_streams
         # Set by ``nimble.specialize``: the entry shapes this build was
         # statically specialized to (stamped onto the Executable so the
         # serving tier and serialized artifacts can identify it), plus the
@@ -132,7 +138,7 @@ class VMCompiler:
             if func.is_primitive:
                 continue
             functions.append(self.compile_function(gv.name_hint, func, func_index))
-        return Executable(
+        exe = Executable(
             platform_name=self.platform.name,
             functions=functions,
             func_index=func_index,
@@ -141,6 +147,16 @@ class VMCompiler:
             specialized_shapes=self.options.specialized_shapes,
             specialized_batch=self.options.specialized_batch,
         )
+        # AOT multi-stream scheduling pass: a bytecode-to-bytecode rewrite
+        # over the finished executable. The requested stream count is
+        # clamped to the hardware (CPU platforms clamp to 1), so the pass
+        # is a guaranteed no-op wherever streams cannot overlap.
+        streams = self.platform.effective_streams(self.options.device_streams)
+        if streams > 1:
+            from repro.vm.schedule import schedule_executable
+
+            schedule_executable(exe, streams)
+        return exe
 
     # ------------------------------------------------------------- per function
     def compile_function(self, name: str, func: Function, func_index: Dict[str, int]) -> VMFunction:

@@ -15,6 +15,13 @@ module's :func:`repro.ir.printer.module_fingerprint` and a content hash
 over (fingerprint, platform, shape binding, batch marker, serialization
 version) — the key the on-disk :class:`repro.store.ArtifactStore` files
 the blob under, verified again at load time.
+
+v5 blobs carry the static multi-stream schedule (``repro.vm.schedule``):
+each ``InvokePacked`` encodes its AOT-assigned stream, the two scheduling
+opcodes (``StreamEvent``/``StreamWait``) serialize, and a trailing
+section records ``device_streams`` and the run-time event-table size.
+The stream count joins the artifact key for v5+ only, so v2–v4 blobs
+keep their original keys and still verify.
 """
 
 from __future__ import annotations
@@ -38,8 +45,10 @@ MAGIC = b"NMBL"
 # v2 appended the specialization-marker section (tiered compilation);
 # v3 appended the batch-granularity marker (batch-specialized tier);
 # v4 appended the store-metadata section (source-module fingerprint +
-# content hash) for the persistent artifact store.
-VERSION = 4
+# content hash) for the persistent artifact store;
+# v5 appended the stream-schedule section (device_streams + event-table
+# size) and gave InvokePacked an inline stream operand.
+VERSION = 5
 # Oldest version the loader still accepts. v1 blobs predate the
 # specialization marker and cannot express what the serving tiers need;
 # they are rejected as stale.
@@ -52,6 +61,7 @@ def artifact_key(
     specialized_shapes: Optional[tuple],
     specialized_batch: Optional[int],
     version: Optional[int] = None,
+    device_streams: Optional[int] = None,
 ) -> str:
     """The content hash a compiled artifact is stored and validated under.
 
@@ -61,16 +71,32 @@ def artifact_key(
     key and old blobs are never even looked up — staleness falls out of
     the keying instead of needing a migration. ``specialized_batch`` is
     normalized (None and 1 both mean member-wise) so callers cannot
-    create aliasing keys for the same artifact.
+    create aliasing keys for the same artifact; ``device_streams`` is
+    normalized the same way (None and 1 both mean single-stream) and
+    joins the key only for v5+ blobs, which is what keeps every v2–v4
+    key — and therefore every already-stored artifact — valid.
     """
     batch = int(specialized_batch or 0)
     if batch == 1:
         batch = 0
     if version is None:
         version = VERSION
-    payload = repr(
-        (source_signature or "", platform_name, specialized_shapes, batch, version)
-    )
+    streams = int(device_streams or 1)
+    if version >= 5:
+        payload = repr(
+            (
+                source_signature or "",
+                platform_name,
+                specialized_shapes,
+                batch,
+                version,
+                streams,
+            )
+        )
+    else:
+        payload = repr(
+            (source_signature or "", platform_name, specialized_shapes, batch, version)
+        )
     return hashlib.sha256(payload.encode()).hexdigest()
 
 
@@ -106,6 +132,12 @@ class Executable:
     # artifact-store key. None for executables built outside the public
     # API (hand-assembled tests, pre-v4 blobs).
     source_signature: Optional[str] = None
+    # Static multi-stream schedule (repro.vm.schedule): how many device
+    # streams the bytecode was scheduled onto (1 = unscheduled — the
+    # exact single-lane model) and the size of the per-run sync-event
+    # table the interpreter must provision.
+    device_streams: int = 1
+    num_events: int = 0
 
     @property
     def is_specialized(self) -> bool:
@@ -114,17 +146,19 @@ class Executable:
     def content_hash(self, version: Optional[int] = None) -> str:
         """The artifact-store key for this executable: a stable hash of
         (source-module fingerprint, platform, shape binding, batch
-        marker, serialization version). Recomputed and verified at v4
-        load time — against the *blob's own* version, so a valid v4 blob
-        still verifies under a future loader — so a blob whose identity
-        metadata was tampered with, or that was filed under the wrong
-        key, is rejected instead of silently served."""
+        marker, serialization version, and — for v5+ — stream count).
+        Recomputed and verified at v4+ load time — against the *blob's
+        own* version, so a valid v4 blob still verifies under a future
+        loader — so a blob whose identity metadata was tampered with, or
+        that was filed under the wrong key, is rejected instead of
+        silently served."""
         return artifact_key(
             self.source_signature,
             self.platform_name,
             self.specialized_shapes,
             self.specialized_batch,
             version,
+            self.device_streams,
         )
 
     @property
@@ -158,6 +192,9 @@ class Executable:
         # computed over everything identity-bearing above it.
         _write_bytes(out, (self.source_signature or "").encode())
         _write_bytes(out, self.content_hash().encode())
+        # v5 stream-schedule section.
+        _write_varint(out, self.device_streams)
+        _write_varint(out, self.num_events)
         return out.getvalue()
 
     @staticmethod
@@ -185,7 +222,7 @@ class Executable:
             )
         try:
             platform_name = _read_bytes(buf).decode()
-            functions, func_index = _deserialize_bytecode(_read_bytes(buf))
+            functions, func_index = _deserialize_bytecode(_read_bytes(buf), version)
             constants = _deserialize_constants(_read_bytes(buf))
             kernels = pickle.loads(_read_bytes(buf))
             entry = _read_bytes(buf).decode()
@@ -198,6 +235,9 @@ class Executable:
             if version >= 4:
                 source_signature = _read_bytes(buf).decode() or None
                 stored_hash = _read_bytes(buf).decode()
+            # Pre-v5 blobs predate the static scheduler: single-stream.
+            device_streams = _read_varint(buf) if version >= 5 else 1
+            num_events = _read_varint(buf) if version >= 5 else 0
         except SerializationError:
             raise
         except Exception as err:
@@ -212,6 +252,7 @@ class Executable:
         exe = Executable(
             platform_name, functions, func_index, constants, kernels, entry,
             specialized_shapes, specialized_batch or None, source_signature,
+            device_streams, num_events,
         )
         if stored_hash is not None and stored_hash != exe.content_hash(version):
             raise SerializationError(
@@ -342,6 +383,7 @@ def _encode_instruction(out: io.BytesIO, instr: ins.Instruction) -> None:
             _write_varint(out, a)
         _write_device(out, instr.device)
         _write_bytes(out, instr.kind.encode())
+        _write_varint(out, instr.stream)
     elif isinstance(instr, ins.AllocStorage):
         _write_varint(out, instr.allocation_size)
         _write_varint(out, instr.alignment)
@@ -407,11 +449,15 @@ def _encode_instruction(out: io.BytesIO, instr: ins.Instruction) -> None:
         _write_varint(out, instr.dst)
     elif isinstance(instr, ins.Fatal):
         _write_bytes(out, instr.message.encode())
+    elif isinstance(instr, (ins.StreamEvent, ins.StreamWait)):
+        _write_varint(out, instr.event_index)
+        _write_device(out, instr.device)
+        _write_varint(out, instr.stream)
     else:
         raise SerializationError(f"cannot encode {type(instr).__name__}")
 
 
-def _decode_instruction(buf: io.BytesIO) -> ins.Instruction:
+def _decode_instruction(buf: io.BytesIO, version: int = VERSION) -> ins.Instruction:
     opcode = ins.Opcode(buf.read(1)[0])
     rv = lambda: _read_varint(buf)
     if opcode == ins.Opcode.MOVE:
@@ -431,7 +477,11 @@ def _decode_instruction(buf: io.BytesIO) -> ins.Instruction:
         args = tuple(rv() for _ in range(arity))
         device = _read_device(buf)
         kind = _read_bytes(buf).decode()
-        return ins.InvokePacked(packed_index, arity, output_size, args, device, kind)
+        # Pre-v5 bytecode has no stream operand: everything is stream 0.
+        stream = rv() if version >= 5 else 0
+        return ins.InvokePacked(
+            packed_index, arity, output_size, args, device, kind, stream
+        )
     if opcode == ins.Opcode.ALLOC_STORAGE:
         return ins.AllocStorage(rv(), rv(), _read_device(buf), rv())
     if opcode == ins.Opcode.ALLOC_TENSOR:
@@ -472,10 +522,16 @@ def _decode_instruction(buf: io.BytesIO) -> ins.Instruction:
         return ins.ReshapeTensor(rv(), rv(), rv())
     if opcode == ins.Opcode.FATAL:
         return ins.Fatal(_read_bytes(buf).decode())
+    if opcode == ins.Opcode.STREAM_EVENT:
+        return ins.StreamEvent(rv(), _read_device(buf), rv())
+    if opcode == ins.Opcode.STREAM_WAIT:
+        return ins.StreamWait(rv(), _read_device(buf), rv())
     raise SerializationError(f"cannot decode opcode {opcode}")
 
 
-def _deserialize_bytecode(blob: bytes) -> Tuple[List[VMFunction], Dict[str, int]]:
+def _deserialize_bytecode(
+    blob: bytes, version: int = VERSION
+) -> Tuple[List[VMFunction], Dict[str, int]]:
     buf = io.BytesIO(blob)
     functions: List[VMFunction] = []
     index: Dict[str, int] = {}
@@ -484,7 +540,7 @@ def _deserialize_bytecode(blob: bytes) -> Tuple[List[VMFunction], Dict[str, int]
         num_params = _read_varint(buf)
         register_count = _read_varint(buf)
         count = _read_varint(buf)
-        instructions = [_decode_instruction(buf) for _ in range(count)]
+        instructions = [_decode_instruction(buf, version) for _ in range(count)]
         index[name] = len(functions)
         functions.append(VMFunction(name, num_params, instructions, register_count))
     return functions, index

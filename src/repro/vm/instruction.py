@@ -1,4 +1,6 @@
-"""The VM instruction set — the 20 opcodes of Appendix A, Table A.1.
+"""The VM instruction set — the 20 opcodes of Appendix A, Table A.1,
+plus two scheduling opcodes (StreamEvent/StreamWait) for the AOT
+multi-stream extension.
 
 CISC-style, register-based: each instruction corresponds to a primitive IR
 expression on tensors (allocation, kernel invocation, control flow), so
@@ -37,6 +39,8 @@ class Opcode(enum.IntEnum):
     SHAPE_OF = 17
     RESHAPE_TENSOR = 18
     FATAL = 19
+    STREAM_EVENT = 20
+    STREAM_WAIT = 21
 
 
 @dataclass(frozen=True)
@@ -97,6 +101,10 @@ class InvokePacked(Instruction):
     args: Tuple[int, ...]
     device: Device
     kind: str = "compute"
+    # Device stream this kernel is enqueued on — assigned ahead of time
+    # by the static scheduler (repro.vm.schedule); 0 for unscheduled
+    # builds, which reproduces the single-lane model exactly.
+    stream: int = 0
     opcode = Opcode.INVOKE_PACKED
 
 
@@ -249,3 +257,30 @@ class Fatal(Instruction):
 
     message: str = "fatal"
     opcode = Opcode.FATAL
+
+
+@dataclass(frozen=True)
+class StreamEvent(Instruction):
+    """Records a sync event on a device stream (``cudaEventRecord``):
+    snapshots when everything enqueued on the stream so far will have
+    retired, into the per-run event table at ``event_index``."""
+
+    event_index: int
+    device: Device
+    stream: int
+    opcode = Opcode.STREAM_EVENT
+
+
+@dataclass(frozen=True)
+class StreamWait(Instruction):
+    """Makes a device stream wait for a recorded event
+    (``cudaStreamWaitEvent``): kernels enqueued on ``stream`` after this
+    instruction start only once the event has fired. Waiting on an event
+    that was never recorded (its producer sat on a skipped control-flow
+    path) is a no-op — if the producer did not run, there is nothing to
+    wait for."""
+
+    event_index: int
+    device: Device
+    stream: int
+    opcode = Opcode.STREAM_WAIT

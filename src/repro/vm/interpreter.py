@@ -14,6 +14,7 @@ from typing import Dict, List, Optional, Sequence, Union
 import numpy as np
 
 from repro.errors import VMError
+from repro.hardware import calibration
 from repro.hardware.platforms import Platform, platform_by_name
 from repro.runtime.context import ExecutionContext
 from repro.tensor.device import Device
@@ -57,9 +58,26 @@ class VirtualMachine:
         self.profile = VMProfile()
         self._instr_us = self.ctx.platform.vm_instruction_us
         self._running = False
+        # Static multi-stream schedule support (repro.vm.schedule): the
+        # stream count the bytecode was scheduled for, the per-run sync
+        # event table (event_index -> recorded timestamp), and the
+        # calibrated host/device costs of the sync primitives.
+        self._num_streams = max(1, executable.device_streams)
+        self._events: Dict[int, float] = {}
+        self._stream_offset = 0
+        name = self.ctx.platform.name
+        self._event_record_us = calibration.STREAM_EVENT_RECORD_US[name]
+        self._wait_event_us = calibration.STREAM_WAIT_EVENT_US[name]
+        self._event_sync_us = calibration.STREAM_EVENT_SYNC_US[name]
 
     # ------------------------------------------------------------------ public
-    def run(self, *inputs, entry: Optional[str] = None, sync: bool = True):
+    def run(
+        self,
+        *inputs,
+        entry: Optional[str] = None,
+        sync: bool = True,
+        stream_offset: int = 0,
+    ):
         """Invoke the entry function; returns NDArray / nested tuples.
 
         ``sync=False`` skips the final device synchronization: the host
@@ -67,6 +85,12 @@ class VirtualMachine:
         ``run`` on the same VM overlaps its host-side dispatch with the
         device queue of this one. The serving layer uses this to pipeline
         the members of a batch and synchronize once per batch.
+
+        ``stream_offset`` rotates the executable's static stream
+        assignment (kernels *and* events move together, so the schedule
+        stays internally consistent): pipelined callers offset successive
+        members so independent runs land on different streams and their
+        device work overlaps. A no-op on single-stream builds.
         """
         if self._running:
             raise VMError(
@@ -85,6 +109,8 @@ class VirtualMachine:
         frame = _Frame(func, caller_dst=None)
         for i, value in enumerate(inputs):
             frame.registers[i] = self._wrap_input(value)
+        self._stream_offset = stream_offset % self._num_streams
+        self._events.clear()
         self._running = True
         try:
             result = self._dispatch_loop(frame)
@@ -236,6 +262,24 @@ class VirtualMachine:
                 self._set(regs, instr.dst, reshaped)
             elif opcode == ins.Opcode.FATAL:
                 raise VMError(f"VM fatal: {instr.message}")
+            elif opcode == ins.Opcode.STREAM_EVENT:
+                stream = (instr.stream + self._stream_offset) % self._num_streams
+                self._events[instr.event_index] = clock.record_event(
+                    instr.device, stream, self._event_record_us
+                )
+                self.profile.record_sync_event()
+            elif opcode == ins.Opcode.STREAM_WAIT:
+                ts = self._events.get(instr.event_index)
+                if ts is not None:
+                    stream = (instr.stream + self._stream_offset) % self._num_streams
+                    stall = clock.wait_event(
+                        instr.device,
+                        stream,
+                        ts,
+                        self._wait_event_us,
+                        self._event_sync_us,
+                    )
+                    self.profile.record_sync_wait(stall)
             else:  # pragma: no cover - exhaustive
                 raise VMError(f"unknown opcode {opcode}")
             frame.pc += 1
@@ -336,8 +380,12 @@ class VirtualMachine:
         invocation = kernel.invoke_cost(in_shapes)
         device = instr.device
         spec = self.ctx.platform.spec_of(device)
+        stream = 0
         if device.is_gpu:
-            clock.launch_async(device, invocation.duration_us, spec.host_launch_us)
+            stream = (instr.stream + self._stream_offset) % self._num_streams
+            clock.launch_async(
+                device, invocation.duration_us, spec.host_launch_us, stream
+            )
         else:
             clock.run_sync(invocation.duration_us)
         if instr.kind == "host_scalar":
@@ -345,7 +393,7 @@ class VirtualMachine:
         else:
             self.profile.record_kernel(
                 invocation.duration_us, invocation.impl,
-                getattr(kernel, "name", "?"),
+                getattr(kernel, "name", "?"), stream,
             )
 
         # Lite numerics: large, data-independent compute kernels skip the

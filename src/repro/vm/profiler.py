@@ -11,7 +11,7 @@ end-to-end overhead they contribute is ``elapsed - kernel_busy``, which
 from __future__ import annotations
 
 from collections import Counter, defaultdict
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields
 from typing import Dict
 
 
@@ -32,6 +32,17 @@ class VMProfile:
     # lets callers count GEMM launches per tier — the batched tier's
     # acceptance check is one batched GEMM per member-wise GEMM site.
     kernel_counts: Counter = field(default_factory=Counter)
+    # Multi-stream accounting (repro.vm.schedule): device busy time and
+    # launches per stream id, plus the sync-primitive traffic. On an
+    # unscheduled build everything lands on stream 0 and the sync
+    # counters stay 0.
+    stream_kernel_us: Counter = field(default_factory=Counter)
+    stream_kernel_invocations: Counter = field(default_factory=Counter)
+    sync_events: int = 0
+    sync_waits: int = 0
+    # Modeled stream-stall time actually incurred by waits (an event
+    # that already fired stalls nothing, like the real API).
+    sync_stall_us: float = 0.0
 
     def record_run(self) -> None:
         self.runs += 1
@@ -40,11 +51,22 @@ class VMProfile:
         self.instruction_counts[opcode_name] += 1
         self.dispatch_time_us += dispatch_us
 
-    def record_kernel(self, duration_us: float, impl: str, name: str = "?") -> None:
+    def record_kernel(
+        self, duration_us: float, impl: str, name: str = "?", stream: int = 0
+    ) -> None:
         self.kernel_time_us += duration_us
         self.kernel_invocations += 1
         self.impl_counts[impl] += 1
         self.kernel_counts[name] += 1
+        self.stream_kernel_us[stream] += duration_us
+        self.stream_kernel_invocations[stream] += 1
+
+    def record_sync_event(self) -> None:
+        self.sync_events += 1
+
+    def record_sync_wait(self, stall_us: float) -> None:
+        self.sync_waits += 1
+        self.sync_stall_us += stall_us
 
     def gemm_invocations(self, ops=None) -> int:
         """Kernel launches whose fused group contains a GEMM-class op
@@ -65,30 +87,22 @@ class VMProfile:
         """Latency not attributable to compute kernels (Table 4 'others')."""
         return max(0.0, elapsed_us - self.kernel_time_us)
 
+    # merge/reset walk the dataclass fields so a new counter can never be
+    # forgotten by one of them — adding a field keeps both correct (and
+    # the reset/merge symmetry test covers every field generically).
     def merge(self, other: "VMProfile") -> None:
-        self.runs += other.runs
-        self.instruction_counts.update(other.instruction_counts)
-        self.kernel_counts.update(other.kernel_counts)
-        self.kernel_time_us += other.kernel_time_us
-        self.kernel_invocations += other.kernel_invocations
-        self.shape_func_time_us += other.shape_func_time_us
-        self.shape_func_invocations += other.shape_func_invocations
-        self.host_scalar_time_us += other.host_scalar_time_us
-        self.alloc_time_us += other.alloc_time_us
-        self.copy_time_us += other.copy_time_us
-        self.dispatch_time_us += other.dispatch_time_us
-        self.impl_counts.update(other.impl_counts)
+        for f in fields(self):
+            mine = getattr(self, f.name)
+            theirs = getattr(other, f.name)
+            if isinstance(mine, Counter):
+                mine.update(theirs)
+            else:
+                setattr(self, f.name, mine + theirs)
 
     def reset(self) -> None:
-        self.runs = 0
-        self.instruction_counts.clear()
-        self.impl_counts.clear()
-        self.kernel_counts.clear()
-        self.kernel_time_us = 0.0
-        self.kernel_invocations = 0
-        self.shape_func_time_us = 0.0
-        self.shape_func_invocations = 0
-        self.host_scalar_time_us = 0.0
-        self.alloc_time_us = 0.0
-        self.copy_time_us = 0.0
-        self.dispatch_time_us = 0.0
+        for f in fields(self):
+            value = getattr(self, f.name)
+            if isinstance(value, Counter):
+                value.clear()
+            else:
+                setattr(self, f.name, type(value)())

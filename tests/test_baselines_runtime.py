@@ -46,6 +46,94 @@ class TestVirtualClock:
         clock.launch_async(dev, 10.0, 1.0)
         assert clock.elapsed_us == pytest.approx(21.0)
 
+    def test_zero_duration_launch(self):
+        clock = VirtualClock()
+        dev = gpu(0)
+        clock.launch_async(dev, 0.0, enqueue_us=1.0)
+        # A zero-length kernel still occupies a queue slot: the stream's
+        # frontier lands exactly at enqueue time, never before host time.
+        assert clock.stream_ready_us[(dev, 0)] == 1.0
+        assert clock.elapsed_us == 1.0
+        clock.launch_async(dev, 5.0, enqueue_us=1.0)
+        assert clock.elapsed_us == pytest.approx(7.0)
+
+    def test_sync_with_no_pending_work(self):
+        clock = VirtualClock()
+        dev = gpu(0)
+        clock.host_advance(3.0)
+        clock.sync(dev)  # nothing enqueued: a no-op
+        clock.sync_all()
+        assert clock.host_us == 3.0
+        assert clock.elapsed_us == 3.0
+        assert clock.device_ready(dev) == 0.0
+
+    def test_interleaved_advance_to_and_run_sync(self):
+        clock = VirtualClock()
+        clock.run_sync(10.0)
+        clock.advance_to(5.0)  # already past: must not rewind
+        assert clock.host_us == 10.0
+        clock.advance_to(20.0)
+        assert clock.host_us == 20.0
+        clock.run_sync(2.5)
+        assert clock.host_us == 22.5
+        # advance_to is idle wall time, run_sync is work: ordering of an
+        # advance between two kernels only fast-forwards the gap.
+        clock.advance_to(22.5)
+        assert clock.elapsed_us == 22.5
+
+    def test_streams_are_independent_queues(self):
+        clock = VirtualClock()
+        dev = gpu(0)
+        clock.launch_async(dev, 100.0, 1.0, stream=0)
+        clock.launch_async(dev, 100.0, 1.0, stream=1)
+        # Two streams overlap; the second kernel starts when its enqueue
+        # lands (host at 2.0), not after the first retires.
+        assert clock.stream_ready_us[(dev, 0)] == 101.0
+        assert clock.stream_ready_us[(dev, 1)] == 102.0
+        assert clock.elapsed_us == 102.0
+
+    def test_record_event_on_idle_stream_is_host_time(self):
+        clock = VirtualClock()
+        dev = gpu(0)
+        clock.host_advance(7.0)
+        ts = clock.record_event(dev, 3, host_cost_us=1.0)
+        # Nothing pending on the stream: the event completes at record
+        # time (host after paying the record cost).
+        assert ts == 8.0
+        assert clock.host_us == 8.0
+
+    def test_wait_event_charges_sync_only_on_stall(self):
+        clock = VirtualClock()
+        dev = gpu(0)
+        clock.launch_async(dev, 100.0, 1.0, stream=0)
+        ts = clock.record_event(dev, 0, host_cost_us=1.0)
+        assert ts == 101.0
+        # Stream 1 is behind the event: it stalls to the event plus the
+        # propagation charge, and the stall is returned.
+        stall = clock.wait_event(dev, 1, ts, host_cost_us=1.0, sync_us=1.5)
+        assert stall == pytest.approx(102.5)
+        assert clock.stream_ready_us[(dev, 1)] == pytest.approx(102.5)
+        # A wait on an already-complete event is free on the device: no
+        # frontier movement, no sync charge, zero stall.
+        clock.launch_async(dev, 150.0, 1.0, stream=2)
+        before = clock.stream_ready_us[(dev, 2)]
+        assert before > ts
+        stall2 = clock.wait_event(dev, 2, ts, host_cost_us=1.0, sync_us=1.5)
+        assert stall2 == 0.0
+        assert clock.stream_ready_us[(dev, 2)] == before
+
+    def test_single_stream_reproduces_single_lane_model(self):
+        a, b = VirtualClock(), VirtualClock()
+        dev = gpu(0)
+        for clock in (a, b):
+            clock.run_sync(2.0)
+        a.launch_async(dev, 10.0, 1.0)  # pre-streams call shape
+        b.launch_async(dev, 10.0, 1.0, stream=0)
+        assert a.elapsed_us == b.elapsed_us
+        a.sync(dev)
+        b.sync(dev)
+        assert a.host_us == b.host_us
+
 
 class TestAllocator:
     def test_pool_hit_cheaper_than_fresh(self):

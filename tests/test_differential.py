@@ -28,14 +28,16 @@ from hypothesis import strategies as st
 
 import repro.nimble as nimble
 from repro.codegen.kernels import KernelCache
-from repro.hardware import intel_cpu
+from repro.hardware import intel_cpu, nvidia_gpu
 from repro.models.bert import BertConfig, BertWeights, build_bert_module
 from repro.models.lstm import LSTMWeights, build_lstm_module
 from repro.runtime.context import ExecutionContext
+from repro.vm.compiler import CompilerOptions
 from repro.vm.interpreter import VirtualMachine
 
 MAX_LEN = 8
 BATCHES = (2, 3, 4)
+STREAM_COUNTS = (1, 2, 4)
 
 
 class _TierCache:
@@ -215,6 +217,125 @@ def _staged_case(model: str, length: int, batch: int, seed: int):
     assert np.array_equal(
         _run_drained(vm_bmono, stacked_in), _run_drained(vm_bstaged, stacked_in)
     ), "staged batched tier diverged"
+
+
+class _StreamCache:
+    """The small BERT compiled on the GPU platform once per stream count,
+    all sharing one KernelCache. Multi-stream scheduling is a latency
+    optimization of the virtual clock only — host-sequential dispatch
+    means every stream count must produce bit-identical payloads."""
+
+    def __init__(self):
+        config = BertConfig(hidden=16, num_layers=1, num_heads=2, ffn=32)
+        weights = BertWeights.create(config, seed=0)
+        self.mod = build_bert_module(weights)
+        self.input_dim = 16
+        self.platform = nvidia_gpu()
+        self.kernel_cache = KernelCache()
+        self._vms = {}
+
+    def vm(self, streams) -> VirtualMachine:
+        found = self._vms.get(streams)
+        if found is None:
+            exe = nimble.build(
+                self.mod,
+                self.platform,
+                options=CompilerOptions(device_streams=streams),
+                kernel_cache=self.kernel_cache,
+            )[0]
+            ctx = ExecutionContext(self.platform, numerics="full")
+            found = VirtualMachine(exe, ctx)
+            self._vms[streams] = found
+        return found
+
+    def fresh_vm(self, streams) -> VirtualMachine:
+        exe = self.vm(streams).exe
+        return VirtualMachine(exe, ExecutionContext(self.platform, numerics="full"))
+
+
+_STREAM_CACHE = None
+
+
+def _stream_cache() -> _StreamCache:
+    global _STREAM_CACHE
+    if _STREAM_CACHE is None:
+        _STREAM_CACHE = _StreamCache()
+    return _STREAM_CACHE
+
+
+def _stream_case(length: int, batch: int, seed: int):
+    cache = _stream_cache()
+    rng = np.random.RandomState(seed)
+    members = [
+        (rng.randn(length, cache.input_dim) * 0.2).astype(np.float32)
+        for _ in range(batch)
+    ]
+
+    baseline = [_run_drained(cache.vm(1), x) for x in members]
+    for streams in STREAM_COUNTS[1:]:
+        vm = cache.vm(streams)
+        assert vm.exe.device_streams == streams
+        assert vm.exe.num_events > 0, "multi-stream build scheduled no events"
+        for i, x in enumerate(members):
+            # Rotate members across stream lanes exactly as the serving
+            # worker does — relabeling lanes must not touch payloads.
+            out = vm.run(x, stream_offset=i % streams)
+            assert vm.ctx.allocator.live_bytes == 0
+            assert np.array_equal(out.numpy(), baseline[i]), (
+                f"member {i}: streams={streams} diverged from single-stream"
+            )
+
+
+class TestStreamDifferential:
+    """Stream counts ∈ {1, 2, 4} on the GPU platform: static scheduling
+    must be bitwise invisible in outputs and exactly replayable in
+    modeled latency."""
+
+    @given(
+        length=st.integers(1, MAX_LEN),
+        batch=st.sampled_from(BATCHES),
+        seed=st.integers(0, 2**16 - 1),
+    )
+    @settings(max_examples=40, deadline=None, derandomize=True)
+    def test_stream_counts_bit_identical(self, length, batch, seed):
+        _stream_case(length, batch, seed)
+
+    def test_scheduled_replay_is_deterministic(self):
+        """Same executable, fresh context: the virtual clock must land on
+        the exact same latency and payload both times, at every stream
+        count — the property that lets CI assert on modeled numbers."""
+        cache = _stream_cache()
+        rng = np.random.RandomState(3)
+        xs = [
+            (rng.randn(n, cache.input_dim) * 0.2).astype(np.float32)
+            for n in (2, 6, 4)
+        ]
+        for streams in STREAM_COUNTS:
+            replays = []
+            for _ in range(2):
+                vm = cache.fresh_vm(streams)
+                outs = [vm.run(x).numpy() for x in xs]
+                replays.append((vm.ctx.clock.elapsed_us, outs))
+            (us_a, outs_a), (us_b, outs_b) = replays
+            assert us_a == us_b, f"streams={streams}: replay latency drifted"
+            assert all(np.array_equal(a, b) for a, b in zip(outs_a, outs_b))
+
+    def test_stream_offset_is_pure_relabeling(self):
+        """Offsetting the whole schedule by a constant lane permutes
+        which physical stream does what but cannot change latency or
+        payload of a single run."""
+        cache = _stream_cache()
+        x = (np.random.RandomState(9).randn(5, cache.input_dim) * 0.2).astype(
+            np.float32
+        )
+        base_vm = cache.fresh_vm(4)
+        base_out = base_vm.run(x).numpy()
+        base_us = base_vm.ctx.clock.elapsed_us
+        for offset in (1, 2, 3):
+            vm = cache.fresh_vm(4)
+            out = vm.run(x, stream_offset=offset).numpy()
+            assert np.array_equal(out, base_out)
+            assert vm.ctx.clock.elapsed_us == base_us
 
 
 class TestDifferential:

@@ -1,13 +1,14 @@
-"""Golden-blob serialization tests: checked-in v2 and v3 executables
-must keep loading as the format evolves (the backward-compat contract
-specified in docs/serialization.md), and the current writer must emit
-the documented v4 layout.
+"""Golden-blob serialization tests: checked-in v2, v3, and v4
+executables must keep loading as the format evolves (the backward-compat
+contract specified in docs/serialization.md), and the current writer
+must emit the documented v5 layout.
 
 The golden blobs were written by the historical serializers (v2: PR 2's
-specialization marker; v3: PR 4's batch marker) and hold a minimal
-runnable program — ``main()`` returning a 2x3 float32 constant — with
-no pickled kernel classes, so they stay loadable no matter how the
-kernel objects evolve."""
+specialization marker; v3: PR 4's batch marker; v4: PR 5's
+store-metadata section) and hold a minimal runnable program —
+``main()`` returning a 2x3 float32 constant — with no pickled kernel
+classes, so they stay loadable no matter how the kernel objects
+evolve."""
 
 import struct
 from pathlib import Path
@@ -16,8 +17,16 @@ import numpy as np
 import pytest
 
 from repro.errors import SerializationError
+from repro.tensor.device import gpu
 from repro.vm import instruction as ins
-from repro.vm.executable import MAGIC, MIN_VERSION, VERSION, Executable
+from repro.vm.executable import (
+    MAGIC,
+    MIN_VERSION,
+    VERSION,
+    Executable,
+    VMFunction,
+    artifact_key,
+)
 from repro.vm.interpreter import VirtualMachine
 
 GOLDEN = Path(__file__).parent / "golden"
@@ -52,8 +61,40 @@ class TestGoldenBlobs:
         out = VirtualMachine(exe).run()
         assert np.array_equal(out.numpy(), EXPECTED_CONST)
 
+    def test_v4_blob_loads_and_runs(self):
+        exe = _load_golden("executable_v4.bin")
+        assert exe.specialized_shapes == ((4, 8),)
+        assert exe.specialized_batch == 2
+        # v4 carries the store metadata (and its hash verified on load)…
+        assert exe.source_signature == "golden-v4-fingerprint"
+        # …but predates the static scheduler: single-stream, no events.
+        assert exe.device_streams == 1
+        assert exe.num_events == 0
+        out = VirtualMachine(exe).run()
+        assert np.array_equal(out.numpy(), EXPECTED_CONST)
+
+    def test_v4_blob_keeps_its_v4_artifact_key(self):
+        """The stream count joins the key only for v5+; a v4 blob's
+        embedded hash must keep verifying under the v5 loader, which is
+        exactly what ``content_hash(version=4)`` computes."""
+        exe = _load_golden("executable_v4.bin")
+        assert exe.content_hash(4) == artifact_key(
+            exe.source_signature, "intel", ((4, 8),), 2, version=4
+        )
+        # Tampering with the batch marker must break the embedded hash.
+        blob = bytearray((GOLDEN / "executable_v4.bin").read_bytes())
+        idx = blob.rindex(bytes([2 << 1]))  # the batch varint (zigzag 2)
+        blob[idx] = 3 << 1
+        with pytest.raises(SerializationError, match="content hash"):
+            Executable.load(bytes(blob))
+
     def test_golden_blobs_declare_their_versions(self):
-        for name, version in (("executable_v2.bin", 2), ("executable_v3.bin", 3)):
+        versions = (
+            ("executable_v2.bin", 2),
+            ("executable_v3.bin", 3),
+            ("executable_v4.bin", 4),
+        )
+        for name, version in versions:
             blob = (GOLDEN / name).read_bytes()
             assert blob[:4] == MAGIC
             assert struct.unpack("<H", blob[4:6]) == (version,)
@@ -75,3 +116,79 @@ class TestGoldenBlobs:
             blob[4:6] = struct.pack("<H", bad)
             with pytest.raises(SerializationError, match="version"):
                 Executable.load(bytes(blob))
+
+
+def _scheduled_exe() -> Executable:
+    """A hand-assembled v5 executable exercising every scheduling
+    construct the format added: an InvokePacked on a non-zero stream,
+    the two sync opcodes, and the trailing schedule section."""
+    from repro.tensor.ndarray import NDArray
+
+    dev = gpu(0)
+    instrs = [
+        ins.LoadConst(0, 0),
+        ins.InvokePacked(0, 2, 1, (0, 1), dev, "compute", stream=2),
+        ins.StreamEvent(0, dev, 2),
+        ins.StreamWait(0, dev, 0),
+        ins.Ret(1),
+    ]
+    return Executable(
+        platform_name="nvidia",
+        functions=[VMFunction("main", 0, instrs, 8)],
+        func_index={"main": 0},
+        constants=[NDArray(EXPECTED_CONST)],
+        kernels=[],
+        entry="main",
+        source_signature="golden-v5-fingerprint",
+        device_streams=4,
+        num_events=1,
+    )
+
+
+class TestV5Schedule:
+    def test_current_writer_emits_v5(self):
+        blob = _scheduled_exe().save()
+        assert blob[:4] == MAGIC
+        assert struct.unpack("<H", blob[4:6]) == (VERSION,)
+
+    def test_v5_roundtrip_preserves_schedule(self):
+        exe = _scheduled_exe()
+        again = Executable.load(exe.save())
+        assert again.device_streams == 4
+        assert again.num_events == 1
+        assert again.functions[0].instructions == exe.functions[0].instructions
+        assert again.functions[0].instructions[1].stream == 2
+        assert again.content_hash() == exe.content_hash()
+
+    def test_artifact_key_folds_streams_only_for_v5(self):
+        base = dict(
+            source_signature="sig",
+            platform_name="nvidia",
+            specialized_shapes=None,
+            specialized_batch=None,
+        )
+        # v5 keys: stream count is identity — different counts, different
+        # artifacts (their bytecode genuinely differs).
+        one = artifact_key(**base, version=5, device_streams=1)
+        four = artifact_key(**base, version=5, device_streams=4)
+        assert one != four
+        # None and 1 both mean single-stream: no aliasing keys.
+        assert artifact_key(**base, version=5, device_streams=None) == one
+        # v4 keys predate the scheduler: the stream count must NOT
+        # perturb them, or every already-stored artifact would orphan.
+        assert artifact_key(**base, version=4, device_streams=4) == artifact_key(
+            **base, version=4, device_streams=1
+        )
+
+    def test_scheduled_executable_key_differs_from_unscheduled(self):
+        exe = _scheduled_exe()
+        single = Executable(
+            platform_name=exe.platform_name,
+            functions=exe.functions,
+            func_index=exe.func_index,
+            constants=exe.constants,
+            kernels=[],
+            entry="main",
+            source_signature=exe.source_signature,
+        )
+        assert exe.content_hash() != single.content_hash()

@@ -40,9 +40,12 @@ from repro.vm.objects import ADTObj, StorageObj, TensorObj
 
 
 class TestISA:
-    def test_exactly_twenty_opcodes(self):
-        """Table A.1: the ISA has exactly 20 instructions."""
-        assert len(ins.Opcode) == 20
+    def test_exactly_twenty_paper_opcodes(self):
+        """Table A.1: the ISA has exactly 20 paper instructions, plus the
+        two scheduling opcodes of the AOT multi-stream extension."""
+        scheduling = {ins.Opcode.STREAM_EVENT, ins.Opcode.STREAM_WAIT}
+        assert len(set(ins.Opcode) - scheduling) == 20
+        assert len(ins.Opcode) == 22
 
     def test_all_opcodes_named_as_paper(self):
         names = {op.name for op in ins.Opcode}
@@ -78,6 +81,9 @@ def _sample_instructions():
         ins.ShapeOf(1, 2),
         ins.ReshapeTensor(1, 2, 3),
         ins.Fatal("boom"),
+        ins.InvokePacked(2, 3, 1, (0, 1, 2), gpu(0), "compute", stream=3),
+        ins.StreamEvent(7, gpu(0), 2),
+        ins.StreamWait(7, gpu(0), 0),
     ]
 
 
@@ -426,3 +432,93 @@ class TestLeakRegression:
         worker.ctx.allocator.alloc(64, 64, intel_cpu().host)  # simulate a leak
         with pytest.raises(MemoryError, match="live bytes"):
             worker.reset()
+
+
+class TestProfileResetMergeSymmetry:
+    """merge/reset walk the dataclass fields, so every field — present
+    and future — must survive the symmetry: populate, merge == manual
+    sums, reset == pristine. A field either of them misses fails here."""
+
+    @staticmethod
+    def populated(scale=1):
+        from collections import Counter
+        from dataclasses import fields
+
+        from repro.vm.profiler import VMProfile
+
+        p = VMProfile()
+        for i, f in enumerate(fields(p), start=1):
+            value = getattr(p, f.name)
+            if isinstance(value, Counter):
+                value.update({f"k{i}": i * scale, i % 3: 2 * i * scale})
+            elif isinstance(value, float):
+                setattr(p, f.name, (i + 0.5) * scale)
+            else:
+                setattr(p, f.name, i * scale)
+        return p
+
+    def test_populator_touches_every_field(self):
+        from dataclasses import fields
+
+        p = self.populated()
+        for f in fields(p):
+            assert getattr(p, f.name), f"field {f.name} not populated"
+
+    def test_merge_sums_every_field(self):
+        from collections import Counter
+        from dataclasses import fields
+
+        a, b = self.populated(1), self.populated(10)
+        expect = self.populated(11)  # populate is linear in scale
+        a.merge(b)
+        for f in fields(a):
+            got, want = getattr(a, f.name), getattr(expect, f.name)
+            if isinstance(got, Counter):
+                assert got == want, f.name
+            else:
+                assert got == pytest.approx(want), f.name
+
+    def test_reset_zeroes_every_field(self):
+        from dataclasses import fields
+
+        from repro.vm.profiler import VMProfile
+
+        p = self.populated()
+        p.reset()
+        assert p == VMProfile()
+        for f in fields(p):
+            assert not getattr(p, f.name), f"field {f.name} survived reset"
+
+    def test_reset_does_not_alias_fresh_profiles(self):
+        """reset() must clear Counters in place (merged references stay
+        live) and never share state with a new profile."""
+        from repro.vm.profiler import VMProfile
+
+        p = self.populated()
+        counts = p.instruction_counts
+        p.reset()
+        assert counts is p.instruction_counts  # cleared, not replaced
+        p.instruction_counts["X"] += 1
+        assert VMProfile().instruction_counts == {}
+
+    def test_shape_func_invocations_reset_regression(self):
+        from repro.vm.profiler import VMProfile
+
+        p = VMProfile()
+        p.record_shape_func(3.0)
+        p.record_shape_func(4.0)
+        assert p.shape_func_invocations == 2
+        p.reset()
+        assert p.shape_func_invocations == 0
+        assert p.shape_func_time_us == 0.0
+
+    def test_merge_then_reset_roundtrip(self):
+        from repro.vm.profiler import VMProfile
+
+        a = self.populated(3)
+        b = VMProfile()
+        b.merge(a)
+        assert b == a
+        a.reset()
+        a.merge(b)
+        assert a == b
