@@ -1,0 +1,81 @@
+"""Verification overhead: the static gate must stay nearly free.
+
+`CompilerOptions(verify=True)` is the default, so every compile pays
+for the bytecode/race/lifetime checkers. This benchmark measures that
+tax directly — compile each workload with the gate off, then time
+`verify_executable` on the result — and asserts the verifier costs
+**under 5% of compile time** per artifact (the checkers are a few
+linear passes over the bytecode; compilation runs type inference, the
+pass pipeline, memory planning, and kernel generation).
+
+CI runs this file; a verifier change that regresses past the bound
+fails the build before it lands as a compile-latency surprise.
+"""
+
+import time
+
+import pytest
+
+import repro.nimble as nimble
+from repro.analysis import verify_executable
+from repro.harness import format_table
+from repro.hardware.platforms import nvidia_gpu
+from repro.models.bert import BertConfig, BertWeights, build_bert_module
+from repro.models.lstm import LSTMWeights, build_lstm_module
+from repro.vm.compiler import CompilerOptions
+
+MAX_VERIFY_SHARE = 0.05
+
+
+def _cases():
+    bert_cfg = BertConfig(hidden=64, num_heads=4, num_layers=2, ffn=128)
+    return [
+        ("lstm s1", build_lstm_module(LSTMWeights.create(16, 32, 1)), 1),
+        (
+            "bert s4",
+            build_bert_module(BertWeights.create(bert_cfg, seed=0)),
+            4,
+        ),
+    ]
+
+
+def study():
+    rows = []
+    for name, mod, streams in _cases():
+        opts = CompilerOptions(device_streams=streams, verify=False)
+        start = time.perf_counter()
+        exe, _ = nimble.build(mod, nvidia_gpu(), options=opts)
+        compile_s = time.perf_counter() - start
+        # Median of several runs: the verifier is fast enough that a
+        # single sample is mostly timer noise.
+        samples = []
+        for _ in range(5):
+            start = time.perf_counter()
+            verify_executable(exe)
+            samples.append(time.perf_counter() - start)
+        verify_s = sorted(samples)[len(samples) // 2]
+        rows.append([
+            name,
+            compile_s * 1e3,
+            verify_s * 1e3,
+            100.0 * verify_s / compile_s,
+        ])
+    return rows
+
+
+@pytest.mark.paper
+def test_verification_is_under_five_percent_of_compile(benchmark):
+    rows = benchmark.pedantic(study, rounds=1, iterations=1)
+    print()
+    print(
+        format_table(
+            "Static verification cost vs compilation (wall ms)",
+            rows,
+            ["artifact", "compile ms", "verify ms", "share %"],
+        )
+    )
+    for name, _compile_ms, _verify_ms, share in rows:
+        assert share < 100.0 * MAX_VERIFY_SHARE, (
+            f"{name}: verification costs {share:.1f}% of compile time "
+            f"(bound {100.0 * MAX_VERIFY_SHARE:.0f}%)"
+        )

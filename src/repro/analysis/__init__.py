@@ -1,0 +1,79 @@
+"""`repro.analysis` — static verification for every executable.
+
+Four independent checkers prove an executable well-formed without running
+it (docs/analysis.md has the catalog):
+
+* :mod:`repro.analysis.bytecode` — abstract interpretation: registers
+  defined on all paths, operand/arity/bounds validity, storage
+  alloc-before-use, jump targets, stream/event bounds;
+* :mod:`repro.analysis.races` — independent vector-clock happens-before
+  over the serialized ``StreamEvent``/``StreamWait`` schedule, checking
+  every hazard edge of the AOT dependency graph plus the cross-function
+  fence/join contract;
+* :mod:`repro.analysis.lifetimes` — no two overlapping live intervals
+  share intersecting bytes of one storage token;
+* :mod:`repro.analysis.lint` — IR well-formedness between passes
+  (``Sequential(verify_each_pass=True)``).
+
+:func:`verify_executable` is the driver the rest of the system calls: at
+the end of every compile (``CompilerOptions(verify=True)``, the default),
+on every store load (`repro.store` rejects-and-counts a blob that fails
+verification exactly like a corrupt one — it is never executed), sampled
+in serving (``ServeConfig.verify_sample``), and in CI
+(`benchmarks/verify_artifacts.py`).
+
+Findings, not exceptions, are the checkers' native output: each checker
+returns a list of :class:`repro.errors.Finding` and
+:func:`assert_verified` normalizes error-severity findings into one
+:class:`repro.errors.VerificationError`.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.errors import Finding, VerificationError
+from repro.analysis.bytecode import check_bytecode
+from repro.analysis.lifetimes import check_lifetimes
+from repro.analysis.lint import lint_function, lint_module
+from repro.analysis.races import check_races
+from repro.analysis.mutate import OPERATORS, all_mutants
+
+__all__ = [
+    "Finding",
+    "VerificationError",
+    "check_bytecode",
+    "check_races",
+    "check_lifetimes",
+    "lint_module",
+    "lint_function",
+    "verify_executable",
+    "assert_verified",
+    "OPERATORS",
+    "all_mutants",
+]
+
+
+def verify_executable(exe) -> List[Finding]:
+    """Run every executable-level checker; returns all findings.
+
+    The bytecode verifier runs first and, if it reports errors, alone:
+    the race and lifetime checkers assume structurally valid bytecode
+    (in-bounds registers and indices), so their output on a mangled
+    executable would be noise stacked on the real defect.
+    """
+    findings = check_bytecode(exe)
+    if any(f.severity == "error" for f in findings):
+        return findings
+    findings = findings + check_races(exe) + check_lifetimes(exe)
+    return findings
+
+
+def assert_verified(exe, context: Optional[str] = None) -> List[Finding]:
+    """Raise :class:`VerificationError` on any error-severity finding;
+    returns the full finding list (warnings included) when clean."""
+    findings = verify_executable(exe)
+    errors = [f for f in findings if f.severity == "error"]
+    if errors:
+        raise VerificationError(errors, context)
+    return findings

@@ -1,0 +1,254 @@
+"""Memory-plan lifetime checker.
+
+The memory planner coalesces storage only when live ranges are provably
+disjoint; the VM then releases every storage block by reference count at
+frame teardown — on the return path *and* on error paths (``Fatal`` or a
+raised ``VMError`` unwinds the frame, dropping every register and with
+them the last references), which is why "released on all paths" is a
+structural property of the frame model rather than per-path bookkeeping.
+What can still go wrong statically, and what this checker proves never
+does:
+
+* two tensors carved out of the **same** storage token, with
+  **intersecting byte ranges**, are never **live at the same time** —
+  the planner's one invariant, re-proven from the bytecode instead of
+  the planner's own interval data (N-version, like the race checker);
+* a tensor is not read before anything has written it (uninitialized
+  bytes) — *warning*, since a kernel may legitimately treat an output
+  as scratch;
+* every allocated storage block is actually carved into at least one
+  tensor — *warning*: an unused allocation is dead weight the planner
+  should have eliminated, not a soundness hole.
+
+Scope: straight-line functions (the only ones the memory planner and
+stream scheduler restructure). Extents are resolved by constant
+propagation over ``LoadConsti``/``LoadConst`` of scalar integers — the
+form the compiler emits for every static allocation site. Dynamic sites
+(``AllocTensorReg``, register-valued offsets that never resolve) make
+their token *unverifiable* and are skipped: this checker proves the
+static fragment and stays silent where it cannot prove, so compiled
+dynamic models verify clean.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional
+
+import numpy as np
+
+from repro.errors import Finding
+from repro.vm import instruction as ins
+from repro.vm.executable import Executable, VMFunction
+from repro.vm.schedule import is_straight_line
+
+
+@dataclass
+class _Storage:
+    token: int
+    pc: int
+    size: Optional[int]
+    used: bool = False
+    unverifiable: bool = False
+
+
+@dataclass
+class _Tensor:
+    uid: int
+    token: int
+    pc: int
+    offset: Optional[int]
+    nbytes: Optional[int]
+    first_write: Optional[int] = None
+    last_use: int = -1
+    has_read: bool = False
+    escapes: bool = False
+
+
+def _scalar_int(value) -> Optional[int]:
+    arr = np.asarray(value.numpy() if hasattr(value, "numpy") else value)
+    if arr.size == 1 and arr.dtype.kind in "iu":
+        return int(arr.reshape(())[()])
+    return None
+
+
+def check_function_lifetimes(
+    func: VMFunction, exe: Executable
+) -> List[Finding]:
+    if not is_straight_line(func):
+        return []
+    findings: List[Finding] = []
+    consts: Dict[int, Optional[int]] = {}
+    storages: List[_Storage] = []
+    storage_of: Dict[int, int] = {}  # register -> token
+    tensors: List[_Tensor] = []
+    held: Dict[int, FrozenSet[int]] = {}  # register -> tensor uids
+
+    def clobber(reg: int) -> None:
+        consts.pop(reg, None)
+        storage_of.pop(reg, None)
+        held.pop(reg, None)
+
+    def read(reg: int, pc: int) -> None:
+        for uid in held.get(reg, ()):  # a data read of every aliased tensor
+            t = tensors[uid]
+            t.last_use = pc
+            t.has_read = True
+
+    def write(reg: int, pc: int) -> None:
+        for uid in held.get(reg, ()):
+            t = tensors[uid]
+            if t.first_write is None:
+                t.first_write = pc
+            t.last_use = pc
+
+    n = len(func.instructions)
+    for pc, instr in enumerate(func.instructions):
+        if isinstance(instr, ins.LoadConsti):
+            clobber(instr.dst)
+            consts[instr.dst] = int(instr.value)
+        elif isinstance(instr, ins.LoadConst):
+            clobber(instr.dst)
+            consts[instr.dst] = _scalar_int(exe.constants[instr.const_index])
+        elif isinstance(instr, ins.AllocStorage):
+            clobber(instr.dst)
+            token = len(storages)
+            storages.append(
+                _Storage(token, pc, consts.get(instr.allocation_size))
+            )
+            storage_of[instr.dst] = token
+        elif isinstance(instr, (ins.AllocTensor, ins.AllocTensorReg)):
+            token = storage_of.get(instr.storage)
+            clobber(instr.dst)
+            if token is None:
+                continue  # bytecode checker owns "not a storage" findings
+            storage = storages[token]
+            storage.used = True
+            if isinstance(instr, ins.AllocTensorReg):
+                # Shape arrives in a register: extent is dynamic, the
+                # token leaves the provable fragment.
+                storage.unverifiable = True
+                continue
+            offset = consts.get(instr.offset)
+            nbytes: Optional[int] = None
+            try:
+                itemsize = np.dtype(instr.dtype).itemsize
+                nbytes = int(np.prod(instr.shape, dtype=np.int64)) * itemsize
+            except TypeError:
+                storage.unverifiable = True
+            if offset is None:
+                storage.unverifiable = True
+            uid = len(tensors)
+            tensors.append(_Tensor(uid, token, pc, offset, nbytes))
+            held[instr.dst] = frozenset((uid,))
+        elif isinstance(instr, ins.Move):
+            src_consts = consts.get(instr.src)
+            src_tok = storage_of.get(instr.src)
+            src_held = held.get(instr.src)
+            clobber(instr.dst)
+            if src_consts is not None:
+                consts[instr.dst] = src_consts
+            if src_tok is not None:
+                storage_of[instr.dst] = src_tok
+            if src_held is not None:
+                held[instr.dst] = src_held
+        elif isinstance(instr, ins.ReshapeTensor):
+            src_held = held.get(instr.tensor)
+            clobber(instr.dst)
+            if src_held is not None:
+                held[instr.dst] = src_held  # same bytes, new metadata
+        elif isinstance(instr, ins.AllocADT):
+            merged: FrozenSet[int] = frozenset()
+            for f in instr.fields:
+                merged |= held.get(f, frozenset())
+            clobber(instr.dst)
+            held[instr.dst] = merged
+        elif isinstance(instr, ins.GetField):
+            src_held = held.get(instr.obj)
+            clobber(instr.dst)
+            if src_held is not None:
+                held[instr.dst] = src_held  # conservative: whole ADT
+        elif isinstance(instr, ins.InvokePacked):
+            num_inputs = instr.arity - instr.output_size
+            for r in instr.args[:num_inputs]:
+                read(r, pc)
+            for r in instr.args[num_inputs:]:
+                write(r, pc)
+        elif isinstance(instr, ins.DeviceCopy):
+            read(instr.src, pc)
+            clobber(instr.dst)  # fresh buffer on the destination device
+        elif isinstance(instr, ins.Ret):
+            for uid in held.get(instr.result, ()):
+                t = tensors[uid]
+                t.escapes = True
+                t.last_use = n  # alive past the frame
+            break
+        else:
+            _, writes = _instr_writes(instr)
+            for r in writes:
+                clobber(r)
+
+    by_token: Dict[int, List[_Tensor]] = {}
+    for t in tensors:
+        by_token.setdefault(t.token, []).append(t)
+    for storage in storages:
+        if not storage.used:
+            findings.append(
+                Finding(
+                    "lifetimes", func.name, storage.pc,
+                    "storage block is allocated but never carved into a "
+                    "tensor",
+                    severity="warning",
+                )
+            )
+        if storage.unverifiable:
+            continue
+        group = by_token.get(storage.token, [])
+        for i, a in enumerate(group):
+            for b in group[i + 1:]:
+                if a.offset is None or b.offset is None:
+                    continue
+                if a.nbytes is None or b.nbytes is None:
+                    continue
+                if a.offset + a.nbytes <= b.offset:
+                    continue  # disjoint byte ranges
+                if b.offset + b.nbytes <= a.offset:
+                    continue
+                fa = a.first_write if a.first_write is not None else a.pc
+                fb = b.first_write if b.first_write is not None else b.pc
+                if max(fa, fb) <= min(a.last_use, b.last_use):
+                    findings.append(
+                        Finding(
+                            "lifetimes", func.name, b.pc,
+                            f"tensors@{a.pc} and @{b.pc} share storage "
+                            f"token {storage.token} with intersecting "
+                            f"byte ranges and overlapping live intervals",
+                        )
+                    )
+    for t in tensors:
+        if t.has_read and t.first_write is None:
+            findings.append(
+                Finding(
+                    "lifetimes", func.name, t.pc,
+                    "tensor is read but never written in this frame "
+                    "(uninitialized bytes unless the kernel treats it "
+                    "as scratch)",
+                    severity="warning",
+                )
+            )
+    return findings
+
+
+def _instr_writes(instr: ins.Instruction):
+    """(reads, writes) for instructions the walk above has no special
+    case for — only the write set is consulted, to clobber stale facts."""
+    dst = getattr(instr, "dst", None)
+    return (), (() if dst is None else (dst,))
+
+
+def check_lifetimes(exe: Executable) -> List[Finding]:
+    """Prove the memory plan of every straight-line function sound."""
+    findings: List[Finding] = []
+    for func in exe.functions:
+        findings.extend(check_function_lifetimes(func, exe))
+    return findings

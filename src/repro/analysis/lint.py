@@ -1,0 +1,168 @@
+"""IR well-formedness lint.
+
+Structural hygiene for :class:`IRModule` values between passes:
+
+* **scoping** — no free variables anywhere in a module-level function,
+  and no ``GlobalVar`` reference that the module does not define
+  (*error*: a pass dropped or duplicated a binder);
+* **unique binders** — the same ``Var`` object bound twice violates the
+  convention every analysis in ``ir/analysis.py`` relies on (*error*);
+* **type agreement** — after InferType, a ``Let``'s variable and bound
+  value must carry structurally identical ``checked_type``s (*error*),
+  and any node missing a ``checked_type`` is reported (*warning* under
+  ``typed=True``);
+* **ANF discipline** (``anf=True``) — call/tuple operands must be
+  atoms: a nested ``Call``/``Let``/``If`` inside an argument list means
+  a pass re-nested what ``ToANF`` flattened (*error*);
+* **hygiene warnings** — unused ``Let`` bindings and name-hint
+  shadowing, which are legal but usually betray a sloppy rewrite.
+
+``PassManager``'s ``verify_each_pass`` debug mode runs this after every
+pass (`passes/pass_manager.py`), turning "pass X miscompiled something
+three passes later" into "pass X produced ill-formed IR", with the pass
+name in the exception context.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set
+
+from repro.errors import Finding
+from repro.ir.analysis import _pattern_vars, free_vars, iter_nodes
+from repro.ir.expr import (
+    Call,
+    Constant,
+    Constructor,
+    Expr,
+    Function,
+    GlobalVar,
+    If,
+    Let,
+    Match,
+    Tuple,
+    TupleGetItem,
+    Var,
+)
+from repro.ir.module import IRModule
+from repro.ir.op import Op
+from repro.ir.types import type_hash
+
+_ATOMS = (Var, Constant, GlobalVar, Constructor, Op, Function)
+
+
+def _binder_sites(func: Function):
+    """Yield every (binder Var, node) pair inside *func*."""
+    for p in func.params:
+        yield p, func
+    for node in iter_nodes(func.body):
+        if isinstance(node, Let):
+            yield node.var, node
+        elif isinstance(node, Function):
+            for p in node.params:
+                yield p, node
+        elif isinstance(node, Match):
+            for clause in node.clauses:
+                for v in _pattern_vars(clause.pattern):
+                    yield v, node
+
+
+def lint_function(
+    name: str,
+    func: Function,
+    known_globals: Optional[Set[GlobalVar]] = None,
+    typed: bool = True,
+    anf: bool = False,
+) -> List[Finding]:
+    findings: List[Finding] = []
+
+    def report(message: str, severity: str = "error") -> None:
+        findings.append(Finding("lint", name, -1, message, severity))
+
+    for v in free_vars(func):
+        report(f"free variable %{v.name_hint} (no enclosing binder)")
+    if known_globals is not None:
+        for node in iter_nodes(func):
+            if isinstance(node, GlobalVar) and node not in known_globals:
+                report(f"reference to undefined global @{node.name_hint}")
+
+    seen_binders: Set[Var] = set()
+    hints: Dict[str, int] = {}
+    for var, _site in _binder_sites(func):
+        if var in seen_binders:
+            report(f"variable %{var.name_hint} is bound more than once "
+                   f"(unique-binder convention)")
+        seen_binders.add(var)
+        hints[var.name_hint] = hints.get(var.name_hint, 0) + 1
+    for hint, count in hints.items():
+        if count > 1:
+            report(f"name hint %{hint} is bound {count} times (shadowing)",
+                   severity="warning")
+
+    # iter_nodes never yields binder positions (binders are not children),
+    # so every Var it produces is a use site.
+    used: Set[Var] = {
+        n for n in iter_nodes(func.body) if isinstance(n, Var)
+    }
+    for node in iter_nodes(func.body):
+        if isinstance(node, Let) and node.var not in used:
+            report(f"unused binding %{node.var.name_hint}",
+                   severity="warning")
+
+    if typed:
+        for node in iter_nodes(func.body):
+            if isinstance(node, (Op, Constructor)):
+                continue  # polymorphic atoms carry no checked_type
+            if isinstance(node, GlobalVar):
+                continue
+            if node.checked_type is None:
+                report(
+                    f"{type(node).__name__} node has no checked_type "
+                    f"(InferType not run or pass dropped it)",
+                    severity="warning",
+                )
+            if isinstance(node, Let):
+                vt, et = node.var.checked_type, node.value.checked_type
+                if vt is not None and et is not None and type_hash(
+                    vt
+                ) != type_hash(et):
+                    report(
+                        f"let-binding %{node.var.name_hint}: variable "
+                        f"type {vt} disagrees with value type {et}"
+                    )
+
+    if anf:
+        for node in iter_nodes(func.body):
+            operands = ()
+            if isinstance(node, Call):
+                operands = node.args
+            elif isinstance(node, Tuple):
+                operands = node.fields
+            elif isinstance(node, TupleGetItem):
+                operands = (node.tuple_value,)
+            elif isinstance(node, If):
+                operands = (node.cond,)
+            elif isinstance(node, Match):
+                operands = (node.data,)
+            for arg in operands:
+                if not isinstance(arg, _ATOMS):
+                    report(
+                        f"non-atomic {type(arg).__name__} operand of "
+                        f"{type(node).__name__} (ANF discipline)"
+                    )
+    return findings
+
+
+def lint_module(
+    mod: IRModule, typed: bool = True, anf: bool = False
+) -> List[Finding]:
+    """Lint every non-primitive function of *mod*; primitive (fused)
+    bodies are opaque kernels with their own internal conventions."""
+    findings: List[Finding] = []
+    known = set(mod.functions)
+    for gv, func in mod.functions.items():
+        if func.is_primitive:
+            continue
+        findings.extend(
+            lint_function(gv.name_hint, func, known, typed=typed, anf=anf)
+        )
+    return findings

@@ -1,0 +1,212 @@
+"""Mutation harness: seeded corruptions that prove the checkers' teeth.
+
+Each operator takes a (presumed clean) :class:`Executable` and returns a
+corrupted *copy* — the input is never modified — or ``None`` when the
+executable has no site for that corruption class (e.g. a single-stream
+build has no ``StreamWait`` to drop). ``tests/test_analysis.py`` builds
+real model executables, applies every operator, and asserts
+:func:`repro.analysis.verify_executable` reports at least one error
+finding per mutant: the acceptance bar is 100% detection of every
+corruption class that applies.
+
+Operators and why each seeded instance is *guaranteed* non-equivalent:
+
+* :func:`drop_stream_wait` removes the wait directly preceding a device
+  kernel. The scheduler's ``_plan_events`` emits a wait only when the
+  dependency is not already covered by every merge that precedes it, so
+  the *last* wait before a kernel is always load-bearing — dropping it
+  leaves a genuinely unordered hazard edge (or an unfenced entry).
+* :func:`swap_stream` moves a kernel that has a cross-stream dependent
+  onto a third stream. Its recorded event stays on the old stream, whose
+  snapshot no longer covers the kernel, so every consumer's edge breaks.
+* :func:`reorder_event` moves an event's record after its wait; waiting
+  on a not-yet-recorded event is the interpreter's documented no-op, so
+  the wait silently stops synchronizing — the classic lost-wakeup.
+* :func:`alias_storage` rebinds one ``AllocStorage`` destination to an
+  earlier live storage register, making two tensor families share bytes.
+  Candidate pairs are tried in program order and the first one the
+  lifetime checker can prove overlapping is returned — pairs whose
+  lifetimes happen to be disjoint would be *equivalent mutants* (the
+  corruption is harmless), and excluding those is standard mutation-
+  testing practice. If the checker were blind, no pair would qualify
+  and the operator would return ``None``, failing the harness test.
+* :func:`undefine_register` grows the register file by one and points a
+  kernel operand at the fresh, never-written register.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace as dc_replace
+from typing import Dict, List, Optional
+
+from repro.vm import instruction as ins
+from repro.vm.executable import Executable, VMFunction
+from repro.vm.schedule import build_dependency_graph
+
+
+def _clone(exe: Executable) -> Executable:
+    """Copy deep enough to mutate instruction lists; kernels/constants are
+    shared (instructions themselves are frozen dataclasses)."""
+    return dc_replace(
+        exe,
+        functions=[
+            VMFunction(f.name, f.num_params, list(f.instructions), f.register_count)
+            for f in exe.functions
+        ],
+        func_index=dict(exe.func_index),
+    )
+
+
+def _is_device_kernel(instr: ins.Instruction) -> bool:
+    return (
+        isinstance(instr, ins.InvokePacked)
+        and instr.kind == "compute"
+        and instr.device.is_gpu
+    )
+
+
+def drop_stream_wait(exe: Executable) -> Optional[Executable]:
+    """Remove the StreamWait directly preceding a device kernel."""
+    for fi, func in enumerate(exe.functions):
+        instrs = func.instructions
+        for pos in range(1, len(instrs)):
+            if _is_device_kernel(instrs[pos]) and isinstance(
+                instrs[pos - 1], ins.StreamWait
+            ):
+                mutant = _clone(exe)
+                del mutant.functions[fi].instructions[pos - 1]
+                return mutant
+    return None
+
+
+def swap_stream(exe: Executable) -> Optional[Executable]:
+    """Move a kernel with a cross-stream dependent onto a third stream."""
+    if exe.device_streams < 3:
+        return None
+    for fi, func in enumerate(exe.functions):
+        nodes = build_dependency_graph(func)
+        if not nodes:
+            continue
+        streams = {n.id: n.instr.stream for n in nodes}
+        consumers: Dict[int, List[int]] = {}
+        for n in nodes:
+            for d in n.deps:
+                consumers.setdefault(d, []).append(n.id)
+        for n in nodes:
+            down = consumers.get(n.id, [])
+            if not any(streams[c] != streams[n.id] for c in down):
+                continue
+            taken = {streams[n.id]} | {streams[c] for c in down}
+            free = [t for t in range(exe.device_streams) if t not in taken]
+            if not free:
+                continue
+            mutant = _clone(exe)
+            mutant.functions[fi].instructions[n.pos] = dc_replace(
+                n.instr, stream=free[0]
+            )
+            return mutant
+    return None
+
+
+def reorder_event(exe: Executable) -> Optional[Executable]:
+    """Move an event's record after its wait (the wait becomes a no-op)."""
+    for fi, func in enumerate(exe.functions):
+        instrs = func.instructions
+        for pos in range(1, len(instrs)):
+            if not (
+                _is_device_kernel(instrs[pos])
+                and isinstance(instrs[pos - 1], ins.StreamWait)
+            ):
+                continue
+            wait = instrs[pos - 1]
+            for epos, e in enumerate(instrs):
+                if (
+                    isinstance(e, ins.StreamEvent)
+                    and e.event_index == wait.event_index
+                    and epos < pos - 1
+                ):
+                    mutant = _clone(exe)
+                    mi = mutant.functions[fi].instructions
+                    event = mi.pop(epos)
+                    # pos-1 now addresses the wait; record right after it.
+                    mi.insert(pos - 1, event)
+                    return mutant
+    return None
+
+
+def alias_storage(exe: Executable) -> Optional[Executable]:
+    """Rebind an AllocStorage destination to an earlier storage register,
+    choosing the first pair whose shared lifetimes provably overlap."""
+    from repro.analysis.lifetimes import check_function_lifetimes
+
+    for fi, func in enumerate(exe.functions):
+        instrs = func.instructions
+        alloc_positions = [
+            pos for pos, i in enumerate(instrs)
+            if isinstance(i, ins.AllocStorage)
+        ]
+        for j, bpos in enumerate(alloc_positions):
+            for apos in alloc_positions[:j]:
+                a_dst = instrs[apos].dst
+                b = instrs[bpos]
+                if a_dst == b.dst:
+                    continue
+                # a_dst must still hold storage A at B's position.
+                clobbered = any(
+                    a_dst in _writes(instrs[k])
+                    for k in range(apos + 1, bpos + 1)
+                )
+                if clobbered:
+                    continue
+                mutant = _clone(exe)
+                mutant.functions[fi].instructions[bpos] = ins.Move(
+                    src=a_dst, dst=b.dst
+                )
+                if any(
+                    f.severity == "error"
+                    for f in check_function_lifetimes(
+                        mutant.functions[fi], mutant
+                    )
+                ):
+                    return mutant  # non-equivalent: overlap is provable
+    return None
+
+
+def undefine_register(exe: Executable) -> Optional[Executable]:
+    """Point a kernel operand at a fresh register nothing ever writes."""
+    for fi, func in enumerate(exe.functions):
+        for pos, instr in enumerate(func.instructions):
+            if isinstance(instr, ins.InvokePacked) and instr.args:
+                mutant = _clone(exe)
+                f = mutant.functions[fi]
+                fresh = f.register_count
+                mutant.functions[fi] = VMFunction(
+                    f.name, f.num_params, f.instructions, f.register_count + 1
+                )
+                args = (fresh,) + tuple(instr.args[1:])
+                mutant.functions[fi].instructions[pos] = dc_replace(
+                    instr, args=args
+                )
+                return mutant
+    return None
+
+
+def _writes(instr: ins.Instruction):
+    dst = getattr(instr, "dst", None)
+    return () if dst is None else (dst,)
+
+
+#: Every operator, keyed by corruption-class name; ``None`` results mean
+#: the class does not apply to the given executable (e.g. single-stream).
+OPERATORS = {
+    "drop_stream_wait": drop_stream_wait,
+    "swap_stream": swap_stream,
+    "reorder_event": reorder_event,
+    "alias_storage": alias_storage,
+    "undefine_register": undefine_register,
+}
+
+
+def all_mutants(exe: Executable) -> Dict[str, Optional[Executable]]:
+    """Apply every operator; see :data:`OPERATORS` for the class names."""
+    return {name: op(exe) for name, op in OPERATORS.items()}

@@ -7,6 +7,9 @@ catch compiler vs. runtime failures separately, mirroring how TVM splits
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
 
 class NimbleError(Exception):
     """Base class for all errors raised by this package."""
@@ -38,3 +41,48 @@ class DeviceError(NimbleError):
 
 class TuningError(NimbleError):
     """The auto-tuner was configured with an empty or invalid search space."""
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One defect reported by a static checker (``repro.analysis``).
+
+    ``checker`` names the checker that produced it (``bytecode``,
+    ``races``, ``lifetimes``, ``lint``); ``function`` the VM or IR
+    function; ``pc`` the instruction index (-1 for IR-level findings,
+    which have no bytecode position). ``severity`` is ``"error"`` for
+    soundness violations and ``"warning"`` for hygiene findings
+    (unused bindings, shadowing) that never fail verification.
+    """
+
+    checker: str
+    function: str
+    pc: int
+    message: str
+    severity: str = "error"
+
+    def __str__(self) -> str:
+        where = f"{self.function}@{self.pc}" if self.pc >= 0 else self.function
+        return f"[{self.checker}] {where}: {self.message}"
+
+
+class VerificationError(NimbleError):
+    """Static verification of an executable or module failed.
+
+    Normalizes every checker's failures into one exception type (the
+    way decoder failures all normalize to :class:`SerializationError`),
+    carrying the structured ``findings`` list so store/serve callers can
+    count, log, or render them without parsing the message."""
+
+    def __init__(
+        self, findings: Sequence[Finding], context: Optional[str] = None
+    ) -> None:
+        self.findings = list(findings)
+        self.context = context
+        head = f"verification failed ({len(self.findings)} finding(s))"
+        if context:
+            head += f" {context}"
+        lines = [head] + [f"  {f}" for f in self.findings[:8]]
+        if len(self.findings) > 8:
+            lines.append(f"  ... and {len(self.findings) - 8} more")
+        super().__init__("\n".join(lines))

@@ -498,6 +498,7 @@ def _variant_options(
         specialized_shapes=bound_shapes,
         specialized_batch=batch if batch > 1 else None,
         device_streams=base.device_streams,
+        verify=base.verify,
     )
 
 

@@ -62,9 +62,15 @@ class Sequential(Pass):
         self,
         passes: Sequence[Callable[[IRModule], IRModule]],
         reinfer_types: bool = True,
+        verify_each_pass: bool = False,
     ) -> None:
         self.passes = list(passes)
         self.reinfer_types = reinfer_types
+        # Debug mode: run the IR well-formedness lint
+        # (repro.analysis.lint) after every pass and raise
+        # VerificationError naming the offending pass — "pass X produced
+        # ill-formed IR" instead of a miscompile three passes later.
+        self.verify_each_pass = verify_each_pass
         self.timings: Dict[str, float] = {}
 
     def run(self, mod: IRModule) -> IRModule:
@@ -77,4 +83,18 @@ class Sequential(Pass):
             if self.reinfer_types:
                 mod = infer_types(mod)
             self.timings[name] = self.timings.get(name, 0.0) + time.perf_counter() - start
+            if self.verify_each_pass:
+                self._verify(mod, name)
         return mod
+
+    def _verify(self, mod: IRModule, pass_name: str) -> None:
+        from repro.analysis.lint import lint_module
+        from repro.errors import VerificationError
+
+        errors = [
+            f
+            for f in lint_module(mod, typed=self.reinfer_types)
+            if f.severity == "error"
+        ]
+        if errors:
+            raise VerificationError(errors, context=f"after pass {pass_name}")

@@ -44,6 +44,10 @@ class ServeReport:
     specialize_fresh_compiles: int = 0
     specialize_restore_us: float = 0.0
     store_rejects: int = 0
+    # The subset of store_rejects that deserialized fine but failed
+    # static verification (repro.analysis) — split out because they
+    # indicate a writer bug or tampering, not volume corruption.
+    verify_rejects: int = 0
     # Staged-compilation split of specialize_compile_us: the
     # once-per-simulation shape-independent prefix charge vs the
     # per-variant compile lane time. Under the monolithic pipeline
@@ -290,7 +294,8 @@ class ServeReport:
                 store_note = (
                     f", {self.specialize_restored} restored from store "
                     f"({self.specialize_restore_us:.0f} µs deserialize, "
-                    f"{self.store_rejects} reject(s))"
+                    f"{self.store_rejects} reject(s), "
+                    f"{self.verify_rejects} failed verification)"
                 )
             sections.append(
                 format_table(
@@ -373,13 +378,15 @@ def build_report(
     workers,
     specializer=None,
     extra_store_rejects: int = 0,
+    extra_verify_rejects: int = 0,
     device_streams: int = 1,
 ) -> ServeReport:
     """Assemble a ServeReport from responses + the worker pool (and the
     specialization manager, when tiering is enabled).
     ``extra_store_rejects`` folds in store rejects the manager never
     sees — the server's startup kernel-cache load — so the report's
-    counter covers the whole store surface."""
+    counter covers the whole store surface; ``extra_verify_rejects``
+    does the same for the verification-failure subset."""
     profile_dynamic = VMProfile()
     profile_specialized = VMProfile()
     profile_batched = VMProfile()
@@ -433,6 +440,10 @@ def build_report(
             specializer.store_rejects if specializer is not None else 0
         )
         + extra_store_rejects,
+        verify_rejects=(
+            specializer.verify_rejects if specializer is not None else 0
+        )
+        + extra_verify_rejects,
         specialize_prefix_us=(
             specializer.prefix_us_spent if specializer is not None else 0.0
         ),

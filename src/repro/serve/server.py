@@ -114,6 +114,14 @@ class ServeConfig:
     # deserialize charge. Off by default: the monolithic charge model is
     # unchanged.
     specialize_staged: bool = False
+    # Sampled static verification of serving compiles: every Nth fresh
+    # specialized compile (starting with the first) runs the
+    # repro.analysis checkers; 0 disables sampling. Store loads and the
+    # startup dynamic build always verify regardless — this knob only
+    # prices the hot compile lane. Failures on the lane raise (compiler
+    # bug); failing store blobs are rejected-and-counted
+    # (ServeReport.verify_rejects) and never executed.
+    verify_sample: int = 4
 
     @property
     def batch_cap(self) -> int:
@@ -172,6 +180,9 @@ class InferenceServer:
         self._startup_store_rejects = (
             self.store.rejects if self.store is not None else 0
         )
+        self._startup_verify_rejects = (
+            self.store.verify_rejects if self.store is not None else 0
+        )
         self.mod = mod
         self.exe, self.build_report = nimble.build(
             mod,
@@ -207,6 +218,7 @@ class InferenceServer:
                 restore_us=self.config.specialize_restore_us,
                 staged=self.config.specialize_staged,
                 device_streams=self.config.device_streams,
+                verify_sample=self.config.verify_sample,
             )
         self.workers = [
             Worker(
@@ -279,6 +291,7 @@ class InferenceServer:
             self.workers,
             self.specializer,
             extra_store_rejects=self._startup_store_rejects,
+            extra_verify_rejects=self._startup_verify_rejects,
             device_streams=self.exe.device_streams,
         )
 

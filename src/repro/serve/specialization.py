@@ -243,6 +243,7 @@ class SpecializationManager:
         restore_us: Optional[float] = None,
         staged: bool = False,
         device_streams: int = 1,
+        verify_sample: int = 4,
     ) -> None:
         if threshold < 1:
             raise ValueError(f"specialization threshold must be >= 1, got {threshold}")
@@ -258,6 +259,10 @@ class SpecializationManager:
             )
         if batch_cap < 1:
             raise ValueError(f"batch_cap must be >= 1, got {batch_cap}")
+        if verify_sample < 0:
+            raise ValueError(
+                f"verify_sample must be >= 0, got {verify_sample}"
+            )
         self.mod = mod
         self.platform = platform
         self.bucketer = bucketer
@@ -286,6 +291,19 @@ class SpecializationManager:
         # clamped value is what the compiler would stamp anyway, and
         # using it for keys too keeps key and artifact in agreement.
         self.device_streams = platform.effective_streams(device_streams)
+        # Sampled static verification (repro.analysis): the compiler's
+        # own verify gate is disabled for serving compiles (the hot
+        # compile lane should not pay it on every variant) and instead
+        # every ``verify_sample``-th *actual* compile — starting with
+        # the first — is verified here. 0 disables sampling entirely.
+        # Verification failing on a sampled compile is a compiler bug
+        # and raises; store blobs failing verification are instead
+        # rejected-and-counted (``verify_rejects``) like corrupt blobs.
+        self.verify_sample = verify_sample
+        # Actual-work counter (cumulative, like ``_executables``):
+        # replays reuse memoised executables, so only real compiles
+        # advance it.
+        self.verified_compiles = 0
         # Staged specialization: compile through the shape-independent
         # prefix + shape-binding suffix, and split the modeled charge —
         # the prefix is paid once per simulation (folded into the first
@@ -310,6 +328,10 @@ class SpecializationManager:
         # good artifact, so the rejection is memoised (and replayed —
         # see _plan_artifact) to keep every simulation identical.
         self._rejected_keys: Set[str] = set()
+        # The subset of _rejected_keys that failed *static verification*
+        # (deserialized fine, unsound contents) — memoised the same way
+        # so replays re-count verify_rejects at the same trigger.
+        self._verify_rejected_keys: Set[str] = set()
         self._store_key_memo: Dict[VariantKey, str] = {}
         # Staged-mode prefix state (cross-simulation, like _executables):
         # the prefix itself is a pure function of (module, platform), so
@@ -376,6 +398,12 @@ class SpecializationManager:
         # trigger without re-reading the (possibly since-overwritten)
         # file.
         self.store_rejects: int = 0
+        # The subset of store_rejects that were static-verification
+        # failures (replayed from _verify_rejected_keys, same rule).
+        self.verify_rejects: int = 0
+        # Fresh compiles this simulation, for the deterministic
+        # verify_sample cadence (memo hits do not advance it).
+        self._compile_seq: int = 0
         # Staged mode: has this simulation paid the once-per-module
         # prefix charge yet? Reset per replay — the model assumes a
         # restart re-stages the pipeline, exactly like it assumes
@@ -783,12 +811,26 @@ class SpecializationManager:
             if skey in self._store_keys_at_init:
                 if skey in self._rejected_keys:
                     self.store_rejects += 1
+                    if skey in self._verify_rejected_keys:
+                        self.verify_rejects += 1
                 else:
                     exe = self._executables.get(variant)
                     if exe is None:
+                        verify_rejects_before = self.store.verify_rejects
                         exe = self.store.get(
                             skey, expected_signature=self._fingerprint
                         )
+                        if (
+                            exe is None
+                            and self.store.verify_rejects
+                            > verify_rejects_before
+                        ):
+                            # Deserialized cleanly but failed static
+                            # verification: memoised like any reject so
+                            # replays re-count it, but also split out —
+                            # it means a writer bug, not volume rot.
+                            self._verify_rejected_keys.add(skey)
+                            self.verify_rejects += 1
                     if exe is None:
                         self._rejected_keys.add(skey)
                         self.store_rejects += 1
@@ -834,7 +876,10 @@ class SpecializationManager:
                 self.platform,
                 binding=binding,
                 options=nimble.CompilerOptions(
-                    device_streams=self.device_streams
+                    device_streams=self.device_streams,
+                    # The compiler's per-compile verify gate is replaced
+                    # by the sampled verification below.
+                    verify=False,
                 ),
                 kernel_cache=self.kernel_cache,
                 entry=self.entry,
@@ -852,6 +897,19 @@ class SpecializationManager:
                 raise
             self._unbatchable.add(key)
             return False
+        self._compile_seq += 1
+        if self.verify_sample > 0 and (
+            (self._compile_seq - 1) % self.verify_sample == 0
+        ):
+            # Deterministic cadence: the first fresh compile of every
+            # simulation and every verify_sample-th after it. A failure
+            # here is a compiler bug — raise, never serve the variant.
+            from repro.analysis import assert_verified
+
+            assert_verified(
+                exe, context=f"(serving compile, shape {key}, batch {batch})"
+            )
+            self.verified_compiles += 1
         self._executables[variant] = exe
         if self.compile_us is not None:
             cost = float(self.compile_us)

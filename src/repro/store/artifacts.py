@@ -55,8 +55,13 @@ class ArtifactStore:
     platforms — keys collide only when every identity component matches.
     """
 
-    def __init__(self, root) -> None:
+    def __init__(self, root, verify: bool = True) -> None:
         self.root = Path(root)
+        # Statically verify every loaded executable (repro.analysis): a
+        # blob that deserializes cleanly but fails verification is
+        # rejected-and-counted exactly like a corrupt one — it is never
+        # handed to a VM. Disable only for forensics on bad blobs.
+        self.verify = verify
         self.artifacts_dir = self.root / "artifacts"
         self.artifacts_dir.mkdir(parents=True, exist_ok=True)
         self._format_file = self.root / "STORE_FORMAT"
@@ -79,13 +84,23 @@ class ArtifactStore:
         # must be *visible* — silent fallback would mask a corrupted
         # volume until someone wonders why restarts stopped being warm.
         self.reject_log: List[Tuple[str, str]] = []
+        # The subset of rejects that deserialized fine but failed static
+        # verification — tracked separately because they mean a *writer*
+        # bug (or post-write tampering), not volume rot.
+        self.verify_reject_log: List[Tuple[str, str]] = []
 
     # ------------------------------------------------------------------ stats
     @property
     def rejects(self) -> int:
         """How many artifact loads this process refused (corrupt,
-        truncated, stale-version, or signature-mismatched blobs)."""
+        truncated, stale-version, signature-mismatched, or
+        verification-failed blobs)."""
         return len(self.reject_log)
+
+    @property
+    def verify_rejects(self) -> int:
+        """How many rejects were static-verification failures."""
+        return len(self.verify_reject_log)
 
     def keys(self) -> List[str]:
         """Every artifact key currently on disk, sorted (deterministic
@@ -147,6 +162,27 @@ class ArtifactStore:
                 (key, f"artifact hashes to {exe.content_hash()}, filed as {key}")
             )
             return None
+        if self.verify:
+            # The blob is authentic, but is the bytecode sound? A buggy
+            # writer (or a hand-edited blob with a recomputed hash) can
+            # produce a well-formed *container* around racy or
+            # ill-formed *contents*; verification is the last gate
+            # before anything executes it.
+            from repro.analysis import verify_executable
+
+            errors = [
+                f
+                for f in verify_executable(exe)
+                if f.severity == "error"
+            ]
+            if errors:
+                reason = (
+                    f"failed static verification "
+                    f"({len(errors)} finding(s)): {errors[0]}"
+                )
+                self.reject_log.append((key, reason))
+                self.verify_reject_log.append((key, reason))
+                return None
         return exe
 
     # ----------------------------------------------------------------- prefixes

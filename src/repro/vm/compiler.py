@@ -66,6 +66,7 @@ class CompilerOptions:
         specialized_shapes: Optional[tuple] = None,
         specialized_batch: Optional[int] = None,
         device_streams: int = 1,
+        verify: bool = True,
     ) -> None:
         self.tune = tune
         self.num_dispatch_kernels = num_dispatch_kernels
@@ -86,6 +87,12 @@ class CompilerOptions:
         # alias.
         self.specialized_shapes = specialized_shapes
         self.specialized_batch = specialized_batch
+        # Run the static verifiers (repro.analysis) on the finished
+        # executable and raise VerificationError on any error finding.
+        # Default on: verification costs <5% of a compile
+        # (benchmarks/bench_verify.py) and turns scheduler/memory-plan
+        # bugs into compile-time failures instead of wrong answers.
+        self.verify = verify
 
 
 class _FnCtx:
@@ -156,6 +163,10 @@ class VMCompiler:
             from repro.vm.schedule import schedule_executable
 
             schedule_executable(exe, streams)
+        if self.options.verify:
+            from repro.analysis import assert_verified
+
+            assert_verified(exe, context="(freshly compiled)")
         return exe
 
     # ------------------------------------------------------------- per function

@@ -23,6 +23,7 @@ _PATH_RE = re.compile(
 )
 
 REQUIRED_PAGES = (
+    "docs/analysis.md",
     "docs/architecture.md",
     "docs/serialization.md",
     "docs/serving.md",
