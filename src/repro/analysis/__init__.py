@@ -45,6 +45,7 @@ __all__ = [
     "check_bytecode",
     "check_races",
     "check_lifetimes",
+    "check_guard",
     "lint_module",
     "lint_function",
     "verify_executable",
@@ -65,8 +66,38 @@ def verify_executable(exe) -> List[Finding]:
     findings = check_bytecode(exe)
     if any(f.severity == "error" for f in findings):
         return findings
-    findings = findings + check_races(exe) + check_lifetimes(exe)
+    findings = findings + check_races(exe) + check_lifetimes(exe) + check_guard(exe)
     return findings
+
+
+def check_guard(exe) -> List[Finding]:
+    """Check the entry shape-guard contract of specialized executables.
+
+    A *partial* specialization (some dims in ``specialized_shapes`` left
+    ``None``) is only sound member-wise: its entry guard checks each
+    call's bound dims and the serving layer deopts mismatches one member
+    at a time. A batch-specialized partial variant would stack members
+    whose unbound dims may disagree into one call, which the guard
+    cannot express — the compiler refuses to build one
+    (``BatchSpecializeError``), and this checker rejects any blob that
+    claims otherwise (a tampered or buggy-writer artifact).
+    """
+    is_partial = getattr(exe, "is_partial", False)
+    batch = getattr(exe, "specialized_batch", None) or 1
+    if is_partial and batch > 1:
+        return [
+            Finding(
+                checker="guard",
+                function=exe.entry,
+                pc=-1,
+                message=(
+                    f"partially specialized executable claims batch "
+                    f"{batch}: partial variants are member-wise only "
+                    f"(the entry guard checks one member's bound dims)"
+                ),
+            )
+        ]
+    return []
 
 
 def assert_verified(exe, context: Optional[str] = None) -> List[Finding]:

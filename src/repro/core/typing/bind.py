@@ -39,23 +39,28 @@ def collect_shape_bindings(
 ) -> Binding:
     """Match *shape_spec* against annotation *ty*, binding ``Any`` tokens.
 
-    ``shape_spec`` mirrors the type structure: a sequence of ints for a
+    ``shape_spec`` mirrors the type structure: a sequence of dims for a
     :class:`TensorType`, a sequence of per-field specs for a
-    :class:`TupleType`, or ``None`` to leave that subtree dynamic. Static
-    dims in the annotation must agree with the spec; a token bound twice
-    must agree both times.
+    :class:`TupleType`, or ``None`` to leave that subtree dynamic. A
+    tensor dim may itself be ``None`` — a *partial* spec: that dim stays
+    unbound (dynamic), so one specialized variant can cover a family of
+    exact shapes (the serving layer guards the bound dims at entry).
+    Static dims in the annotation must agree with the spec; a token
+    bound twice must agree both times.
     """
     binding = binding if binding is not None else {}
     if shape_spec is None:
         return binding
     if isinstance(ty, TensorType):
-        shape = tuple(int(d) for d in shape_spec)
+        shape = tuple(None if d is None else int(d) for d in shape_spec)
         if len(shape) != ty.ndim:
             raise TypeInferenceError(
                 f"{what}: shape {shape} has rank {len(shape)} but the "
                 f"annotation {ty!r} has rank {ty.ndim}"
             )
         for dim, value in zip(ty.shape, shape):
+            if value is None:
+                continue  # partial spec: this dim stays dynamic
             if value < 0:
                 raise TypeInferenceError(f"{what}: negative dimension {value}")
             if isinstance(dim, Any):

@@ -31,6 +31,18 @@ class VMError(NimbleError):
     """The virtual machine hit an invalid instruction or operand."""
 
 
+class ShapeGuardError(VMError):
+    """A specialized executable's entry shape guard rejected the inputs.
+
+    Member-wise specialized executables (exact or partial) carry the
+    shapes they were compiled for in ``specialized_shapes``; running one
+    on inputs whose bound dims disagree would silently compute with the
+    wrong static extents. The guard turns that into a loud error. The
+    serving layer never sees this raised — it checks the same guard
+    first and transparently deopts mismatched batch members to the
+    dynamic tier."""
+
+
 class SerializationError(NimbleError):
     """An executable could not be serialized or deserialized."""
 

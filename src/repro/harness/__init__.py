@@ -6,6 +6,7 @@ from repro.harness.experiments import (
     staged_compile_study,
     figure3_dispatch,
     memory_planning_study,
+    predictive_study,
     restart_study,
     serving_study,
     specialization_study,
@@ -30,6 +31,7 @@ __all__ = [
     "compile_pool_study",
     "staged_compile_study",
     "restart_study",
+    "predictive_study",
     "batch_specialization_study",
     "stream_study",
     "tuning_ablation",

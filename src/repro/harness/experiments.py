@@ -1127,6 +1127,180 @@ def restart_study(
 
 
 # ---------------------------------------------------------------------------
+# Predictive + partial specialization study
+# ---------------------------------------------------------------------------
+
+
+def predictive_study(
+    platform_name: str = "intel",
+    num_requests: int = 200,
+    mean_interarrival_us: float = 400.0,
+    hot_lengths: Sequence[int] = (9, 25, 41),
+    hot_fraction: float = 0.7,
+    threshold: int = 6,
+    max_executables: int = 4,
+    compile_lanes: int = 2,
+    compile_us: float = 8000.0,
+    input_size: int = 16,
+    max_batch_size: int = 4,
+    max_delay_us: float = 1000.0,
+    num_workers: int = 2,
+    partial_min_shapes: int = 3,
+    artifact_dir: Optional[str] = None,
+    seed: int = 0,
+) -> Dict[str, Dict[str, float]]:
+    """Profile-guided predictive specialization + guarded partial shapes
+    on a long-tailed traffic mix.
+
+    Two fresh servers run the identical trace against one artifact
+    store. The **cold** server starts with an empty store: specialization
+    is reactive (threshold hits, then a compile) and the long tail of
+    exact lengths is covered by a synthesized *partial* variant (stable
+    feature dim bound, row dim left ``Any``, entry-guarded). At
+    simulation end it persists its shape profile (``.nmblprof``). The
+    **warm** server is constructed against the now-populated store with
+    ``specialize_predictive=True``: it pre-arms its historical top-K at
+    virtual time 0 — before the first request lands — so its first
+    specialized hit must land at least ~2× earlier than the cold run's.
+
+    The model is the weight-free two-``Any``-dim Gram map
+    (:func:`repro.models.build_gram_module`): its feature dim is *not*
+    pinned by weights, so traffic with a stable feature width and
+    long-tailed row counts genuinely exercises partial binding.
+
+    Returns ``{"cold": {...}, "warm": {...}, "summary": {...}}``; the
+    summary carries the first-hit speedup, how many distinct exact
+    shapes the partial variant served, guard-deopt and predictive
+    counters, a cold/warm bitwise-identity flag, and per-run
+    replay-determinism flags.
+    """
+    import tempfile
+
+    from repro.models import build_gram_module
+    from repro.serve import InferenceServer, ServeConfig, long_tailed_traffic
+
+    platform = platform_by_name(platform_name)
+    mod = build_gram_module()
+    requests = long_tailed_traffic(
+        num_requests,
+        input_size=input_size,
+        mean_interarrival_us=mean_interarrival_us,
+        hot_lengths=tuple(hot_lengths),
+        hot_fraction=hot_fraction,
+        seed=seed,
+    )
+    owns_dir = artifact_dir is None
+    if owns_dir:
+        artifact_dir = tempfile.mkdtemp(prefix="nimble-predictive-study-")
+    config = ServeConfig(
+        max_batch_size=max_batch_size,
+        max_delay_us=max_delay_us,
+        num_workers=num_workers,
+        specialize=True,
+        specialize_threshold=threshold,
+        specialize_max_executables=max_executables,
+        specialize_compile_lanes=compile_lanes,
+        # Explicit modeled compile cost, like restart_study: sized so
+        # the cold run's reactive warm-up is visible but finishes well
+        # inside the trace, giving the warm run a non-degenerate
+        # first-hit baseline to beat.
+        specialize_compile_us=compile_us,
+        artifact_dir=artifact_dir,
+        specialize_predictive=True,
+        specialize_partial=True,
+        specialize_partial_min_shapes=partial_min_shapes,
+        # The study's headline claim is *bitwise* cross-tier identity
+        # (partial ≡ exact ≡ dynamic) across two servers whose tier
+        # sequences intentionally differ — "lite" numerics skips large
+        # kernels' compute, so only "full" makes that comparison
+        # meaningful. The gram model is small enough that full compute
+        # costs nothing here.
+        numerics="full",
+    )
+    length_of = {r.rid: int(np.asarray(r.payload).shape[0]) for r in requests}
+
+    def first_specialized_hit_us(report) -> float:
+        hits = [r.finish_us for r in report.responses if r.tier != "dynamic"]
+        return min(hits) if hits else math.inf
+
+    def partial_shapes_covered(report) -> int:
+        """Distinct exact row counts served by the guarded-partial tier."""
+        return len(
+            {length_of[r.rid] for r in report.responses if r.tier == "partial"}
+        )
+
+    def run_fresh_server():
+        server = InferenceServer(mod, platform, config)
+        report = server.simulate(requests)
+        replay = server.simulate(requests)
+        deterministic = (
+            report.latencies_us == replay.latencies_us
+            and [r.tier for r in report.responses]
+            == [r.tier for r in replay.responses]
+            and report.specialize_compile_us == replay.specialize_compile_us
+            and report.predictive_compiles == replay.predictive_compiles
+            and report.predictive_hits == replay.predictive_hits
+            and report.guard_deopts == replay.guard_deopts
+            and report.store_rejects == replay.store_rejects
+        )
+        return report, deterministic
+
+    try:
+        cold, cold_deterministic = run_fresh_server()
+        warm, warm_deterministic = run_fresh_server()
+    finally:
+        if owns_dir:
+            import shutil
+
+            shutil.rmtree(artifact_dir, ignore_errors=True)
+
+    def row(report, deterministic) -> Dict[str, float]:
+        return {
+            "specialized_hits": float(report.specialized_hits),
+            "specialized_hit_rate": report.specialized_hit_rate,
+            "partial_hits": float(report.partial_hits),
+            "partial_shapes_covered": float(partial_shapes_covered(report)),
+            "guard_deopts": float(report.guard_deopts),
+            "predictive_compiles": float(report.predictive_compiles),
+            "predictive_hits": float(report.predictive_hits),
+            "compile_charge_us": report.specialize_compile_us,
+            "restored": float(report.specialize_restored),
+            "first_specialized_hit_us": first_specialized_hit_us(report),
+            "p50_us": report.p50_us,
+            "p99_us": report.p99_us,
+            "deterministic": float(deterministic),
+        }
+
+    bit_identical = len(cold.responses) == len(warm.responses) and all(
+        a.rid == b.rid
+        and np.array_equal(
+            np.asarray(a.output.numpy()), np.asarray(b.output.numpy())
+        )
+        for a, b in zip(cold.responses, warm.responses)
+    )
+    cold_first = first_specialized_hit_us(cold)
+    warm_first = first_specialized_hit_us(warm)
+    first_hit_speedup = (
+        1.0 if cold_first == warm_first else cold_first / warm_first
+    )
+    return {
+        "cold": row(cold, cold_deterministic),
+        "warm": row(warm, warm_deterministic),
+        "summary": {
+            "first_hit_speedup": first_hit_speedup,
+            "predictive_compiles": float(warm.predictive_compiles),
+            "predictive_hits": float(warm.predictive_hits),
+            "partial_shapes_covered": float(
+                max(partial_shapes_covered(cold), partial_shapes_covered(warm))
+            ),
+            "guard_deopts": float(cold.guard_deopts + warm.guard_deopts),
+            "bit_identical": float(bit_identical),
+            "deterministic": float(cold_deterministic and warm_deterministic),
+        },
+    }
+
+
+# ---------------------------------------------------------------------------
 # Multi-stream scheduling study
 # ---------------------------------------------------------------------------
 

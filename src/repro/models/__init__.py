@@ -4,7 +4,9 @@
 * :mod:`repro.models.tree_lstm` — Tree-LSTM (dynamic data structure),
   in=300 hid=150;
 * :mod:`repro.models.bert` — BERT-base (dynamic shape), hidden 768;
-* :mod:`repro.models.vision` — static CV models for the §6.3 memory study.
+* :mod:`repro.models.vision` — static CV models for the §6.3 memory study;
+* :mod:`repro.models.gram` — weight-free two-``Any``-dim Gram map, the
+  partial-specialization workhorse (both row and column dims dynamic).
 
 Every model provides (a) an IR builder producing a dynamic module for the
 Nimble pipeline and (b) a NumPy eager reference over the *same* weights,
@@ -19,6 +21,7 @@ from repro.models.tree_lstm import (
     tree_to_adt,
 )
 from repro.models.bert import BertConfig, BertWeights, build_bert_module, bert_reference
+from repro.models.gram import build_gram_module, gram_reference
 from repro.models.vision import (
     build_mobilenet_like,
     build_resnet_like,
@@ -42,4 +45,6 @@ __all__ = [
     "build_mobilenet_like",
     "build_vgg_like",
     "build_squeezenet_like",
+    "build_gram_module",
+    "gram_reference",
 ]

@@ -35,9 +35,22 @@ executables and the kernel cache persist to an on-disk
 its hot-shape artifacts at a modeled deserialize cost instead of
 recompiling (``harness.restart_study`` / ``benchmarks/bench_restart.py``
 measure and assert the warm-start win).
+
+``specialize_predictive=True`` (with a store) makes specialization
+*predictive* instead of purely reactive: every simulation snapshots its
+shape traffic into a ``.nmblprof`` profile blob
+(:class:`~repro.serve.profile.ShapeProfile`), and a restarted server
+pre-arms its historical top-K at virtual time 0 — hot-set compiles and
+restores happen before the first request lands
+(``harness.predictive_study`` / ``benchmarks/bench_predictive.py``).
+``specialize_partial=True`` adds the guarded-partial tier: one variant
+with only the traffic's stable dims bound (the rest stay ``Any``) covers
+a whole family of exact shapes, entry-guarded per batch member with
+transparent, counted deopt to the dynamic tier on mismatch.
 """
 
 from repro.serve.batcher import Batch, Batcher, ShapeBucketer
+from repro.serve.profile import ShapeProfile, profile_store_key
 from repro.serve.report import ServeReport
 from repro.serve.request import Request, Response
 from repro.serve.server import InferenceServer, ServeConfig
@@ -64,6 +77,8 @@ __all__ = [
     "InferenceServer",
     "ServeConfig",
     "EvictionEvent",
+    "ShapeProfile",
+    "profile_store_key",
     "SpecializationEvent",
     "SpecializationManager",
     "Worker",

@@ -26,6 +26,7 @@ class ServeReport:
     profile_dynamic: VMProfile = field(default_factory=VMProfile)
     profile_specialized: VMProfile = field(default_factory=VMProfile)
     profile_batched: VMProfile = field(default_factory=VMProfile)
+    profile_partial: VMProfile = field(default_factory=VMProfile)
     specialize_compile_us: float = 0.0
     # Distinct shapes compiled in *this* simulation / still holding a
     # cache slot when it ended (the two differ once eviction recycles
@@ -55,6 +56,16 @@ class ServeReport:
     # equals the full fresh-compile charge.
     specialize_prefix_us: float = 0.0
     specialize_suffix_us: float = 0.0
+    # Guarded partial shapes: batch members routed to a partial variant
+    # whose entry guard rejected them and who therefore transparently
+    # re-ran on the dynamic VM (their response tier reads "dynamic").
+    guard_deopts: int = 0
+    # Profile-guided predictive specialization: variants the manager
+    # pre-armed (compiled or store-restored) at virtual time 0 from the
+    # persisted shape profile, and static-tier requests served off
+    # those pre-armed variants.
+    predictive_compiles: int = 0
+    predictive_hits: int = 0
     # Device streams the executables were scheduled for (after platform
     # clamping). 1 means single-stream builds — the stream section of
     # the report collapses to a single row and no sync events exist.
@@ -91,10 +102,13 @@ class ServeReport:
     # ------------------------------------------------------------------ tiers
     @property
     def specialized_hits(self) -> int:
-        """Requests served by a static executable (member-wise or
-        batched — both pay zero shape functions and dispatch)."""
+        """Requests served by a static executable (member-wise, batched,
+        or guarded-partial — all pay zero shape functions and dispatch
+        on their bound dims)."""
         return sum(
-            1 for r in self.responses if r.tier in ("specialized", "batched")
+            1
+            for r in self.responses
+            if r.tier in ("specialized", "batched", "partial")
         )
 
     @property
@@ -117,11 +131,25 @@ class ServeReport:
             return 0.0
         return self.batched_hits / len(self.responses)
 
+    @property
+    def partial_hits(self) -> int:
+        """Requests served by a guarded partial variant (guard passed —
+        deopted members count as dynamic, see ``guard_deopts``)."""
+        return sum(1 for r in self.responses if r.tier == "partial")
+
+    @property
+    def partial_hit_rate(self) -> float:
+        """Fraction of requests the guarded-partial tier served."""
+        if not self.responses:
+            return 0.0
+        return self.partial_hits / len(self.responses)
+
     def tier_profile(self, tier: str) -> VMProfile:
         return {
             "dynamic": self.profile_dynamic,
             "specialized": self.profile_specialized,
             "batched": self.profile_batched,
+            "partial": self.profile_partial,
         }[tier]
 
     def tier_latencies_us(self, tier: str) -> List[float]:
@@ -170,6 +198,7 @@ class ServeReport:
         merged.merge(self.profile_dynamic)
         merged.merge(self.profile_specialized)
         merged.merge(self.profile_batched)
+        merged.merge(self.profile_partial)
         return merged
 
     # ---------------------------------------------------------------- streams
@@ -271,6 +300,8 @@ class ServeReport:
             tiers = ["dynamic", "specialized"]
             if self.batched_hits:
                 tiers.append("batched")
+            if self.partial_hits:
+                tiers.append("partial")
             tier_rows = []
             for tier in tiers:
                 prof = self.tier_profile(tier)
@@ -297,6 +328,18 @@ class ServeReport:
                     f"{self.store_rejects} reject(s), "
                     f"{self.verify_rejects} failed verification)"
                 )
+            predictive_note = ""
+            if self.predictive_compiles:
+                predictive_note = (
+                    f", {self.predictive_compiles} predictive pre-arm(s) "
+                    f"serving {self.predictive_hits} hit(s)"
+                )
+            partial_note = ""
+            if self.partial_hits or self.guard_deopts:
+                partial_note = (
+                    f", partial {100.0 * self.partial_hit_rate:.1f}% "
+                    f"with {self.guard_deopts} guard deopt(s)"
+                )
             sections.append(
                 format_table(
                     f"Tiers — specialized hit rate "
@@ -307,7 +350,7 @@ class ServeReport:
                     f"compile {self.specialize_compile_us:.0f} µs"
                     f"{staged_note}, "
                     f"{self.specialize_evictions} eviction(s)"
-                    f"{store_note}",
+                    f"{store_note}{predictive_note}{partial_note}",
                     tier_rows,
                     ["tier", "requests", "p50 µs", "p99 µs", "shape-func µs"],
                 )
@@ -390,10 +433,12 @@ def build_report(
     profile_dynamic = VMProfile()
     profile_specialized = VMProfile()
     profile_batched = VMProfile()
+    profile_partial = VMProfile()
     for worker in workers:
         profile_dynamic.merge(worker.vm.profile)
         profile_specialized.merge(worker.specialized_profile)
         profile_batched.merge(worker.batched_profile)
+        profile_partial.merge(worker.partial_profile)
     return ServeReport(
         responses=sorted(responses, key=lambda r: r.rid),
         worker_busy_us=[w.busy_us for w in workers],
@@ -401,6 +446,14 @@ def build_report(
         profile_dynamic=profile_dynamic,
         profile_specialized=profile_specialized,
         profile_batched=profile_batched,
+        profile_partial=profile_partial,
+        guard_deopts=sum(w.deopts for w in workers),
+        predictive_compiles=(
+            specializer.predictive_compiles if specializer is not None else 0
+        ),
+        predictive_hits=(
+            specializer.predictive_hits if specializer is not None else 0
+        ),
         specialize_compile_us=(
             specializer.compile_us_spent if specializer is not None else 0.0
         ),

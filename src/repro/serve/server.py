@@ -114,6 +114,26 @@ class ServeConfig:
     # deserialize charge. Off by default: the monolithic charge model is
     # unchanged.
     specialize_staged: bool = False
+    # Profile-guided predictive specialization: persist a shape profile
+    # (.nmblprof — exact-key hit histogram + decayed scores) into the
+    # artifact store at every simulation end, and pre-arm the historical
+    # top-K (default: specialize_max_executables; override with
+    # specialize_predictive_top_k) at virtual time 0 of every
+    # simulation, so a restarted server compiles/store-restores its hot
+    # set before the first request lands (ServeReport.predictive_*;
+    # harness.predictive_study measures the warm-up win). Requires
+    # artifact_dir; a missing/rejected profile serves cold, counted.
+    specialize_predictive: bool = False
+    specialize_predictive_top_k: Optional[int] = None
+    # Guarded partial specialization: when traffic agrees on some dims
+    # but spreads a long tail over the others, synthesize one variant
+    # binding only the stable dims (the rest stay Any) once it would
+    # cover at least specialize_partial_min_shapes distinct exact
+    # shapes. The variant's entry guard checks the bound dims per batch
+    # member; mismatches transparently deopt to the dynamic tier
+    # (ServeReport.guard_deopts — counted, never wrong).
+    specialize_partial: bool = False
+    specialize_partial_min_shapes: int = 3
     # Sampled static verification of serving compiles: every Nth fresh
     # specialized compile (starting with the first) runs the
     # repro.analysis checkers; 0 disables sampling. Store loads and the
@@ -219,6 +239,10 @@ class InferenceServer:
                 staged=self.config.specialize_staged,
                 device_streams=self.config.device_streams,
                 verify_sample=self.config.verify_sample,
+                predictive=self.config.specialize_predictive,
+                predictive_top_k=self.config.specialize_predictive_top_k,
+                partial=self.config.specialize_partial,
+                partial_min_shapes=self.config.specialize_partial_min_shapes,
             )
         self.workers = [
             Worker(
@@ -286,6 +310,14 @@ class InferenceServer:
             # time, inside the manager) so the next process's dynamic
             # build starts warm too.
             self.store.save_kernel_cache(self.kernel_cache)
+            if self.specializer is not None:
+                # Snapshot this simulation's shape traffic (.nmblprof) so
+                # the NEXT process's predictive manager can pre-arm its
+                # hot set. Written unconditionally — recording is cheap
+                # and predictive consumption is opt-in — but never read
+                # back by this manager (frozen at construction), so
+                # replays stay bit-identical.
+                self.store.put_profile(self.specializer.profile_snapshot())
         return build_report(
             responses,
             self.workers,
@@ -328,26 +360,30 @@ class InferenceServer:
         start = max(batch.formed_us, worker.free_at_us)
         executable = None
         tier = "dynamic"
+        hit_key = None
         if self.specializer is not None:
-            # The static tiers only take exact-shape-uniform batches whose
-            # executable is ready; mixed batches within a (rounded) bucket
-            # and in-flight compiles stay dynamic. Exact buckets carry the
-            # -1 marker and are uniform by construction; a rounded bucket
-            # may still happen to be uniform (requests enqueued before the
-            # shape went hot), so those are checked member-by-member.
+            # The exact static tiers only take exact-shape-uniform batches
+            # whose executable is ready; mixed batches within a (rounded)
+            # bucket and in-flight compiles fall through — first to a
+            # guarded partial variant when one covers the members, else
+            # dynamic. Exact buckets carry the -1 marker and are uniform
+            # by construction; a rounded bucket may still happen to be
+            # uniform (requests enqueued before the shape went hot), so
+            # those are checked member-by-member.
             exact = None
+            member_keys = None
             if batch.key and batch.key[0] == -1:
                 exact = tuple(batch.key[1:])
             else:
-                keys = {
+                member_keys = [
                     self.bucketer.exact_key(r.payload) for r in batch.requests
-                }
-                if len(keys) == 1:
-                    exact = keys.pop()
+                ]
+                if len(set(member_keys)) == 1:
+                    exact = member_keys[0]
             if exact is not None:
                 # Routing ladder: a *full* bucket takes the batched tier
                 # (one VM call for the whole bucket); ragged tails fall
-                # back to member-wise static, then dynamic.
+                # back to member-wise static, then partial, then dynamic.
                 if len(batch) == self.config.batch_cap > 1:
                     executable = self.specializer.batched_executable_for(
                         exact, start
@@ -358,4 +394,31 @@ class InferenceServer:
                     executable = self.specializer.executable_for(exact, start)
                     if executable is not None:
                         tier = "specialized"
-        return worker.run_batch(batch, start, executable=executable, tier=tier)
+                if executable is not None:
+                    hit_key = exact
+            if executable is None:
+                # Guarded partial tier: one variant with only the stable
+                # dims bound can serve members of *different* exact
+                # shapes; the worker guard-checks each member and deopts
+                # mismatches to the dynamic VM (counted, never wrong).
+                if member_keys is None:
+                    member_keys = [exact] * len(batch)
+                found = self.specializer.partial_executable_for(
+                    member_keys, start
+                )
+                if found is not None:
+                    executable, hit_key = found
+                    tier = "partial"
+        responses = worker.run_batch(
+            batch, start, executable=executable, tier=tier
+        )
+        if (
+            hit_key is not None
+            and hit_key in self.specializer.predictive_keys
+        ):
+            # Static-tier hits served off a predictively pre-armed
+            # variant (deopted members route dynamic and do not count).
+            self.specializer.predictive_hits += sum(
+                1 for r in responses if r.tier != "dynamic"
+            )
+        return responses

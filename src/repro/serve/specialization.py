@@ -77,6 +77,35 @@ compile fresh (fully warm restarts) never charge a prefix at all.
 Outputs stay bit-identical to the monolithic path — only the charge
 accounting and the compile-path plumbing change.
 
+With ``predictive=True`` and a store attached, specialization is no
+longer purely reactive: the previous process's **shape profile** — the
+``.nmblprof`` blob the server snapshots at every simulation end
+(exact-key hit histogram + decayed scores, see
+:mod:`repro.serve.profile`) — is loaded once at construction, and every
+``reset()`` *pre-arms* the historical top-K at virtual time 0: the hot
+set compiles (or, warmer still, store-restores) before the first
+request lands, so a restarted server reaches its first specialized hit
+a warm-up earlier (``harness.predictive_study`` measures ≥2×). The
+profile snapshot is frozen at construction — the profile this manager
+writes never feeds back into its own replays — the same rule that keeps
+warm-restore decisions replay-stable.
+
+With ``partial=True`` the manager also synthesizes **guarded partial
+variants**: when this simulation's traffic agrees on some dims (e.g.
+hidden size) but spreads a long tail of values over the others (e.g.
+sequence length), one variant compiled with only the stable dims bound
+(``nimble.specialize`` with a partial binding; the rest stay ``Any``)
+covers the whole family — ``partial_min_shapes`` distinct exact shapes
+minimum, so families that exact specialization already covers are left
+alone. The compiled executable carries an entry **shape guard** over
+its bound dims: the server checks it per batch member and transparently
+*deopts* mismatches to the dynamic tier (counted, never wrong), and the
+VM re-checks it at ``run()`` as a hard safety net
+(:class:`repro.errors.ShapeGuardError`). Partial variants are
+member-wise only — the batch rewrite needs every dim static — and flow
+through the same scoring, eviction, store, and replay machinery as
+exact ones (their keys mark unbound positions with ``None``).
+
 Compiled artifacts are memoised across simulations, but hit counts,
 scores, lane state, pending queues, and ready times reset per replay, so
 repeated simulations of one trace are bit-identical. Replay identity
@@ -119,12 +148,19 @@ from repro.ir.module import IRModule
 from repro.ir.printer import module_fingerprint
 from repro.passes import bound_entry_shapes
 from repro.serve.batcher import ShapeBucketer
+from repro.serve.profile import ShapeProfile, profile_store_key
 from repro.store import ArtifactStore
 from repro.vm.executable import Executable, artifact_key
 
 ExactKey = Tuple[int, ...]
+# A *partial* key binds only the stable dims: None marks positions left
+# dynamic. One partial variant covers every exact key that agrees on the
+# bound positions (the entry guard checks them at call time). Partial
+# keys flow through the same hit/score/eviction machinery as exact ones.
+PartialKey = Tuple[Optional[int], ...]
 # A compiled artifact is one (exact shape, batch) variant: batch 1 is the
 # member-wise static build, batch > 1 stacks that many members per call.
+# Partial keys are member-wise only (the batch rewrite needs every dim).
 VariantKey = Tuple[ExactKey, int]
 
 
@@ -244,6 +280,10 @@ class SpecializationManager:
         staged: bool = False,
         device_streams: int = 1,
         verify_sample: int = 4,
+        predictive: bool = False,
+        predictive_top_k: Optional[int] = None,
+        partial: bool = False,
+        partial_min_shapes: int = 3,
     ) -> None:
         if threshold < 1:
             raise ValueError(f"specialization threshold must be >= 1, got {threshold}")
@@ -262,6 +302,15 @@ class SpecializationManager:
         if verify_sample < 0:
             raise ValueError(
                 f"verify_sample must be >= 0, got {verify_sample}"
+            )
+        if partial_min_shapes < 2:
+            raise ValueError(
+                f"partial_min_shapes must be >= 2 (a family of one exact "
+                f"shape is just exact specialization), got {partial_min_shapes}"
+            )
+        if predictive_top_k is not None and predictive_top_k < 1:
+            raise ValueError(
+                f"predictive_top_k must be >= 1, got {predictive_top_k}"
             )
         self.mod = mod
         self.platform = platform
@@ -352,6 +401,44 @@ class SpecializationManager:
         )
         self._prefix_restored = False
         self._prefix_rejected = False
+        # Profile-guided predictive specialization: with ``predictive``
+        # on and a store attached, the previous process's shape profile
+        # (``.nmblprof``) is loaded ONCE here and frozen — the snapshot
+        # this manager writes at each simulation end never feeds back
+        # into its own replays (same frozen-at-construction rule as
+        # _store_keys_at_init), so every reset() pre-arms the same top-K
+        # and replays stay bit-identical. A blob that fails validation
+        # is memoised as rejected and re-counted per reset.
+        self.predictive = predictive
+        self.predictive_top_k = predictive_top_k
+        self.partial = partial
+        self.partial_min_shapes = partial_min_shapes
+        self._profile_key = profile_store_key(self._fingerprint, platform.name)
+        self._profile_at_init: Optional[ShapeProfile] = None
+        self._profile_rejected = False
+        if predictive and store is not None and store.contains_profile(
+            self._profile_key
+        ):
+            found = store.get_profile(
+                self._profile_key, expected_signature=self._fingerprint
+            )
+            if found is None:
+                self._profile_rejected = True
+            else:
+                self._profile_at_init = found
+        # The historical top-K to pre-arm, hottest first. Partial keys
+        # recorded by a partial-enabled predecessor are skipped unless
+        # this manager can compile them too.
+        top_k = (
+            predictive_top_k if predictive_top_k is not None else max_executables
+        )
+        self._profile_top_keys: Tuple[PartialKey, ...] = ()
+        if self._profile_at_init is not None:
+            self._profile_top_keys = tuple(
+                key
+                for key in self._profile_at_init.top_keys()
+                if key and (partial or None not in key)
+            )[:top_k]
         # Compiled artifacts are memoised across simulations (compilation
         # is a pure function of module + shape + batch + platform, so
         # reusing them keeps replays bit-identical while skipping
@@ -409,6 +496,45 @@ class SpecializationManager:
         # restart re-stages the pipeline, exactly like it assumes
         # eviction dropped a binary.
         self._prefix_charged = False
+        # Partial specialization: per-position value sets and the exact
+        # keys seen this simulation (family detection), plus the partial
+        # keys synthesized/triggered so far. Per-simulation so replays
+        # re-derive the same families from the same traffic.
+        self._seen_values: List[Set[int]] = []
+        self._exact_seen: Set[ExactKey] = set()
+        self._partials: Set[PartialKey] = set()
+        # Predictive pre-arm: before the first request of every
+        # simulation, trigger the frozen historical top-K at virtual
+        # time 0 — a restarted server compiles (or store-restores) its
+        # hot set while the trace is still cold. Scores are seeded from
+        # the profile (decaying from t=0) so pre-armed entries carry
+        # their historical heat into eviction decisions instead of
+        # starting infinitely cold. Hit counts are NOT seeded: observe()
+        # thresholds stay honest, and pre-armed keys are already in
+        # _triggered so they never double-trigger.
+        self.predictive_keys: Set[PartialKey] = set()
+        self.predictive_hits: int = 0
+        if self._profile_rejected:
+            # Re-counted every reset, like _rejected_keys: replays must
+            # see the same reject total without re-reading the file.
+            self.store_rejects += 1
+        for key in self._profile_top_keys:
+            if len(self._resident) >= self.max_executables:
+                break
+            self._score[key] = float(self._profile_at_init.scores.get(key, 0.0))
+            self._score_at[key] = 0.0
+            self._try_trigger(key, 0.0)
+            if key in self._triggered:
+                self.predictive_keys.add(key)
+                if None in key:
+                    self._partials.add(key)
+            # Pump after every trigger, not once at the end: all pre-arm
+            # jobs tie on observed rate (zero hits, trigger 0), so
+            # binding them as they enqueue makes lane order follow the
+            # profile's hottest-first rank — the historical #1 is the
+            # first executable ready, not the lexicographically least.
+            self._pump(0.0)
+        self.predictive_compiles = len(self._pending) + len(self.events)
 
     # ------------------------------------------------------------------ stats
     @property
@@ -472,12 +598,29 @@ class SpecializationManager:
         return self._hits[key]
 
     def score(self, key: ExactKey, now_us: float) -> float:
-        """The decayed hit score driving eviction, as of *now_us*."""
+        """The decayed hit score driving eviction, as of *now_us*.
+
+        Decay is anchored at ``_score_at`` — the time of the last
+        *bump*, not the last hit — so an observe/score/re-observe
+        sequence within one microsecond compounds exactly +1 per hit:
+        each bump folds the decayed-to-now value and re-anchors, never
+        re-adding the raw count. The age is clamped at 0 so a reading
+        taken at a timestamp at-or-before the anchor (same-microsecond
+        queries, or the t=0 eviction scan against predictively seeded
+        scores) can never *inflate* the score via a negative exponent."""
         raw = self._score.get(key)
         if raw is None:
             return 0.0
-        age = now_us - self._score_at[key]
+        age = max(0.0, now_us - self._score_at[key])
         return raw * 0.5 ** (age / self.decay_half_life_us)
+
+    @staticmethod
+    def _sort_key(key: PartialKey) -> Tuple[Tuple[bool, int], ...]:
+        """A total-order proxy over exact and partial keys: mixed
+        None/int tuples are not directly comparable, so each dim maps to
+        (is-None, value) — bound dims sort before unbound, numerically.
+        Every deterministic tiebreak over keys goes through this."""
+        return tuple((v is None, -1 if v is None else v) for v in key)
 
     def _variant_ready(self, key: ExactKey, batch: int, now_us: float) -> bool:
         if key not in self._resident:
@@ -524,6 +667,8 @@ class SpecializationManager:
         for job in self._pending:
             if job.key == key:
                 job.hit_times_us.append(now_us)
+        if self.partial and None not in key:
+            self._note_partial(key, now_us)
         self._pump(now_us)
         if key not in self._triggered and self._hits[key] >= self.threshold:
             self._try_trigger(key, now_us)
@@ -548,6 +693,107 @@ class SpecializationManager:
         if not self.is_batched_hot(key, at_us):
             return None
         return self._executables.get((key, self.batch_cap))
+
+    @staticmethod
+    def _matches(key: ExactKey, pkey: PartialKey) -> bool:
+        """Does exact key *key* fall in partial key *pkey*'s family —
+        same rank, agreeing on every bound (non-None) position?"""
+        return len(key) == len(pkey) and all(
+            p is None or p == v for p, v in zip(pkey, key)
+        )
+
+    def _note_partial(self, key: ExactKey, now_us: float) -> None:
+        """Partial-shape bookkeeping for one exact observation: keep
+        live partial families warm, and synthesize a new partial variant
+        when the traffic's stable dims + long tail justify one.
+
+        A position is *stable* when every exact key this simulation has
+        seen agrees on its value (e.g. hidden size), and the family is
+        worth a variant when it spans at least ``partial_min_shapes``
+        distinct exact shapes (otherwise exact specialization already
+        covers it) with ``threshold`` total hits. The synthesized key
+        binds the stable positions and leaves the rest None; it then
+        competes for a cache slot through the ordinary trigger/eviction
+        machinery, seeded with its family's pooled decayed score."""
+        self._exact_seen.add(key)
+        if not self._seen_values:
+            self._seen_values = [set() for _ in key]
+        for i, v in enumerate(key):
+            self._seen_values[i].add(v)
+        # Heat bookkeeping: a hit on any family member is a hit on the
+        # partial variant too — it is what would serve the request.
+        for pkey in self._partials:
+            if self._matches(key, pkey):
+                self._hits[pkey] += 1
+                self._bump_score(pkey, now_us)
+                self._last_hit_us[pkey] = now_us
+                for job in self._pending:
+                    if job.key == pkey:
+                        job.hit_times_us.append(now_us)
+        stable = [i for i, vals in enumerate(self._seen_values) if len(vals) == 1]
+        if not stable or len(stable) == len(key):
+            # Nothing stable to bind, or no tail to cover: exact
+            # specialization already serves this traffic.
+            return
+        pkey: PartialKey = tuple(
+            v if i in stable else None for i, v in enumerate(key)
+        )
+        if pkey in self._triggered:
+            return
+        family = [k for k in self._exact_seen if self._matches(k, pkey)]
+        if len(family) < self.partial_min_shapes:
+            return
+        if sum(self._hits[k] for k in family) < self.threshold:
+            return
+        # Seed the variant's eviction heat from its family: it arrives
+        # exactly as hot as the traffic it will absorb, so it neither
+        # insta-evicts a genuinely hot exact entry nor starts cold.
+        self._score[pkey] = sum(self.score(k, now_us) for k in sorted(family))
+        self._score_at[pkey] = now_us
+        self._try_trigger(pkey, now_us)
+        if pkey in self._triggered:
+            self._partials.add(pkey)
+            self._pump(now_us)
+
+    def partial_executable_for(
+        self, member_keys: List[ExactKey], at_us: float
+    ):
+        """The ready partial variant covering the most of *member_keys*,
+        as an ``(executable, partial key)`` pair — or None when no
+        partial variant matches any member. Ties break on the None-safe
+        key order, so routing is deterministic. The caller runs matching
+        members through the variant and deopts the rest (the entry guard
+        re-checks every member, so a routing bug fails loud, not wrong)."""
+        best_pkey: Optional[PartialKey] = None
+        best_cover = 0
+        for pkey in sorted(self._partials, key=self._sort_key):
+            if not self._variant_ready(pkey, 1, at_us):
+                continue
+            if (pkey, 1) not in self._executables:
+                continue
+            cover = sum(1 for k in member_keys if self._matches(k, pkey))
+            if cover > best_cover:
+                best_cover, best_pkey = cover, pkey
+        if best_pkey is None:
+            return None
+        return self._executables[(best_pkey, 1)], best_pkey
+
+    # ---------------------------------------------------------------- profiles
+    def profile_snapshot(self) -> ShapeProfile:
+        """This simulation's shape traffic as a persistable
+        :class:`ShapeProfile`: raw hit counts plus every decayed score
+        brought forward to one common anchor (the latest bump time), so
+        relative hotness survives without absolute clock times. The
+        server snapshots at simulation end; a predictive manager in the
+        *next* process pre-arms from it (never this one — the
+        construction-time freeze, see ``_profile_at_init``)."""
+        anchor = max(self._score_at.values(), default=0.0)
+        return ShapeProfile(
+            source_signature=self._fingerprint,
+            platform_name=self.platform.name,
+            hits={k: int(n) for k, n in self._hits.items() if n > 0},
+            scores={k: self.score(k, anchor) for k in self._score},
+        )
 
     def drain(self) -> None:
         """Run the pool to completion: bind every still-pending compile to
@@ -578,7 +824,7 @@ class SpecializationManager:
         # Variants of one shape tie on rate and trigger; the member-wise
         # build (batch 1) compiles first — it serves ragged tails too, so
         # it is the more broadly useful artifact.
-        return (-rate, job.trigger_us, job.key, job.batch)
+        return (-rate, job.trigger_us, self._sort_key(job.key), job.batch)
 
     def _pump(self, now_us: float) -> None:
         """Process every lane-free event up to *now_us*: bind the
@@ -610,8 +856,13 @@ class SpecializationManager:
         this exact shape? The server aligns a hot bucket's cap to the
         compiled batch size only while this holds — once the probe rules
         the shape out, shrinking its member-tier buckets would cost
-        throughput for nothing."""
-        return self.batch_cap > 1 and key not in self._unbatchable
+        throughput for nothing. Partial keys are member-wise by
+        construction: the batch rewrite needs every dim static."""
+        return (
+            self.batch_cap > 1
+            and None not in key
+            and key not in self._unbatchable
+        )
 
     def _variant_batches(self, key: ExactKey) -> Tuple[int, ...]:
         """Batch sizes compiled for this hot shape: the member-wise
@@ -637,6 +888,12 @@ class SpecializationManager:
             self._evict(victim, now_us, by=key)
         self._resident.add(key)
         self._triggered.add(key)
+        # Seed the recency tiebreak at trigger time: a predictively
+        # pre-armed entry (or a synthesized partial) may acquire its
+        # slot without ever having been observed, and the eviction
+        # comparator's -inf fallback would sort it infinitely cold —
+        # always the first victim regardless of its actual heat.
+        self._last_hit_us.setdefault(key, now_us)
         for batch in self._variant_batches(key):
             plan = self._plan_artifact(key, batch)
             if plan is None:
@@ -668,9 +925,17 @@ class SpecializationManager:
         ]
         if not candidates:
             return None
+        # Every resident key has _last_hit_us seeded at trigger time, so
+        # the fallback is unreachable for candidates; it stays 0.0 (not
+        # -inf) so an unexpectedly missing entry would sort as "old",
+        # never as an infinitely-cold automatic victim.
         victim = min(
             candidates,
-            key=lambda k: (self.score(k, now_us), self._last_hit_us.get(k, -math.inf), k),
+            key=lambda k: (
+                self.score(k, now_us),
+                self._last_hit_us.get(k, 0.0),
+                self._sort_key(k),
+            ),
         )
         if self.score(challenger, now_us) <= self.eviction_margin * self.score(
             victim, now_us
@@ -703,7 +968,15 @@ class SpecializationManager:
         variant: VariantKey = (key, batch)
         skey = self._store_key_memo.get(variant)
         if skey is None:
-            binding = dict(zip(self.bucketer.tokens, key))
+            # None positions (partial keys) bind nothing: the marker
+            # keeps an Any there, and bound_entry_shapes emits the same
+            # None dim the compiled executable will carry — so partial
+            # variants content-address exactly like exact ones.
+            binding = {
+                tok: v
+                for tok, v in zip(self.bucketer.tokens, key)
+                if v is not None
+            }
             shapes = bound_entry_shapes(self.mod[self.entry], binding)
             skey = artifact_key(
                 self._fingerprint,
@@ -867,7 +1140,11 @@ class SpecializationManager:
             return True
         if batch > 1 and key in self._unbatchable:
             return False
-        binding = dict(zip(self.bucketer.tokens, key))
+        # Partial keys bind only their non-None positions; the unbound
+        # dims stay Any and the compiled variant carries an entry guard.
+        binding = {
+            tok: v for tok, v in zip(self.bucketer.tokens, key) if v is not None
+        }
         if self.staged:
             self._obtain_prefix()
         try:

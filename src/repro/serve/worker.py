@@ -14,8 +14,9 @@ same shape, or two batch caps of the same shape, never share a stale VM —
 all sharing this worker's context, so a batch routed to a static tier
 runs on the same clock/allocator and its latency lands in the same
 report. Member-wise specialized VMs pool their profile into
-``specialized_profile`` and batch-specialized VMs into
-``batched_profile`` — the report splits kernel/shape-func time by tier
+``specialized_profile``, batch-specialized VMs into
+``batched_profile``, and guarded partial variants into
+``partial_profile`` — the report splits kernel/shape-func time by tier
 from them. The VM cache is dropped on :meth:`reset`, so an executable
 evicted from the specialization manager's cache is not pinned alive by a
 stale VM across replays.
@@ -62,9 +63,14 @@ class Worker:
         self.vm = VirtualMachine(executable, self.ctx)
         self.specialized_profile = VMProfile()
         self.batched_profile = VMProfile()
+        self.partial_profile = VMProfile()
         self._specialized_vms: Dict[tuple, VirtualMachine] = {}
         self.busy_us = 0.0
         self.batches_run = 0
+        # Guard deopts: batch members routed to a partial variant whose
+        # entry guard rejected them, transparently re-run on the dynamic
+        # VM instead. Counted so "never wrong" is also "never silent".
+        self.deopts = 0
 
     @property
     def free_at_us(self) -> float:
@@ -83,9 +89,11 @@ class Worker:
         self.vm.profile.reset()
         self.specialized_profile.reset()
         self.batched_profile.reset()
+        self.partial_profile.reset()
         self._specialized_vms.clear()
         self.busy_us = 0.0
         self.batches_run = 0
+        self.deopts = 0
 
     def _specialized_vm(self, executable: Executable) -> VirtualMachine:
         """One VM per specialized executable variant, sharing this
@@ -100,11 +108,12 @@ class Worker:
         vm = self._specialized_vms.get(key)
         if vm is None or vm.exe is not executable:
             vm = VirtualMachine(executable, self.ctx)
-            vm.profile = (
-                self.batched_profile
-                if executable.is_batch_specialized
-                else self.specialized_profile
-            )
+            if executable.is_batch_specialized:
+                vm.profile = self.batched_profile
+            elif executable.is_partial:
+                vm.profile = self.partial_profile
+            else:
+                vm.profile = self.specialized_profile
             self._specialized_vms[key] = vm
         return vm
 
@@ -162,11 +171,18 @@ class Worker:
 
         ``executable`` selects a static tier (a specialized build run on
         this worker's own context/clock): member-wise pipelining for
-        ``tier="specialized"``, one stacked call for ``tier="batched"``."""
+        ``tier="specialized"``, one stacked call for ``tier="batched"``,
+        and guarded member-wise pipelining for ``tier="partial"`` — each
+        member's inputs are checked against the variant's entry guard
+        first, and a member the guard rejects transparently *deopts*:
+        it runs on the dynamic VM instead (counted in ``deopts``, its
+        response tier reads ``"dynamic"``), never on static code compiled
+        for someone else's dims."""
         clock = self.ctx.clock
         clock.advance_to(start_us)
         vm = self.vm if executable is None else self._specialized_vm(executable)
         begin = clock.elapsed_us
+        tiers = [tier] * len(batch)
         if tier == "batched":
             outputs = self._run_stacked(vm, executable, batch)
         else:
@@ -175,16 +191,23 @@ class Worker:
             # land on different streams than member i's and their device
             # time overlaps (the host still dispatches sequentially). On
             # single-stream builds the offset is identically 0.
-            streams = max(1, vm.exe.device_streams)
             outputs = []
             for i, req in enumerate(batch.requests):
                 args = self._payload_arrays(req.payload)
+                member_vm = vm
+                if (
+                    tier == "partial"
+                    and executable.guard_mismatch(args) is not None
+                ):
+                    member_vm = self.vm
+                    tiers[i] = "dynamic"
+                    self.deopts += 1
                 outputs.append(
-                    vm.run(
+                    member_vm.run(
                         *args,
                         entry=self.entry,
                         sync=False,
-                        stream_offset=i % streams,
+                        stream_offset=i % max(1, member_vm.exe.device_streams),
                     )
                 )
         clock.sync_all()
@@ -201,7 +224,7 @@ class Worker:
                 bucket_key=batch.key,
                 batch_size=len(batch),
                 worker_id=self.worker_id,
-                tier=tier,
+                tier=member_tier,
             )
-            for req, out in zip(batch.requests, outputs)
+            for req, out, member_tier in zip(batch.requests, outputs, tiers)
         ]

@@ -5,9 +5,10 @@ Directory layout (specified in ``docs/serialization.md``)::
 
     <artifact_dir>/
         STORE_FORMAT            # one line: the store-format version
-        artifacts/<key>.nmbl    # Executable.save() blobs, content-addressed
-        artifacts/<key>.nmblp   # SpecializationPrefix.save() blobs
-        kernels.kc              # KernelCache.export_entries() blob
+        artifacts/<key>.nmbl     # Executable.save() blobs, content-addressed
+        artifacts/<key>.nmblp    # SpecializationPrefix.save() blobs
+        artifacts/<key>.nmblprof # ShapeProfile.save() blobs (shape traffic)
+        kernels.kc               # KernelCache.export_entries() blob
 
 ``<key>`` is :func:`repro.vm.executable.artifact_key` — a sha256 over
 (source-module fingerprint, platform, shape binding, batch marker,
@@ -44,6 +45,7 @@ STORE_FORMAT = 1
 
 _ARTIFACT_SUFFIX = ".nmbl"
 _PREFIX_SUFFIX = ".nmblp"
+_PROFILE_SUFFIX = ".nmblprof"
 
 
 class ArtifactStore:
@@ -243,6 +245,67 @@ class ArtifactStore:
             return None
         return prefix
 
+    # ----------------------------------------------------------------- profiles
+    def profile_keys(self) -> List[str]:
+        """Every shape-profile key currently on disk, sorted."""
+        return sorted(
+            p.name[: -len(_PROFILE_SUFFIX)]
+            for p in self.artifacts_dir.glob(f"*{_PROFILE_SUFFIX}")
+        )
+
+    def contains_profile(self, key: str) -> bool:
+        return self._profile_path(key).exists()
+
+    def put_profile(self, profile) -> str:
+        """File a :class:`repro.serve.profile.ShapeProfile` under its
+        store key; returns the key. Atomic and idempotent, like
+        :meth:`put`. One profile per (module, platform, format) — a
+        later simulation's snapshot overwrites the earlier one."""
+        key = profile.store_key()
+        self._atomic_write(self._profile_path(key), profile.save())
+        return key
+
+    def get_profile(self, key: str, expected_signature: Optional[str] = None):
+        """Load the shape profile filed under *key*, or ``None``.
+
+        Same contract as :meth:`get`: a plain miss returns ``None``
+        silently; every flavor of bad blob (truncated, stale version,
+        digest mismatch, wrong source module, key/path mismatch) also
+        returns ``None`` but lands in :attr:`reject_log`. The caller's
+        fallback is always the same: serve cold, profile-less.
+        """
+        # Imported lazily for symmetry with get_prefix (and to keep the
+        # store importable without pulling in the serving layer).
+        from repro.serve.profile import ShapeProfile, profile_store_key
+
+        path = self._profile_path(key)
+        try:
+            blob = path.read_bytes()
+        except FileNotFoundError:
+            return None  # plain miss: nothing was ever stored here
+        except OSError as err:
+            self.reject_log.append((key, f"unreadable profile: {err}"))
+            return None
+        try:
+            profile = ShapeProfile.load(
+                blob, expected_signature=expected_signature
+            )
+        except SerializationError as err:
+            self.reject_log.append((key, str(err)))
+            return None
+        # The blob deserialized, but is it the profile this key names? A
+        # file renamed to the wrong path would otherwise pre-arm shapes
+        # recorded for a different (module, platform).
+        recomputed = profile_store_key(
+            profile.source_signature, profile.platform_name
+        )
+        if recomputed != key:
+            self.reject_log.append(
+                (key, f"profile keys to {recomputed}, filed as {key}")
+            )
+            return None
+        return profile
+
     # ------------------------------------------------------------ kernel cache
     @property
     def kernel_cache_path(self) -> Path:
@@ -280,6 +343,9 @@ class ArtifactStore:
 
     def _prefix_path(self, key: str) -> Path:
         return self.artifacts_dir / f"{key}{_PREFIX_SUFFIX}"
+
+    def _profile_path(self, key: str) -> Path:
+        return self.artifacts_dir / f"{key}{_PROFILE_SUFFIX}"
 
     def _atomic_write(self, path: Path, data: bytes) -> None:
         fd, tmp = tempfile.mkstemp(dir=str(path.parent), prefix=".tmp-")

@@ -100,6 +100,60 @@ def artifact_key(
     return hashlib.sha256(payload.encode()).hexdigest()
 
 
+def _marker_has_none(marker) -> bool:
+    """True if a specialized-shape marker (int tuple for a tensor param,
+    nested tuple for a tuple param) contains a None dim anywhere."""
+    if marker is None:
+        return True
+    if isinstance(marker, tuple):
+        return any(_marker_has_none(m) for m in marker)
+    return False
+
+
+def _guard_check(marker, value, where: str) -> Optional[str]:
+    """Compare one specialized-shape marker against one runtime input.
+
+    Tensor markers are flat tuples of int (bound — must match) or None
+    (left dynamic — any extent passes); tuple-param markers nest. A
+    fully-None marker means the param was not specialized at all. Inputs
+    the guard cannot introspect fail open rather than blocking dispatch."""
+    if marker is None:
+        return None
+    if not isinstance(marker, tuple):
+        return None
+    if marker and all(isinstance(m, (tuple, type(None))) for m in marker) and any(
+        isinstance(m, tuple) for m in marker
+    ):
+        # Tuple-typed param: recurse into fields.
+        fields = getattr(value, "fields", None)
+        if fields is None and isinstance(value, (tuple, list)):
+            fields = value
+        if fields is None or len(fields) != len(marker):
+            return None  # fail open on opaque values
+        for j, (m, v) in enumerate(zip(marker, fields)):
+            msg = _guard_check(m, v, f"{where}.{j}")
+            if msg is not None:
+                return msg
+        return None
+    shape = getattr(value, "shape", None)
+    if shape is None:
+        return None  # fail open: scalar / opaque input
+    if len(shape) != len(marker):
+        return (
+            f"guard: {where} has rank {len(shape)} but was specialized "
+            f"for rank {len(marker)}"
+        )
+    for d, (bound, actual) in enumerate(zip(marker, shape)):
+        if bound is None:
+            continue
+        if int(actual) != int(bound):
+            return (
+                f"guard: {where} dim {d} is {int(actual)} but was "
+                f"specialized for {int(bound)}"
+            )
+    return None
+
+
 @dataclass
 class VMFunction:
     name: str
@@ -164,6 +218,51 @@ class Executable:
     @property
     def is_batch_specialized(self) -> bool:
         return self.specialized_batch is not None and self.specialized_batch > 1
+
+    @property
+    def is_partial(self) -> bool:
+        """True for a *partially* specialized executable: at least one
+        dim inside ``specialized_shapes`` is None (left dynamic) while
+        others are bound. Such a variant covers a family of exact shapes
+        and must be entry-guarded (`guard_mismatch`) before every run."""
+        if self.specialized_shapes is None:
+            return False
+        return any(
+            _marker_has_none(marker)
+            for marker in self.specialized_shapes
+            if marker is not None
+        )
+
+    def guard_mismatch(self, inputs) -> Optional[str]:
+        """Entry shape guard: check *inputs* against the bound dims this
+        executable was specialized for.
+
+        Returns None when every bound dim agrees (or the executable is
+        not member-wise specialized — dynamic and batch-specialized
+        builds have no member-shape contract to check here), otherwise a
+        human-readable description of the first mismatch. The serving
+        layer calls this before dispatch and transparently deopts
+        mismatched members to the dynamic tier; the VM calls it again in
+        ``run()`` as a hard safety net (raising ``ShapeGuardError``).
+        Opaque inputs (no ``.shape``) fail open — the guard only checks
+        what it can see."""
+        if self.specialized_shapes is None:
+            return None
+        if self.specialized_batch is not None and self.specialized_batch > 1:
+            return None
+        if len(inputs) != len(self.specialized_shapes):
+            # The marker is a per-entry-param summary; when its arity
+            # disagrees with the call's (legacy golden blobs stamp a
+            # marker onto zero-param entries), it does not describe
+            # these inputs param-wise — fail open like any other shape
+            # the guard cannot introspect. The VM's own num_params
+            # check already rejects genuinely wrong-arity calls.
+            return None
+        for i, (marker, value) in enumerate(zip(self.specialized_shapes, inputs)):
+            msg = _guard_check(marker, value, f"param {i}")
+            if msg is not None:
+                return msg
+        return None
 
     # ------------------------------------------------------------- statistics
     @property

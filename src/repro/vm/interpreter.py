@@ -13,7 +13,7 @@ from typing import Dict, List, Optional, Sequence, Union
 
 import numpy as np
 
-from repro.errors import VMError
+from repro.errors import ShapeGuardError, VMError
 from repro.hardware import calibration
 from repro.hardware.platforms import Platform, platform_by_name
 from repro.runtime.context import ExecutionContext
@@ -106,6 +106,13 @@ class VirtualMachine:
             raise VMError(
                 f"{name} expects {func.num_params} inputs, got {len(inputs)}"
             )
+        if name == self.exe.entry:
+            mismatch = self.exe.guard_mismatch(inputs)
+            if mismatch is not None:
+                raise ShapeGuardError(
+                    f"{name}: {mismatch}; the serving layer should have "
+                    f"deopted this call to the dynamic tier"
+                )
         frame = _Frame(func, caller_dst=None)
         for i, value in enumerate(inputs):
             frame.registers[i] = self._wrap_input(value)

@@ -28,7 +28,9 @@ from hypothesis import strategies as st
 
 import repro.nimble as nimble
 from repro.codegen.kernels import KernelCache
+from repro.errors import ShapeGuardError
 from repro.hardware import intel_cpu, nvidia_gpu
+from repro.models import build_gram_module
 from repro.models.bert import BertConfig, BertWeights, build_bert_module
 from repro.models.lstm import LSTMWeights, build_lstm_module
 from repro.runtime.context import ExecutionContext
@@ -415,6 +417,113 @@ class TestDifferential:
             )
             parts = np.split(stacked, batch, axis=0)
             assert all(p.shape == member_out.shape for p in parts)
+
+
+class _GramTiers:
+    """The weight-free two-``Any``-dim gram model compiled to every
+    binding flavor — dynamic, exact, and *partial* (one dim bound, the
+    other left ``Any``) — sharing one KernelCache. Partial variants are
+    what the serving layer synthesizes for long-tailed shape families;
+    they must be bitwise invisible next to the exact and dynamic tiers."""
+
+    def __init__(self):
+        self.mod = build_gram_module()
+        self.platform = intel_cpu()
+        self.kernel_cache = KernelCache()
+        self._vms = {}
+
+    def vm(self, spec) -> VirtualMachine:
+        """``spec`` is None for the dynamic build, or one entry shape
+        possibly holding None dims (a partial binding)."""
+        found = self._vms.get(spec)
+        if found is None:
+            if spec is None:
+                exe, _ = nimble.build(
+                    self.mod, self.platform, kernel_cache=self.kernel_cache
+                )
+            else:
+                exe, _ = nimble.specialize(
+                    self.mod,
+                    self.platform,
+                    shapes=[spec],
+                    kernel_cache=self.kernel_cache,
+                )
+            found = VirtualMachine(
+                exe, ExecutionContext(self.platform, numerics="full")
+            )
+            self._vms[spec] = found
+        return found
+
+
+_GRAM_TIERS = []
+
+
+def _gram_tiers() -> _GramTiers:
+    if not _GRAM_TIERS:
+        _GRAM_TIERS.append(_GramTiers())
+    return _GRAM_TIERS[0]
+
+
+GRAM_COLS = (8, 16)
+
+
+class TestPartialDifferential:
+    """Partial ≡ exact ≡ dynamic, bitwise, across fuzzed bindings — and
+    the entry guard turns every wrong routing into a loud error, never a
+    wrong answer."""
+
+    @given(
+        rows=st.integers(1, 12),
+        cols=st.sampled_from(GRAM_COLS),
+        bound=st.sampled_from(["rows", "cols", "both"]),
+        seed=st.integers(0, 2**16 - 1),
+    )
+    @settings(max_examples=50, deadline=None, derandomize=True)
+    def test_partial_exact_dynamic_bit_identical(self, rows, cols, bound, seed):
+        tiers = _gram_tiers()
+        rng = np.random.RandomState(seed)
+        x = (rng.randn(rows, cols) * 0.2).astype(np.float32)
+        spec = {
+            "rows": (rows, None),
+            "cols": (None, cols),
+            "both": (rows, cols),
+        }[bound]
+        out_dynamic = _run_drained(tiers.vm(None), x)
+        out_bound = _run_drained(tiers.vm(spec), x)
+        assert out_dynamic.shape == out_bound.shape == (rows, rows)
+        assert np.array_equal(out_dynamic, out_bound), (
+            f"binding {spec} diverged from dynamic "
+            f"(max abs err {np.abs(out_dynamic - out_bound).max()})"
+        )
+
+    def test_partial_marker_and_guard(self):
+        tiers = _gram_tiers()
+        exe = tiers.vm((None, 16)).exe
+        assert exe.is_partial
+        ok = np.zeros((5, 16), dtype=np.float32)
+        bad = np.zeros((5, 8), dtype=np.float32)
+        assert exe.guard_mismatch((ok,)) is None
+        assert exe.guard_mismatch((bad,)) is not None
+        # The dynamic build guards nothing — every shape is its shape.
+        assert tiers.vm(None).exe.guard_mismatch((bad,)) is None
+        # Opaque inputs (no .shape) fail open: the guard is a routing
+        # aid, the VM's own checks remain the authority on validity.
+        assert exe.guard_mismatch((object(),)) is None
+
+    def test_vm_raises_shape_guard_error_on_mismatched_entry(self):
+        """The safety net behind the serving layer's deopt: running a
+        member-wise specialized executable on inputs that violate its
+        bound dims must raise — static code compiled for someone else's
+        dims must never return a plausible-looking wrong tensor."""
+        tiers = _gram_tiers()
+        bad = np.zeros((5, 8), dtype=np.float32)
+        for spec in ((None, 16), (4, 16)):
+            vm = VirtualMachine(
+                tiers.vm(spec).exe,
+                ExecutionContext(intel_cpu(), numerics="full"),
+            )
+            with pytest.raises(ShapeGuardError):
+                vm.run(bad)
 
 
 if __name__ == "__main__":

@@ -27,7 +27,9 @@ from repro.ops import api
 from repro.passes import BatchSpecializeError, SpecializeBatch, SpecializeShapes
 from repro.runtime.context import ExecutionContext
 from repro.store import ArtifactStore
+from repro.models import build_gram_module
 from repro.serve import (
+    Batch,
     Batcher,
     InferenceServer,
     Request,
@@ -1771,3 +1773,339 @@ class TestStagedManager:
         # And the rebuild healed the store for the *next* process.
         nimble.clear_prefix_cache()
         assert store.get_prefix(pkey) is not None
+
+
+# ---------------------------------------------------------------------------
+# Decayed-score arithmetic (pinned)
+# ---------------------------------------------------------------------------
+
+
+HALF_LIFE_US = 100_000.0  # the manager's decay_half_life_us default
+
+
+class TestScoreDecayPinned:
+    """Hand-computed half-life arithmetic. 0.5**1 and 0.5**2 are exact
+    in binary floating point, so these assert equality, not approx: any
+    drift in how decay is anchored or compounded is a real change."""
+
+    def test_decay_anchors_at_last_bump_and_folds_on_observe(self):
+        mgr = _mlp_manager(threshold=100)  # never triggers: pure scoring
+        key = (16,)
+        mgr.observe(key, 0.0)
+        assert mgr.score(key, 0.0) == 1.0
+        # A *reading* one half-life later halves; it does not re-anchor.
+        assert mgr.score(key, HALF_LIFE_US) == 0.5
+        assert mgr.score(key, HALF_LIFE_US) == 0.5
+        # A *bump* folds the decayed value and adds one: 1*0.5 + 1.
+        mgr.observe(key, HALF_LIFE_US)
+        assert mgr.score(key, HALF_LIFE_US) == 1.5
+        assert mgr.score(key, 2 * HALF_LIFE_US) == 0.75
+
+    def test_same_microsecond_reobserves_add_exactly_one_each(self):
+        """Regression: decay anchored at the last *hit* (instead of the
+        last bump) double-counts same-timestamp hits; anchoring at the
+        bump makes N same-microsecond observes worth exactly +N."""
+        mgr = _mlp_manager(threshold=100)
+        key = (16,)
+        mgr.observe(key, 0.0)
+        mgr.observe(key, HALF_LIFE_US)        # 1.5
+        assert mgr.score(key, 2 * HALF_LIFE_US) == 0.75
+        mgr.observe(key, 2 * HALF_LIFE_US)    # 0.75 + 1
+        assert mgr.score(key, 2 * HALF_LIFE_US) == 1.75
+        mgr.observe(key, 2 * HALF_LIFE_US)    # 1.75 + 1
+        assert mgr.score(key, 2 * HALF_LIFE_US) == 2.75
+
+    def test_reading_before_the_anchor_clamps_instead_of_inflating(self):
+        """Regression: a negative age (reading at a timestamp before the
+        anchor — same-microsecond queries, or the t=0 eviction scan over
+        predictively seeded scores) must clamp to the raw value, never
+        inflate it through a negative exponent."""
+        mgr = _mlp_manager(threshold=100)
+        key = (16,)
+        mgr.observe(key, 2 * HALF_LIFE_US)
+        assert mgr.score(key, 0.0) == 1.0          # NOT 1.0 * 0.5**-2 == 4.0
+        assert mgr.score(key, HALF_LIFE_US) == 1.0
+        assert mgr.score(key, 3 * HALF_LIFE_US) == 0.5
+
+    def test_unseen_key_scores_zero(self):
+        mgr = _mlp_manager(threshold=100)
+        assert mgr.score((64,), 123.0) == 0.0
+
+
+# ---------------------------------------------------------------------------
+# Predictive pre-arming from the persisted shape profile
+# ---------------------------------------------------------------------------
+
+
+class TestPredictivePreArm:
+    def _first_run(self, store):
+        """Simulation one: three shapes go hot, executables and the
+        shape profile land in the store."""
+        first = _mlp_manager(threshold=1, store=store, max_executables=4)
+        for t, v in [(0.0, 8), (10.0, 8), (20.0, 16), (30.0, 24)]:
+            first.observe((v,), t)
+        first.drain()
+        store.put_profile(first.profile_snapshot())
+        return first
+
+    def _warm(self, store, **kwargs):
+        """A restarted (fresh-process) manager over the same store. Its
+        threshold is high, so predictive pre-arming is the only way
+        anything can trigger."""
+        return _mlp_manager(
+            threshold=100, store=store, max_executables=4,
+            predictive=True, **kwargs,
+        )
+
+    def test_pre_arms_historical_top_k_at_time_zero(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        self._first_run(store)
+        warm = self._warm(store)
+        assert warm.predictive_compiles == 3
+        assert warm.predictive_keys == {(8,), (16,), (24,)}
+        assert all(e.trigger_us == 0.0 for e in warm.events)
+        # Restores, not fresh compiles: the artifacts are in the store.
+        warm.drain()
+        assert warm.num_fresh_compiles == 0
+        assert warm.num_restored == 3
+        # Routable without a single observation ever reaching this
+        # manager — the whole point of pre-arming.
+        ready = max(e.ready_us for e in warm.events)
+        assert warm.executable_for((8,), ready) is not None
+
+    def test_hottest_profile_key_gets_the_first_lane(self, tmp_path):
+        """Lane binding follows profile rank (hottest first), not the
+        pending queue's lexicographic tie-break: at t=0 every pre-arm
+        job ties on hits and trigger time, so pumping once per trigger
+        is what keeps the order honest."""
+        store = ArtifactStore(tmp_path)
+        first = self._first_run(store)
+        profile = store.get_profile(
+            first.profile_snapshot().store_key()
+        )
+        warm = self._warm(store)
+        armed_order = [e.key for e in warm.events]
+        assert armed_order == list(profile.top_keys(len(armed_order)))
+
+    def test_pre_armed_entries_carry_a_last_hit_time(self, tmp_path):
+        """Regression: eviction sorts score ties by last-hit time, and a
+        predictively pre-armed entry has never been observed — before
+        the fix its lookup fell back to -inf, making the freshly armed
+        hot set the unconditional eviction victim. The trigger now seeds
+        last-hit at trigger time."""
+        store = ArtifactStore(tmp_path)
+        self._first_run(store)
+        warm = self._warm(store)
+        assert warm.predictive_keys  # non-degenerate
+        for key in warm.predictive_keys:
+            assert warm._last_hit_us[key] == 0.0
+
+    def test_top_k_caps_the_pre_armed_set(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        first = self._first_run(store)
+        profile = store.get_profile(first.profile_snapshot().store_key())
+        warm = self._warm(store, predictive_top_k=1)
+        assert warm.predictive_compiles == 1
+        assert {e.key for e in warm.events} == set(profile.top_keys(1))
+
+    def test_reset_replays_bit_identically(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        self._first_run(store)
+        warm = self._warm(store)
+
+        def snapshot():
+            warm.drain()
+            return (
+                warm.predictive_compiles,
+                sorted(warm.predictive_keys),
+                [(e.key, e.lane, e.start_us, e.ready_us, e.restored)
+                 for e in warm.events],
+                warm.store_rejects,
+            )
+
+        one = snapshot()
+        warm.reset()
+        assert snapshot() == one
+
+    def test_profile_is_frozen_at_construction(self, tmp_path):
+        """A manager constructed against an empty store stays cold even
+        after a profile appears on disk — replays N of a simulation must
+        see what replay 1 saw."""
+        store = ArtifactStore(tmp_path)
+        warm = self._warm(store)  # no profile on disk yet
+        assert warm.predictive_compiles == 0
+        self._first_run(store)    # profile lands *after* construction
+        warm.reset()
+        assert warm.predictive_compiles == 0
+        assert warm.events == []
+
+    def test_corrupt_profile_rejected_and_recounted_each_reset(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        first = self._first_run(store)
+        key = first.profile_snapshot().store_key()
+        path = store._profile_path(key)
+        path.write_bytes(path.read_bytes()[:12])
+        warm = self._warm(store)
+        assert warm.predictive_compiles == 0
+        assert warm.store_rejects == 1
+        # Memoised reject: replays re-count without re-reading the
+        # (possibly since-healed) file — accounting is bit-identical.
+        warm.reset()
+        assert warm.store_rejects == 1
+
+    def test_non_predictive_manager_ignores_the_profile(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        self._first_run(store)
+        plain = _mlp_manager(threshold=100, store=store, max_executables=4)
+        assert plain.predictive_compiles == 0
+        assert plain.events == []
+
+
+# ---------------------------------------------------------------------------
+# Partial-variant synthesis and routing
+# ---------------------------------------------------------------------------
+
+
+def _gram_manager(threshold=4, **kwargs):
+    mod = build_gram_module()
+    typed = infer_types(mod)
+    bucketer = ShapeBucketer(typed["main"], granularity=8)
+    return SpecializationManager(
+        mod, intel_cpu(), bucketer, KernelCache(),
+        threshold=threshold, compile_us=100.0, **kwargs,
+    )
+
+
+class TestPartialSynthesis:
+    def test_stable_dim_plus_long_tail_synthesizes_partial_variant(self):
+        """Three distinct row counts over one stable feature width, with
+        threshold total hits: the manager binds the stable dim, leaves
+        the row dim None, and the variant then covers row counts it has
+        NEVER seen."""
+        mgr = _gram_manager(threshold=4, partial=True, partial_min_shapes=3)
+        for t, rows in [(0.0, 9), (10.0, 9), (20.0, 25), (30.0, 41)]:
+            mgr.observe((rows, 16), t)
+        mgr.drain()
+        ready = max(e.ready_us for e in mgr.events)
+        found = mgr.partial_executable_for([(57, 16)], ready)
+        assert found is not None
+        exe, pkey = found
+        assert pkey == (None, 16)
+        assert exe.is_partial
+        assert exe.guard_mismatch(
+            (np.zeros((57, 16), dtype=np.float32),)
+        ) is None
+
+    def test_no_partial_without_a_stable_dim(self):
+        mgr = _gram_manager(threshold=3, partial=True, partial_min_shapes=3)
+        for t, key in [(0.0, (9, 16)), (10.0, (25, 8)), (20.0, (41, 32))]:
+            mgr.observe(key, t)
+        mgr.drain()
+        assert mgr.partial_executable_for([(9, 16)], 1e9) is None
+        assert all(None not in e.key for e in mgr.events)
+
+    def test_family_must_span_min_shapes(self):
+        """Two exact shapes are not a family — exact specialization
+        already covers them; min_shapes=3 holds the variant back until a
+        third distinct shape appears."""
+        mgr = _gram_manager(threshold=2, partial=True, partial_min_shapes=3)
+        for t, rows in [(0.0, 9), (10.0, 9), (20.0, 25), (30.0, 25)]:
+            mgr.observe((rows, 16), t)
+        assert not any(None in e.key for e in mgr.events)
+        mgr.observe((41, 16), 40.0)
+        mgr.drain()
+        assert any(e.key == (None, 16) for e in mgr.events)
+
+    def test_partial_off_by_default(self):
+        mgr = _gram_manager(threshold=2)
+        for t, rows in [(0.0, 9), (5.0, 25), (10.0, 41), (15.0, 9)]:
+            mgr.observe((rows, 16), t)
+        mgr.drain()
+        assert all(None not in e.key for e in mgr.events)
+
+    def test_partial_variant_never_enters_the_batched_tier(self):
+        """A partial variant's members differ in shape, so axis-0
+        stacking is ill-defined: the batched tier must refuse partial
+        keys even when batching is on."""
+        mgr = _gram_manager(
+            threshold=4, partial=True, partial_min_shapes=3, batch_cap=4,
+        )
+        assert mgr.batch_tier_active_for((None, 16)) is False
+        assert mgr.batch_tier_active_for((9, 16)) is True
+
+    def test_routing_picks_the_widest_cover_deterministically(self):
+        mgr = _gram_manager(threshold=4, partial=True, partial_min_shapes=3)
+        for t, rows in [(0.0, 9), (10.0, 9), (20.0, 25), (30.0, 41)]:
+            mgr.observe((rows, 16), t)
+        mgr.drain()
+        ready = max(e.ready_us for e in mgr.events)
+        # No member matches -> no partial routing.
+        assert mgr.partial_executable_for([(9, 8), (25, 32)], ready) is None
+        # Mixed batch: the variant covering more members wins.
+        found = mgr.partial_executable_for([(9, 16), (25, 16), (9, 8)], ready)
+        assert found is not None and found[1] == (None, 16)
+
+
+class TestGuardDeopt:
+    def test_guard_rejected_member_deopts_to_dynamic_and_is_counted(self):
+        """A batch routed to a partial variant with one non-matching
+        member: the worker re-runs that member on the dynamic VM,
+        reports its tier as "dynamic", counts the deopt — and the
+        deopted output is bitwise the dynamic tier's."""
+        mod = build_gram_module()
+        platform = intel_cpu()
+        cache = KernelCache()
+        dyn, _ = nimble.build(mod, platform, kernel_cache=cache)
+        part, _ = nimble.specialize(
+            mod, platform, shapes=[(None, 16)], kernel_cache=cache
+        )
+        rng = np.random.RandomState(0)
+        ok = (rng.randn(5, 16) * 0.2).astype(np.float32)
+        bad = (rng.randn(5, 8) * 0.2).astype(np.float32)
+        worker = Worker(0, dyn, platform, numerics="full")
+        batch = Batch(
+            key=(0, 16),
+            requests=[
+                Request(rid=0, arrival_us=0.0, payload=ok),
+                Request(rid=1, arrival_us=0.0, payload=bad),
+            ],
+            formed_us=0.0,
+        )
+        responses = worker.run_batch(
+            batch, 0.0, executable=part, tier="partial"
+        )
+        assert [r.tier for r in responses] == ["partial", "dynamic"]
+        assert worker.deopts == 1
+        ref_vm = VirtualMachine(
+            dyn, ExecutionContext(platform, numerics="full")
+        )
+        for r, x in zip(responses, (ok, bad)):
+            assert np.array_equal(r.output.numpy(), ref_vm.run(x).numpy())
+
+    def test_matching_batch_takes_the_partial_tier_without_deopts(self):
+        mod = build_gram_module()
+        platform = intel_cpu()
+        cache = KernelCache()
+        dyn, _ = nimble.build(mod, platform, kernel_cache=cache)
+        part, _ = nimble.specialize(
+            mod, platform, shapes=[(None, 16)], kernel_cache=cache
+        )
+        rng = np.random.RandomState(1)
+        members = [
+            (rng.randn(rows, 16) * 0.2).astype(np.float32)
+            for rows in (3, 7, 11)
+        ]
+        worker = Worker(0, dyn, platform, numerics="full")
+        batch = Batch(
+            key=(0, 16),
+            requests=[
+                Request(rid=i, arrival_us=0.0, payload=x)
+                for i, x in enumerate(members)
+            ],
+            formed_us=0.0,
+        )
+        responses = worker.run_batch(
+            batch, 0.0, executable=part, tier="partial"
+        )
+        assert [r.tier for r in responses] == ["partial"] * 3
+        assert worker.deopts == 0

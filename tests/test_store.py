@@ -16,7 +16,14 @@ from repro.ir import Any, Function, IRModule, TensorType, Var, const
 from repro.ir.printer import module_fingerprint
 from repro.ops import api
 from repro.passes import bound_entry_shapes
-from repro.serve import InferenceServer, ServeConfig, long_tailed_traffic
+from repro.serve import (
+    InferenceServer,
+    ServeConfig,
+    ShapeProfile,
+    long_tailed_traffic,
+    profile_store_key,
+)
+from repro.serve.profile import PROFILE_VERSION
 from repro.store import STORE_FORMAT, ArtifactStore
 from repro.vm.executable import Executable, artifact_key
 
@@ -466,3 +473,124 @@ class TestPrefixStore:
         store._prefix_path(key).rename(store._prefix_path(wrong))
         assert store.get_prefix(wrong) is None
         assert store.rejects == 1
+
+
+# ---------------------------------------------------------------------------
+# Shape-profile (.nmblprof) persistence
+# ---------------------------------------------------------------------------
+
+
+class TestProfileStore:
+    def _profile(self, signature="a" * 64):
+        return ShapeProfile(
+            source_signature=signature,
+            platform_name="intel",
+            hits={(9, 16): 40, (25, 16): 12, (None, 16): 60},
+            scores={(9, 16): 4.5, (25, 16): 1.25, (None, 16): 7.0},
+        )
+
+    def test_put_get_roundtrip(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        profile = self._profile()
+        key = store.put_profile(profile)
+        assert key == profile_store_key("a" * 64, "intel")
+        assert store.contains_profile(key)
+        assert store.profile_keys() == [key]
+        back = store.get_profile(key, expected_signature="a" * 64)
+        assert back is not None
+        assert back.hits == profile.hits
+        assert back.scores == profile.scores
+        assert store.rejects == 0
+
+    def test_top_keys_order_is_total_with_partial_keys(self):
+        profile = self._profile()
+        # By decayed score: the partial key (None, 16) is hottest; mixed
+        # None/int tuples are not Python-comparable, so the ordering must
+        # go through the None-safe proxy without raising.
+        assert profile.top_keys() == ((None, 16), (9, 16), (25, 16))
+        assert profile.top_keys(1) == ((None, 16),)
+
+    def test_profile_blobs_never_alias_other_suffixes(self, tmp_path):
+        """.nmblprof files must stay invisible to keys() and
+        prefix_keys() — a *.nmblp glob that also matched .nmblprof would
+        feed profile bytes into the executable restore path."""
+        mod = _dyn_mlp_module()
+        store = ArtifactStore(tmp_path)
+        store.put(_specialized(mod))
+        store.put_profile(self._profile())
+        assert len(store.keys()) == 1
+        assert store.prefix_keys() == []
+        assert len(store.profile_keys()) == 1
+
+    def test_miss_is_silent(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        assert store.get_profile("0" * 64) is None
+        assert store.rejects == 0
+
+    def test_truncated_profile_skipped_and_counted(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        key = store.put_profile(self._profile())
+        path = store._profile_path(key)
+        path.write_bytes(path.read_bytes()[:10])
+        assert store.get_profile(key) is None
+        assert store.rejects == 1 and store.reject_log[0][0] == key
+
+    def test_tampered_payload_skipped_and_counted(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        key = store.put_profile(self._profile())
+        path = store._profile_path(key)
+        blob = bytearray(path.read_bytes())
+        blob[-1] ^= 0xFF
+        path.write_bytes(bytes(blob))
+        assert store.get_profile(key) is None
+        assert store.rejects == 1
+
+    def test_version_bumped_profile_skipped_and_counted(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        key = store.put_profile(self._profile())
+        path = store._profile_path(key)
+        blob = bytearray(path.read_bytes())
+        blob[4:8] = struct.pack("<I", PROFILE_VERSION + 1)
+        path.write_bytes(bytes(blob))
+        assert store.get_profile(key) is None
+        assert store.rejects == 1
+
+    def test_signature_mismatch_skipped(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        key = store.put_profile(self._profile())
+        assert store.get_profile(key, expected_signature="f" * 64) is None
+        assert store.rejects == 1
+
+    def test_profile_filed_under_wrong_key_skipped(self, tmp_path):
+        """A valid blob under the wrong filename is rejected by the
+        recomputed-key check (same key⇄content discipline as .nmbl)."""
+        store = ArtifactStore(tmp_path)
+        key = store.put_profile(self._profile())
+        wrong = "0" * len(key)
+        store._profile_path(key).rename(store._profile_path(wrong))
+        assert store.get_profile(wrong) is None
+        assert store.rejects == 1
+
+    def test_malformed_shape_key_rejected_by_loader(self):
+        blob = ShapeProfile(
+            source_signature="a" * 64,
+            platform_name="intel",
+            hits={("not", "ints"): 1},
+            scores={},
+        ).save()
+        with pytest.raises(SerializationError, match="malformed shape key"):
+            ShapeProfile.load(blob)
+
+    def test_overwrite_is_last_writer_wins(self, tmp_path):
+        """One profile per (module, platform, format): a second
+        simulation's snapshot replaces the first at the same key."""
+        store = ArtifactStore(tmp_path)
+        first = self._profile()
+        key = store.put_profile(first)
+        second = self._profile()
+        second.hits = {(7, 16): 3}
+        second.scores = {(7, 16): 0.5}
+        assert store.put_profile(second) == key
+        back = store.get_profile(key)
+        assert back.hits == {(7, 16): 3}
+        assert store.profile_keys() == [key]
