@@ -1,0 +1,343 @@
+"""The fleet router: N replica servers, one timeline, one store.
+
+A :class:`FleetRouter` fronts ``num_replicas`` independent
+:class:`~repro.serve.InferenceServer` instances. Each replica has its
+own workers, batcher, and specialization manager — the unit of failure
+and of cache locality — but all of them share one virtual timeline, one
+kernel cache, one artifact directory, and one
+:class:`~repro.fleet.FleetStoreView` model of it. The router owns
+everything between the trace and the replicas:
+
+- **admission** (``repro.fleet.tenancy``): each arrival spends a token
+  from its tenant's bucket; over-budget arrivals are rejected-and-counted
+  at the door, never queued.
+- **routing**: ``"affinity"`` sends a request to a replica that already
+  has its exact shape ready (or compiling), so specialized executables
+  concentrate instead of every replica re-deriving every shape;
+  ``"least_loaded"`` and ``"random"`` are the comparison baselines.
+- **chaos** (``repro.fleet.chaos``): declarative faults merged into the
+  event loop at their timestamps.
+- **store GC** (``repro.store.StoreGC``): periodic collections guarded
+  by the union of every replica's referenced and in-flight store keys.
+
+The event loop is the single-server loop generalized: at each step the
+earliest of (next arrival, next chaos event, each replica's next bucket
+deadline, next GC tick) fires, with ties broken in exactly that order
+(and by replica id among deadlines). A one-replica fleet with no
+admission limits therefore replays the *identical* event sequence as
+``InferenceServer.simulate`` — the property the differential tests in
+``tests/test_fleet.py`` pin down — and every decision the router makes
+is a pure function of (trace, chaos, config), which is the fleet
+determinism contract (docs/fleet.md).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.codegen.kernels import KernelCache
+from repro.fleet.chaos import CorruptBlob, ReplicaStall
+from repro.fleet.report import FleetReport, TenantStats
+from repro.fleet.tenancy import TenantSpec, TokenBucket
+from repro.fleet.view import FleetStoreView
+from repro.hardware.platforms import Platform
+from repro.ir.module import IRModule
+from repro.serve.request import Request
+from repro.serve.server import InferenceServer, ServeConfig
+from repro.store import ArtifactStore, StoreGC
+
+ROUTING_POLICIES = ("affinity", "least_loaded", "random")
+
+
+@dataclass(frozen=True)
+class FleetConfig:
+    """Fleet-level knobs (per-replica behavior lives in ServeConfig)."""
+
+    num_replicas: int = 2
+    routing: str = "affinity"
+    # Seed for the "random" routing baseline (a per-simulation
+    # RandomState, so replays draw the same placement sequence).
+    random_seed: int = 0
+    # Store GC: fire a collection every gc_interval_us of virtual time
+    # (None = only the end-of-simulation collection), pruning blobs
+    # older than gc_max_age_us and/or beyond the gc_max_blobs LRU
+    # budget. GC runs only when the serve config has an artifact_dir
+    # and at least one pruning policy is set.
+    gc_interval_us: Optional[float] = None
+    gc_max_age_us: Optional[float] = None
+    gc_max_blobs: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.num_replicas < 1:
+            raise ValueError("num_replicas must be >= 1")
+        if self.routing not in ROUTING_POLICIES:
+            raise ValueError(
+                f"routing must be one of {ROUTING_POLICIES}, "
+                f"got {self.routing!r}"
+            )
+        if self.gc_interval_us is not None and self.gc_interval_us <= 0:
+            raise ValueError("gc_interval_us must be > 0")
+
+
+class FleetRouter:
+    """Route a multi-tenant trace across a fleet of replica servers."""
+
+    def __init__(
+        self,
+        mod: IRModule,
+        platform: Optional[Platform] = None,
+        config: Optional[ServeConfig] = None,
+        fleet: Optional[FleetConfig] = None,
+        tenants: Sequence[TenantSpec] = (),
+        kernel_cache: Optional[KernelCache] = None,
+    ) -> None:
+        self.config = config or ServeConfig()
+        self.fleet = fleet or FleetConfig()
+        self.tenant_specs: Dict[str, TenantSpec] = {}
+        for spec in tenants:
+            if spec.name in self.tenant_specs:
+                raise ValueError(f"duplicate tenant {spec.name!r}")
+            self.tenant_specs[spec.name] = spec
+        # One kernel cache fleet-wide: replica 0's dynamic build fills
+        # it, siblings reuse the compiled kernels (deterministic — the
+        # cache changes compile *work*, never modeled charges/outputs).
+        self.kernel_cache = kernel_cache or KernelCache()
+        # The shared store model. The probe ArtifactStore snapshots the
+        # directory BEFORE any replica opens it, giving the view its
+        # frozen initial inventory; the same instance later mirrors GC
+        # prunes and chaos corruption to disk.
+        self.store: Optional[ArtifactStore] = None
+        self.view: Optional[FleetStoreView] = None
+        self._gc: Optional[StoreGC] = None
+        if self.config.artifact_dir is not None:
+            self.store = ArtifactStore(self.config.artifact_dir)
+            self.view = FleetStoreView(self.store)
+            if (
+                self.fleet.gc_max_age_us is not None
+                or self.fleet.gc_max_blobs is not None
+            ):
+                self._gc = StoreGC(
+                    self.store,
+                    self.view,
+                    max_age_us=self.fleet.gc_max_age_us,
+                    max_blobs=self.fleet.gc_max_blobs,
+                )
+        self.replicas = [
+            InferenceServer(
+                mod,
+                platform,
+                self.config,
+                kernel_cache=self.kernel_cache,
+                replica_id=i,
+                store_view=self.view,
+            )
+            for i in range(self.fleet.num_replicas)
+        ]
+        self._buckets = {
+            name: TokenBucket(spec) for name, spec in self.tenant_specs.items()
+        }
+
+    # ------------------------------------------------------------- simulation
+    def simulate(
+        self,
+        requests: Sequence[Request],
+        chaos: Sequence[object] = (),
+    ) -> FleetReport:
+        """Serve the trace to completion across the fleet.
+
+        Each call is an independent replay: replicas begin cold, token
+        buckets refill, the store view's per-simulation state clears,
+        and the random-routing stream reseeds. *chaos* events fire at
+        their virtual timestamps (see ``repro.fleet.chaos``)."""
+        if self.view is not None:
+            self.view.reset()
+        for replica in self.replicas:
+            replica.begin()
+        for bucket in self._buckets.values():
+            bucket.reset()
+        # Reseeded per simulation so the "random" baseline replays the
+        # same placement draws.
+        self._rs = np.random.RandomState(self.fleet.random_seed)
+        report = FleetReport(
+            routing=self.fleet.routing,
+            routed=[0] * len(self.replicas),
+        )
+        tenants: Dict[str, TenantStats] = {}
+        rejected_rids: List[int] = []
+
+        def tenant_stats(name: str) -> TenantStats:
+            stats = tenants.get(name)
+            if stats is None:
+                spec = self.tenant_specs.get(name)
+                stats = TenantStats(
+                    name=name,
+                    deadline_us=spec.deadline_us if spec else math.inf,
+                )
+                tenants[name] = stats
+            return stats
+
+        trace = sorted(requests, key=lambda r: (r.arrival_us, r.rid))
+        faults = sorted(chaos, key=lambda e: e.at_us)
+        now = 0.0
+        i, n = 0, len(trace)
+        j, m = 0, len(faults)
+        gc_next = (
+            self.fleet.gc_interval_us
+            if self._gc is not None and self.fleet.gc_interval_us is not None
+            else math.inf
+        )
+        while i < n or j < m or any(r.pending for r in self.replicas):
+            # The next event, as (time, tie-rank, replica-rank): arrivals
+            # beat chaos beat deadlines beat GC at the same instant, and
+            # deadline ties resolve by replica id. This is the
+            # single-server `arrival <= deadline` rule, generalized.
+            best: Optional[Tuple[float, int, int]] = None
+            if i < n:
+                best = (trace[i].arrival_us, 0, 0)
+            if j < m:
+                cand = (faults[j].at_us, 1, 0)
+                if best is None or cand < best:
+                    best = cand
+            for k, replica in enumerate(self.replicas):
+                deadline = replica.next_deadline()
+                if deadline is not None:
+                    cand = (deadline, 2, k)
+                    if best is None or cand < best:
+                        best = cand
+            if gc_next < math.inf:
+                cand = (gc_next, 3, 0)
+                if best is None or cand < best:
+                    best = cand
+            if best is None or best[0] == math.inf:
+                # Arrivals and chaos exhausted, no finite deadline will
+                # ever fire: shutdown drain happens in finish().
+                break
+            now, rank, k = best
+            if rank == 0:
+                self._on_arrival(
+                    trace[i], now, report, tenant_stats, rejected_rids
+                )
+                i += 1
+            elif rank == 1:
+                self._apply_chaos(faults[j], now, report)
+                j += 1
+            elif rank == 2:
+                self.replicas[k].flush_due(now)
+            else:
+                self._run_gc(now, report)
+                gc_next += self.fleet.gc_interval_us
+        report.replica_reports = [r.finish(now) for r in self.replicas]
+        report.fleet_restores = [
+            r.specializer.fleet_restores if r.specializer is not None else 0
+            for r in self.replicas
+        ]
+        if self._gc is not None:
+            # End-of-simulation collection: the fleet's steady-state
+            # inventory after every drain and profile snapshot.
+            self._run_gc(now, report)
+        for response in report.responses:
+            tenant_stats(response.tenant).latencies_us.append(
+                response.latency_us
+            )
+        report.tenants = tenants
+        report.rejected_rids = tuple(rejected_rids)
+        return report
+
+    # ---------------------------------------------------------------- arrivals
+    def _on_arrival(
+        self, request: Request, now: float, report: FleetReport,
+        tenant_stats, rejected_rids: List[int],
+    ) -> None:
+        stats = tenant_stats(request.tenant)
+        bucket = self._buckets.get(request.tenant)
+        if bucket is not None and not bucket.admit(now):
+            # Over budget: shed at the door. The request never reaches a
+            # batcher, so one tenant's burst cannot inflate another
+            # tenant's queues.
+            stats.rejected += 1
+            rejected_rids.append(request.rid)
+            return
+        replica, via_affinity = self._route(request, now)
+        stats.admitted += 1
+        report.routed[replica.replica_id] += 1
+        if via_affinity:
+            report.affinity_hits += 1
+        replica.ingest(request, now)
+
+    def _route(
+        self, request: Request, now: float
+    ) -> Tuple[InferenceServer, bool]:
+        """Pick the serving replica. Returns (replica, placed-by-affinity)."""
+        if self.fleet.routing == "random":
+            k = int(self._rs.randint(len(self.replicas)))
+            return self.replicas[k], False
+
+        def load(replica: InferenceServer):
+            return (
+                replica.backlog_us(now),
+                replica.pending,
+                replica.replica_id,
+            )
+
+        if self.fleet.routing == "affinity":
+            exact = self.replicas[0].exact_key(request.payload)
+            states = {
+                r.replica_id: r.specialization_state(exact, now)
+                for r in self.replicas
+            }
+            for wanted in ("ready", "compiling"):
+                candidates = [
+                    r for r in self.replicas if states[r.replica_id] == wanted
+                ]
+                if candidates:
+                    return min(candidates, key=load), True
+        return min(self.replicas, key=load), False
+
+    # ------------------------------------------------------------------- chaos
+    def _apply_chaos(self, event, now: float, report: FleetReport) -> None:
+        if isinstance(event, ReplicaStall):
+            replica = self.replicas[event.replica_id]
+            for worker in replica.workers:
+                # Freeze: the worker's clock (its availability frontier)
+                # jumps past the stall window. In-flight batches finish
+                # first — the stall extends from whichever is later.
+                worker.ctx.clock.advance_to(
+                    max(worker.free_at_us, event.at_us) + event.duration_us
+                )
+            report.chaos_stalls += 1
+            return
+        if isinstance(event, CorruptBlob):
+            if self.store is None or self.view is None:
+                report.chaos_noops += 1
+                return
+            entries = [
+                e for e in self.view.inventory() if e[0] == event.kind
+            ]
+            if not entries:
+                report.chaos_noops += 1
+                return
+            kind, key = entries[event.index % len(entries)]
+            # Overwrite on disk only: the model still says the blob is
+            # present, so readers go to disk, fail validation, and
+            # reject-and-count — the failure mode under test.
+            self.store._atomic_write(
+                self.store.blob_path(kind, key), event.garbage(key)
+            )
+            report.chaos_corruptions += 1
+            return
+        raise TypeError(f"unknown chaos event {type(event).__name__}")
+
+    # ---------------------------------------------------------------------- gc
+    def _run_gc(self, now: float, report: FleetReport) -> None:
+        referenced = set()
+        in_flight = set()
+        for replica in self.replicas:
+            referenced |= replica.referenced_store_keys()
+            in_flight |= replica.restoring_store_keys(now)
+        report.gc_reports.append(
+            self._gc.collect(now, referenced=referenced, in_flight=in_flight)
+        )

@@ -1,0 +1,91 @@
+"""Per-tenant SLOs and token-bucket admission control.
+
+Each tenant of a fleet names a traffic source (``Request.tenant``) and
+carries two pieces of policy:
+
+- a **deadline class** (``deadline_us``) — the latency SLO the
+  :class:`~repro.fleet.FleetReport` scores attainment against. The SLO
+  is *reported*, not enforced: the batcher never reorders by deadline
+  (that would change single-server-equivalent behavior), the report
+  just says what fraction of the tenant's responses met it.
+- a **token-bucket rate limit** (``rate_per_s`` / ``burst``) — the
+  admission-control budget. An over-budget arrival is rejected at the
+  router and *counted*, never queued: graceful degradation means the
+  tenant that bursts past its budget sheds its own excess load instead
+  of inflating every tenant's queues.
+
+The bucket runs on virtual time, so admission decisions are a pure
+function of the trace: replaying the same arrivals yields bit-identical
+admit/reject sequences (the fleet determinism contract, docs/fleet.md).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+
+@dataclass(frozen=True)
+class TenantSpec:
+    """One tenant's policy. The defaults are the no-policy tenant:
+    unlimited rate, no deadline — exactly how a standalone
+    :class:`~repro.serve.InferenceServer` treats all traffic."""
+
+    name: str
+    # SLO target on end-to-end latency (arrival -> batch completion).
+    # inf = no deadline class; attainment reports as 1.0.
+    deadline_us: float = math.inf
+    # Token refill rate in requests per virtual second; None = unlimited
+    # (admission always passes), 0.0 = nothing beyond the initial burst.
+    rate_per_s: Optional[float] = None
+    # Bucket capacity: how many requests may arrive back-to-back before
+    # the rate starts binding.
+    burst: int = 1
+
+    def __post_init__(self) -> None:
+        if self.deadline_us <= 0:
+            raise ValueError(
+                f"tenant {self.name!r}: deadline_us must be > 0"
+            )
+        if self.rate_per_s is not None and self.rate_per_s < 0:
+            raise ValueError(
+                f"tenant {self.name!r}: rate_per_s must be >= 0"
+            )
+        if self.burst < 1:
+            raise ValueError(f"tenant {self.name!r}: burst must be >= 1")
+
+
+class TokenBucket:
+    """A deterministic token bucket on the virtual clock.
+
+    Starts full (``burst`` tokens); each admitted request spends one
+    token; tokens refill continuously at ``rate_per_s``. All arithmetic
+    is on virtual microseconds, and :meth:`reset` restores the full
+    bucket, so every replay sees the same admit/reject sequence.
+    """
+
+    def __init__(self, spec: TenantSpec) -> None:
+        self.spec = spec
+        self.reset()
+
+    def reset(self) -> None:
+        self._tokens = float(self.spec.burst)
+        self._at = 0.0
+
+    def admit(self, now_us: float) -> bool:
+        """Spend a token for an arrival at *now_us* if the budget allows.
+        Arrivals are processed in trace order, so *now_us* never moves
+        backwards; refill happens lazily at each query."""
+        if self.spec.rate_per_s is None:
+            return True
+        if now_us > self._at:
+            self._tokens = min(
+                float(self.spec.burst),
+                self._tokens + (now_us - self._at) * self.spec.rate_per_s / 1e6,
+            )
+            self._at = now_us
+        if self._tokens >= 1.0:
+            self._tokens -= 1.0
+            return True
+        return False

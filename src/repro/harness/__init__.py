@@ -5,6 +5,7 @@ from repro.harness.experiments import (
     compile_pool_study,
     staged_compile_study,
     figure3_dispatch,
+    fleet_study,
     memory_planning_study,
     predictive_study,
     restart_study,
@@ -32,6 +33,7 @@ __all__ = [
     "staged_compile_study",
     "restart_study",
     "predictive_study",
+    "fleet_study",
     "batch_specialization_study",
     "stream_study",
     "tuning_ablation",

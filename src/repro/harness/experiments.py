@@ -1301,6 +1301,273 @@ def predictive_study(
 
 
 # ---------------------------------------------------------------------------
+# Fleet study: routed replicas over one shared artifact store
+# ---------------------------------------------------------------------------
+
+
+def fleet_study(
+    platform_name: str = "intel",
+    num_requests: int = 200,
+    num_replicas: int = 4,
+    replica_counts: Sequence[int] = (1, 2, 4),
+    mean_interarrival_us: float = 300.0,
+    threshold: int = 4,
+    max_executables: int = 2,
+    compile_lanes: int = 1,
+    compile_us: float = 8000.0,
+    input_size: int = 16,
+    hidden_size: int = 16,
+    max_batch_size: int = 4,
+    max_delay_us: float = 1500.0,
+    num_workers: int = 2,
+    hot_lengths: Sequence[int] = (9, 25, 41, 57),
+    hot_fraction: float = 0.85,
+    bursty_rate_per_s: float = 4000.0,
+    bursty_burst: int = 4,
+    steady_deadline_us: float = 60_000.0,
+    gc_interval_us: float = 20_000.0,
+    gc_max_age_us: float = 30_000.0,
+    seed: int = 0,
+) -> Dict[str, Dict[str, float]]:
+    """The fleet layer's three claims, measured on one multi-tenant trace.
+
+    1. **Shape-affinity routing concentrates specialization**: against
+       random placement at the same fleet-wide fresh-compile charge (the
+       shared store means any policy compiles each hot shape about
+       once), affinity routing serves a much larger share of requests
+       from the static tiers — the ``affinity_random_hit_ratio``
+       headline, asserted ≥ 1.5 in ``benchmarks/bench_fleet.py``.
+    2. **One replica's compile warms the whole fleet**: a *fresh* fleet
+       started against the store a previous fleet filled reaches its
+       first specialized hit strictly earlier than the cold fleet did
+       (``warm_first_hit_speedup``), restoring instead of compiling.
+    3. **Determinism at fleet scale**: for every replica count in
+       *replica_counts* — with store GC enabled — replaying the trace is
+       bit-identical (outputs and every FleetReport counter), and every
+       served request's output is bitwise equal to a single
+       ``InferenceServer`` serving the same trace alone.
+
+    The workload is sized so concentration is *structural*, not luck:
+    four tenants with four distinct hot shapes, against replicas whose
+    specialized-executable cache holds only ``max_executables`` (< 4)
+    entries. Affinity routing pins each hot shape to one replica, so
+    every replica's cache fits its share; random placement makes every
+    replica juggle all four shapes in a two-slot cache — eviction
+    thrash the shared store cannot restore fast enough. Three tenants
+    are unlimited (one with a deadline class scored in the report);
+    ``bursty`` is token-bucket limited so its bursts trip admission
+    control — ``rejected`` must be > 0 or the admission path went
+    untested.
+
+    Returns ``{"affinity": {...}, "random": {...}, "least_loaded":
+    {...}, "warm": {...}, "gc": {...}, "summary": {...}}`` — ``warm``
+    re-runs the same trace over the affinity fleet's store, ``gc``
+    runs a *drifted* trace over it (hot set rotated) so the collector
+    reclaims the retired shape's blob under the refcount guard.
+    """
+    import shutil
+    import tempfile
+
+    from repro.fleet import FleetConfig, FleetRouter, TenantSpec
+    from repro.harness.reporting import percentile
+    from repro.serve import InferenceServer, ServeConfig, multi_tenant_traffic
+
+    platform = platform_by_name(platform_name)
+    weights = LSTMWeights.create(input_size, hidden_size, num_layers=1, seed=seed)
+    mod = build_lstm_module(weights)
+    requests = multi_tenant_traffic(
+        num_requests,
+        input_size=input_size,
+        mean_interarrival_us=mean_interarrival_us,
+        tenant_mix=(("steady", 2), ("web", 2), ("batch", 2), ("bursty", 1)),
+        hot_lengths=tuple(hot_lengths),
+        hot_fraction=hot_fraction,
+        seed=seed,
+    )
+    tenants = (
+        TenantSpec("steady", deadline_us=steady_deadline_us),
+        TenantSpec("web"),
+        TenantSpec("batch"),
+        TenantSpec(
+            "bursty",
+            deadline_us=steady_deadline_us,
+            rate_per_s=bursty_rate_per_s,
+            burst=bursty_burst,
+        ),
+    )
+
+    def config(artifact_dir: str) -> "ServeConfig":
+        return ServeConfig(
+            max_batch_size=max_batch_size,
+            max_delay_us=max_delay_us,
+            num_workers=num_workers,
+            specialize=True,
+            specialize_threshold=threshold,
+            # The cache is deliberately smaller than the number of hot
+            # shapes in the trace — the pressure that makes placement
+            # policy matter (see the docstring).
+            specialize_max_executables=max_executables,
+            specialize_compile_lanes=compile_lanes,
+            # Explicit modeled compile cost, like restart_study: sized so
+            # cold fleets reach a specialized steady state within this
+            # trace, making hit-rate comparisons non-degenerate.
+            specialize_compile_us=compile_us,
+            artifact_dir=artifact_dir,
+        )
+
+    def first_specialized_hit_us(report) -> float:
+        hits = [r.finish_us for r in report.responses if r.tier != "dynamic"]
+        return min(hits) if hits else math.inf
+
+    def outputs_of(report) -> Dict[int, np.ndarray]:
+        return {
+            r.rid: np.asarray(r.output.numpy()) for r in report.responses
+        }
+
+    def run_fleet(
+        artifact_dir: str, routing: str, replicas: int, trace=None
+    ):
+        """One fresh fleet + a replay; returns (report, deterministic)."""
+        trace = requests if trace is None else trace
+        router = FleetRouter(
+            mod,
+            platform,
+            config(artifact_dir),
+            fleet=FleetConfig(
+                num_replicas=replicas,
+                routing=routing,
+                gc_interval_us=gc_interval_us,
+                gc_max_age_us=gc_max_age_us,
+            ),
+            tenants=tenants,
+        )
+        report = router.simulate(trace)
+        replay = router.simulate(trace)
+        first, second = outputs_of(report), outputs_of(replay)
+        deterministic = (
+            report.counters() == replay.counters()
+            and set(first) == set(second)
+            and all(np.array_equal(first[k], second[k]) for k in first)
+        )
+        return report, deterministic
+
+    scratch: List[str] = []
+
+    def fresh_dir() -> str:
+        d = tempfile.mkdtemp(prefix="nimble-fleet-study-")
+        scratch.append(d)
+        return d
+
+    try:
+        affinity_dir = fresh_dir()
+        affinity, affinity_det = run_fleet(affinity_dir, "affinity", num_replicas)
+        random_run, random_det = run_fleet(fresh_dir(), "random", num_replicas)
+        least, least_det = run_fleet(fresh_dir(), "least_loaded", num_replicas)
+        # The warm fleet: a NEW router (fresh replicas, fresh kernel
+        # cache objects) over the store the affinity fleet filled.
+        warm, warm_det = run_fleet(affinity_dir, "affinity", num_replicas)
+        # The GC fleet: same populated store, but the traffic's hot set
+        # has drifted (the first hot shape retired, a new one arrived).
+        # Yesterday's blob for the retired shape is never re-hot —
+        # age-pruned at the first collection — while every re-hot blob
+        # is restored and then refcount-guarded. This is the
+        # steady-state compaction story a long-lived store needs.
+        drifted = multi_tenant_traffic(
+            num_requests,
+            input_size=input_size,
+            mean_interarrival_us=mean_interarrival_us,
+            tenant_mix=(("steady", 2), ("web", 2), ("batch", 2), ("bursty", 1)),
+            hot_lengths=tuple(hot_lengths[1:]) + (hot_lengths[0] + 64,),
+            hot_fraction=hot_fraction,
+            seed=seed + 1,
+        )
+        gc_run, gc_det = run_fleet(
+            affinity_dir, "affinity", num_replicas, trace=drifted
+        )
+        # Replica-count sweep (claim 3), each against its own store.
+        sweep_det = True
+        single = InferenceServer(mod, platform, config(fresh_dir()))
+        single_outputs = outputs_of(single.simulate(requests))
+        single_match = True
+        for count in replica_counts:
+            report, det = run_fleet(fresh_dir(), "affinity", count)
+            sweep_det = sweep_det and det
+            fleet_outputs = outputs_of(report)
+            # Every request the fleet served must compute bitwise the
+            # same result the lone server computed for that rid —
+            # placement, batching, and tier must never change outputs.
+            single_match = single_match and all(
+                np.array_equal(out, single_outputs[rid])
+                for rid, out in fleet_outputs.items()
+            )
+    finally:
+        for d in scratch:
+            shutil.rmtree(d, ignore_errors=True)
+
+    def row(report, deterministic: bool) -> Dict[str, float]:
+        return {
+            "admitted": float(report.admitted),
+            "rejected": float(report.rejected),
+            "affinity_rate": report.affinity_rate,
+            "specialized_hit_rate": report.specialized_hit_rate,
+            "compile_charge_us": report.specialize_compile_us,
+            "fleet_restores": float(report.total_fleet_restores),
+            "store_rejects": float(report.store_rejects),
+            "gc_pruned": float(report.gc_pruned),
+            "gc_kept_referenced": float(report.gc_kept_referenced),
+            "first_specialized_hit_us": first_specialized_hit_us(report),
+            "p50_us": report.responses
+            and percentile([r.latency_us for r in report.responses], 50.0)
+            or 0.0,
+            "p99_us": report.responses
+            and percentile([r.latency_us for r in report.responses], 99.0)
+            or 0.0,
+            "slo_attainment_steady": report.tenants["steady"].slo_attainment,
+            "slo_attainment_bursty": report.tenants["bursty"].slo_attainment,
+            "deterministic": float(deterministic),
+        }
+
+    cold_first = first_specialized_hit_us(affinity)
+    warm_first = first_specialized_hit_us(warm)
+    return {
+        "affinity": row(affinity, affinity_det),
+        "random": row(random_run, random_det),
+        "least_loaded": row(least, least_det),
+        "warm": row(warm, warm_det),
+        "gc": row(gc_run, gc_det),
+        "summary": {
+            "affinity_random_hit_ratio": (
+                affinity.specialized_hit_rate
+                / max(1e-9, random_run.specialized_hit_rate)
+            ),
+            "affinity_random_charge_ratio": (
+                affinity.specialize_compile_us
+                / max(1e-9, random_run.specialize_compile_us)
+            ),
+            "warm_first_hit_speedup": (
+                1.0 if cold_first == warm_first else cold_first / warm_first
+            ),
+            "warm_earlier": float(warm_first < cold_first),
+            "admission_tripped": float(random_run.rejected > 0
+                                       and affinity.rejected > 0),
+            "replica_sweep_deterministic": float(sweep_det),
+            "single_server_match": float(single_match),
+            # The drifted-traffic run reclaimed the retired shape's
+            # blob while the refcount guard held every live one.
+            "gc_exercised": float(
+                gc_run.gc_pruned > 0
+                and gc_run.gc_kept_referenced > 0
+                and gc_run.store_rejects == 0
+            ),
+            "deterministic": float(
+                affinity_det and random_det and least_det and warm_det
+                and gc_det
+            ),
+        },
+    }
+
+
+# ---------------------------------------------------------------------------
 # Multi-stream scheduling study
 # ---------------------------------------------------------------------------
 

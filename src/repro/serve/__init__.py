@@ -63,6 +63,7 @@ from repro.serve.traffic import (
     bert_traffic,
     long_tailed_traffic,
     lstm_traffic,
+    multi_tenant_traffic,
     poisson_arrivals,
 )
 from repro.serve.worker import Worker
@@ -86,4 +87,5 @@ __all__ = [
     "lstm_traffic",
     "long_tailed_traffic",
     "bert_traffic",
+    "multi_tenant_traffic",
 ]

@@ -177,7 +177,17 @@ class InferenceServer:
         platform: Optional[Platform] = None,
         config: Optional[ServeConfig] = None,
         kernel_cache: Optional[KernelCache] = None,
+        replica_id: int = 0,
+        store_view=None,
     ) -> None:
+        # Fleet mode (repro.fleet): `replica_id` names this server inside
+        # a FleetRouter's replica set and `store_view` is the fleet's
+        # shared FleetStoreView over one artifact directory — it lets a
+        # sibling's fresh compile restore here mid-simulation and lets
+        # the fleet GC see which blobs this replica still references.
+        # Standalone servers (the defaults) behave exactly as before.
+        self.replica_id = replica_id
+        self.store_view = store_view
         self.platform = platform or intel_cpu()
         self.config = config or ServeConfig()
         if self.config.num_workers < 1:
@@ -243,6 +253,8 @@ class InferenceServer:
                 predictive_top_k=self.config.specialize_predictive_top_k,
                 partial=self.config.specialize_partial,
                 partial_min_shapes=self.config.specialize_partial_min_shapes,
+                replica_id=replica_id,
+                store_view=store_view,
             )
         self.workers = [
             Worker(
@@ -253,53 +265,65 @@ class InferenceServer:
         ]
 
     # ------------------------------------------------------------- simulation
-    def simulate(self, requests: Sequence[Request]) -> ServeReport:
-        """Serve the trace to completion; returns the aggregate report.
+    #
+    # The server exposes its event loop two ways. `simulate` replays a
+    # whole trace (the standalone path). The incremental API — `begin`,
+    # `ingest`, `flush_due`, `next_deadline`, `finish` — hands the SAME
+    # steps to an external driver (repro.fleet.FleetRouter) one event at
+    # a time, so N replicas can interleave on one merged timeline.
+    # `simulate` is written *on top of* the incremental API: there is one
+    # event loop, not two copies that can drift.
 
-        Each call is an independent replay: workers reset to cold start
-        and the specialization manager's hit counters restart (compiled
-        static executables are kept — compilation is deterministic, so
-        replays stay bit-identical either way)."""
+    def begin(self) -> None:
+        """Start an independent replay: workers to cold start, hit
+        counters restarted (compiled static executables are kept —
+        compilation is deterministic, so replays stay bit-identical
+        either way), and a fresh batcher."""
         for worker in self.workers:
             worker.reset()
         if self.specializer is not None:
             self.specializer.reset()
-        trace = sorted(requests, key=lambda r: (r.arrival_us, r.rid))
-        batcher = Batcher(
+        self._batcher = Batcher(
             self.bucketer,
             max_batch_size=self.config.max_batch_size,
             max_delay_us=self.config.max_delay_us,
             key_fn=self._bucket_key if self.specializer is not None else None,
             cap_fn=self._bucket_cap if self.specializer is not None else None,
         )
-        responses: List[Response] = []
-        now = 0.0
-        i, n = 0, len(trace)
-        while i < n or batcher.pending:
-            next_arrival = trace[i].arrival_us if i < n else math.inf
-            deadline = batcher.next_deadline()
-            next_deadline = deadline if deadline is not None else math.inf
-            if next_arrival == math.inf and next_deadline == math.inf:
-                # Arrivals exhausted and no finite deadline will ever fire
-                # (max_delay_us=inf means flush-on-size-only): shutdown
-                # drain of the leftover partial buckets at the last event.
-                for batch in batcher.flush_all(now):
-                    responses.extend(self._dispatch(batch))
-                break
-            if next_arrival <= next_deadline:
-                now = next_arrival
-                if self.specializer is not None:
-                    self.specializer.observe(
-                        self.bucketer.exact_key(trace[i].payload), now
-                    )
-                batch = batcher.add(trace[i], now)
-                i += 1
-                if batch is not None:
-                    responses.extend(self._dispatch(batch))
-            else:
-                now = next_deadline
-                for batch in batcher.flush_due(now):
-                    responses.extend(self._dispatch(batch))
+        self._responses: List[Response] = []
+
+    def ingest(self, request: Request, now_us: float) -> None:
+        """One arrival at *now_us*: observe its shape (specialization
+        heat) and enqueue it; a bucket filled to its cap dispatches
+        immediately."""
+        if self.specializer is not None:
+            self.specializer.observe(
+                self.bucketer.exact_key(request.payload), now_us
+            )
+        batch = self._batcher.add(request, now_us)
+        if batch is not None:
+            self._responses.extend(self._dispatch(batch))
+
+    def next_deadline(self) -> Optional[float]:
+        """The earliest bucket-delay deadline, or None with nothing queued."""
+        return self._batcher.next_deadline()
+
+    def flush_due(self, now_us: float) -> None:
+        """Dispatch every bucket whose delay deadline has passed."""
+        for batch in self._batcher.flush_due(now_us):
+            self._responses.extend(self._dispatch(batch))
+
+    @property
+    def pending(self) -> int:
+        """Requests currently queued in buckets (not yet dispatched)."""
+        return self._batcher.pending
+
+    def finish(self, now_us: float) -> ServeReport:
+        """Shutdown drain at *now_us*: flush the leftover partial
+        buckets, run the compile pool to completion, persist the kernel
+        cache and shape profile, and build the report."""
+        for batch in self._batcher.flush_all(now_us):
+            self._responses.extend(self._dispatch(batch))
         if self.specializer is not None:
             # Arrivals are over but the compile pool keeps working: bind
             # every still-pending compile to a lane so queue-wait and
@@ -318,14 +342,80 @@ class InferenceServer:
                 # back by this manager (frozen at construction), so
                 # replays stay bit-identical.
                 self.store.put_profile(self.specializer.profile_snapshot())
+                if self.store_view is not None:
+                    self.store_view.record_put(
+                        "profile",
+                        self.specializer._profile_key,
+                        now_us,
+                        self.replica_id,
+                    )
         return build_report(
-            responses,
+            self._responses,
             self.workers,
             self.specializer,
             extra_store_rejects=self._startup_store_rejects,
             extra_verify_rejects=self._startup_verify_rejects,
             device_streams=self.exe.device_streams,
         )
+
+    def simulate(self, requests: Sequence[Request]) -> ServeReport:
+        """Serve the trace to completion; returns the aggregate report.
+
+        Each call is an independent replay (see :meth:`begin`). The loop
+        advances virtual time to the next arrival or the next bucket
+        deadline, whichever is earlier (arrivals win ties), exactly as
+        a FleetRouter drives the incremental API for one replica."""
+        self.begin()
+        trace = sorted(requests, key=lambda r: (r.arrival_us, r.rid))
+        now = 0.0
+        i, n = 0, len(trace)
+        while i < n or self._batcher.pending:
+            next_arrival = trace[i].arrival_us if i < n else math.inf
+            deadline = self.next_deadline()
+            next_deadline = deadline if deadline is not None else math.inf
+            if next_arrival == math.inf and next_deadline == math.inf:
+                # Arrivals exhausted and no finite deadline will ever fire
+                # (max_delay_us=inf means flush-on-size-only): shutdown
+                # drain of the leftover partial buckets at the last event.
+                break
+            if next_arrival <= next_deadline:
+                now = next_arrival
+                self.ingest(trace[i], now)
+                i += 1
+            else:
+                now = next_deadline
+                self.flush_due(now)
+        return self.finish(now)
+
+    # ------------------------------------------------------------ fleet hooks
+    def exact_key(self, payload):
+        """The payload's exact dynamic-dim key (affinity-routing input)."""
+        return self.bucketer.exact_key(payload)
+
+    def backlog_us(self, now_us: float) -> float:
+        """Outstanding worker busy-time beyond *now_us*: the router's
+        least-loaded signal. Zero when every worker is idle."""
+        return sum(max(0.0, w.free_at_us - now_us) for w in self.workers)
+
+    def specialization_state(self, exact, now_us: float) -> Optional[str]:
+        """Delegate to the manager (None when specialization is off)."""
+        if self.specializer is None:
+            return None
+        return self.specializer.specialization_state(exact, now_us)
+
+    def referenced_store_keys(self):
+        """Store entries a live snapshot of this replica still needs —
+        the fleet GC's refcount guard (empty without a store)."""
+        if self.specializer is None:
+            return set()
+        return self.specializer.referenced_store_keys()
+
+    def restoring_store_keys(self, now_us: float):
+        """Store entries with a restore in flight at *now_us* (see the
+        manager — subset of :meth:`referenced_store_keys`)."""
+        if self.specializer is None:
+            return set()
+        return self.specializer.restoring_store_keys(now_us)
 
     def _bucket_key(self, payload, now_us: float):
         """Bucket key under tiered specialization: a hot shape (some

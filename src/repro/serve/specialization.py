@@ -284,6 +284,8 @@ class SpecializationManager:
         predictive_top_k: Optional[int] = None,
         partial: bool = False,
         partial_min_shapes: int = 3,
+        replica_id: int = 0,
+        store_view=None,
     ) -> None:
         if threshold < 1:
             raise ValueError(f"specialization threshold must be >= 1, got {threshold}")
@@ -333,6 +335,17 @@ class SpecializationManager:
         self.batch_cap = batch_cap
         self.store = store
         self.restore_us = restore_us
+        # Fleet mode (repro.fleet): this manager is one replica of a
+        # fleet sharing a single artifact store. ``store_view`` is the
+        # fleet's :class:`~repro.fleet.FleetStoreView` — the shared,
+        # replay-resettable model of the store's contents. With a view
+        # attached, a sibling replica's fresh compile becomes restorable
+        # here the moment it is persisted (the ``origin`` query), and a
+        # GC prune makes the corresponding blob un-restorable again (the
+        # ``present`` gate on every restore source). Without a view
+        # (``None``, the default) behaviour is exactly single-server.
+        self.replica_id = replica_id
+        self._store_view = store_view
         # Multi-stream scheduling: every specialized variant compiles
         # with this stream count, and it is a store-key component (v5+),
         # so single- and multi-stream builds of one shape never alias in
@@ -488,6 +501,10 @@ class SpecializationManager:
         # The subset of store_rejects that were static-verification
         # failures (replayed from _verify_rejected_keys, same rule).
         self.verify_rejects: int = 0
+        # Fleet mode: variants restored from a *sibling replica's* fresh
+        # compile this simulation (the cross-replica store-warm count a
+        # FleetReport surfaces). Always 0 without a store view.
+        self.fleet_restores: int = 0
         # Fresh compiles this simulation, for the deterministic
         # verify_sample cadence (memo hits do not advance it).
         self._compile_seq: int = 0
@@ -778,6 +795,55 @@ class SpecializationManager:
             return None
         return self._executables[(best_pkey, 1)], best_pkey
 
+    # ------------------------------------------------------------- fleet hooks
+    def specialization_state(self, key: ExactKey, now_us: float) -> Optional[str]:
+        """Affinity-routing signal for :class:`repro.fleet.FleetRouter`:
+        ``"ready"`` when some variant of *key* is hot right now,
+        ``"compiling"`` when the shape has triggered but nothing is ready
+        yet, ``None`` when this replica has no stake in the shape."""
+        if self.is_hot_any(key, now_us):
+            return "ready"
+        if key in self._triggered:
+            return "compiling"
+        return None
+
+    def referenced_store_keys(self) -> Set[Tuple[str, str]]:
+        """Every store entry a live snapshot of this replica still needs:
+        the fleet GC's refcount guard. Covers every variant with a ready
+        time (resident *or* still compiling toward one), every pending
+        job, the staged prefix, and the profile key — pruning any of
+        these out from under a live replica would turn a modeled restore
+        into a disk miss."""
+        if self.store is None:
+            return set()
+        refs: Set[Tuple[str, str]] = set()
+        for (key, batch) in self._ready_at:
+            refs.add(("exe", self._store_key_for(key, batch)))
+        for job in self._pending:
+            refs.add(("exe", self._store_key_for(job.key, job.batch)))
+        if self.staged and self._prefix_key is not None:
+            refs.add(("prefix", self._prefix_key))
+        refs.add(("profile", self._profile_key))
+        return refs
+
+    def restoring_store_keys(self, now_us: float) -> Set[Tuple[str, str]]:
+        """Store entries with a restore *in flight* at *now_us*: a lane
+        is deserializing the blob but the variant is not ready yet.
+        Strictly a subset of :meth:`referenced_store_keys` (the refcount
+        guard already protects them); surfaced separately so tests and
+        docs can assert the "GC never prunes an in-flight restore"
+        clause directly rather than by implication."""
+        if self.store is None:
+            return set()
+        keys: Set[Tuple[str, str]] = set()
+        for job in self._pending:
+            if job.restored:
+                keys.add(("exe", self._store_key_for(job.key, job.batch)))
+        for e in self.events:
+            if e.restored and e.ready_us > now_us:
+                keys.add(("exe", self._store_key_for(e.key, e.batch)))
+        return keys
+
     # ---------------------------------------------------------------- profiles
     def profile_snapshot(self) -> ShapeProfile:
         """This simulation's shape traffic as a persistable
@@ -895,7 +961,7 @@ class SpecializationManager:
         # always the first victim regardless of its actual heat.
         self._last_hit_us.setdefault(key, now_us)
         for batch in self._variant_batches(key):
-            plan = self._plan_artifact(key, batch)
+            plan = self._plan_artifact(key, batch, now_us)
             if plan is None:
                 continue  # shape not batchable: member-wise only
             cost, restored, prefix_us = plan
@@ -1050,8 +1116,39 @@ class SpecializationManager:
             * kernels
         )
 
+    def _attempt_store_restore(
+        self, skey: str, variant: VariantKey
+    ) -> Optional[Executable]:
+        """Load a store blob under the replay-stable reject discipline:
+        a key rejected once is memoised and re-counted on every later
+        consultation (and every replay) without re-reading the — possibly
+        since-overwritten — file; verification failures are additionally
+        split into ``verify_rejects``. A previously memoised executable
+        restores without touching the disk at all."""
+        if skey in self._rejected_keys:
+            self.store_rejects += 1
+            if skey in self._verify_rejected_keys:
+                self.verify_rejects += 1
+            return None
+        exe = self._executables.get(variant)
+        if exe is None:
+            verify_rejects_before = self.store.verify_rejects
+            exe = self.store.get(skey, expected_signature=self._fingerprint)
+            if exe is None and self.store.verify_rejects > verify_rejects_before:
+                # Deserialized cleanly but failed static verification:
+                # memoised like any reject so replays re-count it, but
+                # also split out — it means a writer bug, not volume rot.
+                self._verify_rejected_keys.add(skey)
+                self.verify_rejects += 1
+        if exe is None:
+            self._rejected_keys.add(skey)
+            self.store_rejects += 1
+            return None
+        self._executables[variant] = exe
+        return exe
+
     def _plan_artifact(
-        self, key: ExactKey, batch: int
+        self, key: ExactKey, batch: int, now_us: float
     ) -> Optional[Tuple[float, bool, float]]:
         """Decide how a triggered variant gets its executable: returns
         ``(lane charge, restored, prefix component)``, or ``None`` when
@@ -1065,56 +1162,76 @@ class SpecializationManager:
         1. *Persisted this simulation* — the variant compiled earlier in
            this sim, was written to the store, and then lost its cache
            slot: the binary survived eviction, so the re-trigger pays
-           the deserialize charge, not a recompile.
-        2. *Warm start* — the key existed in the store when this manager
+           the deserialize charge, not a recompile. In fleet mode the
+           shared view must still agree the blob exists — a GC prune in
+           between sends the shape back to a fresh compile.
+        2. *Sibling compile (fleet mode)* — another replica of this
+           fleet compiled and persisted the variant earlier in this
+           simulation (the view's ``origin`` query): restore at the
+           deserialize charge and count a ``fleet_restores`` store-warm
+           hit. One replica's compile warms the whole fleet.
+        3. *Warm start* — the key existed in the store when this manager
            was constructed (a previous process compiled it): load,
            validate, install. Validation failures are counted in
            ``store_rejects`` and fall through to a fresh compile; the
            rejection is memoised so replays re-count it at the same
            trigger instead of re-reading a file this process may since
            have overwritten.
-        3. *Fresh compile* — full compile charge; with a store attached
-           the artifact is persisted immediately, arming source 1.
+        4. *Fresh compile* — full compile charge; with a store attached
+           the artifact is persisted immediately, arming sources 1/2.
         """
         variant: VariantKey = (key, batch)
+        view = self._store_view
         if variant in self._persisted:
-            return self._restore_cost_of(self._executables[variant]), True, 0.0
+            skey = self._store_key_for(key, batch)
+            if view is None or view.present("exe", skey):
+                if view is not None:
+                    view.record_use("exe", skey, now_us)
+                return (
+                    self._restore_cost_of(self._executables[variant]),
+                    True,
+                    0.0,
+                )
+            # The fleet GC pruned the blob we persisted: the binary is
+            # gone, so this re-trigger compiles fresh and re-persists.
+            self._persisted.discard(variant)
         if self.store is not None:
             skey = self._store_key_for(key, batch)
-            if skey in self._store_keys_at_init:
-                if skey in self._rejected_keys:
-                    self.store_rejects += 1
-                    if skey in self._verify_rejected_keys:
-                        self.verify_rejects += 1
+            from_sibling = False
+            if view is not None:
+                origin = view.origin("exe", skey)
+                if origin is not None:
+                    restorable = True
+                    from_sibling = origin != self.replica_id
                 else:
-                    exe = self._executables.get(variant)
-                    if exe is None:
-                        verify_rejects_before = self.store.verify_rejects
-                        exe = self.store.get(
-                            skey, expected_signature=self._fingerprint
-                        )
-                        if (
-                            exe is None
-                            and self.store.verify_rejects
-                            > verify_rejects_before
-                        ):
-                            # Deserialized cleanly but failed static
-                            # verification: memoised like any reject so
-                            # replays re-count it, but also split out —
-                            # it means a writer bug, not volume rot.
-                            self._verify_rejected_keys.add(skey)
-                            self.verify_rejects += 1
-                    if exe is None:
-                        self._rejected_keys.add(skey)
-                        self.store_rejects += 1
-                    else:
-                        self._executables[variant] = exe
-                        return self._restore_cost_of(exe), True, 0.0
+                    restorable = skey in self._store_keys_at_init and view.present(
+                        "exe", skey
+                    )
+            else:
+                restorable = skey in self._store_keys_at_init
+            if restorable:
+                exe = self._attempt_store_restore(skey, variant)
+                if exe is not None:
+                    if view is not None:
+                        view.record_use("exe", skey, now_us)
+                    if from_sibling:
+                        self.fleet_restores += 1
+                    return self._restore_cost_of(exe), True, 0.0
         if not self._ensure_compiled(key, batch):
             return None
         if self.store is not None:
-            self.store.put(self._executables[variant])
+            skey = self.store.put(self._executables[variant])
             self._persisted.add(variant)
+            if view is not None:
+                view.record_put("exe", skey, now_us, self.replica_id)
+                if self.staged and self._prefix_key is not None:
+                    # _ensure_compiled materialized (and persisted) the
+                    # shared prefix as a side effect of the first fresh
+                    # staged compile — mirror it into the view so the GC
+                    # inventory knows the .nmblp blob exists.
+                    view.record_put(
+                        "prefix", self._prefix_key, now_us, self.replica_id
+                    )
         prefix_us = 0.0
         if self.staged and not self._prefix_charged:
             # First fresh compile of this simulation: fold the

@@ -102,3 +102,73 @@ def bert_traffic(
     """Variable-length embedded sentences for the BERT entry
     ``main(x: Tensor[(Any, hidden)])``."""
     return _embedded_requests(n, hidden, mean_interarrival_us, seed)
+
+
+def multi_tenant_traffic(
+    n: int = 256,
+    input_size: int = 16,
+    mean_interarrival_us: float = 400.0,
+    tenant_mix: Sequence[tuple] = (("steady", 3), ("bursty", 1)),
+    burst_every: int = 32,
+    burst_size: int = 8,
+    hot_lengths: Sequence[int] = (9, 25),
+    hot_fraction: float = 0.8,
+    tail_min: int = 4,
+    tail_max: int = 64,
+    seed: int = 0,
+) -> List[Request]:
+    """A multi-tenant trace for the fleet study (``repro.fleet``).
+
+    Tenants are assigned by weighted round-robin over *tenant_mix*
+    (``(name, weight)`` pairs), so every tenant's requests interleave
+    with everyone else's at its share of the volume. One twist exercises
+    admission control: every ``burst_every`` requests, the *last* tenant
+    in the mix fires ``burst_size`` extra back-to-back arrivals within a
+    few microseconds — exactly the burst a token bucket is there to
+    shed. Shapes follow the long-tailed hot/tail split of
+    :func:`long_tailed_traffic` (per-tenant hot lengths, so affinity
+    routing has per-tenant shape locality to exploit). Deterministic for
+    a fixed seed.
+    """
+    if not tenant_mix:
+        raise ValueError("multi_tenant_traffic needs at least one tenant")
+    names = [name for name, weight in tenant_mix for _ in range(int(weight))]
+    arrivals = poisson_arrivals(n, mean_interarrival_us, seed)
+    rng = np.random.RandomState(seed + 29)
+    burster = tenant_mix[-1][0]
+    # Stable per-tenant hot shape, assigned by position in the mix:
+    # tenants keep their own locality (what shape-affinity routing
+    # exploits), and the number of tenants controls the number of hot
+    # shapes in play.
+    tenant_hot = {
+        name: hot_lengths[idx % len(hot_lengths)]
+        for idx, (name, _weight) in enumerate(tenant_mix)
+    }
+    requests: List[Request] = []
+    rid = 0
+
+    def emit(tenant: str, at_us: float) -> None:
+        nonlocal rid
+        hot = tenant_hot[tenant]
+        if rng.rand() < hot_fraction:
+            length = hot
+        else:
+            length = int(rng.randint(tail_min, tail_max + 1))
+        requests.append(
+            Request(
+                rid=rid,
+                arrival_us=at_us,
+                payload=(rng.randn(length, input_size) * 0.1).astype(
+                    np.float32
+                ),
+                tenant=tenant,
+            )
+        )
+        rid += 1
+
+    for i in range(n):
+        emit(names[i % len(names)], arrivals[i])
+        if burst_every and (i + 1) % burst_every == 0:
+            for b in range(burst_size):
+                emit(burster, arrivals[i] + (b + 1) * 1.0)
+    return requests

@@ -224,6 +224,7 @@ class Worker:
                 bucket_key=batch.key,
                 batch_size=len(batch),
                 worker_id=self.worker_id,
+                tenant=req.tenant,
                 tier=member_tier,
             )
             for req, out, member_tier in zip(batch.requests, outputs, tiers)

@@ -16,8 +16,14 @@ Corrupt, truncated, or stale blobs are *skipped and counted* — the
 caller falls back to compiling — never crashed on and never silently
 loaded: every artifact re-verifies its embedded content hash and source
 signature at load time.
+
+:class:`StoreGC` compacts a long-lived store: age/LRU pruning of blobs
+no live replica references (``repro.fleet`` supplies the reference and
+in-flight-restore sets), deciding from the fleet's store *model* so the
+decisions replay bit-identically (see ``docs/fleet.md``).
 """
 
 from repro.store.artifacts import STORE_FORMAT, ArtifactStore
+from repro.store.gc import GCReport, StoreGC
 
-__all__ = ["ArtifactStore", "STORE_FORMAT"]
+__all__ = ["ArtifactStore", "STORE_FORMAT", "GCReport", "StoreGC"]

@@ -25,6 +25,17 @@ hash-mismatched, or compiled from a different module is skipped, its
 rejection recorded in :attr:`ArtifactStore.rejects`, and the caller
 falls back to compiling — the store can lose data, but it must never
 serve wrong code.
+
+Concurrent readers (a fleet of replicas over one volume — see
+``docs/fleet.md``) need no locking because of those two properties
+together: ``os.replace`` means a reader sees either the old complete
+blob or the new complete blob, never a torn write, and the paranoid
+validation means a reader that loses any conceivable race (a blob
+deleted between listing and read, an overwrite it half-expected)
+degrades to a counted reject + recompile, never to wrong code. The
+same holds against :class:`repro.store.StoreGC` deletions: ``remove``
+is a single ``unlink``, so a reader either got the blob or gets a
+miss.
 """
 
 from __future__ import annotations
@@ -336,6 +347,54 @@ class ArtifactStore:
         except SerializationError as err:
             self.reject_log.append(("kernels.kc", str(err)))
             return 0
+
+    # ------------------------------------------------------------------- blobs
+    # Kind names shared with repro.fleet.FleetStoreView and StoreGC:
+    # "exe" (.nmbl), "prefix" (.nmblp), "profile" (.nmblprof).
+    def blob_path(self, kind: str, key: str) -> Path:
+        """The on-disk path of a blob by (kind, key) — the addressing the
+        GC and the fleet's store view use."""
+        if kind == "exe":
+            return self._artifact_path(key)
+        if kind == "prefix":
+            return self._prefix_path(key)
+        if kind == "profile":
+            return self._profile_path(key)
+        raise ValueError(f"unknown blob kind {kind!r}")
+
+    def remove(self, kind: str, key: str) -> bool:
+        """Unlink one blob; returns whether a file was actually removed.
+        A miss is not an error — the GC prunes from a *model* of the
+        store, and the disk is allowed to be behind the model (a blob
+        modeled from a previous simulation's write may not exist under
+        this directory's current history)."""
+        try:
+            self.blob_path(kind, key).unlink()
+            return True
+        except FileNotFoundError:
+            return False
+
+    def malformed_names(self) -> List[str]:
+        """File names under ``artifacts/`` that are not well-formed blobs
+        (no known suffix, or an empty key), sorted. The GC *counts*
+        these and leaves them alone — an unrecognized file is evidence
+        of a foreign writer or corruption, and deleting evidence is the
+        one thing a collector must never do. In-flight atomic-write
+        temporaries (``.tmp-*``) are not counted; they are a healthy
+        store's transient state, not rot."""
+        bad: List[str] = []
+        for p in self.artifacts_dir.iterdir():
+            if not p.is_file() or p.name.startswith(".tmp-"):
+                continue
+            for suffix in (_PROFILE_SUFFIX, _PREFIX_SUFFIX, _ARTIFACT_SUFFIX):
+                if p.name.endswith(suffix):
+                    if len(p.name) > len(suffix):
+                        break
+                    bad.append(p.name)  # a bare suffix with no key
+                    break
+            else:
+                bad.append(p.name)
+        return sorted(bad)
 
     # -------------------------------------------------------------- internals
     def _artifact_path(self, key: str) -> Path:

@@ -1,0 +1,598 @@
+"""The fleet layer: routed replicas over one shared artifact store.
+
+Chaos + differential battery for ``repro.fleet``:
+
+- unit coverage of the admission bucket, the store view model, and
+  config validation;
+- routing behavior (affinity stickiness vs load balancing, admission
+  shedding at the door);
+- the chaos suite — replica stalls, cross-replica blob corruption, GC
+  racing an in-flight restore, tenant bursts tripping admission — each
+  asserting bit-identical replay and fully drained allocators;
+- the differential contract: a fleet of any replica count computes
+  bitwise the same outputs as one standalone ``InferenceServer``, and a
+  one-replica fleet replays its exact event sequence.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.codegen.kernels import KernelCache
+from repro.fleet import (
+    CorruptBlob,
+    FleetConfig,
+    FleetRouter,
+    FleetStoreView,
+    ReplicaStall,
+    ROUTING_POLICIES,
+    TenantSpec,
+    TokenBucket,
+)
+from repro.hardware import intel_cpu
+from repro.ir import Any, Function, IRModule, TensorType, Var, const
+from repro.ops import api
+from repro.serve import (
+    InferenceServer,
+    Request,
+    ServeConfig,
+    multi_tenant_traffic,
+)
+from repro.store import ArtifactStore
+
+
+def _mlp(dim=8, seed=0):
+    """main(x: Tensor[(Any, dim)]): one dense + relu — a fast dynamic model."""
+    w = const((np.random.RandomState(seed).randn(dim, dim) * 0.1).astype(np.float32))
+    x = Var("x", TensorType((Any(), dim), "float32"))
+    return IRModule.from_expr(Function([x], api.relu(api.dense(x, w))))
+
+
+def _payload(rows, dim=8, seed=0):
+    return (np.random.RandomState(seed).randn(rows, dim) * 0.1).astype(np.float32)
+
+
+def _hot_trace(n=24, rows=9, gap_us=100.0, start_us=0.0, tenant="default"):
+    """n arrivals of one exact shape, evenly spaced — the affinity magnet."""
+    return [
+        Request(
+            rid=i,
+            arrival_us=start_us + i * gap_us,
+            payload=_payload(rows, seed=i),
+            tenant=tenant,
+        )
+        for i in range(n)
+    ]
+
+
+# Fast per-replica serving knobs shared by most tests: tiny batches, one
+# worker, near-instant specialization trigger.
+_FAST = dict(
+    max_batch_size=2,
+    max_delay_us=300.0,
+    num_workers=1,
+    specialize=True,
+    specialize_threshold=2,
+    specialize_compile_us=2000.0,
+)
+
+
+def _outputs(report):
+    return {r.rid: r.output.numpy() for r in report.responses}
+
+
+def _assert_drained(router):
+    for replica in router.replicas:
+        for worker in replica.workers:
+            assert worker.ctx.allocator.live_bytes == 0
+
+
+def _assert_replays(router, requests, chaos=()):
+    """Simulate twice; the replay must be bit-identical (counters and
+    response payloads). Returns the first report."""
+    first = router.simulate(requests, chaos=chaos)
+    second = router.simulate(requests, chaos=chaos)
+    assert first.counters() == second.counters()
+    a, b = _outputs(first), _outputs(second)
+    assert a.keys() == b.keys()
+    for rid in a:
+        assert np.array_equal(a[rid], b[rid])
+    return first
+
+
+# ---------------------------------------------------------------------------
+# Tenancy: specs and the admission bucket
+# ---------------------------------------------------------------------------
+
+
+class TestTenancy:
+    def test_spec_validation(self):
+        with pytest.raises(ValueError, match="deadline_us"):
+            TenantSpec("t", deadline_us=0.0)
+        with pytest.raises(ValueError, match="rate_per_s"):
+            TenantSpec("t", rate_per_s=-1.0)
+        with pytest.raises(ValueError, match="burst"):
+            TenantSpec("t", burst=0)
+
+    def test_unlimited_rate_always_admits(self):
+        bucket = TokenBucket(TenantSpec("t"))
+        assert all(bucket.admit(i * 10.0) for i in range(1000))
+
+    def test_burst_capacity_then_shed(self):
+        # rate 0: nothing refills, only the initial burst gets through.
+        bucket = TokenBucket(TenantSpec("t", rate_per_s=0.0, burst=3))
+        assert [bucket.admit(0.0) for _ in range(5)] == [
+            True, True, True, False, False,
+        ]
+
+    def test_refill_on_virtual_time(self):
+        # 1 token per 1000 µs. Burst of 1: back-to-back sheds, spaced admits.
+        bucket = TokenBucket(TenantSpec("t", rate_per_s=1000.0, burst=1))
+        assert bucket.admit(0.0)
+        assert not bucket.admit(1.0)
+        assert not bucket.admit(999.0)  # 0.998 tokens: still short
+        assert bucket.admit(2000.0)
+
+    def test_reset_restores_the_full_burst(self):
+        bucket = TokenBucket(TenantSpec("t", rate_per_s=0.0, burst=2))
+        assert bucket.admit(0.0) and bucket.admit(0.0)
+        assert not bucket.admit(0.0)
+        bucket.reset()
+        assert bucket.admit(0.0) and bucket.admit(0.0)
+
+
+# ---------------------------------------------------------------------------
+# The shared store model
+# ---------------------------------------------------------------------------
+
+
+class TestFleetStoreView:
+    def test_initial_inventory_is_frozen_at_construction(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        from repro.serve.profile import ShapeProfile
+
+        key = store.put_profile(
+            ShapeProfile(
+                source_signature="a" * 64,
+                platform_name="intel",
+                hits={(9, 1): 2},
+                scores={(9, 1): 1.0},
+            )
+        )
+        view = FleetStoreView(store)
+        assert view.present("profile", key)
+        # A disk write made BEHIND the model is invisible: the view is
+        # the decision surface, record_put is the only way in.
+        later = ShapeProfile(
+            source_signature="b" * 64,
+            platform_name="intel",
+            hits={(25, 1): 2},
+            scores={(25, 1): 1.0},
+        )
+        other = store.put_profile(later)
+        assert other != key
+        assert not view.present("profile", other)
+
+    def test_put_prune_revive_cycle(self, tmp_path):
+        view = FleetStoreView(ArtifactStore(tmp_path))
+        assert not view.present("exe", "k1")
+        view.record_put("exe", "k1", 100.0, replica_id=1)
+        assert view.present("exe", "k1")
+        assert view.origin("exe", "k1") == 1
+        view.record_prune("exe", "k1", 200.0)
+        assert not view.present("exe", "k1")
+        assert view.origin("exe", "k1") is None
+        view.record_put("exe", "k1", 300.0, replica_id=0)
+        assert view.present("exe", "k1")
+        assert view.origin("exe", "k1") == 0
+
+    def test_init_entries_have_no_origin_and_prune_sticks(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        from repro.serve.profile import ShapeProfile
+
+        key = store.put_profile(
+            ShapeProfile(
+                source_signature="a" * 64,
+                platform_name="intel",
+                hits={(9, 1): 2},
+                scores={(9, 1): 1.0},
+            )
+        )
+        view = FleetStoreView(store)
+        assert view.origin("profile", key) is None
+        view.record_prune("profile", key, 50.0)
+        assert not view.present("profile", key)
+        # reset() restores the frozen initial inventory for the next replay.
+        view.reset()
+        assert view.present("profile", key)
+        assert view.last_use_us("profile", key) is None
+
+    def test_last_use_is_monotonic(self, tmp_path):
+        view = FleetStoreView(ArtifactStore(tmp_path))
+        view.record_put("exe", "k", 100.0, replica_id=0)
+        view.record_use("exe", "k", 500.0)
+        assert view.last_use_us("exe", "k") == 500.0
+        view.record_use("exe", "k", 300.0)  # stale reader: no rewind
+        assert view.last_use_us("exe", "k") == 500.0
+
+    def test_inventory_is_sorted_and_mergeable(self, tmp_path):
+        view = FleetStoreView(ArtifactStore(tmp_path))
+        view.record_put("profile", "p", 1.0, 0)
+        view.record_put("exe", "b", 2.0, 0)
+        view.record_put("exe", "a", 3.0, 1)
+        assert view.inventory() == [("exe", "a"), ("exe", "b"), ("profile", "p")]
+
+
+# ---------------------------------------------------------------------------
+# Config validation
+# ---------------------------------------------------------------------------
+
+
+class TestFleetConfig:
+    def test_rejects_bad_knobs(self):
+        with pytest.raises(ValueError, match="num_replicas"):
+            FleetConfig(num_replicas=0)
+        with pytest.raises(ValueError, match="routing"):
+            FleetConfig(routing="sticky")
+        with pytest.raises(ValueError, match="gc_interval_us"):
+            FleetConfig(gc_interval_us=0.0)
+        assert set(ROUTING_POLICIES) == {"affinity", "least_loaded", "random"}
+
+    def test_duplicate_tenants_rejected(self):
+        with pytest.raises(ValueError, match="duplicate tenant"):
+            FleetRouter(
+                _mlp(),
+                intel_cpu(),
+                ServeConfig(),
+                tenants=[TenantSpec("a"), TenantSpec("a")],
+            )
+
+
+# ---------------------------------------------------------------------------
+# Routing and admission
+# ---------------------------------------------------------------------------
+
+
+class TestFleetRouting:
+    def test_one_replica_fleet_replays_the_single_server(self):
+        """The degenerate fleet is the single server: same responses,
+        same finish times, same tiers, same latencies — the router's
+        event loop adds nothing to the timeline."""
+        trace = _hot_trace(24) + [
+            Request(rid=24 + i, arrival_us=i * 250.0, payload=_payload(25, seed=i))
+            for i in range(12)
+        ]
+        cache = KernelCache()
+        single = InferenceServer(
+            _mlp(), intel_cpu(), ServeConfig(**_FAST), kernel_cache=cache
+        ).simulate(trace)
+        router = FleetRouter(
+            _mlp(),
+            intel_cpu(),
+            ServeConfig(**_FAST),
+            FleetConfig(num_replicas=1),
+            kernel_cache=cache,
+        )
+        fleet = router.simulate(trace)
+        assert [r.rid for r in fleet.responses] == [r.rid for r in single.responses]
+        assert [r.finish_us for r in fleet.responses] == [
+            r.finish_us for r in single.responses
+        ]
+        assert [r.tier for r in fleet.responses] == [
+            r.tier for r in single.responses
+        ]
+        for a, b in zip(fleet.responses, single.responses):
+            assert np.array_equal(a.output.numpy(), b.output.numpy())
+        assert fleet.routed == [len(trace)]
+        assert fleet.rejected == 0
+        _assert_drained(router)
+
+    def test_affinity_sticks_to_the_specializing_replica(self):
+        """Once a replica owns a shape (compiling or ready), affinity
+        keeps routing that shape to it even when a sibling is idle —
+        where least-loaded drains to the idle sibling instead."""
+        trace = _hot_trace(24)
+        # Replica 0 triggers the shape at its second observation
+        # (200 µs); the stall lands just after, while the compile is in
+        # flight.
+        stall = [ReplicaStall(at_us=250.0, replica_id=0, duration_us=8000.0)]
+
+        def run(routing):
+            router = FleetRouter(
+                _mlp(),
+                intel_cpu(),
+                ServeConfig(**_FAST),
+                FleetConfig(num_replicas=2, routing=routing),
+            )
+            report = router.simulate(trace, chaos=stall)
+            _assert_drained(router)
+            return report
+
+        affinity, balanced = run("affinity"), run("least_loaded")
+        # Affinity still owns the placement through the stall...
+        assert affinity.routed == [23, 1]
+        assert affinity.affinity_hits == 21
+        assert affinity.affinity_rate == affinity.affinity_hits / 24
+        # ...while least-loaded detours to the idle sibling.
+        assert balanced.routed[1] > balanced.routed[0]
+        assert balanced.affinity_hits == 0
+
+    def test_random_routing_spreads_and_replays(self):
+        router = FleetRouter(
+            _mlp(),
+            intel_cpu(),
+            ServeConfig(**_FAST),
+            FleetConfig(num_replicas=2, routing="random", random_seed=0),
+        )
+        report = _assert_replays(router, _hot_trace(24))
+        assert sum(report.routed) == 24
+        assert all(n > 0 for n in report.routed)
+        _assert_drained(router)
+
+    def test_admission_sheds_the_burst_not_the_steady_tenant(self):
+        """A bursty tenant over budget sheds its own excess; rejected
+        requests are counted at the door and never appear in any
+        replica's responses (or queues)."""
+        steady = _hot_trace(12, gap_us=400.0, tenant="steady")
+        burst = [
+            Request(
+                rid=100 + i,
+                arrival_us=1000.0 + i,
+                payload=_payload(9, seed=i),
+                tenant="bursty",
+            )
+            for i in range(8)
+        ]
+        router = FleetRouter(
+            _mlp(),
+            intel_cpu(),
+            ServeConfig(**_FAST),
+            FleetConfig(num_replicas=2),
+            tenants=[
+                TenantSpec("steady", deadline_us=50_000.0),
+                TenantSpec("bursty", rate_per_s=0.0, burst=3),
+            ],
+        )
+        report = _assert_replays(router, steady + burst)
+        assert report.tenants["steady"].rejected == 0
+        assert report.tenants["steady"].admitted == 12
+        assert report.tenants["bursty"].admitted == 3
+        assert report.tenants["bursty"].rejected == 5
+        assert report.rejected_rids == (103, 104, 105, 106, 107)
+        served = {r.rid for r in report.responses}
+        assert served.isdisjoint(report.rejected_rids)
+        assert len(served) == report.admitted == sum(report.routed)
+        assert report.tenants["steady"].slo_attainment == 1.0
+        _assert_drained(router)
+
+
+# ---------------------------------------------------------------------------
+# Chaos
+# ---------------------------------------------------------------------------
+
+
+class TestFleetChaos:
+    def test_stall_redirects_traffic_and_replays(self):
+        """A stalled replica's backlog steers least-loaded routing to
+        the healthy sibling; the fault is an input, so the whole run —
+        stall included — replays bit-identically."""
+        trace = _hot_trace(24)
+        router = FleetRouter(
+            _mlp(),
+            intel_cpu(),
+            ServeConfig(**_FAST),
+            FleetConfig(num_replicas=2, routing="least_loaded"),
+        )
+        calm = router.simulate(trace)
+        stall = [ReplicaStall(at_us=50.0, replica_id=0, duration_us=10_000.0)]
+        stormy = _assert_replays(router, trace, chaos=stall)
+        assert stormy.chaos_stalls == 1
+        assert stormy.routed[0] < calm.routed[0]
+        assert stormy.routed[1] > calm.routed[1]
+        # Nothing is lost to the stall — it is latency, not failure.
+        assert len(stormy.responses) == len(trace)
+        _assert_drained(router)
+
+    def test_corrupt_blob_rejected_by_sibling_never_crashes(self, tmp_path):
+        """Replica 1 compiles and persists the hot shape; the blob rots
+        on disk before replica 0's restore attempt. The reader must
+        reject-and-count and fall back to a fresh compile — outputs
+        stay bitwise correct and the run replays exactly."""
+        trace = _hot_trace(24)
+        fleet = FleetConfig(num_replicas=2, routing="random", random_seed=0)
+
+        clean_router = FleetRouter(
+            _mlp(),
+            intel_cpu(),
+            ServeConfig(artifact_dir=str(tmp_path / "clean"), **_FAST),
+            fleet,
+        )
+        clean = clean_router.simulate(trace)
+        # Baseline: the sibling warm-restores the other replica's compile.
+        assert clean.total_fleet_restores == 1
+        assert clean.store_rejects == 0
+
+        # Same trace, same seed, fresh store — but the blob rots between
+        # the compiler's put (200 µs) and the sibling's restore (300 µs).
+        chaos = [CorruptBlob(at_us=250.0, kind="exe", index=0)]
+        router = FleetRouter(
+            _mlp(),
+            intel_cpu(),
+            ServeConfig(artifact_dir=str(tmp_path / "hot"), **_FAST),
+            fleet,
+        )
+        report = _assert_replays(router, trace, chaos=chaos)
+        assert report.chaos_corruptions == 1
+        assert report.counters()["replica_store_rejects"] == (1, 0)
+        assert report.total_fleet_restores == 0
+        # Both replicas end up compiling fresh; nobody crashed.
+        assert report.counters()["replica_fresh_compiles"] == (1, 1)
+        assert len(report.responses) == len(trace)
+        single = InferenceServer(_mlp(), intel_cpu(), ServeConfig(**_FAST)).simulate(
+            trace
+        )
+        outs = _outputs(report)
+        for r in single.responses:
+            assert np.array_equal(outs[r.rid], r.output.numpy())
+        _assert_drained(router)
+
+    def test_corrupting_an_empty_store_is_a_counted_noop(self):
+        router = FleetRouter(
+            _mlp(), intel_cpu(), ServeConfig(**_FAST), FleetConfig(num_replicas=1)
+        )
+        report = router.simulate(_hot_trace(4), chaos=[CorruptBlob(at_us=10.0)])
+        assert report.chaos_noops == 1
+        assert report.chaos_corruptions == 0
+
+    def test_gc_racing_a_restore_keeps_the_in_flight_blob(self, tmp_path):
+        """An aggressive collector (max_age 0: everything unguarded is
+        prunable at every tick) fires mid-restore. The in-flight blob
+        must survive every tick and the restore must complete; the cold
+        sibling blob is reclaimed."""
+        store_dir = str(tmp_path / "store")
+        warm_cfg = ServeConfig(artifact_dir=store_dir, **_FAST)
+        # Warm the store with two hot shapes (two exe blobs + a profile).
+        warm = InferenceServer(_mlp(), intel_cpu(), warm_cfg)
+        extra = [
+            Request(rid=100 + i, arrival_us=50.0 + i * 100.0, payload=_payload(25, seed=i))
+            for i in range(12)
+        ]
+        warm.simulate(_hot_trace(12) + extra)
+        assert len(ArtifactStore(store_dir).keys()) == 2
+
+        router = FleetRouter(
+            _mlp(),
+            intel_cpu(),
+            ServeConfig(
+                artifact_dir=store_dir, specialize_restore_us=5000.0, **_FAST
+            ),
+            FleetConfig(
+                num_replicas=1,
+                gc_interval_us=1000.0,
+                gc_max_age_us=0.0,
+            ),
+        )
+        report = _assert_replays(router, _hot_trace(80))
+        # The slow restore (trigger ~100 µs, ready ~5100 µs) overlaps
+        # several 1000 µs GC ticks — the in-flight guard held each time.
+        assert sum(g.kept_in_flight for g in report.gc_reports) >= 3
+        assert report.counters()["replica_restored"] == (1,)
+        assert report.specialized_hits > 0
+        # The shape nobody asked for this run was pruned...
+        pruned = {entry for g in report.gc_reports for entry in g.pruned}
+        assert any(kind == "exe" for kind, _ in pruned)
+        # ...but never the restored one: it still serves and its blob is
+        # still modeled present.
+        restored_keys = {
+            e for r in router.replicas for e in r.referenced_store_keys()
+            if e[0] == "exe"
+        }
+        assert restored_keys.isdisjoint(pruned)
+        assert report.gc_kept_referenced > 0
+        _assert_drained(router)
+
+
+# ---------------------------------------------------------------------------
+# Determinism: replay and fleet-vs-single differential
+# ---------------------------------------------------------------------------
+
+
+class TestFleetDeterminism:
+    def test_replay_identical_across_replica_counts_with_gc(self, tmp_path):
+        """The hard invariant: any replica count, admission on, store GC
+        on — two simulations agree on every counter and every byte, and
+        all replica counts compute the same responses."""
+        trace = multi_tenant_traffic(
+            n=48,
+            input_size=8,
+            mean_interarrival_us=200.0,
+            tenant_mix=(("steady", 3), ("spiky", 1)),
+            burst_every=16,
+            burst_size=4,
+            hot_lengths=(9, 25),
+            seed=3,
+        )
+        cache = KernelCache()
+        outputs_by_count = {}
+        for count in (1, 2, 4):
+            router = FleetRouter(
+                _mlp(),
+                intel_cpu(),
+                ServeConfig(
+                    artifact_dir=str(tmp_path / f"store{count}"), **_FAST
+                ),
+                FleetConfig(
+                    num_replicas=count,
+                    gc_interval_us=2000.0,
+                    gc_max_age_us=3000.0,
+                ),
+                kernel_cache=cache,
+            )
+            report = _assert_replays(router, trace)
+            assert report.rejected == 0
+            outputs_by_count[count] = _outputs(report)
+            _assert_drained(router)
+        single = InferenceServer(
+            _mlp(), intel_cpu(), ServeConfig(**_FAST), kernel_cache=cache
+        ).simulate(trace)
+        reference = {r.rid: r.output.numpy() for r in single.responses}
+        for count, outs in outputs_by_count.items():
+            assert outs.keys() == reference.keys()
+            for rid, out in outs.items():
+                assert np.array_equal(out, reference[rid])
+
+    @given(
+        replicas=st.sampled_from([1, 2, 4]),
+        routing=st.sampled_from(["affinity", "least_loaded", "random"]),
+        seed=st.integers(min_value=0, max_value=3),
+        mix=st.sampled_from(
+            [
+                (("steady", 3), ("bursty", 1)),
+                (("a", 1), ("b", 1)),
+                (("solo", 1),),
+            ]
+        ),
+    )
+    @settings(max_examples=10, deadline=None, derandomize=True)
+    def test_fleet_is_differentially_equal_to_one_server(
+        self, replicas, routing, seed, mix
+    ):
+        """Fuzzed over (replica count × routing × tenant mix × seed):
+        however the router scatters a trace, every response is bitwise
+        the response one standalone server computes, and the fleet's
+        counters replay exactly."""
+        trace = multi_tenant_traffic(
+            n=30,
+            input_size=8,
+            mean_interarrival_us=150.0,
+            tenant_mix=mix,
+            burst_every=10,
+            burst_size=3,
+            hot_lengths=(9, 25),
+            seed=seed,
+        )
+        router = FleetRouter(
+            _mlp(),
+            intel_cpu(),
+            ServeConfig(**_FAST),
+            FleetConfig(num_replicas=replicas, routing=routing, random_seed=seed),
+            kernel_cache=_SHARED_CACHE,
+        )
+        report = _assert_replays(router, trace)
+        single = InferenceServer(
+            _mlp(), intel_cpu(), ServeConfig(**_FAST), kernel_cache=_SHARED_CACHE
+        ).simulate(trace)
+        outs = _outputs(report)
+        reference = {r.rid: r.output.numpy() for r in single.responses}
+        assert outs.keys() == reference.keys()
+        for rid, out in outs.items():
+            assert np.array_equal(out, reference[rid])
+        assert sum(report.routed) == len(trace)
+        _assert_drained(router)
+
+
+# One kernel cache across hypothesis examples: codegen runs once, and
+# the repo-wide invariant (the cache never changes modeled charges or
+# outputs) keeps the differential honest.
+_SHARED_CACHE = KernelCache()

@@ -7,6 +7,8 @@ import struct
 
 import numpy as np
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 import repro.nimble as nimble
 from repro.codegen.kernels import KERNEL_CACHE_FORMAT, KernelCache
@@ -594,3 +596,223 @@ class TestProfileStore:
         back = store.get_profile(key)
         assert back.hits == {(7, 16): 3}
         assert store.profile_keys() == [key]
+
+
+# ---------------------------------------------------------------------------
+# Store GC: age/LRU pruning with refcount and in-flight guards
+# ---------------------------------------------------------------------------
+
+
+class TestStoreGC:
+    """Property coverage of `repro.store.StoreGC`: the collector never
+    touches a referenced or in-flight blob, respects both pruning
+    policies, inventories (never deletes) malformed names, and a
+    pruned-then-re-hot shape recompiles and re-persists cleanly."""
+
+    _UNIVERSE = [
+        (kind, f"{kind}-{i}")
+        for i, kind in enumerate(
+            ["exe", "prefix", "profile", "exe", "prefix", "profile", "exe", "exe"]
+        )
+    ]
+
+    def _model(self, store_dir):
+        from repro.fleet import FleetStoreView
+        from repro.store import StoreGC
+
+        store = ArtifactStore(store_dir)
+        view = FleetStoreView(store)
+        for t, (kind, key) in enumerate(self._UNIVERSE):
+            view.record_put(kind, key, 100.0 * t, replica_id=0)
+        return store, view, StoreGC
+
+    def test_collector_validation(self, tmp_path):
+        store, view, StoreGC = self._model(tmp_path)
+        with pytest.raises(ValueError, match="max_age_us"):
+            StoreGC(store, view, max_age_us=-1.0)
+        with pytest.raises(ValueError, match="max_blobs"):
+            StoreGC(store, view, max_blobs=-1)
+
+    @given(
+        referenced=st.sets(st.sampled_from(range(8)), max_size=8),
+        in_flight=st.sets(st.sampled_from(range(8)), max_size=8),
+        max_age_us=st.sampled_from([None, 0.0, 250.0]),
+        max_blobs=st.sampled_from([None, 0, 3]),
+    )
+    @settings(max_examples=60, deadline=None, derandomize=True)
+    def test_guards_and_policies_hold_for_any_protection_set(
+        self, tmp_path_factory, referenced, in_flight, max_age_us, max_blobs
+    ):
+        store_dir = tmp_path_factory.mktemp("gc")
+        store, view, StoreGC = self._model(store_dir)
+        gc = StoreGC(store, view, max_age_us=max_age_us, max_blobs=max_blobs)
+        referenced = {self._UNIVERSE[i] for i in referenced}
+        in_flight = {self._UNIVERSE[i] for i in in_flight}
+        protected = referenced | in_flight
+        report = gc.collect(1000.0, referenced=referenced, in_flight=in_flight)
+        assert report.examined == len(self._UNIVERSE)
+        pruned = set(report.pruned)
+        # The two absolute guards: protection always wins.
+        assert pruned.isdisjoint(protected)
+        for kind, key in protected:
+            assert view.present(kind, key)
+        live = set(view.inventory())
+        assert live == set(self._UNIVERSE) - pruned
+        if max_age_us is None and max_blobs is None:
+            assert not pruned  # no policy, no pruning
+        if max_age_us is not None:
+            # Every unprotected survivor is inside the age window.
+            for entry in live - protected:
+                assert 1000.0 - view.last_use_us(*entry) <= max_age_us
+        if max_blobs is not None and len(live) > max_blobs:
+            # Over budget only when the guards forced it.
+            assert live <= protected
+
+    def test_age_policy_spares_recent_blobs(self, tmp_path):
+        store, view, StoreGC = self._model(tmp_path)
+        gc = StoreGC(store, view, max_age_us=450.0)
+        report = gc.collect(1000.0)
+        # Entries were put at 0,100,...,700: ages 1000..300; > 450 goes.
+        assert set(report.pruned) == set(self._UNIVERSE[:6])
+        assert report.kept_fresh == 2
+        assert view.inventory() == sorted(self._UNIVERSE[6:])
+
+    def test_lru_budget_prunes_coldest_first(self, tmp_path):
+        store, view, StoreGC = self._model(tmp_path)
+        gc = StoreGC(store, view, max_blobs=2)
+        report = gc.collect(1000.0)
+        # The two most recently used entries (t=600, t=700) survive.
+        assert set(view.inventory()) == set(self._UNIVERSE[6:])
+        assert len(report.pruned) == 6
+
+    def test_in_flight_guard_is_independent_of_references(self, tmp_path):
+        store, view, StoreGC = self._model(tmp_path)
+        gc = StoreGC(store, view, max_blobs=0)
+        hot = self._UNIVERSE[3]
+        report = gc.collect(1000.0, in_flight={hot})
+        assert report.kept_in_flight == 1
+        assert hot not in report.pruned
+        assert view.present(*hot)
+        assert view.inventory() == [hot]
+
+    def test_never_used_initial_blobs_are_infinitely_old(self, tmp_path):
+        """A blob inherited from a previous process that nobody has
+        touched has no age anchor: any age policy reclaims it, and the
+        disk unlink really happens."""
+        from repro.fleet import FleetStoreView
+        from repro.store import StoreGC
+
+        store = ArtifactStore(tmp_path)
+        key = store.put_profile(
+            ShapeProfile(
+                source_signature="a" * 64,
+                platform_name="intel",
+                hits={(9, 1): 2},
+                scores={(9, 1): 1.0},
+            )
+        )
+        view = FleetStoreView(store)
+        report = StoreGC(store, view, max_age_us=10_000_000.0).collect(0.0)
+        assert report.pruned == [("profile", key)]
+        assert report.missing_on_disk == 0
+        assert not store.blob_path("profile", key).exists()
+        assert not view.present("profile", key)
+
+    def test_malformed_names_inventoried_never_deleted(self, tmp_path):
+        from repro.fleet import FleetStoreView
+        from repro.store import StoreGC
+
+        store = ArtifactStore(tmp_path)
+        junk = [
+            store.artifacts_dir / "README.rogue",
+            store.artifacts_dir / "deadbeef.nmblx",
+        ]
+        for path in junk:
+            path.write_bytes(b"not an artifact")
+        (store.artifacts_dir / ".tmp-123").write_bytes(
+            b"in-flight writer, not junk"
+        )
+        view = FleetStoreView(store)
+        assert store.malformed_names() == ["README.rogue", "deadbeef.nmblx"]
+        report = StoreGC(store, view, max_blobs=0).collect(1000.0)
+        assert report.malformed == 2
+        for path in junk:
+            assert path.exists()  # evidence, not garbage
+
+    def test_counters_exclude_disk_dependent_state(self, tmp_path):
+        """`missing_on_disk` depends on what earlier replays left on
+        disk, so it must stay out of the replay-equality surface."""
+        store, view, StoreGC = self._model(tmp_path)
+        report = StoreGC(store, view, max_blobs=0).collect(1000.0)
+        assert report.missing_on_disk == len(self._UNIVERSE)  # fake keys
+        assert "missing_on_disk" not in report.counters()
+        assert report.counters()["pruned"] == tuple(report.pruned)
+
+    def test_pruned_then_rehot_recompiles_and_repersists(self, tmp_path):
+        """GC reclaims a cold specialized executable; when its shape
+        comes back, the replica must notice the blob is gone (fresh
+        compile, no phantom restore) and re-persist it — reviving the
+        store entry for the next consumer."""
+        from repro.fleet import FleetConfig, FleetRouter
+        from repro.serve import Request
+
+        def payload(rows, seed=0):
+            rng = np.random.RandomState(seed)
+            return (rng.randn(rows, 8) * 0.1).astype(np.float32)
+
+        def mlp():
+            w = const(
+                (np.random.RandomState(0).randn(8, 8) * 0.1).astype(np.float32)
+            )
+            x = Var("x", TensorType((Any(), 8), "float32"))
+            return IRModule.from_expr(Function([x], api.relu(api.dense(x, w))))
+
+        store_dir = str(tmp_path / "store")
+        fast = dict(
+            max_batch_size=2,
+            max_delay_us=300.0,
+            num_workers=1,
+            specialize=True,
+            specialize_threshold=2,
+            specialize_compile_us=2000.0,
+        )
+        warm = InferenceServer(
+            mlp(), intel_cpu(), ServeConfig(artifact_dir=store_dir, **fast)
+        )
+        warm.simulate(
+            [
+                Request(rid=i, arrival_us=i * 100.0, payload=payload(9, seed=i))
+                for i in range(12)
+            ]
+        )
+        exe_key = ArtifactStore(store_dir).keys()[0]
+
+        # The shape goes quiet until 2000 µs; an aggressive collector
+        # (every 500 µs, zero age tolerance) reclaims its blob first.
+        router = FleetRouter(
+            mlp(),
+            intel_cpu(),
+            ServeConfig(artifact_dir=store_dir, **fast),
+            FleetConfig(num_replicas=1, gc_interval_us=500.0, gc_max_age_us=0.0),
+        )
+        trace = [
+            Request(
+                rid=i, arrival_us=2000.0 + i * 100.0, payload=payload(9, seed=i)
+            )
+            for i in range(12)
+        ]
+        report = router.simulate(trace)
+        assert ("exe", exe_key) in report.gc_reports[0].pruned
+        # Re-hot: recompiled from scratch, never "restored" from the
+        # reclaimed memory...
+        counters = report.counters()
+        assert counters["replica_restored"] == (0,)
+        assert counters["replica_fresh_compiles"] == (1,)
+        assert counters["replica_store_rejects"] == (0,)
+        # ...and re-persisted: model and disk both hold the blob again.
+        assert router.view.present("exe", exe_key)
+        assert router.view.origin("exe", exe_key) == 0
+        assert ArtifactStore(store_dir).keys() == [exe_key]
+        # The whole dance replays bit-identically.
+        replay = router.simulate(trace)
+        assert replay.counters() == counters
